@@ -1,0 +1,511 @@
+//! FT-Cholesky: fault-tolerant right-looking blocked Cholesky for
+//! fail-continue errors (Section 2.1, after Wu & Chen \[38\]).
+//!
+//! "FT-Cholesky introduces checksums for each block": every `b x b` block
+//! of the lower triangle carries a pair of column-checksum rows (plain and
+//! weighted) that the three update kinds preserve *mechanically*:
+//!
+//! * TRSM `B <- B L11^{-T}` — checksum rows are row vectors of the block
+//!   and transform by the same right-multiplication.
+//! * trailing update `B -= L_i L_j^T` — the checksum rows update as
+//!   `chk -= (chk of L_i) L_j^T`, using the already-maintained checksums
+//!   of the panel blocks.
+//! * the `potf2` of a diagonal block breaks linearity, so its checksums
+//!   are re-encoded from the freshly factored `L11` (O(b^2), negligible).
+//!
+//! Periodic examination recomputes block column sums, locates the row of a
+//! mismatched column through the weighted sum, and repairs in place.
+
+use crate::checksum::{ColChecksums, CHECK_RTOL};
+use crate::multichecksum::{ColumnFinding, MultiChecksums};
+use crate::verify::{FtStats, VerifyMode};
+use abft_linalg::cholesky::FactorError;
+use abft_linalg::{gemm, Matrix, Trans};
+use std::time::Instant;
+
+/// FT-Cholesky options.
+#[derive(Debug, Clone)]
+pub struct FtCholeskyOptions {
+    /// Block size.
+    pub block: usize,
+    /// Verify every `verify_interval` steps.
+    pub verify_interval: usize,
+    /// Verification strategy.
+    pub mode: VerifyMode,
+    /// Use the four-vector power-sum checksums, correcting up to **two**
+    /// errors per block column per examination (Section 2.1's
+    /// "sophisticated checksum vectors"). Costs 2x checksum storage and
+    /// maintenance.
+    pub multi_error: bool,
+}
+
+impl Default for FtCholeskyOptions {
+    fn default() -> Self {
+        FtCholeskyOptions {
+            block: 32,
+            verify_interval: 1,
+            mode: VerifyMode::Full,
+            multi_error: false,
+        }
+    }
+}
+
+/// Result of an FT-Cholesky run.
+#[derive(Debug, Clone)]
+pub struct FtCholeskyResult {
+    /// The factor `L` (strict upper triangle zeroed).
+    pub l: Matrix,
+    /// Fault-tolerance accounting.
+    pub stats: FtStats,
+}
+
+/// Per-block checksum state: the two-vector scheme or the four-vector
+/// multi-error scheme.
+#[derive(Clone)]
+enum BlockChk {
+    Two(ColChecksums),
+    Multi(MultiChecksums),
+}
+
+/// The factorization state with per-block checksums.
+struct State {
+    a: Matrix,
+    /// `chk[it * nt + jt]` for the lower-triangle blocks (`it >= jt`).
+    chk: Vec<Option<BlockChk>>,
+    n: usize,
+    b: usize,
+    nt: usize,
+    multi: bool,
+}
+
+impl State {
+    fn block(&self, it: usize, jt: usize) -> Matrix {
+        self.a.submatrix(it * self.b, jt * self.b, self.b, self.b)
+    }
+
+    fn set_block(&mut self, it: usize, jt: usize, m: &Matrix) {
+        self.a.set_submatrix(it * self.b, jt * self.b, m);
+    }
+
+    fn chk_of(&self, it: usize, jt: usize) -> &BlockChk {
+        self.chk[it * self.nt + jt].as_ref().expect("checksum exists for lower block")
+    }
+
+    fn encode_block(&mut self, it: usize, jt: usize) {
+        let blk = self.block(it, jt);
+        self.chk[it * self.nt + jt] = Some(if self.multi {
+            BlockChk::Multi(MultiChecksums::encode(&blk, self.b))
+        } else {
+            BlockChk::Two(ColChecksums::encode(&blk, self.b))
+        });
+    }
+
+    /// Verify every lower-triangle block, correcting errors per block
+    /// column (one with the two-vector scheme, two with the multi-error
+    /// scheme).
+    fn verify_all(&mut self, stats: &mut FtStats) {
+        for it in 0..self.nt {
+            for jt in 0..=it {
+                let chk = self.chk[it * self.nt + jt].clone().expect("encoded");
+                let mut blk = self.block(it, jt);
+                let mut changed = false;
+                match &chk {
+                    BlockChk::Two(c) => {
+                        for v in &c.verify(&blk, self.b) {
+                            if c.correct(&mut blk, self.b, v).is_some() {
+                                stats.corrections += 1;
+                                changed = true;
+                            } else {
+                                stats.uncorrectable += 1;
+                            }
+                        }
+                    }
+                    BlockChk::Multi(c) => {
+                        for j in 0..self.b {
+                            match c.examine(&blk, j) {
+                                ColumnFinding::Clean => {}
+                                ColumnFinding::Single(e) => {
+                                    blk[(e.row, e.col)] -= e.delta;
+                                    stats.corrections += 1;
+                                    changed = true;
+                                }
+                                ColumnFinding::Double(e1, e2) => {
+                                    blk[(e1.row, e1.col)] -= e1.delta;
+                                    blk[(e2.row, e2.col)] -= e2.delta;
+                                    stats.corrections += 2;
+                                    changed = true;
+                                }
+                                ColumnFinding::DetectedUncorrectable { .. } => {
+                                    stats.uncorrectable += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                if changed {
+                    self.set_block(it, jt, &blk);
+                }
+            }
+        }
+    }
+}
+
+/// Run FT-Cholesky on `a` (symmetric positive definite, dimension a
+/// multiple of `opts.block`). `inject` fires after every step's trailing
+/// update with access to the working matrix.
+pub fn ft_cholesky_with<F>(
+    a: &Matrix,
+    opts: &FtCholeskyOptions,
+    mut inject: F,
+) -> Result<FtCholeskyResult, FactorError>
+where
+    F: FnMut(usize, &mut Matrix),
+{
+    let n = a.rows();
+    let b = opts.block;
+    assert!(a.is_square(), "Cholesky needs a square matrix");
+    assert!(n % b == 0, "dimension must be a multiple of the block size");
+    let nt = n / b;
+
+    let mut stats = FtStats::default();
+    let mut st = State {
+        a: a.clone(),
+        chk: vec![None; nt * nt],
+        n,
+        b,
+        nt,
+        multi: opts.multi_error,
+    };
+
+    // Initial encoding of every lower-triangle block.
+    let t0 = Instant::now();
+    for it in 0..nt {
+        for jt in 0..=it {
+            st.encode_block(it, jt);
+        }
+    }
+    stats.checksum_time += t0.elapsed();
+
+    for kt in 0..nt {
+        // (1) factor the diagonal block.
+        let tc = Instant::now();
+        let mut a11 = st.block(kt, kt);
+        potf2_block(&mut a11, kt * b)?;
+        st.set_block(kt, kt, &a11);
+        stats.compute_time += tc.elapsed();
+        // Re-encode its checksums (potf2 is nonlinear).
+        let te = Instant::now();
+        st.encode_block(kt, kt);
+        stats.checksum_time += te.elapsed();
+
+        // (2) panel TRSM + checksum co-update.
+        let tc = Instant::now();
+        for it in kt + 1..nt {
+            let mut blk = st.block(it, kt);
+            abft_linalg::blas3::trsm_right_lower_trans(&a11, &mut blk);
+            st.set_block(it, kt, &blk);
+            let l11 = a11.clone();
+            let transform = |row: &mut [f64]| {
+                // row <- row * L11^{-T}: solve x L11^T = row.
+                let mut m = Matrix::from_fn(1, row.len(), |_, j| row[j]);
+                abft_linalg::blas3::trsm_right_lower_trans(&l11, &mut m);
+                for (j, x) in row.iter_mut().enumerate() {
+                    *x = m[(0, j)];
+                }
+            };
+            match st.chk[it * nt + kt].as_mut() {
+                Some(BlockChk::Two(chk)) => chk.right_multiply(transform),
+                Some(BlockChk::Multi(chk)) => chk.right_multiply(transform),
+                None => unreachable!("panel blocks are encoded"),
+            }
+        }
+        stats.compute_time += tc.elapsed();
+
+        // (3) trailing update + checksum co-update.
+        for jt in kt + 1..nt {
+            for it in jt..nt {
+                let tc = Instant::now();
+                let li = st.block(it, kt);
+                let lj = st.block(jt, kt);
+                let mut blk = st.block(it, jt);
+                gemm(-1.0, &li, Trans::No, &lj, Trans::Yes, 1.0, &mut blk);
+                st.set_block(it, jt, &blk);
+                stats.compute_time += tc.elapsed();
+
+                let te = Instant::now();
+                // chk(it,jt) -= chk(it,kt) * L(jt,kt)^T  — row-vector gemm.
+                let chk_panel = st.chk_of(it, kt).clone();
+                match (st.chk[it * nt + jt].as_mut(), &chk_panel) {
+                    (Some(BlockChk::Two(chk)), BlockChk::Two(panel)) => {
+                        for (dst, src) in [
+                            (&mut chk.plain, &panel.plain),
+                            (&mut chk.weighted, &panel.weighted),
+                        ] {
+                            for (jj, d) in dst.iter_mut().enumerate() {
+                                let mut s = 0.0;
+                                for p in 0..b {
+                                    s += src[p] * lj[(jj, p)];
+                                }
+                                *d -= s;
+                            }
+                        }
+                    }
+                    (Some(BlockChk::Multi(chk)), BlockChk::Multi(panel)) => {
+                        chk.rank_update(panel, &lj);
+                    }
+                    _ => unreachable!("checksum kinds are uniform"),
+                }
+                stats.checksum_time += te.elapsed();
+            }
+        }
+
+        inject(kt, &mut st.a);
+
+        // (4) periodic examination.
+        if (kt + 1) % opts.verify_interval == 0 || kt + 1 == nt {
+            let tv = Instant::now();
+            stats.verifications += 1;
+            match &opts.mode {
+                VerifyMode::Full => st.verify_all(&mut stats),
+                VerifyMode::HardwareAssisted(ch) => {
+                    let reports = ch.poll();
+                    for rep in &reports {
+                        // The report names elements of the matrix region
+                        // (column-major, leading dimension n): repair each
+                        // covered element from its block checksum.
+                        for e in rep.element..rep.element + 8 {
+                            let (i, j) = (e % st.n, e / st.n);
+                            if j >= st.n || i < j {
+                                continue;
+                            }
+                            let (it, jt) = (i / b, j / b);
+                            let chk = st.chk_of(it, jt).clone();
+                            let mut blk = st.block(it, jt);
+                            let (li, lj) = (i % b, j % b);
+                            let plain_sum = match &chk {
+                                BlockChk::Two(c) => c.plain[lj],
+                                BlockChk::Multi(c) => c.plain_sum(lj),
+                            };
+                            let others: f64 =
+                                (0..b).filter(|&r| r != li).map(|r| blk[(r, lj)]).sum();
+                            let fixed = plain_sum - others;
+                            if (blk[(li, lj)] - fixed).abs() > CHECK_RTOL * fixed.abs().max(1.0)
+                            {
+                                blk[(li, lj)] = fixed;
+                                st.set_block(it, jt, &blk);
+                                stats.corrections += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            stats.verify_time += tv.elapsed();
+        }
+    }
+
+    // Zero the strict upper triangle (the factorization is in place).
+    let mut l = st.a;
+    for j in 1..n {
+        for i in 0..j {
+            l[(i, j)] = 0.0;
+        }
+    }
+    Ok(FtCholeskyResult { l, stats })
+}
+
+/// Unblocked Cholesky of one diagonal block.
+fn potf2_block(a: &mut Matrix, offset: usize) -> Result<(), FactorError> {
+    let n = a.rows();
+    for j in 0..n {
+        let mut d = a[(j, j)];
+        for p in 0..j {
+            d -= a[(j, p)] * a[(j, p)];
+        }
+        if d <= 0.0 {
+            return Err(FactorError::NotPositiveDefinite { index: offset + j, value: d });
+        }
+        let d = d.sqrt();
+        a[(j, j)] = d;
+        for i in j + 1..n {
+            let mut s = a[(i, j)];
+            for p in 0..j {
+                s -= a[(i, p)] * a[(j, p)];
+            }
+            a[(i, j)] = s / d;
+        }
+    }
+    for j in 1..n {
+        for i in 0..j {
+            a[(i, j)] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// FT-Cholesky without fault injection.
+pub fn ft_cholesky(a: &Matrix, opts: &FtCholeskyOptions) -> Result<FtCholeskyResult, FactorError> {
+    ft_cholesky_with(a, opts, |_, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_linalg::gen::random_spd;
+
+    fn reconstruct(l: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(l.rows(), l.cols());
+        gemm(1.0, l, Trans::No, l, Trans::Yes, 0.0, &mut c);
+        c
+    }
+
+    #[test]
+    fn clean_run_factors_correctly() {
+        let a = random_spd(64, 1);
+        let r = ft_cholesky(&a, &FtCholeskyOptions { block: 16, ..Default::default() }).unwrap();
+        assert!(reconstruct(&r.l).approx_eq(&a, 1e-9, 1e-9));
+        assert_eq!(r.stats.corrections, 0);
+    }
+
+    #[test]
+    fn checksums_stay_consistent_through_all_steps() {
+        // Error-free run with verification every step must report nothing.
+        let a = random_spd(96, 2);
+        let r = ft_cholesky(
+            &a,
+            &FtCholeskyOptions { block: 24, verify_interval: 1, mode: VerifyMode::Full , multi_error: false },
+        )
+        .unwrap();
+        assert_eq!(r.stats.corrections, 0, "round-off must not trip the tolerance");
+        assert_eq!(r.stats.uncorrectable, 0);
+        assert!(r.stats.verifications >= 4);
+    }
+
+    #[test]
+    fn injected_error_in_trailing_matrix_is_corrected() {
+        let a = random_spd(64, 3);
+        let expect = {
+            let mut m = a.clone();
+            abft_linalg::cholesky_blocked(&mut m, 16).unwrap();
+            m
+        };
+        let r = ft_cholesky_with(
+            &a,
+            &FtCholeskyOptions { block: 16, verify_interval: 1, mode: VerifyMode::Full , multi_error: false },
+            |kt, m| {
+                if kt == 1 {
+                    // Strike the not-yet-factored trailing matrix.
+                    m[(50, 40)] += 1000.0;
+                }
+            },
+        )
+        .unwrap();
+        assert!(r.stats.corrections >= 1);
+        assert!(reconstruct(&r.l).approx_eq(&a, 1e-8, 1e-8), "factor must be repaired");
+        assert!(r.l.approx_eq(&expect, 1e-6, 1e-6));
+    }
+
+    #[test]
+    fn injected_error_in_factored_panel_is_corrected() {
+        let a = random_spd(64, 4);
+        let r = ft_cholesky_with(
+            &a,
+            &FtCholeskyOptions { block: 16, verify_interval: 1, mode: VerifyMode::Full , multi_error: false },
+            |kt, m| {
+                if kt == 2 {
+                    // Strike already-factored L entries.
+                    m[(30, 5)] -= 42.0;
+                }
+            },
+        )
+        .unwrap();
+        assert!(r.stats.corrections >= 1);
+        assert!(reconstruct(&r.l).approx_eq(&a, 1e-8, 1e-8));
+    }
+
+    #[test]
+    fn multiple_errors_across_blocks_corrected() {
+        let a = random_spd(96, 5);
+        let r = ft_cholesky_with(
+            &a,
+            &FtCholeskyOptions { block: 24, verify_interval: 1, mode: VerifyMode::Full , multi_error: false },
+            |kt, m| {
+                if kt == 0 {
+                    m[(40, 30)] += 3.0;
+                    m[(80, 70)] -= 8.0;
+                    m[(95, 2)] += 0.5;
+                }
+            },
+        )
+        .unwrap();
+        assert!(r.stats.corrections >= 3);
+        assert!(reconstruct(&r.l).approx_eq(&a, 1e-8, 1e-8));
+    }
+
+    #[test]
+    fn multi_error_mode_corrects_two_errors_in_one_block_column() {
+        let a = random_spd(64, 17);
+        let r = ft_cholesky_with(
+            &a,
+            &FtCholeskyOptions {
+                block: 16,
+                verify_interval: 1,
+                mode: VerifyMode::Full,
+                multi_error: true,
+            },
+            |kt, m| {
+                if kt == 1 {
+                    // Two strikes in the SAME block column of the trailing
+                    // matrix — beyond the two-vector scheme.
+                    m[(50, 40)] += 12.0;
+                    m[(59, 40)] -= 4.5;
+                }
+            },
+        )
+        .unwrap();
+        assert!(r.stats.corrections >= 2);
+        assert_eq!(r.stats.uncorrectable, 0);
+        assert!(reconstruct(&r.l).approx_eq(&a, 1e-8, 1e-8));
+
+        // The two-vector scheme on the same strike pattern cannot repair
+        // (detected, not corrected).
+        let r2 = ft_cholesky_with(
+            &a,
+            &FtCholeskyOptions { block: 16, verify_interval: 1, ..Default::default() },
+            |kt, m| {
+                if kt == 1 {
+                    m[(50, 40)] += 12.0;
+                    m[(59, 40)] -= 4.5;
+                }
+            },
+        )
+        .unwrap();
+        assert!(r2.stats.uncorrectable >= 1 || !reconstruct(&r2.l).approx_eq(&a, 1e-8, 1e-8));
+    }
+
+    #[test]
+    fn multi_error_mode_clean_run_is_silent() {
+        let a = random_spd(96, 18);
+        let r = ft_cholesky(
+            &a,
+            &FtCholeskyOptions {
+                block: 24,
+                verify_interval: 1,
+                mode: VerifyMode::Full,
+                multi_error: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.stats.corrections, 0);
+        assert_eq!(r.stats.uncorrectable, 0);
+        assert!(reconstruct(&r.l).approx_eq(&a, 1e-9, 1e-9));
+    }
+
+    #[test]
+    fn rejects_non_multiple_dimension() {
+        let a = random_spd(10, 6);
+        let result = std::panic::catch_unwind(|| {
+            let _ = ft_cholesky(&a, &FtCholeskyOptions { block: 16, ..Default::default() });
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,378 @@
+//! FT-HPL: fault-tolerant High Performance Linpack for **fail-stop**
+//! errors (Section 2.1, after Davies et al. \[10\]).
+//!
+//! The global matrix is distributed over `P` process block-columns; an
+//! extra checksum block-column holds their sum
+//! (`S[:, j] = sum_p A[:, j + p*w]`). Row swaps and eliminations are
+//! row-linear and are applied to the checksum columns too, so the
+//! relationship holds at every step — for the *mathematical* matrix, in
+//! which factored columns carry zeros below the diagonal (the stored L
+//! multipliers are produced by a column scaling, which is not row-linear,
+//! but their mathematical value is zero and zero is invariant under the
+//! remaining row operations). Consequently:
+//!
+//! * the `U` part and the trailing matrix of a lost block-column are
+//!   rebuilt from `S - sum_{p != lost}` — "recovered from the row
+//!   checksum relationship";
+//! * the `L` multipliers of a lost block-column are restored from the
+//!   panel-broadcast archive — in HPL every panel is broadcast across the
+//!   process row before the trailing update, so surviving processes hold
+//!   copies (we keep the archive current under later row swaps exactly as
+//!   the surviving processes do).
+
+use crate::verify::{FtStats, VerifyMode};
+use abft_linalg::cholesky::FactorError;
+use abft_linalg::Matrix;
+use std::time::Instant;
+
+/// FT-HPL options.
+#[derive(Debug, Clone)]
+pub struct FtHplOptions {
+    /// Panel width.
+    pub block: usize,
+    /// Process block-columns (the paper's basic test uses a 2x2 grid; the
+    /// column dimension `P = 2`).
+    pub process_cols: usize,
+    /// Verify the checksum relationship every `verify_interval` panels.
+    pub verify_interval: usize,
+    /// Verification strategy.
+    pub mode: VerifyMode,
+}
+
+impl Default for FtHplOptions {
+    fn default() -> Self {
+        FtHplOptions { block: 32, process_cols: 2, verify_interval: 1, mode: VerifyMode::Full }
+    }
+}
+
+/// Result of an FT-HPL run.
+#[derive(Debug, Clone)]
+pub struct FtHplResult {
+    /// Packed LU factors of `A` (the first `n` columns of the extended
+    /// working matrix).
+    pub lu: Matrix,
+    /// Pivot rows.
+    pub pivots: Vec<usize>,
+    /// Fail-stop recoveries performed.
+    pub recoveries: u64,
+    /// Fault-tolerance accounting.
+    pub stats: FtStats,
+}
+
+impl FtHplResult {
+    /// Solve `A x = b` with the produced factors.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let f = abft_linalg::LuFactors { lu: self.lu.clone(), pivots: self.pivots.clone() };
+        f.solve(b)
+    }
+}
+
+/// A fail-stop event to inject: before processing panel `at_step`, wipe
+/// process block-column `process` (models the process crash + respawn on
+/// a spare node with empty memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailStop {
+    /// Panel step before which the failure strikes.
+    pub at_step: usize,
+    /// Which process block-column is lost.
+    pub process: usize,
+}
+
+/// Extend `a` with the checksum block-column.
+fn encode(a: &Matrix, pcols: usize) -> Matrix {
+    let n = a.rows();
+    let w = a.cols() / pcols;
+    let mut ext = Matrix::zeros(n, a.cols() + w);
+    ext.set_submatrix(0, 0, a);
+    for j in 0..w {
+        for i in 0..n {
+            let mut s = 0.0;
+            for p in 0..pcols {
+                s += a[(i, j + p * w)];
+            }
+            ext[(i, a.cols() + j)] = s;
+        }
+    }
+    ext
+}
+
+/// The mathematical value of entry `(i, c)`: zero below the diagonal of a
+/// factored column (`c < factored_cols`), the stored value otherwise.
+#[inline]
+fn math_val(ext: &Matrix, i: usize, c: usize, factored_cols: usize) -> f64 {
+    if c < factored_cols && i > c {
+        0.0
+    } else {
+        ext[(i, c)]
+    }
+}
+
+/// Verify the row-checksum relationship on the mathematical matrix;
+/// returns the max relative violation.
+fn checksum_violation(ext: &Matrix, n: usize, pcols: usize, factored_cols: usize) -> f64 {
+    let w = n / pcols;
+    let mut worst: f64 = 0.0;
+    for j in 0..w {
+        for i in 0..n {
+            let mut s = 0.0;
+            for p in 0..pcols {
+                s += math_val(ext, i, j + p * w, factored_cols);
+            }
+            let d = (s - ext[(i, n + j)]).abs();
+            let scale = s.abs().max(ext[(i, n + j)].abs()).max(1.0);
+            worst = worst.max(d / scale);
+        }
+    }
+    worst
+}
+
+/// Rebuild a lost process block-column: U/trailing entries from the
+/// checksum relationship, L multipliers from the broadcast archive.
+fn recover_process(
+    ext: &mut Matrix,
+    archive: &Matrix,
+    n: usize,
+    pcols: usize,
+    lost: usize,
+    factored_cols: usize,
+) {
+    let w = n / pcols;
+    for j in 0..w {
+        let c = j + lost * w;
+        for i in 0..n {
+            if c < factored_cols && i > c {
+                // L multiplier: the surviving processes' broadcast copy.
+                ext[(i, c)] = archive[(i, c)];
+            } else {
+                let mut s = ext[(i, n + j)];
+                for p in 0..pcols {
+                    if p != lost {
+                        s -= math_val(ext, i, j + p * w, factored_cols);
+                    }
+                }
+                ext[(i, c)] = s;
+            }
+        }
+    }
+}
+
+/// Run FT-HPL on `a` with optional fail-stop injections.
+pub fn ft_hpl_with(
+    a: &Matrix,
+    opts: &FtHplOptions,
+    failures: &[FailStop],
+) -> Result<FtHplResult, FactorError> {
+    let n = a.rows();
+    assert!(a.is_square(), "HPL factors a square system");
+    assert!(n % opts.block == 0, "dimension must be a multiple of the panel width");
+    assert!(n % opts.process_cols == 0, "dimension must split across process columns");
+
+    let mut stats = FtStats::default();
+    let te = Instant::now();
+    let mut ext = encode(a, opts.process_cols);
+    stats.checksum_time += te.elapsed();
+
+    let total_cols = ext.cols();
+    let nb = opts.block;
+    let nt = n / nb;
+    let mut pivots = vec![0usize; n];
+    let mut recoveries = 0u64;
+    // The panel-broadcast archive (surviving processes' copies of L).
+    let mut archive = Matrix::zeros(n, n);
+
+    for kt in 0..nt {
+        let k = kt * nb;
+        // Fail-stop strikes scheduled before this panel.
+        for f in failures.iter().filter(|f| f.at_step == kt) {
+            assert!(f.process < opts.process_cols, "bad process index");
+            let w = n / opts.process_cols;
+            // Lose the block-column...
+            for j in 0..w {
+                for i in 0..n {
+                    ext[(i, f.process * w + j)] = 0.0;
+                }
+            }
+            // ... and recover it.
+            let tr = Instant::now();
+            recover_process(&mut ext, &archive, n, opts.process_cols, f.process, k);
+            stats.verify_time += tr.elapsed();
+            recoveries += 1;
+        }
+
+        let tc = Instant::now();
+        // Panel factorization with partial pivoting; every row operation
+        // spans all columns (including the checksum block-column).
+        for j in k..k + nb {
+            let mut piv = j;
+            let mut pmax = ext[(j, j)].abs();
+            for i in j + 1..n {
+                let v = ext[(i, j)].abs();
+                if v > pmax {
+                    pmax = v;
+                    piv = i;
+                }
+            }
+            if pmax == 0.0 {
+                return Err(FactorError::Singular { index: j });
+            }
+            pivots[j] = piv;
+            if piv != j {
+                ext.swap_rows(j, piv);
+                // Surviving processes apply the same interchange to their
+                // broadcast copies of earlier panels.
+                archive.swap_rows(j, piv);
+            }
+            let d = ext[(j, j)];
+            for i in j + 1..n {
+                ext[(i, j)] /= d;
+            }
+            // Eliminate: row-linear update over all remaining columns.
+            for c in j + 1..total_cols {
+                let ujc = ext[(j, c)];
+                if ujc == 0.0 {
+                    continue;
+                }
+                for i in j + 1..n {
+                    let l = ext[(i, j)];
+                    ext[(i, c)] -= l * ujc;
+                }
+            }
+        }
+        stats.compute_time += tc.elapsed();
+
+        // Archive this panel's columns (the broadcast copy).
+        let te = Instant::now();
+        for c in k..k + nb {
+            for i in 0..n {
+                archive[(i, c)] = ext[(i, c)];
+            }
+        }
+        stats.checksum_time += te.elapsed();
+
+        // Periodic verification of the checksum relationship (cheap for
+        // fail-stop FT-HPL — no error location needed).
+        if (kt + 1) % opts.verify_interval == 0 || kt + 1 == nt {
+            let tv = Instant::now();
+            stats.verifications += 1;
+            if let VerifyMode::Full = opts.mode {
+                let v = checksum_violation(&ext, n, opts.process_cols, k + nb);
+                if v > 1e-6 {
+                    stats.uncorrectable += 1;
+                }
+            }
+            stats.verify_time += tv.elapsed();
+        }
+    }
+
+    Ok(FtHplResult { lu: ext.submatrix(0, 0, n, n), pivots, recoveries, stats })
+}
+
+/// FT-HPL without failures.
+pub fn ft_hpl(a: &Matrix, opts: &FtHplOptions) -> Result<FtHplResult, FactorError> {
+    ft_hpl_with(a, opts, &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_linalg::gen::{random_diag_dominant, random_vector};
+
+    #[test]
+    fn clean_run_matches_plain_lu_solve() {
+        let n = 64;
+        let a = random_diag_dominant(n, 1);
+        let x_true = random_vector(n, 2);
+        let b = a.matvec(&x_true);
+        let r = ft_hpl(&a, &FtHplOptions { block: 16, ..Default::default() }).unwrap();
+        let x = r.solve(&b);
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-8, "x[{i}]");
+        }
+        assert_eq!(r.recoveries, 0);
+    }
+
+    #[test]
+    fn checksum_relationship_holds_during_factorization() {
+        // The invariant: eliminations and swaps are row-linear, so the
+        // checksum block-column stays the sum of the process columns of
+        // the *transformed* matrix at every step. We validate by encoding,
+        // running two panels manually... simpler: a full clean run with a
+        // fail-stop at the very last step still recovers exactly.
+        let n = 48;
+        let a = random_diag_dominant(n, 3);
+        let x_true = random_vector(n, 4);
+        let b = a.matvec(&x_true);
+        let r = ft_hpl_with(
+            &a,
+            &FtHplOptions { block: 16, ..Default::default() },
+            &[FailStop { at_step: 2, process: 1 }],
+        )
+        .unwrap();
+        assert_eq!(r.recoveries, 1);
+        let x = r.solve(&b);
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-7, "x[{i}] = {} vs {}", x[i], x_true[i]);
+        }
+    }
+
+    #[test]
+    fn fail_stop_at_each_step_recovers() {
+        let n = 48;
+        let a = random_diag_dominant(n, 5);
+        let x_true = random_vector(n, 6);
+        let b = a.matvec(&x_true);
+        for step in 0..3 {
+            for proc in 0..2 {
+                let r = ft_hpl_with(
+                    &a,
+                    &FtHplOptions { block: 16, ..Default::default() },
+                    &[FailStop { at_step: step, process: proc }],
+                )
+                .unwrap();
+                let x = r.solve(&b);
+                let err = x
+                    .iter()
+                    .zip(&x_true)
+                    .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()));
+                assert!(err < 1e-6, "step {step} proc {proc}: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn double_failure_of_different_processes_at_different_times() {
+        let n = 64;
+        let a = random_diag_dominant(n, 7);
+        let x_true = random_vector(n, 8);
+        let b = a.matvec(&x_true);
+        let r = ft_hpl_with(
+            &a,
+            &FtHplOptions { block: 16, ..Default::default() },
+            &[FailStop { at_step: 1, process: 0 }, FailStop { at_step: 3, process: 1 }],
+        )
+        .unwrap();
+        assert_eq!(r.recoveries, 2);
+        let x = r.solve(&b);
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn four_process_grid_works() {
+        let n = 64;
+        let a = random_diag_dominant(n, 9);
+        let x_true = random_vector(n, 10);
+        let b = a.matvec(&x_true);
+        let r = ft_hpl_with(
+            &a,
+            &FtHplOptions { block: 16, process_cols: 4, ..Default::default() },
+            &[FailStop { at_step: 2, process: 3 }],
+        )
+        .unwrap();
+        let x = r.solve(&b);
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # abft-kernels
+//!
+//! The four algorithm-based fault tolerant kernels of Section 2.1
+//! (Li et al., SC 2013), built on `abft-linalg`:
+//!
+//! * [`dgemm`] — FT-DGEMM: full-checksum matrix multiply (fail-continue).
+//! * [`cholesky`] — FT-Cholesky: per-block column checksums maintained
+//!   through the right-looking factorization (fail-continue).
+//! * [`cg`] — FT-CG / FT-Pred-CG: Online-ABFT invariant checks on
+//!   `r, p, q, x, b` (fail-continue).
+//! * [`hpl`] — FT-HPL: row-checksum-encoded LU for fail-stop recovery.
+//! * [`lu`] — FT-LU: online (fail-continue) soft-error correction in LU,
+//!   after Davies & Chen \[9\].
+//! * [`qr`] — FT-QR: checksum-maintained Householder QR, after Du et
+//!   al. \[14\].
+//! * [`multichecksum`] — power-sum checksum vectors correcting multiple
+//!   errors per column (Section 2.1's "sophisticated checksum vectors").
+//! * [`checksum`] — the shared plain + weighted checksum machinery.
+//! * [`verify`] — full vs hardware-assisted verification (Section 3.2.2).
+//! * [`overhead`] — the Figure 3 / Table 1 instrumentation harness.
+
+pub mod cg;
+pub mod checksum;
+pub mod cholesky;
+pub mod dgemm;
+pub mod hpl;
+pub mod lu;
+pub mod multichecksum;
+pub mod overhead;
+pub mod qr;
+pub mod verify;
+
+pub use checksum::{ColChecksums, Violation};
+pub use multichecksum::{ColumnFinding, LocatedError, MultiChecksums};
+pub use dgemm::{ft_dgemm, ft_dgemm_with, FtDgemmOptions, FtDgemmResult};
+pub use verify::{FtStats, VerifyMode};

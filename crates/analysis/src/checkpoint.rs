@@ -1,0 +1,117 @@
+//! Checkpoint/restart vs ABFT: the paper's motivating comparison
+//! (Section 1: ABFT "can reduce or even eliminate the expensive periodic
+//! checkpoint/rollback", Section 4: "Checkpoint/restart is generally much
+//! more costly than ABFT").
+//!
+//! The checkpoint side uses the Young/Daly first-order model: with
+//! per-checkpoint cost `C` and failure MTTF `M`, the optimal interval is
+//! `sqrt(2 C M)` and the expected overhead fraction
+//! `C/tau + tau/(2M)` (checkpoint time plus expected rework).
+
+/// Young/Daly optimal checkpoint interval (seconds).
+pub fn daly_interval(checkpoint_s: f64, mttf_s: f64) -> f64 {
+    assert!(checkpoint_s > 0.0 && mttf_s > 0.0);
+    (2.0 * checkpoint_s * mttf_s).sqrt()
+}
+
+/// Expected fractional overhead of periodic checkpointing at interval
+/// `tau`: checkpoint writes plus expected recomputation after failures
+/// (restart cost folded into the rework term via `restart_s`).
+pub fn checkpoint_overhead(checkpoint_s: f64, restart_s: f64, mttf_s: f64, tau_s: f64) -> f64 {
+    assert!(tau_s > 0.0);
+    let write = checkpoint_s / tau_s;
+    // A failure costs (restart + on average half an interval of rework).
+    let rework = (restart_s + tau_s / 2.0) / mttf_s;
+    write + rework
+}
+
+/// Overhead at the optimal interval.
+pub fn optimal_checkpoint_overhead(checkpoint_s: f64, restart_s: f64, mttf_s: f64) -> f64 {
+    checkpoint_overhead(checkpoint_s, restart_s, mttf_s, daly_interval(checkpoint_s, mttf_s))
+}
+
+/// Expected fractional overhead of ABFT handling the same failures:
+/// the steady fault-tolerance tax `tau_abft` plus per-error recovery.
+pub fn abft_overhead(tau_abft: f64, recovery_s: f64, mttf_s: f64) -> f64 {
+    tau_abft + recovery_s / mttf_s
+}
+
+/// One row of the comparison sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointComparison {
+    /// System MTTF (s).
+    pub mttf_s: f64,
+    /// Optimal checkpoint interval (s).
+    pub interval_s: f64,
+    /// Checkpoint/restart overhead fraction.
+    pub checkpoint_overhead: f64,
+    /// ABFT overhead fraction.
+    pub abft_overhead: f64,
+}
+
+/// Sweep system MTTFs for a fixed application profile.
+pub fn sweep(
+    checkpoint_s: f64,
+    restart_s: f64,
+    tau_abft: f64,
+    recovery_s: f64,
+    mttfs: &[f64],
+) -> Vec<CheckpointComparison> {
+    mttfs
+        .iter()
+        .map(|&m| CheckpointComparison {
+            mttf_s: m,
+            interval_s: daly_interval(checkpoint_s, m),
+            checkpoint_overhead: optimal_checkpoint_overhead(checkpoint_s, restart_s, m),
+            abft_overhead: abft_overhead(tau_abft, recovery_s, m),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daly_interval_formula() {
+        assert!((daly_interval(60.0, 7200.0) - (2.0f64 * 60.0 * 7200.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_interval_minimizes_overhead() {
+        let (c, r, m) = (120.0, 300.0, 4.0 * 3600.0);
+        let opt = daly_interval(c, m);
+        let at_opt = checkpoint_overhead(c, r, m, opt);
+        for factor in [0.25, 0.5, 2.0, 4.0] {
+            assert!(
+                checkpoint_overhead(c, r, m, opt * factor) >= at_opt - 1e-12,
+                "interval {} beats the optimum",
+                opt * factor
+            );
+        }
+    }
+
+    #[test]
+    fn abft_beats_checkpointing_at_realistic_rates() {
+        // 2-minute checkpoints, 5-minute restarts, 3% ABFT tax,
+        // 1 s recoveries: ABFT wins across the realistic MTTF range —
+        // the paper's Section 1 claim.
+        let rows = sweep(120.0, 300.0, 0.03, 1.0, &[1800.0, 3600.0, 21600.0, 86400.0]);
+        for r in rows {
+            assert!(
+                r.abft_overhead < r.checkpoint_overhead,
+                "MTTF {}: abft {} vs ckpt {}",
+                r.mttf_s,
+                r.abft_overhead,
+                r.checkpoint_overhead
+            );
+        }
+    }
+
+    #[test]
+    fn checkpointing_overhead_grows_as_mttf_shrinks() {
+        let a = optimal_checkpoint_overhead(120.0, 300.0, 3600.0);
+        let b = optimal_checkpoint_overhead(120.0, 300.0, 36000.0);
+        assert!(a > b);
+    }
+}

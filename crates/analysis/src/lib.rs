@@ -1,0 +1,300 @@
+//! # abft-analysis
+//!
+//! The Section 5.2 scaling study: energy benefit vs ABFT recovery cost for
+//! the three partial-ECC strategies, projected to large scales with the
+//! paper's own analytical method — Equations (2)-(8) fed by
+//! single-process simulator measurements and the Table 5 error rates.
+//!
+//! * **Weak scaling** (Figure 8): constant per-process problem
+//!   (3000x3000-class); footprint, error count and energy benefit all grow
+//!   with the process count.
+//! * **Strong scaling** (Figure 9): a fixed 100-process x 12K x 12K
+//!   aggregate problem divided over more processes ("a mixture of strong
+//!   and weak scaling", after \[37\]); the per-process problem shrinks, so
+//!   caching erodes the energy benefit while recovery gets cheaper — the
+//!   paper's sweet point.
+
+pub mod checkpoint;
+
+use abft_coop_core::{BasicTest, Strategy};
+use abft_faultsim::fit;
+use abft_faultsim::models::{mttf_hetero_seconds, EccRegionTerm};
+use abft_memsim::SystemConfig;
+
+/// Per-strategy inputs for the scaling projections, measured on one
+/// process by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrategyProfile {
+    /// The partial strategy.
+    pub strategy: Strategy,
+    /// System power saved per process vs the whole-ECC baseline (W).
+    pub saved_watts: f64,
+    /// Performance impact ratio of the strategy (`tau_are`).
+    pub tau_are: f64,
+    /// Performance impact ratio of the baseline (`tau_ase`).
+    pub tau_ase: f64,
+}
+
+/// Scaling-study configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingConfig {
+    /// ABFT-protected bytes per process.
+    pub abft_bytes_per_proc: u64,
+    /// Other (strongly protected) bytes per process.
+    pub other_bytes_per_proc: u64,
+    /// Native per-process execution window `T_0` (s).
+    pub t0_seconds: f64,
+    /// ABFT recovery energy per error on the base problem size (J) —
+    /// FT-CG's recovery is one matvec-class operation, the costliest of
+    /// the four kernels (the paper's worst case).
+    pub recovery_j: f64,
+    /// Parallel-efficiency model coefficient: eff = 1/(1 + c log2(N/N0)).
+    pub comm_coeff: f64,
+    /// L2 capacity (for the strong-scaling cache-erosion model).
+    pub l2_bytes: u64,
+}
+
+impl Default for ScalingConfig {
+    fn default() -> Self {
+        // 3000x3000 dp operator class per process: ABFT-protected Krylov
+        // vectors + checksummed state ~16 MB, other data ~56 MB.
+        ScalingConfig {
+            abft_bytes_per_proc: 16 << 20,
+            other_bytes_per_proc: 56 << 20,
+            t0_seconds: 600.0,
+            recovery_j: 120.0,
+            comm_coeff: 0.05,
+            l2_bytes: SystemConfig::default().l2.capacity as u64,
+        }
+    }
+}
+
+/// One point of a scaling curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalePoint {
+    /// Process count.
+    pub procs: u64,
+    /// Total energy benefit over the run (kJ).
+    pub benefit_kj: f64,
+    /// Total ABFT recovery energy (kJ).
+    pub recovery_kj: f64,
+    /// Expected number of ABFT-recovered errors.
+    pub errors: f64,
+}
+
+/// The Figure 8 process counts.
+pub const WEAK_SCALES: [u64; 6] = [100, 3200, 12800, 51200, 204800, 819200];
+/// The Figure 9 process counts.
+pub const STRONG_SCALES: [u64; 6] = [100, 200, 400, 800, 1600, 3200];
+
+/// Error rate (FIT/Mbit) reaching ABFT under a partial strategy: the
+/// residual rate of whatever ECC still covers the ABFT data.
+fn abft_residual_fit(strategy: Strategy) -> f64 {
+    fit::fit_per_mbit(strategy.relaxed_scheme())
+}
+
+/// Expected ABFT-recovered errors over the run (Equations 3-4) for the
+/// ABFT-protected portion of memory.
+fn expected_abft_errors(
+    strategy: Strategy,
+    abft_bytes_total: u64,
+    run_seconds: f64,
+    tau_are: f64,
+) -> f64 {
+    let region = EccRegionTerm {
+        fr_fit_per_mbit: abft_residual_fit(strategy),
+        mbit: abft_bytes_total as f64 * 8.0 / 1e6,
+        age_factor: 1.0,
+    };
+    let mttf = mttf_hetero_seconds(&[region], 1);
+    abft_faultsim::models::expected_errors(run_seconds, tau_are, mttf)
+}
+
+/// Weak-scaling series (Figure 8) for one strategy profile.
+pub fn weak_scaling(profile: &StrategyProfile, cfg: &ScalingConfig) -> Vec<ScalePoint> {
+    WEAK_SCALES
+        .iter()
+        .map(|&n| {
+            let run_s = cfg.t0_seconds * (1.0 + profile.tau_are);
+            let benefit_j = profile.saved_watts * cfg.t0_seconds * n as f64;
+            let abft_total = cfg.abft_bytes_per_proc * n;
+            let errors = expected_abft_errors(profile.strategy, abft_total, run_s, 0.0);
+            ScalePoint {
+                procs: n,
+                benefit_kj: benefit_j / 1e3,
+                recovery_kj: errors * cfg.recovery_j / 1e3,
+                errors,
+            }
+        })
+        .collect()
+}
+
+/// Strong-scaling series (Figure 9) for one strategy profile.
+///
+/// The aggregate problem is fixed at the 100-process weak base with a
+/// 12K x 12K per-process share; scaling to `n` processes shrinks each
+/// share by `100/n`, eroding main-memory traffic (and hence the relaxed
+/// ECC's benefit) as the share approaches the cache, while communication
+/// overhead stretches the run.
+pub fn strong_scaling(profile: &StrategyProfile, cfg: &ScalingConfig) -> Vec<ScalePoint> {
+    const BASE_PROCS: f64 = 100.0;
+    // 12K x 12K dp per process at the base: x16 the weak per-process data.
+    let base_abft = cfg.abft_bytes_per_proc as f64 * 16.0;
+    let base_other = cfg.other_bytes_per_proc as f64 * 16.0;
+    let traffic_fraction = |footprint: f64| -> f64 {
+        if footprint <= cfg.l2_bytes as f64 {
+            0.0
+        } else {
+            1.0 - cfg.l2_bytes as f64 / footprint
+        }
+    };
+    let base_traffic = traffic_fraction(base_abft + base_other);
+
+    STRONG_SCALES
+        .iter()
+        .map(|&n| {
+            let shrink = BASE_PROCS / n as f64;
+            let abft_local = base_abft * shrink;
+            let other_local = base_other * shrink;
+            // Parallel efficiency stretches the run.
+            let eff = 1.0 / (1.0 + cfg.comm_coeff * ((n as f64 / BASE_PROCS).log2()));
+            let run_s = cfg.t0_seconds * shrink / eff;
+            // Per-process power saving erodes with the cached fraction.
+            let traffic = traffic_fraction(abft_local + other_local) / base_traffic;
+            let saved_w = profile.saved_watts * traffic;
+            let benefit_j = saved_w * run_s * n as f64;
+            // Total ABFT-protected footprint is scale-invariant (strong
+            // scaling); exposure time shrinks with the run.
+            let abft_total = (base_abft * BASE_PROCS) as u64;
+            let errors = expected_abft_errors(
+                profile.strategy,
+                abft_total,
+                run_s * (1.0 + profile.tau_are),
+                0.0,
+            );
+            // Recovery cost scales with the local problem (one
+            // matvec-class repair on the shrunken share).
+            let recovery_j = errors * cfg.recovery_j * 16.0 * shrink;
+            ScalePoint {
+                procs: n,
+                benefit_kj: benefit_j / 1e3,
+                recovery_kj: recovery_j / 1e3,
+                errors,
+            }
+        })
+        .collect()
+}
+
+/// Derive per-strategy profiles from a measured basic test (FT-CG in the
+/// paper, its costliest-recovery kernel).
+pub fn profiles_from_basic_test(bt: &BasicTest) -> Vec<StrategyProfile> {
+    let t_none = bt.row(Strategy::NoEcc).stats.seconds;
+    Strategy::PARTIAL
+        .iter()
+        .map(|&s| {
+            let base = &bt.row(s.baseline()).stats;
+            let this = &bt.row(s).stats;
+            let p_base = base.system_j() / base.seconds;
+            let p_this = this.system_j() / this.seconds;
+            StrategyProfile {
+                strategy: s,
+                saved_watts: (p_base - p_this).max(0.0),
+                tau_are: this.seconds / t_none - 1.0,
+                tau_ase: base.seconds / t_none - 1.0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(s: Strategy) -> StrategyProfile {
+        StrategyProfile { strategy: s, saved_watts: 3.0, tau_are: 0.05, tau_ase: 0.25 }
+    }
+
+    #[test]
+    fn weak_scaling_grows_proportionally() {
+        let cfg = ScalingConfig::default();
+        let pts = weak_scaling(&profile(Strategy::PartialChipkillNoEcc), &cfg);
+        assert_eq!(pts.len(), 6);
+        // Benefit and recovery both grow ~linearly with process count.
+        let b_ratio = pts[5].benefit_kj / pts[0].benefit_kj;
+        let r_ratio = pts[5].recovery_kj / pts[0].recovery_kj;
+        let n_ratio = pts[5].procs as f64 / pts[0].procs as f64;
+        assert!((b_ratio - n_ratio).abs() / n_ratio < 0.01, "benefit ratio {b_ratio}");
+        assert!((r_ratio - n_ratio).abs() / n_ratio < 0.01, "recovery ratio {r_ratio}");
+    }
+
+    #[test]
+    fn weak_scaling_benefit_exceeds_recovery() {
+        // "The energy benefit is also much larger than the recovery cost
+        // in general."
+        let cfg = ScalingConfig::default();
+        for s in Strategy::PARTIAL {
+            for p in weak_scaling(&profile(s), &cfg) {
+                assert!(
+                    p.benefit_kj > p.recovery_kj,
+                    "{s} at {}: benefit {} vs recovery {}",
+                    p.procs,
+                    p.benefit_kj,
+                    p.recovery_kj
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn p_ck_p_sd_has_much_smaller_recovery_cost() {
+        // SECDED on the ABFT data intercepts most errors before ABFT has
+        // to act (Table 5: 1300 vs 5000 FIT/Mbit residual rates).
+        let cfg = ScalingConfig::default();
+        let no_ecc = weak_scaling(&profile(Strategy::PartialChipkillNoEcc), &cfg);
+        let sd = weak_scaling(&profile(Strategy::PartialChipkillSecded), &cfg);
+        for (a, b) in no_ecc.iter().zip(&sd) {
+            assert!(
+                b.recovery_kj < a.recovery_kj / 3.0,
+                "at {}: {} vs {}",
+                a.procs,
+                b.recovery_kj,
+                a.recovery_kj
+            );
+        }
+    }
+
+    #[test]
+    fn strong_scaling_has_a_sweet_point() {
+        // "The energy benefit increases as system scales up and then
+        // decreases afterwards."
+        let cfg = ScalingConfig::default();
+        let pts = strong_scaling(&profile(Strategy::PartialChipkillNoEcc), &cfg);
+        let benefits: Vec<f64> = pts.iter().map(|p| p.benefit_kj).collect();
+        let peak = benefits.iter().cloned().fold(f64::MIN, f64::max);
+        let peak_idx = benefits.iter().position(|&b| b == peak).unwrap();
+        assert!(peak_idx > 0, "benefit must rise first: {benefits:?}");
+        assert!(peak_idx < benefits.len() - 1, "and fall after: {benefits:?}");
+    }
+
+    #[test]
+    fn strong_scaling_recovery_cost_decreases() {
+        // "The recovery cost becomes smaller as the system scales up."
+        let cfg = ScalingConfig::default();
+        let pts = strong_scaling(&profile(Strategy::PartialChipkillSecded), &cfg);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].recovery_kj < w[0].recovery_kj,
+                "recovery must fall: {} -> {}",
+                w[0].recovery_kj,
+                w[1].recovery_kj
+            );
+        }
+    }
+
+    #[test]
+    fn residual_rates_follow_table5() {
+        assert_eq!(abft_residual_fit(Strategy::PartialChipkillNoEcc), 5000.0);
+        assert_eq!(abft_residual_fit(Strategy::PartialSecdedNoEcc), 5000.0);
+        assert_eq!(abft_residual_fit(Strategy::PartialChipkillSecded), 1300.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Criterion benches for the bit-true ECC codes: the per-word and
+//! per-line encode/decode costs behind every simulated memory access.
+
+use abft_ecc::{chipkill, chipkill_x8, hsiao, rs, EccScheme, ProtectedLine};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn line_data() -> [u8; 64] {
+    let mut d = [0u8; 64];
+    for (i, b) in d.iter_mut().enumerate() {
+        *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+    }
+    d
+}
+
+fn bench_hsiao(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hsiao_72_64");
+    let w = hsiao::encode(0xDEAD_BEEF_CAFE_F00D);
+    g.bench_function("encode", |b| b.iter(|| hsiao::encode(black_box(0xDEAD_BEEF_CAFE_F00D))));
+    g.bench_function("decode_clean", |b| b.iter(|| hsiao::decode(black_box(w))));
+    let bad = hsiao::flip_bits(w, &[17]);
+    g.bench_function("decode_correct_1bit", |b| b.iter(|| hsiao::decode(black_box(bad))));
+    g.finish();
+}
+
+fn bench_chipkill(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chipkill_rs_36_32");
+    let data = [0x5Au8; 32];
+    let w = chipkill::encode_word(&data);
+    g.bench_function("encode_word", |b| b.iter(|| chipkill::encode_word(black_box(&data))));
+    g.bench_function("decode_clean", |b| b.iter(|| chipkill::decode_word(black_box(&w))));
+    let mut bad = w;
+    chipkill::inject_chip_error(&mut bad, 9, 0xFF);
+    g.bench_function("decode_correct_chip", |b| b.iter(|| chipkill::decode_word(black_box(&bad))));
+    g.finish();
+}
+
+fn bench_lines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_line_64B");
+    let d = line_data();
+    for scheme in [EccScheme::None, EccScheme::Secded, EccScheme::Chipkill] {
+        g.bench_function(format!("encode_{scheme}"), |b| {
+            b.iter(|| ProtectedLine::encode(scheme, black_box(&d)))
+        });
+        let p = ProtectedLine::encode(scheme, &d);
+        g.bench_function(format!("decode_{scheme}"), |b| b.iter(|| black_box(&p).decode()));
+    }
+    g.finish();
+}
+
+fn bench_x8_and_rs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chipkill_x8_rs_19_16");
+    let data = [0xC3u8; 16];
+    let w = chipkill_x8::encode_word(&data);
+    g.bench_function("encode_word", |b| b.iter(|| chipkill_x8::encode_word(black_box(&data))));
+    g.bench_function("decode_clean", |b| b.iter(|| chipkill_x8::decode_word(black_box(&w))));
+    let mut bad = w;
+    chipkill_x8::inject_chip_error(&mut bad, 4, 0x7E);
+    g.bench_function("decode_correct_chip", |b| {
+        b.iter(|| chipkill_x8::decode_word(black_box(&bad)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("rs_generic");
+    let payload: Vec<u8> = (0..128u8).collect();
+    g.bench_function("encode_128_5", |b| b.iter(|| rs::encode(black_box(&payload), 5)));
+    let word = rs::encode(&payload, 5);
+    g.bench_function("decode_clean_128_5", |b| {
+        b.iter(|| {
+            let mut w = word.clone();
+            rs::decode_in_place(&mut w, 128, 5)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hsiao, bench_chipkill, bench_lines, bench_x8_and_rs);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benches: plain kernels vs their ABFT counterparts — the
+//! fault-tolerance overhead the paper's Figure 3 / Table 1 quantify.
+
+use abft_kernels::cg::{ft_pcg, FtCgOptions};
+use abft_kernels::cholesky::{ft_cholesky, FtCholeskyOptions};
+use abft_kernels::dgemm::{ft_dgemm, FtDgemmOptions};
+use abft_kernels::hpl::{ft_hpl, FtHplOptions};
+use abft_linalg::gen::{random_diag_dominant, random_matrix, random_spd};
+use abft_linalg::{cholesky_blocked, lu_blocked, matmul, pcg, poisson_2d, JacobiPrecond};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const N: usize = 192;
+
+fn bench_dgemm(c: &mut Criterion) {
+    let a = random_matrix(N, N, 1);
+    let b = random_matrix(N, N, 2);
+    let mut g = c.benchmark_group("dgemm");
+    g.sample_size(20);
+    g.bench_function("plain", |bch| bch.iter(|| matmul(black_box(&a), black_box(&b))));
+    let opts = FtDgemmOptions { panel: 48, verify_interval: 2, ..Default::default() };
+    g.bench_function("ft", |bch| bch.iter(|| ft_dgemm(black_box(&a), black_box(&b), &opts)));
+    g.finish();
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let a = random_spd(N, 3);
+    let mut g = c.benchmark_group("cholesky");
+    g.sample_size(20);
+    g.bench_function("plain", |bch| {
+        bch.iter(|| {
+            let mut m = a.clone();
+            cholesky_blocked(&mut m, 48).unwrap();
+            m
+        })
+    });
+    let opts = FtCholeskyOptions { block: 48, verify_interval: 2, ..Default::default() };
+    g.bench_function("ft", |bch| bch.iter(|| ft_cholesky(black_box(&a), &opts).unwrap()));
+    g.finish();
+}
+
+fn bench_cg(c: &mut Criterion) {
+    let a = poisson_2d(48, 48);
+    let n = a.rows();
+    let b: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+    let x0 = vec![0.0; n];
+    let mut g = c.benchmark_group("pcg");
+    g.sample_size(20);
+    let m = JacobiPrecond::from_csr(&a);
+    g.bench_function("plain", |bch| bch.iter(|| pcg(&a, &m, black_box(&b), &x0, 1e-8, 500)));
+    let opts = FtCgOptions { tol: 1e-8, max_iter: 500, verify_interval: 5, ..Default::default() };
+    g.bench_function("ft", |bch| bch.iter(|| ft_pcg(&a, black_box(&b), &x0, &opts)));
+    g.finish();
+}
+
+fn bench_hpl(c: &mut Criterion) {
+    let a = random_diag_dominant(N, 4);
+    let mut g = c.benchmark_group("hpl_lu");
+    g.sample_size(20);
+    g.bench_function("plain", |bch| bch.iter(|| lu_blocked(a.clone(), 48).unwrap()));
+    let opts = FtHplOptions { block: 48, ..Default::default() };
+    g.bench_function("ft", |bch| bch.iter(|| ft_hpl(black_box(&a), &opts).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_dgemm, bench_cholesky, bench_cg, bench_hpl);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benches: memory-system simulation throughput per ECC
+//! strategy (the engine behind Figures 5-7), plus the DGMS predictor.
+
+use abft_coop_core::Strategy;
+use abft_dgms::run_dgms;
+use abft_memsim::system::Machine;
+use abft_memsim::workloads::{abft_regions, dgemm_trace, DgemmParams};
+use abft_memsim::SystemConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_strategies(c: &mut Criterion) {
+    let trace = dgemm_trace(&DgemmParams { n: 256, nb: 64, abft: true, verify_interval: 4 });
+    let regions = abft_regions(&trace);
+    let mut g = c.benchmark_group("memsim_dgemm_n256");
+    g.sample_size(10);
+    for s in Strategy::ALL {
+        let assign = s.assignment(&regions);
+        g.bench_function(s.label().replace(' ', "_"), |b| {
+            let mut m = Machine::new(SystemConfig::default());
+            b.iter(|| m.run_trace(&trace, &assign));
+        });
+    }
+    g.bench_function("DGMS_predicted", |b| {
+        let mut m = Machine::new(SystemConfig::default());
+        b.iter(|| run_dgms(&mut m, &trace));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

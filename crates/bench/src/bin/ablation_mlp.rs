@@ -1,0 +1,39 @@
+//! Ablation (DESIGN.md 7.3): memory-level-parallelism sensitivity — how
+//! the `stall_factor` knob (the fraction of DRAM latency the pipeline
+//! cannot hide) moves the Figure 7 performance gaps.
+
+use abft_bench::print_header;
+use abft_coop_core::report::norm;
+use abft_coop_core::report::TextTable;
+use abft_coop_core::Strategy;
+use abft_memsim::system::Machine;
+use abft_memsim::workloads::{abft_regions, cg_trace, CgParams};
+use abft_memsim::SystemConfig;
+
+fn main() {
+    print_header("Ablation — MLP sensitivity (FT-CG trace, W_CK vs No-ECC IPC gap)");
+    let trace = cg_trace(&CgParams { grid: 384, iterations: 6, abft: true, verify_interval: 4 });
+    let regions = abft_regions(&trace);
+    let mut t = TextTable::new(&["stall_factor", "IPC No-ECC", "IPC W_CK", "W_CK IPC (norm)"]);
+    for sf in [0.1, 0.2, 0.35, 0.5, 0.75, 1.0] {
+        let mut cfg = SystemConfig::default();
+        cfg.stall_factor = sf;
+        let mut m = Machine::new(cfg);
+        let base = m.run_trace(&trace, &Strategy::NoEcc.assignment(&regions));
+        let wck = m.run_trace(&trace, &Strategy::WholeChipkill.assignment(&regions));
+        t.row(&[
+            format!("{sf:.2}"),
+            format!("{:.3}", base.ipc),
+            format!("{:.3}", wck.ipc),
+            norm(wck.ipc / base.ipc),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nReading the trend: with high MLP (low stall factor) the machine runs");
+    println!("bandwidth-bound, which is precisely where chipkill's channel lock-step");
+    println!("hurts most (half the independent channels). With little MLP the");
+    println!("machine is latency-bound everywhere and the relative gap shrinks —");
+    println!("Section 5.1's observation that parallelism 'can partially hide' the");
+    println!("per-access ECC latency while the paper's Section 2.2 bandwidth cost");
+    println!("('fewer opportunities for rank-level parallelism') remains.");
+}

@@ -1,0 +1,72 @@
+//! Section 4 quantified: end-to-end error drills through the real stack
+//! (Cases 1-4) and an ARE-vs-ASE population summary.
+
+use abft_bench::print_header;
+use abft_coop_core::report::TextTable;
+use abft_coop_core::{drill_matrix, summarize_cases, DetectedBy};
+use abft_ecc::EccScheme;
+use abft_faultsim::scenarios::RecoveryCosts;
+use abft_faultsim::{ErrorPattern, Injector};
+
+fn main() {
+    print_header("Section 4 — Error-handling cases, end to end");
+
+    println!("End-to-end drills (bit-true ECC + OS interrupt path + ABFT repair):\n");
+    let mut t = TextTable::new(&["Scheme on data", "Injected bits", "Detected by", "Restored", "Restarted"]);
+    let drills: Vec<(EccScheme, Vec<u32>, &str)> = vec![
+        (EccScheme::Chipkill, vec![55], "single bit"),
+        (EccScheme::Secded, vec![55], "single bit"),
+        (EccScheme::None, vec![55], "single bit"),
+        (EccScheme::Secded, vec![50, 55], "double bit, same word"),
+    ];
+    for (scheme, bits, label) in &drills {
+        let r = drill_matrix(*scheme, 128, bits);
+        t.row(&[
+            scheme.label().to_string(),
+            label.to_string(),
+            format!("{:?}", r.detected_by),
+            r.data_restored.to_string(),
+            r.restarted.to_string(),
+        ]);
+        assert!(r.data_restored || r.detected_by == DetectedBy::Nothing);
+    }
+    print!("{}", t.render());
+
+    println!("\nPopulation summary over sampled error patterns (Case 1-4 accounting):\n");
+    let mut inj = Injector::new(2013);
+    let mut patterns = Vec::new();
+    for _ in 0..900 {
+        patterns.push(ErrorPattern::SingleBit);
+    }
+    for _ in 0..60 {
+        let (e, _) = inj.random_target(36);
+        patterns.push(ErrorPattern::SingleChip { bits: (e % 8 + 1) as u32 });
+    }
+    for _ in 0..25 {
+        patterns.push(ErrorPattern::ScatteredOneLine { chips: 33 });
+    }
+    for _ in 0..10 {
+        patterns.push(ErrorPattern::RepeatedSameColumn { strikes: 6 });
+    }
+    for _ in 0..5 {
+        patterns.push(ErrorPattern::DispersedBurst { lines: 40, chips_per_line: 4 });
+    }
+    let s = summarize_cases(&patterns, 2, &RecoveryCosts::default());
+    let mut t = TextTable::new(&["Metric", "ARE", "ASE (cooperative)", "ASE (traditional panic)"]);
+    t.row(&[
+        "recovery energy (kJ)".into(),
+        format!("{:.1}", s.are_energy_j / 1e3),
+        format!("{:.1}", s.ase_energy_j / 1e3),
+        format!("{:.1}", s.ase_blind_energy_j / 1e3),
+    ]);
+    t.row(&[
+        "restarts".into(),
+        s.are_restarts.to_string(),
+        s.ase_restarts.to_string(),
+        s.ase_blind_restarts.to_string(),
+    ]);
+    print!("{}", t.render());
+    println!("\nCase counts [both correct, only ABFT, only ECC, neither]: {:?}", s.counts);
+    println!("The cooperative exposure path turns every Case-2 crash of traditional");
+    println!("ASE into an in-place ABFT repair.");
+}

@@ -1,0 +1,38 @@
+//! Figure 5: memory energy (dynamic + standby) for the six ECC
+//! strategies, normalized to No-ECC.
+
+use abft_bench::{all_basic_tests, print_header};
+use abft_coop_core::report::{norm, pct, TextTable};
+use abft_coop_core::Strategy;
+
+fn main() {
+    print_header("Figure 5 — Memory energy for ABFT with different ECC strategies");
+    let tests = all_basic_tests();
+    let mut t = TextTable::new(&[
+        "Kernel", "Strategy", "Mem energy (norm)", "Dynamic (norm)", "Standby (norm)",
+    ]);
+    for bt in &tests {
+        let sb0 = bt.row(Strategy::NoEcc).stats.mem_standby_j;
+        for s in Strategy::ALL {
+            t.row(&[
+                bt.kernel.label().to_string(),
+                s.label().to_string(),
+                norm(bt.mem_energy_norm(s)),
+                norm(bt.mem_dynamic_norm(s)),
+                norm(bt.row(s).stats.mem_standby_j / sb0),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!("\nHeadlines vs paper:");
+    for bt in &tests {
+        println!(
+            "  {:12} partial-CK saves {} of W_CK memory energy (paper: DGEMM 49%, CG 38%); \
+             P_CK+P_SD saves {} (paper: DGEMM 48%, CG 33%); W_SD costs {} over No-ECC (paper: ~12%)",
+            bt.kernel.label(),
+            pct(bt.partial_mem_saving(Strategy::PartialChipkillNoEcc)),
+            pct(bt.partial_mem_saving(Strategy::PartialChipkillSecded)),
+            pct(bt.mem_energy_norm(Strategy::WholeSecded) - 1.0),
+        );
+    }
+}

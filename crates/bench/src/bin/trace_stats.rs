@@ -1,0 +1,99 @@
+//! Trace inspector: generate (or load) a kernel trace and print its
+//! composition — per-region reference counts, footprints, read/write mix,
+//! and compute intensity. Usage:
+//!
+//! ```text
+//! trace_stats [dgemm|cholesky|cg|hpl] [--save FILE]
+//! trace_stats --load FILE
+//! ```
+
+use abft_bench::print_header;
+use abft_coop_core::report::{pct, TextTable};
+use abft_memsim::tracefile;
+use abft_memsim::trace::Trace;
+use abft_memsim::workloads::{basic_trace, KernelKind};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn parse_kernel(name: &str) -> Option<KernelKind> {
+    match name {
+        "dgemm" => Some(KernelKind::Dgemm),
+        "cholesky" => Some(KernelKind::Cholesky),
+        "cg" => Some(KernelKind::Cg),
+        "hpl" => Some(KernelKind::Hpl),
+        _ => None,
+    }
+}
+
+fn stats(t: &Trace) {
+    let mut t_out = TextTable::new(&[
+        "region", "ABFT", "detectable", "footprint", "refs", "writes", "share",
+    ]);
+    let mut refs = vec![0u64; t.regions.regions().len()];
+    let mut writes = vec![0u64; t.regions.regions().len()];
+    for a in &t.accesses {
+        refs[a.region as usize] += 1;
+        writes[a.region as usize] += a.write as u64;
+    }
+    let total = t.accesses.len() as f64;
+    for (i, r) in t.regions.regions().iter().enumerate() {
+        t_out.row(&[
+            r.name.clone(),
+            if r.abft_protected { "yes" } else { "-" }.into(),
+            if r.abft_detectable { "yes" } else { "-" }.into(),
+            format!("{:.1} MB", r.bytes as f64 / (1 << 20) as f64),
+            refs[i].to_string(),
+            writes[i].to_string(),
+            pct(refs[i] as f64 / total),
+        ]);
+    }
+    print!("{}", t_out.render());
+    println!(
+        "\ntotal: {} refs, {} instructions ({:.1} instructions/ref)",
+        t.accesses.len(),
+        t.instructions,
+        t.instructions as f64 / total
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    print_header("Trace inspector");
+    let mut save: Option<String> = None;
+    let mut load: Option<String> = None;
+    let mut kernel = KernelKind::Dgemm;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--save" => {
+                save = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--load" => {
+                load = Some(args[i + 1].clone());
+                i += 2;
+            }
+            k => {
+                kernel = parse_kernel(k).unwrap_or_else(|| {
+                    eprintln!("unknown kernel {k}; use dgemm|cholesky|cg|hpl");
+                    std::process::exit(2);
+                });
+                i += 1;
+            }
+        }
+    }
+    let trace = if let Some(path) = load {
+        let f = File::open(&path).expect("open trace file");
+        tracefile::read_trace(&mut BufReader::new(f)).expect("parse trace file")
+    } else {
+        eprintln!("[generating {} trace ...]", kernel.label());
+        let t = basic_trace(kernel);
+        if let Some(path) = save {
+            let f = File::create(&path).expect("create trace file");
+            tracefile::write_trace(&t, &mut BufWriter::new(f)).expect("write trace");
+            eprintln!("[saved to {path}]");
+        }
+        t
+    };
+    stats(&trace);
+}

@@ -1,0 +1,52 @@
+//! # abft-bench
+//!
+//! The harness that regenerates every table and figure of the paper's
+//! evaluation (Section 5). Each `src/bin/*` binary prints one artifact:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig03_overhead` | Figure 3 — ABFT overhead breakdown |
+//! | `tab01_simplified_verification` | Table 1 — simplified-verification speedup |
+//! | `tab04_access_classification` | Table 4 — LLC refs by ABFT protection |
+//! | `tab05_error_rates` | Table 5 — FIT rates per ECC |
+//! | `fig05_memory_energy` | Figure 5 — memory energy, 6 strategies |
+//! | `fig06_system_energy` | Figure 6 — system energy, 6 strategies |
+//! | `fig07_performance` | Figure 7 — normalized IPC, 6 strategies |
+//! | `fig08_weak_scaling` | Figure 8 — weak-scaling benefit vs recovery |
+//! | `fig09_strong_scaling` | Figure 9 — strong-scaling benefit vs recovery |
+//! | `fig10_dgms_comparison` | Figure 10 — DGMS vs the cooperative scheme |
+//! | `cases_error_handling` | Section 4 — Case 1-4 end-to-end drills |
+
+use abft_coop_core::{run_basic_test_on, BasicTest};
+use abft_memsim::trace::Trace;
+use abft_memsim::workloads::{basic_trace, KernelKind};
+use abft_memsim::SystemConfig;
+
+/// Print the standard run header (the Table 3 configuration).
+pub fn print_header(title: &str) {
+    println!("================================================================");
+    println!("{title}");
+    println!("Reproduction of Li, Chen, Wu, Vetter — SC 2013 (simulated)");
+    println!("================================================================");
+    println!("{}", SystemConfig::default().table3());
+    println!("----------------------------------------------------------------");
+}
+
+/// Run the basic tests for all four kernels at the default scale.
+/// This is the expensive shared computation behind Figures 5-7 and
+/// Table 4 (a couple of minutes in release mode).
+pub fn all_basic_tests() -> Vec<BasicTest> {
+    KernelKind::ALL
+        .iter()
+        .map(|&k| {
+            eprintln!("[basic-test] {} ...", k.label());
+            let t = basic_trace(k);
+            run_basic_test_on(k, &t, &SystemConfig::default())
+        })
+        .collect()
+}
+
+/// Generate the basic trace for one kernel (re-exported convenience).
+pub fn kernel_trace(kind: KernelKind) -> Trace {
+    basic_trace(kind)
+}

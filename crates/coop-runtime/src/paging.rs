@@ -1,0 +1,160 @@
+//! Paging to auxiliary storage with ECC-type persistence.
+//!
+//! Section 3.2.1: "To maintain a consistent ECC protection when paging in
+//! from auxiliary storage, we also incorporate ECC type in the page data
+//! structure such that data can be fetched into physical memory devices
+//! with desired ECC protection." Swapped-out pages live as raw data (disk
+//! has its own protection); on page-in the data is re-encoded under the
+//! remembered scheme, possibly on a different physical frame.
+
+use crate::pages::{FrameRun, PAGE_BYTES};
+use crate::runtime::EccRuntime;
+use abft_ecc::EccScheme;
+use std::collections::HashMap;
+
+/// One swapped-out page: raw bytes plus the ECC type to restore with.
+#[derive(Debug, Clone)]
+struct SwappedPage {
+    data: Vec<[u8; 64]>,
+    ecc: EccScheme,
+}
+
+/// The swap device.
+#[derive(Debug, Default)]
+pub struct SwapSpace {
+    pages: HashMap<u64, SwappedPage>,
+}
+
+impl SwapSpace {
+    /// Create an empty swap space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pages currently swapped out.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True when nothing is swapped out.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+/// Paging errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PagingError {
+    /// The virtual page is not resident.
+    NotResident,
+    /// The virtual page is not in the swap space.
+    NotSwapped,
+    /// No free frame for the page-in.
+    OutOfMemory,
+}
+
+impl EccRuntime {
+    /// Swap a resident page out: read every stored line (through the
+    /// decoder — corrupt-but-correctable data is healed on the way out),
+    /// record its ECC type, release the frame, and unmap.
+    pub fn page_out(&mut self, vaddr: u64, swap: &mut SwapSpace) -> Result<(), PagingError> {
+        let vpage = vaddr / PAGE_BYTES;
+        let paddr = self.page_table.translate(vpage * PAGE_BYTES).ok_or(PagingError::NotResident)?;
+        let ecc = self.page_table.ecc_of(vpage * PAGE_BYTES).ok_or(PagingError::NotResident)?;
+        let mut data = Vec::with_capacity((PAGE_BYTES / 64) as usize);
+        for off in (0..PAGE_BYTES).step_by(64) {
+            let (line, _) = self.controller.read_line(paddr + off, 0.0);
+            data.push(line);
+        }
+        swap.pages.insert(vpage, SwappedPage { data, ecc });
+        self.page_table.unmap(vpage, 1);
+        self.free_frame_raw(FrameRun { first_frame: paddr / PAGE_BYTES, frames: 1 });
+        Ok(())
+    }
+
+    /// Swap a page back in: allocate a frame, re-map with the *recorded*
+    /// ECC type, and re-encode every line under it.
+    pub fn page_in(&mut self, vaddr: u64, swap: &mut SwapSpace) -> Result<u64, PagingError> {
+        let vpage = vaddr / PAGE_BYTES;
+        let page = swap.pages.remove(&vpage).ok_or(PagingError::NotSwapped)?;
+        let run = self.alloc_frames_raw(1).ok_or_else(|| {
+            swap.pages.insert(vpage, page.clone());
+            PagingError::OutOfMemory
+        })?;
+        let paddr = run.base_paddr();
+        self.page_table.map_run(vpage, run, page.ecc);
+        // The new frame may fall outside the original MC range; extend
+        // coverage so the recorded ECC type is enforced.
+        if page.ecc != self.controller.default_scheme() {
+            let _ = self
+                .controller
+                .program_range_coalescing(paddr, paddr + PAGE_BYTES, page.ecc);
+        }
+        for (k, line) in page.data.iter().enumerate() {
+            self.controller.write_line(paddr + (k as u64) * 64, line);
+        }
+        Ok(paddr)
+    }
+
+    /// Release a raw frame (paging internals).
+    fn free_frame_raw(&mut self, run: FrameRun) {
+        self.free_frames_internal(run);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_ecc::EccOutcome;
+    use abft_memsim::SystemConfig;
+
+    #[test]
+    fn page_out_in_round_trip_preserves_data_and_protection() {
+        let cfg = SystemConfig::default();
+        let mut rt = EccRuntime::new(&cfg);
+        let mut swap = SwapSpace::new();
+        let (id, vaddr) = rt.malloc_ecc("m", PAGE_BYTES, EccScheme::Secded).unwrap();
+        let data: Vec<f64> = (0..512).map(|i| (i as f64) * 1.5 - 100.0).collect();
+        rt.store_f64(id, &data).unwrap();
+
+        rt.page_out(vaddr, &mut swap).unwrap();
+        assert_eq!(swap.len(), 1);
+        assert_eq!(rt.page_table.translate(vaddr), None, "not resident");
+
+        let new_paddr = rt.page_in(vaddr, &mut swap).unwrap();
+        assert!(swap.is_empty());
+        assert_eq!(rt.page_table.translate(vaddr), Some(new_paddr));
+        // Data intact and protection restored (single bit corrected).
+        let (back, o) = rt.load_f64(id, 512, 0.0).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(o, EccOutcome::Clean);
+        rt.controller.inject_bit_flip(new_paddr + 192, 11);
+        let (_, o) = rt.controller.read_line(new_paddr + 192, 0.0);
+        assert!(matches!(o, EccOutcome::Corrected { .. }), "ECC type survived the swap");
+    }
+
+    #[test]
+    fn correctable_damage_is_healed_on_the_way_out() {
+        let cfg = SystemConfig::default();
+        let mut rt = EccRuntime::new(&cfg);
+        let mut swap = SwapSpace::new();
+        let (id, vaddr) = rt.malloc_ecc("m", PAGE_BYTES, EccScheme::Chipkill).unwrap();
+        let data = vec![7.25f64; 512];
+        rt.store_f64(id, &data).unwrap();
+        rt.inject_element_bit(id, 3, 33);
+        rt.page_out(vaddr, &mut swap).unwrap();
+        rt.page_in(vaddr, &mut swap).unwrap();
+        let (back, o) = rt.load_f64(id, 512, 0.0).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(o, EccOutcome::Clean, "scrubbed during swap");
+    }
+
+    #[test]
+    fn paging_errors() {
+        let cfg = SystemConfig::default();
+        let mut rt = EccRuntime::new(&cfg);
+        let mut swap = SwapSpace::new();
+        assert_eq!(rt.page_out(0xdead_0000, &mut swap), Err(PagingError::NotResident));
+        assert_eq!(rt.page_in(0xdead_0000, &mut swap), Err(PagingError::NotSwapped));
+    }
+}

@@ -1,0 +1,221 @@
+//! The adaptive resilience controller — the paper's closing claim made
+//! executable: "the necessity and potential benefits of using a co-design
+//! and adaptive policy to direct end-to-end, overall resilience for the
+//! application and architecture."
+//!
+//! The controller watches the observed uncorrectable-error rate on the
+//! ABFT-protected allocations, re-estimates the system MTTF over a sliding
+//! window, and consults the Equation (7)/(8) thresholds: when errors are
+//! rare it relaxes ECC (`assign_ecc` to the cheap scheme); when a storm
+//! pushes the observed MTTF below threshold it escalates back to strong
+//! ECC — all at run time, through the same `assign_ecc` path applications
+//! use.
+
+use crate::policy::{decide, PolicyInputs};
+use abft_coop_runtime::{AllocId, EccRuntime};
+use abft_ecc::EccScheme;
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Sliding-window length (s) for the observed error rate.
+    pub window_s: f64,
+    /// The relaxed scheme used in calm conditions.
+    pub relaxed: EccScheme,
+    /// The strong scheme used under error storms.
+    pub strong: EccScheme,
+    /// Policy inputs (measured taus, recovery costs, powers).
+    pub inputs: PolicyInputs,
+    /// Hysteresis factor: escalate below `mttf_thr`, de-escalate only
+    /// above `hysteresis * mttf_thr` (prevents flapping).
+    pub hysteresis: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            window_s: 60.0,
+            relaxed: EccScheme::None,
+            strong: EccScheme::Chipkill,
+            inputs: PolicyInputs {
+                tau_ase: 0.15,
+                tau_are: 0.03,
+                t_c_seconds: 0.8,
+                e_c_joules: 120.0,
+                p_ase_watts: 60.0,
+                p_are_watts: 52.0,
+            },
+            hysteresis: 4.0,
+        }
+    }
+}
+
+/// The controller's current stance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stance {
+    /// ECC relaxed on ABFT data (ARE).
+    Relaxed,
+    /// Strong ECC everywhere (ASE).
+    Strong,
+}
+
+/// A scheme transition the controller performed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transition {
+    /// When it happened (s).
+    pub at_s: f64,
+    /// The new stance.
+    pub to: Stance,
+    /// The MTTF estimate that triggered it (s).
+    pub observed_mttf_s: f64,
+}
+
+/// The adaptive controller for one set of ABFT allocations.
+#[derive(Debug)]
+pub struct AdaptiveController {
+    cfg: AdaptiveConfig,
+    allocations: Vec<AllocId>,
+    stance: Stance,
+    /// Error timestamps inside the current window.
+    window: Vec<f64>,
+    /// Transition log.
+    pub transitions: Vec<Transition>,
+}
+
+impl AdaptiveController {
+    /// Start in the relaxed stance over the given allocations.
+    pub fn new(cfg: AdaptiveConfig, allocations: Vec<AllocId>) -> Self {
+        AdaptiveController {
+            cfg,
+            allocations,
+            stance: Stance::Relaxed,
+            window: Vec::new(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Current stance.
+    pub fn stance(&self) -> Stance {
+        self.stance
+    }
+
+    /// Observed MTTF over the window (`f64::INFINITY` with no errors).
+    pub fn observed_mttf_s(&self) -> f64 {
+        if self.window.is_empty() {
+            f64::INFINITY
+        } else {
+            self.cfg.window_s / self.window.len() as f64
+        }
+    }
+
+    /// Feed one observed ABFT-handled error at time `now_s`.
+    pub fn record_error(&mut self, now_s: f64) {
+        self.window.push(now_s);
+        self.trim(now_s);
+    }
+
+    fn trim(&mut self, now_s: f64) {
+        let cutoff = now_s - self.cfg.window_s;
+        self.window.retain(|&t| t >= cutoff);
+    }
+
+    /// Periodic controller step: re-evaluate the policy and apply any
+    /// scheme change through `assign_ecc`. Returns the transition, if one
+    /// happened.
+    pub fn step(&mut self, rt: &mut EccRuntime, now_s: f64) -> Option<Transition> {
+        self.trim(now_s);
+        let mttf = self.observed_mttf_s();
+        let d = decide(&self.cfg.inputs, mttf.min(1e18));
+        let want = match self.stance {
+            // Escalate as soon as the policy says ARE no longer pays.
+            Stance::Relaxed if !d.use_are => Some(Stance::Strong),
+            // De-escalate only with hysteresis headroom.
+            Stance::Strong if mttf > self.cfg.hysteresis * d.mttf_thr_s => {
+                Some(Stance::Relaxed)
+            }
+            _ => None,
+        }?;
+        let scheme = match want {
+            Stance::Relaxed => self.cfg.relaxed,
+            Stance::Strong => self.cfg.strong,
+        };
+        for &id in &self.allocations {
+            rt.assign_ecc(id, scheme).expect("allocation stays live");
+        }
+        self.stance = want;
+        let t = Transition { at_s: now_s, to: want, observed_mttf_s: mttf };
+        self.transitions.push(t);
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_memsim::SystemConfig;
+
+    fn setup() -> (EccRuntime, AdaptiveController, AllocId) {
+        let mut rt = EccRuntime::new(&SystemConfig::default());
+        let (id, _) = rt.malloc_ecc("krylov", 1 << 16, EccScheme::None).unwrap();
+        let ctl = AdaptiveController::new(AdaptiveConfig::default(), vec![id]);
+        (rt, ctl, id)
+    }
+
+    #[test]
+    fn calm_conditions_stay_relaxed() {
+        let (mut rt, mut ctl, id) = setup();
+        for t in 0..100 {
+            assert!(ctl.step(&mut rt, t as f64).is_none());
+        }
+        assert_eq!(ctl.stance(), Stance::Relaxed);
+        assert_eq!(rt.scheme_of(id), Some(EccScheme::None));
+        assert!(ctl.transitions.is_empty());
+    }
+
+    #[test]
+    fn an_error_storm_escalates_to_strong_ecc() {
+        let (mut rt, mut ctl, id) = setup();
+        // 100 errors in a 60 s window: observed MTTF 0.6 s — far below
+        // any threshold from the default inputs.
+        for k in 0..100 {
+            ctl.record_error(k as f64 * 0.5);
+        }
+        let t = ctl.step(&mut rt, 50.0).expect("must escalate");
+        assert_eq!(t.to, Stance::Strong);
+        assert_eq!(rt.scheme_of(id), Some(EccScheme::Chipkill));
+        assert!(t.observed_mttf_s < 1.0);
+    }
+
+    #[test]
+    fn recovery_deescalates_with_hysteresis() {
+        let (mut rt, mut ctl, id) = setup();
+        for k in 0..100 {
+            ctl.record_error(k as f64 * 0.5);
+        }
+        ctl.step(&mut rt, 50.0).expect("escalates");
+        // Just after the storm: still inside the window, no flap.
+        assert!(ctl.step(&mut rt, 55.0).is_none());
+        assert_eq!(ctl.stance(), Stance::Strong);
+        // Long quiet period: the window drains and the controller relaxes.
+        let t = ctl.step(&mut rt, 1000.0).expect("relaxes when calm");
+        assert_eq!(t.to, Stance::Relaxed);
+        assert_eq!(rt.scheme_of(id), Some(EccScheme::None));
+        assert_eq!(ctl.transitions.len(), 2);
+    }
+
+    #[test]
+    fn transitions_preserve_stored_data() {
+        let (mut rt, mut ctl, id) = setup();
+        let data: Vec<f64> = (0..512).map(|i| i as f64).collect();
+        rt.store_f64(id, &data).unwrap();
+        for k in 0..100 {
+            ctl.record_error(k as f64 * 0.5);
+        }
+        ctl.step(&mut rt, 50.0).unwrap();
+        let (back, _) = rt.load_f64(id, 512, 0.0).unwrap();
+        assert_eq!(back, data, "escalation re-encodes in place");
+        ctl.step(&mut rt, 1000.0).unwrap();
+        let (back, _) = rt.load_f64(id, 512, 0.0).unwrap();
+        assert_eq!(back, data, "relaxation re-encodes in place");
+    }
+}

@@ -1,0 +1,35 @@
+//! # abft-coop-core
+//!
+//! The paper's contribution, assembled: ABFT-directed flexible ECC
+//! (Li et al., SC 2013).
+//!
+//! * [`strategy`] — the six basic-test ECC strategies (No ECC, W_CK,
+//!   P_CK+No_ECC, W_SD, P_SD+No_ECC, P_CK+P_SD).
+//! * [`experiment`] — the Section 5.1 driver: kernel traces through the
+//!   memory-system simulator under every strategy.
+//! * [`errorflow`] — end-to-end Case 1-4 drills against the real stack
+//!   (bit-true ECC, MC error registers, OS interrupt path, sysfs, ABFT
+//!   correction) plus ARE-vs-ASE population summaries.
+//! * [`policy`] — the adaptive ARE/ASE decision from the Equation (7)/(8)
+//!   MTTF thresholds.
+//! * [`adaptive`] — the run-time controller that watches observed error
+//!   rates and retunes ECC through `assign_ecc` (the paper's closing
+//!   "co-design and adaptive policy" claim, executable).
+//! * [`report`] — text tables for the per-figure harness binaries.
+
+pub mod adaptive;
+pub mod errorflow;
+pub mod experiment;
+pub mod policy;
+pub mod report;
+pub mod strategy;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveController, Stance, Transition};
+pub use errorflow::{
+    drill_chip_fault, drill_matrix, summarize_cases, CaseSummary, DetectedBy, DrillResult,
+};
+pub use experiment::{
+    fault_adjusted, run_basic_test, run_basic_test_on, BasicTest, FaultAdjusted, StrategyResult,
+};
+pub use policy::{decide, PolicyDecision, PolicyInputs};
+pub use strategy::Strategy;

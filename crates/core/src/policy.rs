@@ -1,0 +1,105 @@
+//! The adaptive ARE/ASE decision policy (Section 4, Equations 7-8): given
+//! measured performance-impact ratios and recovery costs, compute the MTTF
+//! threshold and decide whether relaxing ECC on ABFT data pays off.
+
+use abft_faultsim::models;
+
+/// Inputs the policy needs — all measurable from the basic tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyInputs {
+    /// Performance impact ratio of ABFT + strong ECC (`tau_ase`).
+    pub tau_ase: f64,
+    /// Performance impact ratio of ABFT + relaxed ECC (`tau_are`).
+    pub tau_are: f64,
+    /// Per-error ABFT recovery time (s), `t_c`.
+    pub t_c_seconds: f64,
+    /// Per-error ABFT recovery energy (J), `e_c`.
+    pub e_c_joules: f64,
+    /// System power under ASE (W).
+    pub p_ase_watts: f64,
+    /// System power under ARE (W).
+    pub p_are_watts: f64,
+}
+
+/// The policy's verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyDecision {
+    /// Equation (7): threshold for time benefit (s).
+    pub mttf_thr_time_s: f64,
+    /// The energy analogue (s).
+    pub mttf_thr_energy_s: f64,
+    /// Equation (8): governing threshold (s).
+    pub mttf_thr_s: f64,
+    /// The system's heterogeneous MTTF (s).
+    pub mttf_hetero_s: f64,
+    /// True = use ARE (relax ECC on ABFT data); false = stay with ASE.
+    pub use_are: bool,
+}
+
+/// Decide ARE vs ASE for a system whose heterogeneous MTTF is
+/// `mttf_hetero_s` (Equation 3 output).
+pub fn decide(inputs: &PolicyInputs, mttf_hetero_s: f64) -> PolicyDecision {
+    let thr_t = models::mttf_threshold_time(inputs.t_c_seconds, inputs.tau_ase, inputs.tau_are);
+    let thr_e = models::mttf_threshold_energy(
+        inputs.e_c_joules,
+        inputs.p_ase_watts,
+        inputs.tau_ase,
+        inputs.p_are_watts,
+        inputs.tau_are,
+    );
+    let thr = models::mttf_threshold(thr_t, thr_e);
+    PolicyDecision {
+        mttf_thr_time_s: thr_t,
+        mttf_thr_energy_s: thr_e,
+        mttf_thr_s: thr,
+        mttf_hetero_s,
+        use_are: mttf_hetero_s > thr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> PolicyInputs {
+        PolicyInputs {
+            tau_ase: 0.15,
+            tau_are: 0.02,
+            t_c_seconds: 0.5,
+            e_c_joules: 50.0,
+            p_ase_watts: 60.0,
+            p_are_watts: 52.0,
+        }
+    }
+
+    #[test]
+    fn rare_errors_choose_are() {
+        // MTTF of a day: vastly above any threshold here.
+        let d = decide(&inputs(), 86_400.0);
+        assert!(d.use_are);
+        assert!(d.mttf_thr_s < 86_400.0);
+    }
+
+    #[test]
+    fn extreme_error_rates_choose_ase() {
+        // MTTF of 1 second: ABFT recovery cost dominates.
+        let d = decide(&inputs(), 1.0);
+        assert!(!d.use_are);
+    }
+
+    #[test]
+    fn threshold_is_the_stricter_of_the_two() {
+        let d = decide(&inputs(), 1000.0);
+        assert_eq!(d.mttf_thr_s, d.mttf_thr_time_s.max(d.mttf_thr_energy_s));
+    }
+
+    #[test]
+    fn no_gain_means_never_are() {
+        let mut i = inputs();
+        i.tau_are = i.tau_ase;
+        i.p_are_watts = i.p_ase_watts;
+        let d = decide(&i, 1e12);
+        assert!(!d.use_are);
+        assert!(d.mttf_thr_s.is_infinite());
+    }
+}

@@ -1,0 +1,108 @@
+//! Plain-text table rendering for the harness binaries (one per paper
+//! table/figure).
+
+/// A rendered table: header plus rows of equal arity.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (w, c) in widths.iter_mut().zip(r) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format a normalized value with three decimals.
+pub fn norm(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format joules with adaptive units.
+pub fn joules(x: f64) -> String {
+    if x >= 1e6 {
+        format!("{:.2} MJ", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2} kJ", x / 1e3)
+    } else if x >= 1.0 {
+        format!("{x:.2} J")
+    } else {
+        format!("{:.2} mJ", x * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["long-name".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a "));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.123), "12.3%");
+        assert_eq!(norm(1.23456), "1.235");
+        assert_eq!(joules(0.5), "500.00 mJ");
+        assert_eq!(joules(2.0), "2.00 J");
+        assert_eq!(joules(2500.0), "2.50 kJ");
+        assert_eq!(joules(2.5e6), "2.50 MJ");
+    }
+}

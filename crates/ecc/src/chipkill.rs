@@ -1,0 +1,261 @@
+//! x4 chipkill-correct: Single Symbol Correct / Double Symbol Detect
+//! (SSCDSD) Reed-Solomon code.
+//!
+//! Two 72-bit physical channels run in lock-step, forming a 144-bit logical
+//! channel across 36 x4 chips (32 data + 4 ECC). Each transfer beat carries
+//! one nibble per chip; a *code symbol* aggregates one chip's nibbles from
+//! **two consecutive beats** into 8 bits — the standard construction that
+//! lets a 36-symbol code word live in GF(2^8) (an RS code over GF(2^4)
+//! could span at most 15 symbols). The code is a shortened RS(36,32) with
+//! generator roots `α^1..α^4` (minimum distance 5): any error confined to a
+//! single chip — all lengths, up to both nibbles — is corrected, and any
+//! two-chip error is detected.
+//!
+//! One code word covers 32 data bytes; a 64-byte cache line is two words.
+
+use crate::gf::Gf256;
+use crate::outcome::EccOutcome;
+
+/// Data symbols per code word (32 bytes = 256 bits = two 128-bit beats).
+pub const DATA_SYMBOLS: usize = 32;
+/// Check symbols per code word.
+pub const CHECK_SYMBOLS: usize = 4;
+/// Total symbols per code word = total x4 chips on the logical channel.
+pub const TOTAL_SYMBOLS: usize = DATA_SYMBOLS + CHECK_SYMBOLS;
+/// Data bytes per code word.
+pub const DATA_BYTES: usize = 32;
+
+/// One encoded chipkill word: 36 byte-wide symbols. Symbol `i` is chip
+/// `i`'s contribution over two beats. Symbols `0..32` are data, `32..36`
+/// are RS check symbols (stored on the 4 ECC chips).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChipkillWord {
+    /// The 36 symbols.
+    pub symbols: [u8; TOTAL_SYMBOLS],
+}
+
+/// Generator polynomial `g(x) = (x - α)(x - α^2)(x - α^3)(x - α^4)`,
+/// coefficients low-to-high, monic of degree 4.
+fn generator() -> [Gf256; CHECK_SYMBOLS + 1] {
+    use std::sync::OnceLock;
+    static GEN: OnceLock<[Gf256; CHECK_SYMBOLS + 1]> = OnceLock::new();
+    *GEN.get_or_init(|| {
+        let mut g = [Gf256::ZERO; CHECK_SYMBOLS + 1];
+        g[0] = Gf256::ONE;
+        let mut deg = 0;
+        for j in 1..=CHECK_SYMBOLS as i32 {
+            let root = Gf256::alpha_pow(j);
+            let mut next = [Gf256::ZERO; CHECK_SYMBOLS + 1];
+            for d in 0..=deg {
+                next[d + 1] = next[d + 1] + g[d];
+                next[d] = next[d] + g[d].mul(root);
+            }
+            deg += 1;
+            g = next;
+        }
+        g
+    })
+}
+
+/// Systematically encode one code word of 32 data bytes.
+///
+/// The code word polynomial is `c(x) = d(x) x^4 + (d(x) x^4 mod g(x))`,
+/// which has every `α^1..α^4` as a root.
+pub fn encode_word(data: &[u8; DATA_BYTES]) -> ChipkillWord {
+    let g = generator();
+    // Standard LFSR long division: remainder of d(x)*x^4 by the monic g(x),
+    // processing data coefficients from the highest degree down.
+    let mut rem = [Gf256::ZERO; CHECK_SYMBOLS];
+    for &ds in data.iter().rev() {
+        let feedback = Gf256(ds) + rem[CHECK_SYMBOLS - 1];
+        for k in (1..CHECK_SYMBOLS).rev() {
+            rem[k] = rem[k - 1] + feedback.mul(g[k]);
+        }
+        rem[0] = feedback.mul(g[0]);
+    }
+    let mut symbols = [0u8; TOTAL_SYMBOLS];
+    symbols[..DATA_SYMBOLS].copy_from_slice(data);
+    for (k, r) in rem.iter().enumerate() {
+        symbols[DATA_SYMBOLS + k] = r.0;
+    }
+    ChipkillWord { symbols }
+}
+
+/// Code-word polynomial degree for symbol index `i`: data symbol `i` is the
+/// coefficient of `x^(i+4)`, check symbol `k` (stored at `32+k`) of `x^k`.
+#[inline]
+fn poly_degree(symbol_index: usize) -> i32 {
+    if symbol_index < DATA_SYMBOLS {
+        (symbol_index + CHECK_SYMBOLS) as i32
+    } else {
+        (symbol_index - DATA_SYMBOLS) as i32
+    }
+}
+
+/// Compute the four syndromes `S_j = c(α^j)`, `j = 1..=4`.
+fn syndromes(word: &ChipkillWord) -> [Gf256; CHECK_SYMBOLS] {
+    let mut s = [Gf256::ZERO; CHECK_SYMBOLS];
+    for (i, &sym) in word.symbols.iter().enumerate() {
+        if sym == 0 {
+            continue;
+        }
+        let v = Gf256(sym);
+        let deg = poly_degree(i);
+        for (j, sj) in s.iter_mut().enumerate() {
+            *sj = *sj + v.mul(Gf256::alpha_pow((j as i32 + 1) * deg));
+        }
+    }
+    s
+}
+
+/// Extract the data bytes of a word.
+pub fn word_data(word: &ChipkillWord) -> [u8; DATA_BYTES] {
+    word.symbols[..DATA_SYMBOLS].try_into().expect("fixed split")
+}
+
+/// Decode one word: correct any single-symbol (single-chip) error, detect
+/// multi-symbol errors. Returns the (possibly corrected) word and outcome.
+pub fn decode_word(word: &ChipkillWord) -> (ChipkillWord, EccOutcome) {
+    let s = syndromes(word);
+    if s == [Gf256::ZERO; CHECK_SYMBOLS] {
+        return (*word, EccOutcome::Clean);
+    }
+    // Single error of magnitude e at polynomial degree d gives
+    // S_j = e * α^(j d): consecutive syndrome ratios must all equal α^d.
+    if s.contains(&Gf256::ZERO) {
+        return (*word, EccOutcome::DetectedUncorrectable);
+    }
+    let ratio = s[1].div(s[0]);
+    if s[2].div(s[1]) != ratio || s[3].div(s[2]) != ratio {
+        return (*word, EccOutcome::DetectedUncorrectable);
+    }
+    let d = match ratio.log() {
+        Some(d) => d as usize,
+        None => return (*word, EccOutcome::DetectedUncorrectable),
+    };
+    // Map polynomial degree back to a symbol index; degrees outside the
+    // shortened code word indicate a non-single-error pattern.
+    let idx = if d < CHECK_SYMBOLS {
+        DATA_SYMBOLS + d
+    } else if d < CHECK_SYMBOLS + DATA_SYMBOLS {
+        d - CHECK_SYMBOLS
+    } else {
+        return (*word, EccOutcome::DetectedUncorrectable);
+    };
+    // Magnitude: e = S_1 / α^d.
+    let e = s[0].div(Gf256::alpha_pow(d as i32));
+    let mut fixed = *word;
+    fixed.symbols[idx] ^= e.0;
+    (fixed, EccOutcome::Corrected { bits_flipped: e.0.count_ones() })
+}
+
+/// Corrupt symbol `chip` of a word by XORing `pattern` (nonzero byte) into
+/// it — models an arbitrary error within one x4 chip across the two beats.
+pub fn inject_chip_error(word: &mut ChipkillWord, chip: usize, pattern: u8) {
+    assert!(chip < TOTAL_SYMBOLS, "chip index out of range");
+    assert!(pattern != 0, "pattern must be nonzero");
+    word.symbols[chip] ^= pattern;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data(seed: u8) -> [u8; DATA_BYTES] {
+        let mut d = [0u8; DATA_BYTES];
+        for (i, b) in d.iter_mut().enumerate() {
+            *b = seed.wrapping_mul(31).wrapping_add((i as u8).wrapping_mul(17));
+        }
+        d
+    }
+
+    #[test]
+    fn clean_word_decodes_clean() {
+        let w = encode_word(&sample_data(1));
+        let (out, o) = decode_word(&w);
+        assert_eq!(out, w);
+        assert_eq!(o, EccOutcome::Clean);
+    }
+
+    #[test]
+    fn generator_roots_annihilate_codewords() {
+        let w = encode_word(&sample_data(9));
+        assert_eq!(syndromes(&w), [Gf256::ZERO; 4]);
+    }
+
+    #[test]
+    fn encode_is_systematic() {
+        let d = sample_data(2);
+        assert_eq!(word_data(&encode_word(&d)), d);
+    }
+
+    #[test]
+    fn corrects_every_single_chip_sampled_patterns() {
+        // 36 chips x a spread of byte patterns (includes the full-chip 0xFF).
+        let clean = encode_word(&sample_data(7));
+        for chip in 0..TOTAL_SYMBOLS {
+            for pattern in [1u8, 2, 0x0F, 0x10, 0x55, 0xAA, 0xF0, 0xFF] {
+                let mut bad = clean;
+                inject_chip_error(&mut bad, chip, pattern);
+                let (fixed, o) = decode_word(&bad);
+                assert_eq!(fixed, clean, "chip {chip} pattern {pattern:#x}");
+                assert_eq!(o, EccOutcome::Corrected { bits_flipped: pattern.count_ones() });
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_chip_every_pattern_exhaustive() {
+        // Full sweep: 36 chips x 255 nonzero patterns = 9180 cases.
+        let clean = encode_word(&sample_data(3));
+        for chip in 0..TOTAL_SYMBOLS {
+            for pattern in 1..=255u8 {
+                let mut bad = clean;
+                inject_chip_error(&mut bad, chip, pattern);
+                let (fixed, o) = decode_word(&bad);
+                assert_eq!(fixed, clean, "chip {chip} pattern {pattern:#x}");
+                assert!(matches!(o, EccOutcome::Corrected { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn detects_every_double_chip_error_pair() {
+        // A distance-5 code must never miscorrect a weight-2 symbol error.
+        let clean = encode_word(&sample_data(5));
+        for a in 0..TOTAL_SYMBOLS {
+            for b in a + 1..TOTAL_SYMBOLS {
+                for (pa, pb) in [(1u8, 1u8), (0xFF, 0x30), (0x80, 0x80)] {
+                    let mut bad = clean;
+                    inject_chip_error(&mut bad, a, pa);
+                    inject_chip_error(&mut bad, b, pb);
+                    let (_, o) = decode_word(&bad);
+                    assert_eq!(
+                        o,
+                        EccOutcome::DetectedUncorrectable,
+                        "chips ({a},{b}) patterns ({pa:#x},{pb:#x})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_scattered_errors_never_silently_fixed_to_clean_data() {
+        // The paper's Case 2 example: errors across 33 data symbols
+        // overwhelm chipkill. The decoder may claim "corrected" (aliasing)
+        // but can never actually restore the true data.
+        let data = sample_data(11);
+        let clean = encode_word(&data);
+        for shift in 1..=16u8 {
+            let mut bad = clean;
+            for chip in 0..33 {
+                inject_chip_error(&mut bad, chip, shift);
+            }
+            let (fixed, o) = decode_word(&bad);
+            if matches!(o, EccOutcome::Clean | EccOutcome::Corrected { .. }) {
+                assert_ne!(word_data(&fixed), data, "33-chip error genuinely corrected?!");
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Generic systematic Reed-Solomon codes over GF(2^8) with
+//! single-symbol-correct decoding — the shared machinery behind the x4
+//! and x8 chipkill variants.
+//!
+//! A code with `check` check symbols and generator roots `α^1..α^check`
+//! has minimum distance `check + 1`: with `check >= 3` it corrects any
+//! single-symbol error and detects any double-symbol error (SSC-DSD).
+
+use crate::gf::Gf256;
+use crate::outcome::EccOutcome;
+
+/// Compute the generator polynomial with roots `α^1..α^check`
+/// (coefficients low-to-high, monic, length `check + 1`).
+pub fn generator(check: usize) -> Vec<Gf256> {
+    let mut g = vec![Gf256::ZERO; check + 1];
+    g[0] = Gf256::ONE;
+    let mut deg = 0;
+    for j in 1..=check as i32 {
+        let root = Gf256::alpha_pow(j);
+        let mut next = vec![Gf256::ZERO; check + 1];
+        for d in 0..=deg {
+            next[d + 1] = next[d + 1] + g[d];
+            next[d] = next[d] + g[d].mul(root);
+        }
+        deg += 1;
+        g = next;
+    }
+    g
+}
+
+/// Systematically encode `data` with `check` check symbols appended:
+/// output layout is `[data..., check...]` where check symbol `k` is the
+/// coefficient of `x^k` and data symbol `i` the coefficient of
+/// `x^(i + check)`.
+pub fn encode(data: &[u8], check: usize) -> Vec<u8> {
+    assert!(data.len() + check <= 255, "RS over GF(256) caps total length at 255");
+    let g = generator(check);
+    let mut rem = vec![Gf256::ZERO; check];
+    for &ds in data.iter().rev() {
+        let feedback = Gf256(ds) + rem[check - 1];
+        for k in (1..check).rev() {
+            rem[k] = rem[k - 1] + feedback.mul(g[k]);
+        }
+        rem[0] = feedback.mul(g[0]);
+    }
+    let mut out = Vec::with_capacity(data.len() + check);
+    out.extend_from_slice(data);
+    out.extend(rem.iter().map(|r| r.0));
+    out
+}
+
+/// Polynomial degree of symbol index `i` in a word of `data` data symbols
+/// and `check` check symbols.
+#[inline]
+fn poly_degree(i: usize, data: usize, check: usize) -> i32 {
+    if i < data {
+        (i + check) as i32
+    } else {
+        (i - data) as i32
+    }
+}
+
+/// Syndromes `S_j = c(α^j)`, `j = 1..=check`.
+pub fn syndromes(word: &[u8], data: usize, check: usize) -> Vec<Gf256> {
+    let mut s = vec![Gf256::ZERO; check];
+    for (i, &sym) in word.iter().enumerate() {
+        if sym == 0 {
+            continue;
+        }
+        let v = Gf256(sym);
+        let deg = poly_degree(i, data, check);
+        for (j, sj) in s.iter_mut().enumerate() {
+            *sj = *sj + v.mul(Gf256::alpha_pow((j as i32 + 1) * deg));
+        }
+    }
+    s
+}
+
+/// Decode in place: correct any single-symbol error, detect anything
+/// wider (up to the code's distance guarantee).
+pub fn decode_in_place(word: &mut [u8], data: usize, check: usize) -> EccOutcome {
+    let s = syndromes(word, data, check);
+    if s.iter().all(|&x| x == Gf256::ZERO) {
+        return EccOutcome::Clean;
+    }
+    if s.contains(&Gf256::ZERO) {
+        return EccOutcome::DetectedUncorrectable;
+    }
+    // Single error at degree d: all consecutive syndrome ratios = α^d.
+    let ratio = s[1].div(s[0]);
+    for w in s.windows(2).skip(1) {
+        if w[1].div(w[0]) != ratio {
+            return EccOutcome::DetectedUncorrectable;
+        }
+    }
+    let d = match ratio.log() {
+        Some(d) => d as usize,
+        None => return EccOutcome::DetectedUncorrectable,
+    };
+    let idx = if d < check {
+        data + d
+    } else if d < check + data {
+        d - check
+    } else {
+        return EccOutcome::DetectedUncorrectable;
+    };
+    let e = s[0].div(Gf256::alpha_pow(d as i32));
+    word[idx] ^= e.0;
+    EccOutcome::Corrected { bits_flipped: e.0.count_ones() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(len: usize, seed: u8) -> Vec<u8> {
+        (0..len).map(|i| seed.wrapping_mul(41).wrapping_add((i as u8).wrapping_mul(23))).collect()
+    }
+
+    #[test]
+    fn round_trip_various_geometries() {
+        for (data, check) in [(16, 3), (32, 4), (8, 2), (64, 5), (250, 5)] {
+            let d = sample(data, 9);
+            let w = encode(&d, check);
+            assert_eq!(&w[..data], &d[..], "systematic");
+            assert!(syndromes(&w, data, check).iter().all(|&s| s == Gf256::ZERO));
+            let mut w2 = w.clone();
+            assert_eq!(decode_in_place(&mut w2, data, check), EccOutcome::Clean);
+        }
+    }
+
+    #[test]
+    fn corrects_single_symbol_everywhere() {
+        let (data, check) = (16, 3);
+        let d = sample(data, 3);
+        let clean = encode(&d, check);
+        for idx in 0..data + check {
+            for pat in [1u8, 0x80, 0xFF] {
+                let mut w = clean.clone();
+                w[idx] ^= pat;
+                let o = decode_in_place(&mut w, data, check);
+                assert!(matches!(o, EccOutcome::Corrected { .. }), "idx {idx} pat {pat:#x}");
+                assert_eq!(w, clean);
+            }
+        }
+    }
+
+    #[test]
+    fn detects_double_symbols_with_three_checks() {
+        // distance 4: double errors detected, never miscorrected.
+        let (data, check) = (16, 3);
+        let clean = encode(&sample(data, 5), check);
+        for a in 0..data + check {
+            for b in a + 1..data + check {
+                let mut w = clean.clone();
+                w[a] ^= 0x55;
+                w[b] ^= 0x0F;
+                assert_eq!(
+                    decode_in_place(&mut w, data, check),
+                    EccOutcome::DetectedUncorrectable,
+                    "pair ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "caps total length")]
+    fn rejects_overlong_codes() {
+        let _ = encode(&vec![0u8; 252], 4);
+    }
+}

@@ -1,0 +1,110 @@
+//! Memory error rates under each ECC protection (the paper's Table 5).
+//!
+//! FIT = failures per billion device-hours; the table is normalized per
+//! Mbit of memory, as in the paper's sources [23, 25, 34, 36].
+
+use abft_ecc::EccScheme;
+
+/// Hours per FIT time base (10^9 hours).
+const FIT_HOURS: f64 = 1e9;
+
+/// Error rate (FIT/Mbit) for memory protected by `scheme` — Table 5.
+pub fn fit_per_mbit(scheme: EccScheme) -> f64 {
+    match scheme {
+        EccScheme::None => 5000.0,     // [23, 25]
+        EccScheme::Chipkill => 0.02,   // [25, 34]
+        EccScheme::Secded => 1300.0,   // [25, 36]
+    }
+}
+
+/// The Table 5 rows as `(label, FIT/Mbit)` in the paper's order.
+pub fn table5() -> [(&'static str, f64); 3] {
+    [
+        ("No ECC", fit_per_mbit(EccScheme::None)),
+        ("Chipkill correct", fit_per_mbit(EccScheme::Chipkill)),
+        ("SECDED", fit_per_mbit(EccScheme::Secded)),
+    ]
+}
+
+/// The age function `f(A)` of Table 2/Equation (2): a bathtub curve over
+/// DIMM lifetime. Infant mortality decays over the first half year, a
+/// flat useful-life floor at 1.0, then wear-out growth past ~5 years —
+/// the qualitative shape of the field studies the paper cites
+/// (\[20\], \[33\], \[35\]).
+pub fn age_factor(dimm_age_years: f64) -> f64 {
+    assert!(dimm_age_years >= 0.0, "age cannot be negative");
+    let infant = 2.0 * (-dimm_age_years / 0.25).exp();
+    let wearout = if dimm_age_years > 5.0 {
+        ((dimm_age_years - 5.0) / 2.0).exp() - 1.0
+    } else {
+        0.0
+    };
+    1.0 + infant + wearout
+}
+
+/// Convert a FIT/Mbit rate into expected errors per second for a region of
+/// `bytes` bytes.
+pub fn errors_per_second(fit_per_mbit: f64, bytes: u64) -> f64 {
+    let mbits = bytes as f64 * 8.0 / 1e6;
+    fit_per_mbit * mbits / (FIT_HOURS * 3600.0)
+}
+
+/// Expected number of errors for a region over `seconds` of execution.
+pub fn expected_errors(fit_per_mbit: f64, bytes: u64, seconds: f64) -> f64 {
+    errors_per_second(fit_per_mbit, bytes) * seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_values_match_paper() {
+        assert_eq!(fit_per_mbit(EccScheme::None), 5000.0);
+        assert_eq!(fit_per_mbit(EccScheme::Chipkill), 0.02);
+        assert_eq!(fit_per_mbit(EccScheme::Secded), 1300.0);
+        assert_eq!(table5()[1].0, "Chipkill correct");
+    }
+
+    #[test]
+    fn chipkill_is_orders_of_magnitude_stronger() {
+        let none = fit_per_mbit(EccScheme::None);
+        let sd = fit_per_mbit(EccScheme::Secded);
+        let ck = fit_per_mbit(EccScheme::Chipkill);
+        assert!(none > sd && sd > ck);
+        assert!(none / ck > 1e5);
+    }
+
+    #[test]
+    fn rate_conversion_scales_linearly() {
+        let r1 = errors_per_second(5000.0, 1_000_000);
+        let r2 = errors_per_second(5000.0, 2_000_000);
+        assert!((r2 - 2.0 * r1).abs() < 1e-18);
+        // 1 MB without ECC: 5000 FIT/Mbit * 8 Mbit = 40000 FIT
+        // = 4e4 errors / 1e9 h.
+        let per_hour = r1 * 3600.0;
+        assert!((per_hour - 4e4 / 1e9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn age_function_is_a_bathtub() {
+        // New DIMMs: elevated infant mortality.
+        assert!(age_factor(0.0) > 2.5);
+        // Useful life: flat near 1.
+        assert!((age_factor(2.0) - 1.0).abs() < 0.01);
+        assert!((age_factor(4.0) - 1.0).abs() < 0.01);
+        // Wear-out: rising again.
+        assert!(age_factor(7.0) > age_factor(4.0));
+        assert!(age_factor(9.0) > age_factor(7.0));
+        // Monotone decrease through infancy.
+        assert!(age_factor(0.1) > age_factor(0.4));
+    }
+
+    #[test]
+    fn expected_errors_over_interval() {
+        // 1 GB, no ECC, one day.
+        let e = expected_errors(5000.0, 1 << 30, 86400.0);
+        // 8589.9 Mbit * 5000 FIT = 4.29e7 / 1e9 per hour * 24h = ~1.03.
+        assert!(e > 0.9 && e < 1.2, "expected ~1 error/day, got {e}");
+    }
+}

@@ -1,0 +1,176 @@
+//! The analytical fault models of Section 4 — Equations (2) through (8).
+//!
+//! Notation follows the paper's Table 2: `FR` is the memory failure rate
+//! (failures per time unit per Mbit), `MC_a` the per-node memory capacity,
+//! `N` the node count, `f(A)` the age function, `tau` the performance
+//! impact ratio of an ECC strategy, `t_c` the per-recovery cost.
+
+/// One memory region with its own ECC protection (a term of Equation 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EccRegionTerm {
+    /// Failure rate of the region's protection (FIT/Mbit), `fr_i`.
+    pub fr_fit_per_mbit: f64,
+    /// Capacity of the region in Mbit, `mc_i`.
+    pub mbit: f64,
+    /// Age factor `f_i(A)` (1.0 = nominal).
+    pub age_factor: f64,
+}
+
+/// Convert a FIT-based rate product into failures per second.
+fn fit_to_per_second(fit_times_mbit: f64) -> f64 {
+    fit_times_mbit / (1e9 * 3600.0)
+}
+
+/// Equation (2): `MTTF = 1 / (FR * MC_a * f(A) * N)`, in seconds.
+pub fn mttf_seconds(fr_fit_per_mbit: f64, capacity_mbit: f64, age_factor: f64, nodes: u64) -> f64 {
+    let rate = fit_to_per_second(fr_fit_per_mbit * capacity_mbit * age_factor) * nodes as f64;
+    assert!(rate > 0.0, "MTTF undefined for zero failure rate");
+    1.0 / rate
+}
+
+/// Equation (3): MTTF for heterogeneous ECC protection, in seconds:
+/// `1 / (sum_i fr_i * mc_i * f_i(A) * N)`.
+pub fn mttf_hetero_seconds(regions: &[EccRegionTerm], nodes: u64) -> f64 {
+    let sum: f64 = regions
+        .iter()
+        .map(|r| fit_to_per_second(r.fr_fit_per_mbit * r.mbit * r.age_factor))
+        .sum();
+    let rate = sum * nodes as f64;
+    assert!(rate > 0.0, "MTTF undefined for zero failure rate");
+    1.0 / rate
+}
+
+/// Equation (4): expected number of errors over the run:
+/// `N_e = T_0 * (1 + tau) / MTTF_hetero`.
+pub fn expected_errors(t0_seconds: f64, tau: f64, mttf_hetero_seconds: f64) -> f64 {
+    t0_seconds * (1.0 + tau) / mttf_hetero_seconds
+}
+
+/// Equation (5): worst-case performance loss from ABFT recovery:
+/// `T_c = N_e * t_c` with one error per recovery (conservative).
+pub fn recovery_time_loss(
+    t0_seconds: f64,
+    tau_are: f64,
+    mttf_hetero_seconds: f64,
+    t_c_seconds: f64,
+) -> f64 {
+    expected_errors(t0_seconds, tau_are, mttf_hetero_seconds) * t_c_seconds
+}
+
+/// Equation (6): performance benefit of ARE over ASE:
+/// `dT = T_0 * (tau_ase - tau_are)`.
+pub fn performance_benefit(t0_seconds: f64, tau_ase: f64, tau_are: f64) -> f64 {
+    t0_seconds * (tau_ase - tau_are)
+}
+
+/// Equation (7): the MTTF threshold below which ARE stops paying off in
+/// time: `MTTF_thr,t = t_c * (1 + tau_are) / (tau_ase - tau_are)`.
+///
+/// Returns `f64::INFINITY` when ARE has no performance advantage at all
+/// (`tau_ase <= tau_are`) — then no error rate makes ARE worthwhile.
+pub fn mttf_threshold_time(t_c_seconds: f64, tau_ase: f64, tau_are: f64) -> f64 {
+    let gain = tau_ase - tau_are;
+    if gain <= 0.0 {
+        return f64::INFINITY;
+    }
+    t_c_seconds * (1.0 + tau_are) / gain
+}
+
+/// The energy analogue of Equation (7): per-recovery energy `e_c` against
+/// the per-time energy advantage `(p_ase - p_are)` (W) of relaxed ECC,
+/// normalized by the error exposure:
+/// `MTTF_thr,en = e_c * (1 + tau_are) / (p_ase * (1+tau_ase) - p_are * (1+tau_are))`.
+pub fn mttf_threshold_energy(
+    e_c_joules: f64,
+    p_ase_watts: f64,
+    tau_ase: f64,
+    p_are_watts: f64,
+    tau_are: f64,
+) -> f64 {
+    let gain = p_ase_watts * (1.0 + tau_ase) - p_are_watts * (1.0 + tau_are);
+    if gain <= 0.0 {
+        return f64::INFINITY;
+    }
+    e_c_joules * (1.0 + tau_are) / gain
+}
+
+/// Equation (8): the governing threshold is the stricter of the two.
+pub fn mttf_threshold(thr_time: f64, thr_energy: f64) -> f64 {
+    thr_time.max(thr_energy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq2_scales_inversely() {
+        let base = mttf_seconds(5000.0, 8.0 * 8192.0, 1.0, 1);
+        assert!((mttf_seconds(5000.0, 8.0 * 8192.0, 1.0, 2) - base / 2.0).abs() < 1e-6);
+        assert!((mttf_seconds(10000.0, 8.0 * 8192.0, 1.0, 1) - base / 2.0).abs() < 1e-6);
+        assert!((mttf_seconds(5000.0, 8.0 * 8192.0, 2.0, 1) - base / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eq3_reduces_to_eq2_for_uniform() {
+        let uniform = mttf_seconds(1300.0, 1000.0, 1.0, 4);
+        let hetero = mttf_hetero_seconds(
+            &[
+                EccRegionTerm { fr_fit_per_mbit: 1300.0, mbit: 600.0, age_factor: 1.0 },
+                EccRegionTerm { fr_fit_per_mbit: 1300.0, mbit: 400.0, age_factor: 1.0 },
+            ],
+            4,
+        );
+        assert!((uniform - hetero).abs() / uniform < 1e-12);
+    }
+
+    #[test]
+    fn eq3_dominated_by_weakest_region() {
+        let m = mttf_hetero_seconds(
+            &[
+                EccRegionTerm { fr_fit_per_mbit: 5000.0, mbit: 100.0, age_factor: 1.0 },
+                EccRegionTerm { fr_fit_per_mbit: 0.02, mbit: 10_000.0, age_factor: 1.0 },
+            ],
+            1,
+        );
+        let weak_only = mttf_seconds(5000.0, 100.0, 1.0, 1);
+        assert!(m < weak_only, "adding protected memory can only add errors");
+        assert!((m - weak_only).abs() / weak_only < 0.001, "but barely");
+    }
+
+    #[test]
+    fn eq4_error_count() {
+        // MTTF of 100 s, run of 1000 s with 10% overhead: 11 errors.
+        let n = expected_errors(1000.0, 0.1, 100.0);
+        assert!((n - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq5_and_eq6_balance_at_threshold() {
+        // At MTTF exactly equal to the Eq (7) threshold, recovery loss
+        // equals the performance benefit.
+        let (t0, tau_ase, tau_are, tc) = (3600.0, 0.12, 0.02, 50.0);
+        let thr = mttf_threshold_time(tc, tau_ase, tau_are);
+        let loss = recovery_time_loss(t0, tau_are, thr, tc);
+        let benefit = performance_benefit(t0, tau_ase, tau_are);
+        assert!((loss - benefit).abs() / benefit < 1e-12);
+        // Longer MTTF (rarer errors): ARE wins.
+        let loss2 = recovery_time_loss(t0, tau_are, thr * 10.0, tc);
+        assert!(loss2 < benefit);
+        // Shorter MTTF: ARE loses.
+        let loss3 = recovery_time_loss(t0, tau_are, thr / 10.0, tc);
+        assert!(loss3 > benefit);
+    }
+
+    #[test]
+    fn thresholds_handle_no_gain() {
+        assert_eq!(mttf_threshold_time(10.0, 0.05, 0.05), f64::INFINITY);
+        assert_eq!(mttf_threshold_energy(10.0, 5.0, 0.0, 6.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn eq8_takes_the_stricter() {
+        assert_eq!(mttf_threshold(10.0, 20.0), 20.0);
+        assert_eq!(mttf_threshold(30.0, 20.0), 30.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! The Section 4 error-handling scenario classification: given an error
+//! pattern, decide what strong ECC could do with it and what ABFT could do
+//! with it, yielding the paper's Case 1-4 taxonomy and the relative
+//! outcomes of ARE (ABFT + relaxed ECC) vs ASE (ABFT + strong ECC).
+
+use crate::injector::ErrorPattern;
+
+/// What a protection layer can do with an error pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Capability {
+    /// The layer corrects the pattern in place.
+    Corrects,
+    /// The layer detects but cannot correct.
+    DetectsOnly,
+    /// The pattern slips through.
+    Misses,
+}
+
+/// The paper's four cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCase {
+    /// Case 1: both strong ECC and ABFT can correct.
+    BothCorrect,
+    /// Case 2: ABFT corrects, strong ECC cannot.
+    OnlyAbft,
+    /// Case 3: strong ECC corrects, ABFT cannot.
+    OnlyEcc,
+    /// Case 4: neither corrects — checkpoint/restart for everyone.
+    Neither,
+}
+
+/// What the strong ECC (chipkill) does with a pattern.
+pub fn strong_ecc_capability(p: &ErrorPattern) -> Capability {
+    match p {
+        ErrorPattern::SingleBit => Capability::Corrects,
+        // Chipkill's whole point: any damage confined to one chip.
+        ErrorPattern::SingleChip { .. } => Capability::Corrects,
+        // Scattered over >2 chips in a code word: beyond SSC-DSD. Two
+        // chips: detected. More: detection is likely but not guaranteed.
+        ErrorPattern::ScatteredOneLine { chips } => {
+            if *chips <= 1 {
+                Capability::Corrects
+            } else {
+                Capability::DetectsOnly
+            }
+        }
+        // Each strike is an independent single-bit event in time; the MC
+        // corrects each as it is read.
+        ErrorPattern::RepeatedSameColumn { .. } => Capability::Corrects,
+        ErrorPattern::DispersedBurst { chips_per_line, .. } => {
+            if *chips_per_line <= 1 {
+                Capability::Corrects
+            } else {
+                Capability::DetectsOnly
+            }
+        }
+    }
+}
+
+/// What checksum-based ABFT does with a pattern, given how many errors the
+/// checksum relationship can locate/correct per verification interval
+/// (`correctable_per_interval`, typically the number of checksum vectors).
+pub fn abft_capability(p: &ErrorPattern, correctable_per_interval: u32) -> Capability {
+    match p {
+        ErrorPattern::SingleBit => Capability::Corrects,
+        ErrorPattern::SingleChip { .. } => Capability::Corrects,
+        // Few matrix columns hit: within multi-error correction.
+        ErrorPattern::ScatteredOneLine { chips } => {
+            // One cache line spans 8 doubles = up to 8 matrix elements of
+            // one column (column-major): a burst in one line stays within
+            // one column per row-checksum, so ABFT locates and fixes it.
+            if *chips <= 36 {
+                Capability::Corrects
+            } else {
+                Capability::DetectsOnly
+            }
+        }
+        ErrorPattern::RepeatedSameColumn { strikes } => {
+            if *strikes <= correctable_per_interval {
+                Capability::Corrects
+            } else {
+                // Checksum mismatch is still observed: detected.
+                Capability::DetectsOnly
+            }
+        }
+        ErrorPattern::DispersedBurst { lines, .. } => {
+            if *lines <= correctable_per_interval {
+                Capability::Corrects
+            } else {
+                Capability::DetectsOnly
+            }
+        }
+    }
+}
+
+/// Classify a pattern into the paper's Case 1-4.
+pub fn classify(p: &ErrorPattern, abft_correctable_per_interval: u32) -> ErrorCase {
+    let ecc = strong_ecc_capability(p) == Capability::Corrects;
+    let abft = abft_capability(p, abft_correctable_per_interval) == Capability::Corrects;
+    match (ecc, abft) {
+        (true, true) => ErrorCase::BothCorrect,
+        (false, true) => ErrorCase::OnlyAbft,
+        (true, false) => ErrorCase::OnlyEcc,
+        (false, false) => ErrorCase::Neither,
+    }
+}
+
+/// Recovery cost parameters for comparing ARE and ASE outcomes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryCosts {
+    /// ABFT per-error correction cost (J) — "up to hundreds of Joules,
+    /// depending on the input problem size".
+    pub abft_correction_j: f64,
+    /// Strong-ECC in-controller correction (J) — "less than 1 pJ".
+    pub ecc_correction_j: f64,
+    /// Full checkpoint/restart cost (J).
+    pub restart_j: f64,
+    /// ABFT per-error correction time (s).
+    pub abft_correction_s: f64,
+    /// Checkpoint/restart time (s).
+    pub restart_s: f64,
+}
+
+impl Default for RecoveryCosts {
+    fn default() -> Self {
+        RecoveryCosts {
+            abft_correction_j: 50.0,
+            ecc_correction_j: 1e-12,
+            restart_j: 50_000.0,
+            abft_correction_s: 0.5,
+            restart_s: 600.0,
+        }
+    }
+}
+
+/// The recovery outcome of one error event under a given configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outcome {
+    /// Energy spent recovering (J).
+    pub energy_j: f64,
+    /// Time spent recovering (s).
+    pub time_s: f64,
+    /// Whether the application had to restart from a checkpoint.
+    pub restarted: bool,
+}
+
+/// Outcome of the error under ARE (ABFT + relaxed ECC): relaxed ECC does
+/// not correct, so ABFT handles everything it can; otherwise restart.
+pub fn are_outcome(case: ErrorCase, costs: &RecoveryCosts) -> Outcome {
+    match case {
+        ErrorCase::BothCorrect | ErrorCase::OnlyAbft => Outcome {
+            energy_j: costs.abft_correction_j,
+            time_s: costs.abft_correction_s,
+            restarted: false,
+        },
+        ErrorCase::OnlyEcc | ErrorCase::Neither => {
+            Outcome { energy_j: costs.restart_j, time_s: costs.restart_s, restarted: true }
+        }
+    }
+}
+
+/// Outcome under ASE (ABFT + strong ECC). `errors_exposed_to_app` is the
+/// paper's Case 2 fork: whether an ECC-uncorrectable error is surfaced to
+/// the application (our cooperative path) or crashes the system (the
+/// traditional panic path).
+pub fn ase_outcome(case: ErrorCase, costs: &RecoveryCosts, errors_exposed_to_app: bool) -> Outcome {
+    match case {
+        ErrorCase::BothCorrect | ErrorCase::OnlyEcc => Outcome {
+            energy_j: costs.ecc_correction_j,
+            time_s: 0.0,
+            restarted: false,
+        },
+        ErrorCase::OnlyAbft => {
+            if errors_exposed_to_app {
+                Outcome {
+                    energy_j: costs.abft_correction_j,
+                    time_s: costs.abft_correction_s,
+                    restarted: false,
+                }
+            } else {
+                // "ASE may crash the system ... has to restart from the
+                // last checkpoint."
+                Outcome { energy_j: costs.restart_j, time_s: costs.restart_s, restarted: true }
+            }
+        }
+        ErrorCase::Neither => {
+            Outcome { energy_j: costs.restart_j, time_s: costs.restart_s, restarted: true }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bit_is_case_1() {
+        assert_eq!(classify(&ErrorPattern::SingleBit, 2), ErrorCase::BothCorrect);
+    }
+
+    #[test]
+    fn chip_failure_is_case_1_under_chipkill() {
+        assert_eq!(classify(&ErrorPattern::SingleChip { bits: 8 }, 2), ErrorCase::BothCorrect);
+    }
+
+    #[test]
+    fn scattered_line_is_case_2() {
+        // The paper's Case 2 example: errors dispersed over 33 symbols —
+        // ABFT-correctable, chipkill-uncorrectable.
+        let p = ErrorPattern::ScatteredOneLine { chips: 33 };
+        assert_eq!(classify(&p, 2), ErrorCase::OnlyAbft);
+    }
+
+    #[test]
+    fn repeated_column_strikes_are_case_3() {
+        // Coincident errors within a specific column, more than the
+        // checksums can locate within one examining period.
+        let p = ErrorPattern::RepeatedSameColumn { strikes: 5 };
+        assert_eq!(classify(&p, 2), ErrorCase::OnlyEcc);
+        // With enough checksum vectors it becomes Case 1.
+        assert_eq!(classify(&p, 8), ErrorCase::BothCorrect);
+    }
+
+    #[test]
+    fn dispersed_burst_is_case_4() {
+        let p = ErrorPattern::DispersedBurst { lines: 40, chips_per_line: 5 };
+        assert_eq!(classify(&p, 2), ErrorCase::Neither);
+    }
+
+    #[test]
+    fn case1_are_pays_abft_ase_pays_picojoules() {
+        let c = RecoveryCosts::default();
+        let are = are_outcome(ErrorCase::BothCorrect, &c);
+        let ase = ase_outcome(ErrorCase::BothCorrect, &c, true);
+        assert!(are.energy_j > 1e6 * ase.energy_j, "ABFT recovery is vastly pricier");
+        assert!(!are.restarted && !ase.restarted);
+    }
+
+    #[test]
+    fn case2_traditional_ase_restarts_cooperative_does_not() {
+        let c = RecoveryCosts::default();
+        let blind = ase_outcome(ErrorCase::OnlyAbft, &c, false);
+        assert!(blind.restarted);
+        let coop = ase_outcome(ErrorCase::OnlyAbft, &c, true);
+        assert!(!coop.restarted);
+        assert!(coop.energy_j < blind.energy_j);
+    }
+
+    #[test]
+    fn case3_are_restarts() {
+        let c = RecoveryCosts::default();
+        let are = are_outcome(ErrorCase::OnlyEcc, &c);
+        assert!(are.restarted);
+        let ase = ase_outcome(ErrorCase::OnlyEcc, &c, true);
+        assert!(!ase.restarted);
+    }
+
+    #[test]
+    fn case4_everyone_restarts() {
+        let c = RecoveryCosts::default();
+        assert!(are_outcome(ErrorCase::Neither, &c).restarted);
+        assert!(ase_outcome(ErrorCase::Neither, &c, true).restarted);
+    }
+}

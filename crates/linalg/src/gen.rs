@@ -1,0 +1,97 @@
+//! Deterministic workload generators: random, SPD and diagonally-dominant
+//! matrices, and right-hand sides, seeded so every experiment is repeatable.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Seeded RNG used by all generators in this crate.
+pub fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Random `rows x cols` matrix with entries uniform in `[-1, 1)`.
+pub fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut r = rng(seed);
+    Matrix::from_fn(rows, cols, |_, _| r.random_range(-1.0..1.0))
+}
+
+/// Random vector with entries uniform in `[-1, 1)`.
+pub fn random_vector(n: usize, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.random_range(-1.0..1.0)).collect()
+}
+
+/// Random symmetric positive-definite matrix: `B B^T + n I`.
+///
+/// The `n I` shift keeps the condition number small enough that Cholesky and
+/// CG converge quickly even with injected-then-corrected errors.
+pub fn random_spd(n: usize, seed: u64) -> Matrix {
+    let b = random_matrix(n, n, seed);
+    let mut a = Matrix::zeros(n, n);
+    crate::blas3::gemm(
+        1.0,
+        &b,
+        crate::blas3::Trans::No,
+        &b,
+        crate::blas3::Trans::Yes,
+        0.0,
+        &mut a,
+    );
+    for i in 0..n {
+        a[(i, i)] += n as f64;
+    }
+    // Symmetrize away round-off so A == A^T exactly.
+    for j in 0..n {
+        for i in 0..j {
+            let v = 0.5 * (a[(i, j)] + a[(j, i)]);
+            a[(i, j)] = v;
+            a[(j, i)] = v;
+        }
+    }
+    a
+}
+
+/// Random strictly diagonally dominant matrix (always has an LU
+/// factorization with partial pivoting and is well conditioned).
+pub fn random_diag_dominant(n: usize, seed: u64) -> Matrix {
+    let mut a = random_matrix(n, n, seed);
+    for i in 0..n {
+        let row_sum: f64 = (0..n).map(|j| a[(i, j)].abs()).sum();
+        a[(i, i)] = row_sum + 1.0;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_matrix(5, 5, 42), random_matrix(5, 5, 42));
+        assert_ne!(random_matrix(5, 5, 42), random_matrix(5, 5, 43));
+        assert_eq!(random_vector(9, 7), random_vector(9, 7));
+    }
+
+    #[test]
+    fn spd_is_symmetric_with_positive_diagonal() {
+        let a = random_spd(20, 1);
+        for i in 0..20 {
+            assert!(a[(i, i)] > 0.0);
+            for j in 0..20 {
+                assert_eq!(a[(i, j)], a[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn diag_dominant_property() {
+        let a = random_diag_dominant(15, 2);
+        for i in 0..15 {
+            let off: f64 = (0..15).filter(|&j| j != i).map(|j| a[(i, j)].abs()).sum();
+            assert!(a[(i, i)].abs() > off);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # abft-linalg
+//!
+//! Dense and sparse linear-algebra substrate for the cooperative
+//! ABFT + ECC reproduction (Li et al., SC 2013).
+//!
+//! The paper's ABFT kernels wrap four numerical workhorses — general matrix
+//! multiplication, blocked Cholesky, preconditioned CG and LU with partial
+//! pivoting (HPL). This crate provides those, from scratch:
+//!
+//! * [`matrix::Matrix`] — column-major dense matrices.
+//! * [`blas1`] / [`blas3`] — the BLAS subset the kernels are built from,
+//!   with a rayon-parallel GEMM.
+//! * [`cholesky`] — blocked right-looking `A = L L^T` with a per-step hook
+//!   (the ABFT verification point).
+//! * [`lu`] — blocked LU with partial pivoting + solve (the HPL core).
+//! * [`cg`] — preconditioned conjugate gradient matching the paper's
+//!   Figure 1, with an observer hook for online invariant checking.
+//! * [`sparse`] — CSR matrices and the 2-D Poisson operator (the
+//!   low-locality CG workload).
+//! * [`gen`] — seeded workload generators.
+
+pub mod blas1;
+pub mod blas2;
+pub mod blas3;
+pub mod cg;
+pub mod cholesky;
+pub mod gen;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+pub mod sparse;
+
+pub use blas3::{gemm, matmul, Trans};
+pub use cg::{
+    pcg, pcg_with, CgControl, CgResult, CgState, JacobiPrecond, LinearOperator, Preconditioner,
+};
+pub use cholesky::{cholesky_blocked, cholesky_blocked_with, cholesky_solve, FactorError};
+pub use lu::{lu_blocked, lu_blocked_with, LuFactors};
+pub use lu::refine_solution;
+pub use matrix::Matrix;
+pub use qr::{householder_qr, householder_qr_with, QrFactors};
+pub use sparse::{poisson_2d, poisson_3d, CsrMatrix};

@@ -1,0 +1,325 @@
+//! Blocked LU factorization with partial pivoting — the computational core
+//! of High Performance Linpack (HPL), which FT-HPL (Section 2.1) extends
+//! with row checksums.
+
+use crate::blas3::{gemm, trsm_left_lower_unit, Trans};
+use crate::cholesky::FactorError;
+use crate::matrix::Matrix;
+
+/// Result of an LU factorization: the matrix holds `L` (unit lower, below
+/// the diagonal) and `U` (upper, including the diagonal) in place, and
+/// `pivots[k]` records the row swapped into position `k` at step `k`.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    /// In-place packed factors.
+    pub lu: Matrix,
+    /// Pivot row chosen at each elimination step (LAPACK `ipiv`, 0-based).
+    pub pivots: Vec<usize>,
+}
+
+/// Unblocked panel factorization with partial pivoting on an `m x nb` panel
+/// located at `(k, k)` of `a`; pivoting is applied across the *whole* rows
+/// of `a` (and mirrored into `pivots`).
+fn panel_factor(
+    a: &mut Matrix,
+    k: usize,
+    nb: usize,
+    pivots: &mut [usize],
+) -> Result<(), FactorError> {
+    let n = a.rows();
+    for j in k..k + nb {
+        // Find pivot in column j, rows j..n.
+        let mut p = j;
+        let mut pmax = a[(j, j)].abs();
+        for i in j + 1..n {
+            let v = a[(i, j)].abs();
+            if v > pmax {
+                pmax = v;
+                p = i;
+            }
+        }
+        if pmax == 0.0 {
+            return Err(FactorError::Singular { index: j });
+        }
+        pivots[j] = p;
+        if p != j {
+            a.swap_rows(p, j);
+        }
+        // Scale multipliers and apply rank-1 update within the panel.
+        let piv = a[(j, j)];
+        for i in j + 1..n {
+            a[(i, j)] /= piv;
+        }
+        for c in j + 1..k + nb {
+            let ujc = a[(j, c)];
+            if ujc == 0.0 {
+                continue;
+            }
+            for i in j + 1..n {
+                let lij = a[(i, j)];
+                a[(i, c)] -= lij * ujc;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Blocked right-looking LU with partial pivoting, in place.
+///
+/// `on_step(step, k, a)` fires after each panel's trailing update — the hook
+/// FT-HPL uses to maintain/verify row checksums per iteration. The hook may
+/// mutate `a` (that is how fail-stop recovery re-injects reconstructed
+/// panels).
+pub fn lu_blocked_with<F>(a: &mut Matrix, block: usize, mut on_step: F) -> Result<LuFactors, FactorError>
+where
+    F: FnMut(usize, usize, &mut Matrix) -> Result<(), FactorError>,
+{
+    assert!(a.is_square(), "LU needs a square matrix");
+    assert!(block > 0, "block size must be positive");
+    let n = a.rows();
+    let mut pivots = vec![0usize; n];
+    let mut step = 0;
+    let mut k = 0;
+    while k < n {
+        let nb = block.min(n - k);
+        panel_factor(a, k, nb, &mut pivots)?;
+
+        let rest = n - k - nb;
+        if rest > 0 {
+            // U12 = L11^{-1} A12 (unit lower triangular solve).
+            let l11 = a.submatrix(k, k, nb, nb);
+            let mut a12 = a.submatrix(k, k + nb, nb, rest);
+            trsm_left_lower_unit(&l11, &mut a12);
+            a.set_submatrix(k, k + nb, &a12);
+
+            // A22 -= L21 * U12.
+            let l21 = a.submatrix(k + nb, k, rest, nb);
+            let mut a22 = a.submatrix(k + nb, k + nb, rest, rest);
+            gemm(-1.0, &l21, Trans::No, &a12, Trans::No, 1.0, &mut a22);
+            a.set_submatrix(k + nb, k + nb, &a22);
+        }
+        on_step(step, k, a)?;
+        step += 1;
+        k += nb;
+    }
+    Ok(LuFactors { lu: std::mem::replace(a, Matrix::zeros(0, 0)), pivots })
+}
+
+/// Blocked LU without a step hook.
+pub fn lu_blocked(mut a: Matrix, block: usize) -> Result<LuFactors, FactorError> {
+    lu_blocked_with(&mut a, block, |_, _, _| Ok(()))
+}
+
+impl LuFactors {
+    /// Apply the recorded row interchanges to a right-hand side.
+    pub fn apply_pivots(&self, b: &mut [f64]) {
+        for (k, &p) in self.pivots.iter().enumerate() {
+            if p != k {
+                b.swap(k, p);
+            }
+        }
+    }
+
+    /// Solve `A x = b` using the packed factors (`P A = L U`).
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        let mut x = b.to_vec();
+        self.apply_pivots(&mut x);
+        // Forward substitution with unit L.
+        for i in 0..n {
+            let mut s = x[i];
+            for p in 0..i {
+                s -= self.lu[(i, p)] * x[p];
+            }
+            x[i] = s;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for p in i + 1..n {
+                s -= self.lu[(i, p)] * x[p];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Extract the unit-lower-triangular `L` factor.
+    pub fn l(&self) -> Matrix {
+        let n = self.lu.rows();
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                1.0
+            } else if i > j {
+                self.lu[(i, j)]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Extract the upper-triangular `U` factor.
+    pub fn u(&self) -> Matrix {
+        self.lu.triu()
+    }
+
+    /// Reconstruct `P A` (for verification): `L * U`.
+    pub fn reconstruct_pa(&self) -> Matrix {
+        let mut c = Matrix::zeros(self.lu.rows(), self.lu.cols());
+        gemm(1.0, &self.l(), Trans::No, &self.u(), Trans::No, 0.0, &mut c);
+        c
+    }
+
+    /// Apply the pivot permutation to a full matrix (rows), giving `P A`
+    /// from `A`.
+    pub fn permute_rows(&self, a: &Matrix) -> Matrix {
+        let mut m = a.clone();
+        for (k, &p) in self.pivots.iter().enumerate() {
+            if p != k {
+                m.swap_rows(k, p);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{random_diag_dominant, random_matrix, random_vector};
+
+    fn check_lu(n: usize, block: usize, seed: u64) {
+        let a = random_matrix(n, n, seed);
+        let f = lu_blocked(a.clone(), block).expect("random dense should factor");
+        let pa = f.permute_rows(&a);
+        assert!(
+            f.reconstruct_pa().approx_eq(&pa, 1e-10, 1e-10),
+            "L U must equal P A (n={n}, block={block})"
+        );
+    }
+
+    #[test]
+    fn factor_various_blockings() {
+        check_lu(1, 1, 1);
+        check_lu(13, 4, 2);
+        check_lu(32, 8, 3);
+        check_lu(40, 40, 4);
+        check_lu(33, 5, 5);
+    }
+
+    #[test]
+    fn solve_round_trip() {
+        let n = 30;
+        let a = random_diag_dominant(n, 6);
+        let x_true = random_vector(n, 7);
+        let b = a.matvec(&x_true);
+        let f = lu_blocked(a, 8).unwrap();
+        let x = f.solve(&b);
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let f = lu_blocked(a, 1).unwrap();
+        assert_eq!(f.pivots[0], 1);
+        let x = f.solve(&[2.0, 3.0]);
+        assert!((x[0] - 3.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = Matrix::zeros(3, 3);
+        assert!(matches!(lu_blocked(a, 1), Err(FactorError::Singular { index: 0 })));
+    }
+
+    #[test]
+    fn step_hook_fires_per_panel() {
+        let a = random_diag_dominant(16, 8);
+        let mut steps = vec![];
+        let mut a = a;
+        lu_blocked_with(&mut a, 4, |s, k, _| {
+            steps.push((s, k));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(steps, vec![(0, 0), (1, 4), (2, 8), (3, 12)]);
+    }
+}
+
+/// Iterative refinement: polish an LU solve against the original matrix.
+///
+/// Each sweep computes the residual `r = b - A x` and corrects
+/// `x += A^{-1} r` using the existing factors — the classic cure for
+/// round-off (and for small ABFT-corrected perturbations left in the
+/// factors). Returns the refined solution and the final residual norm.
+pub fn refine_solution(
+    a: &Matrix,
+    factors: &LuFactors,
+    b: &[f64],
+    x0: &[f64],
+    sweeps: usize,
+) -> (Vec<f64>, f64) {
+    let mut x = x0.to_vec();
+    let mut res_norm = 0.0;
+    for _ in 0..sweeps.max(1) {
+        let ax = a.matvec(&x);
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+        res_norm = crate::blas1::nrm2(&r);
+        if res_norm == 0.0 {
+            break;
+        }
+        let dx = factors.solve(&r);
+        for (xi, di) in x.iter_mut().zip(&dx) {
+            *xi += di;
+        }
+    }
+    let ax = a.matvec(&x);
+    let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+    (x, crate::blas1::nrm2(&r).min(res_norm))
+}
+
+#[cfg(test)]
+mod refine_tests {
+    use super::*;
+    use crate::gen::{random_diag_dominant, random_vector};
+
+    #[test]
+    fn refinement_tightens_the_residual() {
+        let n = 40;
+        let a = random_diag_dominant(n, 61);
+        let x_true = random_vector(n, 62);
+        let b = a.matvec(&x_true);
+        let f = lu_blocked(a.clone(), 8).unwrap();
+        let x0 = f.solve(&b);
+        let r0 = {
+            let ax = a.matvec(&x0);
+            crate::blas1::nrm2(&b.iter().zip(&ax).map(|(u, v)| u - v).collect::<Vec<_>>())
+        };
+        let (x, r) = refine_solution(&a, &f, &b, &x0, 3);
+        assert!(r <= r0 + 1e-18, "residual must not grow: {r} vs {r0}");
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn refinement_recovers_from_a_perturbed_start() {
+        let n = 32;
+        let a = random_diag_dominant(n, 63);
+        let x_true = random_vector(n, 64);
+        let b = a.matvec(&x_true);
+        let f = lu_blocked(a.clone(), 8).unwrap();
+        // Start from a deliberately damaged solution (e.g. an ABFT repair
+        // that fixed the factors after the solve used them).
+        let mut x0 = f.solve(&b);
+        x0[7] += 0.5;
+        let (x, r) = refine_solution(&a, &f, &b, &x0, 4);
+        assert!(r < 1e-8);
+        assert!((x[7] - x_true[7]).abs() < 1e-8);
+    }
+}

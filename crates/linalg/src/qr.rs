@@ -1,0 +1,228 @@
+//! Householder QR factorization — the fourth dense factorization the
+//! ABFT literature covers (the paper's related work cites fault-tolerant
+//! QR alongside LU and Cholesky \[14\]).
+
+use crate::matrix::Matrix;
+
+/// Packed QR factors: `R` in the upper triangle, the Householder vectors
+/// `v_j` (with implicit leading 1) below the diagonal, and the scalar
+/// `tau_j` per reflector.
+#[derive(Debug, Clone)]
+pub struct QrFactors {
+    /// Packed storage.
+    pub qr: Matrix,
+    /// Reflector scalars.
+    pub tau: Vec<f64>,
+}
+
+/// Compute the Householder QR of `a` (`m >= n`), in the LAPACK `geqrf`
+/// style, with a per-column hook `on_step(j, tau_j, working)` after each
+/// reflector has been applied (the FT-QR maintenance/verification point;
+/// `tau_j` is the reflector scalar just used, 0 for a skipped column).
+pub fn householder_qr_with<F>(a: &Matrix, mut on_step: F) -> QrFactors
+where
+    F: FnMut(usize, f64, &mut Matrix),
+{
+    let (m, n) = a.shape();
+    assert!(m >= n, "QR requires m >= n");
+    let mut w = a.clone();
+    let mut tau = vec![0.0; n];
+
+    for j in 0..n {
+        // Build the reflector annihilating w[j+1.., j].
+        let mut norm2 = 0.0;
+        for i in j..m {
+            norm2 += w[(i, j)] * w[(i, j)];
+        }
+        let alpha = w[(j, j)];
+        let norm = norm2.sqrt();
+        if norm == 0.0 {
+            tau[j] = 0.0;
+            on_step(j, 0.0, &mut w);
+            continue;
+        }
+        let beta = -alpha.signum() * norm;
+        let v0 = alpha - beta;
+        tau[j] = (beta - alpha) / beta; // = -v0 / beta
+        // Normalize so v[j] = 1 implicitly; store v[i] = w[i,j] / v0.
+        for i in j + 1..m {
+            w[(i, j)] /= v0;
+        }
+        w[(j, j)] = beta;
+
+        // Apply H = I - tau v v^T to the trailing columns.
+        for c in j + 1..n {
+            let mut dot = w[(j, c)];
+            for i in j + 1..m {
+                dot += w[(i, j)] * w[(i, c)];
+            }
+            let t = tau[j] * dot;
+            w[(j, c)] -= t;
+            for i in j + 1..m {
+                let vij = w[(i, j)];
+                w[(i, c)] -= t * vij;
+            }
+        }
+        on_step(j, tau[j], &mut w);
+    }
+    QrFactors { qr: w, tau }
+}
+
+/// Householder QR without a hook.
+pub fn householder_qr(a: &Matrix) -> QrFactors {
+    householder_qr_with(a, |_, _, _| {})
+}
+
+impl QrFactors {
+    /// The upper-triangular factor `R` (`n x n`).
+    pub fn r(&self) -> Matrix {
+        let n = self.qr.cols();
+        Matrix::from_fn(n, n, |i, j| if i <= j { self.qr[(i, j)] } else { 0.0 })
+    }
+
+    /// Apply `Q^T` to a vector in place.
+    pub fn apply_qt(&self, x: &mut [f64]) {
+        let (m, n) = self.qr.shape();
+        assert_eq!(x.len(), m, "dimension mismatch");
+        for j in 0..n {
+            if self.tau[j] == 0.0 {
+                continue;
+            }
+            let mut dot = x[j];
+            for i in j + 1..m {
+                dot += self.qr[(i, j)] * x[i];
+            }
+            let t = self.tau[j] * dot;
+            x[j] -= t;
+            for i in j + 1..m {
+                x[i] -= t * self.qr[(i, j)];
+            }
+        }
+    }
+
+    /// Apply `Q` to a vector in place.
+    pub fn apply_q(&self, x: &mut [f64]) {
+        let (m, n) = self.qr.shape();
+        assert_eq!(x.len(), m, "dimension mismatch");
+        for j in (0..n).rev() {
+            if self.tau[j] == 0.0 {
+                continue;
+            }
+            let mut dot = x[j];
+            for i in j + 1..m {
+                dot += self.qr[(i, j)] * x[i];
+            }
+            let t = self.tau[j] * dot;
+            x[j] -= t;
+            for i in j + 1..m {
+                x[i] -= t * self.qr[(i, j)];
+            }
+        }
+    }
+
+    /// Materialize `Q` (`m x n`, thin).
+    pub fn q(&self) -> Matrix {
+        let (m, n) = self.qr.shape();
+        let mut q = Matrix::zeros(m, n);
+        for c in 0..n {
+            let mut e = vec![0.0; m];
+            e[c] = 1.0;
+            self.apply_q(&mut e);
+            for i in 0..m {
+                q[(i, c)] = e[i];
+            }
+        }
+        q
+    }
+
+    /// Solve the square system `A x = b` via `R x = Q^T b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let (m, n) = self.qr.shape();
+        assert_eq!(m, n, "solve needs a square factorization");
+        let mut y = b.to_vec();
+        self.apply_qt(&mut y);
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for p in i + 1..n {
+                s -= self.qr[(i, p)] * y[p];
+            }
+            y[i] = s / self.qr[(i, i)];
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas3::matmul;
+    use crate::gen::{random_matrix, random_vector};
+
+    #[test]
+    fn qr_reconstructs_a() {
+        let a = random_matrix(12, 12, 71);
+        let f = householder_qr(&a);
+        let qa = matmul(&f.q(), &f.r());
+        assert!(qa.approx_eq(&a, 1e-10, 1e-10));
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let a = random_matrix(16, 10, 72);
+        let f = householder_qr(&a);
+        let q = f.q();
+        let qtq = matmul(&q.transpose(), &q);
+        assert!(qtq.approx_eq(&Matrix::identity(10), 1e-10, 1e-10));
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_correct_reconstruction() {
+        let a = random_matrix(20, 8, 73);
+        let f = householder_qr(&a);
+        let r = f.r();
+        for j in 0..8 {
+            for i in j + 1..8 {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+        assert!(matmul(&f.q(), &r).approx_eq(&a, 1e-10, 1e-10));
+    }
+
+    #[test]
+    fn solve_square_system() {
+        let n = 24;
+        let a = random_matrix(n, n, 74);
+        let x_true = random_vector(n, 75);
+        let b = a.matvec(&x_true);
+        let f = householder_qr(&a);
+        let x = f.solve(&b);
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-8, "x[{i}]");
+        }
+    }
+
+    #[test]
+    fn apply_q_and_qt_are_inverses() {
+        let a = random_matrix(15, 15, 76);
+        let f = householder_qr(&a);
+        let x0 = random_vector(15, 77);
+        let mut x = x0.clone();
+        f.apply_qt(&mut x);
+        f.apply_q(&mut x);
+        for (u, v) in x.iter().zip(&x0) {
+            assert!((u - v).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn step_hook_fires_per_column() {
+        let a = random_matrix(10, 6, 78);
+        let mut count = 0;
+        householder_qr_with(&a, |j, tau, _| {
+            assert_eq!(j, count);
+            assert!(tau.is_finite());
+            count += 1;
+        });
+        assert_eq!(count, 6);
+    }
+}

@@ -1,0 +1,387 @@
+//! Simulation parameters (the paper's Table 3).
+
+/// DRAM device data width — the paper's design "easily generalizes to
+/// other DRAM chips (e.g., x8 chips)" (Section 3.1); the x8 chipkill uses
+/// the 3-check-symbol code of Section 2.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceWidth {
+    /// x4 devices: 16 data chips per 64-bit channel.
+    X4,
+    /// x8 devices: 8 data chips per 64-bit channel.
+    X8,
+}
+
+impl DeviceWidth {
+    /// Data chips per rank (per 64-bit channel).
+    pub fn data_chips_per_rank(self) -> usize {
+        match self {
+            DeviceWidth::X4 => 16,
+            DeviceWidth::X8 => 8,
+        }
+    }
+
+    /// ECC chips per rank (for the 72-bit channel).
+    pub fn ecc_chips_per_rank(self) -> usize {
+        match self {
+            DeviceWidth::X4 => 2,
+            DeviceWidth::X8 => 1,
+        }
+    }
+}
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowPolicy {
+    /// Keep rows open after access (Table 3's policy).
+    Open,
+    /// Auto-precharge after every access.
+    Closed,
+}
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Associativity (ways).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Load-to-use latency in core cycles.
+    pub latency_cycles: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.capacity / (self.ways * self.line_bytes)
+    }
+}
+
+/// DDR3 device timing, in DRAM clock cycles (tCK).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramTiming {
+    /// DRAM clock period in nanoseconds (DDR3-667: 3.0 ns).
+    pub tck_ns: f64,
+    /// RAS-to-CAS delay.
+    pub t_rcd: u64,
+    /// CAS latency.
+    pub t_cl: u64,
+    /// Row precharge.
+    pub t_rp: u64,
+    /// Row active minimum.
+    pub t_ras: u64,
+    /// Data burst length in beats (BL8).
+    pub burst_beats: u64,
+    /// Average refresh interval per rank (ns; DDR3 tREFI = 7.8 us).
+    pub t_refi_ns: f64,
+    /// Refresh cycle time (ns; tRFC for 1 Gb devices).
+    pub t_rfc_ns: f64,
+}
+
+impl DramTiming {
+    /// Burst duration on one channel in ns (DDR: two beats per clock).
+    pub fn burst_ns(&self) -> f64 {
+        (self.burst_beats as f64 / 2.0) * self.tck_ns
+    }
+
+    /// Row-hit access latency (CAS + burst) in ns.
+    pub fn hit_ns(&self) -> f64 {
+        self.t_cl as f64 * self.tck_ns + self.burst_ns()
+    }
+
+    /// Closed-bank access latency in ns.
+    pub fn closed_ns(&self) -> f64 {
+        (self.t_rcd + self.t_cl) as f64 * self.tck_ns + self.burst_ns()
+    }
+
+    /// Row-conflict access latency in ns.
+    pub fn conflict_ns(&self) -> f64 {
+        (self.t_rp + self.t_rcd + self.t_cl) as f64 * self.tck_ns + self.burst_ns()
+    }
+}
+
+impl Default for DramTiming {
+    /// DDR3-667 (667 MT/s, 333 MHz clock — the paper's Table 3 device),
+    /// CL5-5-5-15.
+    fn default() -> Self {
+        DramTiming {
+            tck_ns: 3.0,
+            t_rcd: 5,
+            t_cl: 5,
+            t_rp: 5,
+            t_ras: 15,
+            burst_beats: 8,
+            t_refi_ns: 7800.0,
+            t_rfc_ns: 110.0,
+        }
+    }
+}
+
+/// DRAM energy coefficients, per x4 chip, Micron TN-41-01 methodology.
+///
+/// The ECC energy mechanism is entirely structural: an access charges these
+/// per-chip numbers times the chips the scheme makes busy (16 / 18 / 36),
+/// so chipkill's overfetch costs ~2.25x no-ECC dynamic energy and SECDED
+/// ~1.125x, as in Section 2.2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramEnergy {
+    /// Activate+precharge energy per chip per row activation (nJ).
+    pub act_nj_per_chip: f64,
+    /// Read burst energy per chip per access (nJ), incl. I/O.
+    pub read_nj_per_chip: f64,
+    /// Write burst energy per chip per access (nJ), incl. termination.
+    pub write_nj_per_chip: f64,
+    /// Background (standby) power per powered chip (mW).
+    pub standby_mw_per_chip: f64,
+    /// Background power for a disabled/ignored ECC chip under No-ECC (mW):
+    /// the devices sit in power-down, not unpowered.
+    pub powerdown_mw_per_chip: f64,
+}
+
+impl Default for DramEnergy {
+    fn default() -> Self {
+        // Derived from Micron 1Gb x4 DDR3-667 data (IDD0/IDD4/IDD2N class
+        // figures at 1.5 V), rounded; absolute joules are not the target,
+        // ratios across schemes are.
+        DramEnergy {
+            act_nj_per_chip: 4.2,
+            read_nj_per_chip: 6.2,
+            write_nj_per_chip: 6.6,
+            standby_mw_per_chip: 18.0,
+            powerdown_mw_per_chip: 1.0,
+        }
+    }
+}
+
+/// Processor power model: IPC-based linear scaling of a 45 nm Xeon's
+/// maximum power (the paper's Section 5 method, after \[3, 40\]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessorPower {
+    /// Package power at peak IPC (W).
+    pub max_watts: f64,
+    /// Fraction of max power drawn at zero IPC (uncore + leakage).
+    pub idle_fraction: f64,
+    /// IPC at which `max_watts` is reached (4 in-order cores x 1.0).
+    pub peak_ipc: f64,
+}
+
+impl ProcessorPower {
+    /// Power at a given achieved IPC.
+    pub fn watts_at(&self, ipc: f64) -> f64 {
+        let u = (ipc / self.peak_ipc).clamp(0.0, 1.0);
+        self.max_watts * (self.idle_fraction + (1.0 - self.idle_fraction) * u)
+    }
+}
+
+impl Default for ProcessorPower {
+    fn default() -> Self {
+        ProcessorPower { max_watts: 70.0, idle_fraction: 0.25, peak_ipc: 4.0 }
+    }
+}
+
+/// Whole-node configuration (Table 3 defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Number of in-order cores.
+    pub cores: usize,
+    /// Concurrent worker threads driving the memory system (the Table 3
+    /// machine runs the kernels across its 4 cores; their instruction
+    /// streams interleave, compressing wall-clock time and multiplying
+    /// memory pressure).
+    pub threads: usize,
+    /// L1 data cache (private per core).
+    pub l1: CacheConfig,
+    /// L2 unified cache (shared).
+    pub l2: CacheConfig,
+    /// Memory channels.
+    pub channels: usize,
+    /// DIMMs per channel.
+    pub dimms_per_channel: usize,
+    /// Ranks per DIMM.
+    pub ranks_per_dimm: usize,
+    /// Banks per rank.
+    pub banks_per_rank: usize,
+    /// Row-buffer size per bank in bytes.
+    pub row_bytes: usize,
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// DRAM timing.
+    pub timing: DramTiming,
+    /// DRAM energy coefficients.
+    pub energy: DramEnergy,
+    /// Processor power model.
+    pub proc_power: ProcessorPower,
+    /// Fraction of a DRAM miss's latency the in-order pipeline cannot hide
+    /// ("memory parallelism can partially hide memory access latency",
+    /// Section 5.1).
+    pub stall_factor: f64,
+    /// Data chips per rank (16 for x4 on a 64-bit channel).
+    pub data_chips_per_rank: usize,
+    /// ECC chips per rank (2 for x4 on a 72-bit channel).
+    pub ecc_chips_per_rank: usize,
+    /// DRAM device width.
+    pub device_width: DeviceWidth,
+    /// Row-buffer policy (Table 3: open).
+    pub row_policy: RowPolicy,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            clock_ghz: 2.0,
+            cores: 4,
+            threads: 4,
+            l1: CacheConfig { capacity: 16 * 1024, ways: 4, line_bytes: 64, latency_cycles: 1 },
+            l2: CacheConfig {
+                capacity: 8 * 1024 * 1024,
+                ways: 16,
+                line_bytes: 64,
+                latency_cycles: 20,
+            },
+            channels: 4,
+            dimms_per_channel: 2,
+            ranks_per_dimm: 4,
+            banks_per_rank: 8,
+            row_bytes: 8 * 1024,
+            capacity_bytes: 8 * 1024 * 1024 * 1024,
+            timing: DramTiming::default(),
+            energy: DramEnergy::default(),
+            proc_power: ProcessorPower::default(),
+            stall_factor: 0.35,
+            data_chips_per_rank: 16,
+            ecc_chips_per_rank: 2,
+            device_width: DeviceWidth::X4,
+            row_policy: RowPolicy::Open,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Reconfigure for a device width (adjusts the per-rank chip counts).
+    pub fn with_device_width(mut self, width: DeviceWidth) -> Self {
+        self.device_width = width;
+        self.data_chips_per_rank = width.data_chips_per_rank();
+        self.ecc_chips_per_rank = width.ecc_chips_per_rank();
+        self
+    }
+
+    /// Chips one 64-byte access makes busy under `scheme` on this node's
+    /// devices. For x4 this matches Section 2.2's 16/18/36; for x8 the
+    /// chipkill group is 16 data + 3 check chips (the 3-check-symbol
+    /// code, 18.75% overhead).
+    pub fn chips_per_access(&self, scheme: abft_ecc::EccScheme) -> u32 {
+        use abft_ecc::EccScheme::*;
+        match (self.device_width, scheme) {
+            (DeviceWidth::X4, None) => 16,
+            (DeviceWidth::X4, Secded) => 18,
+            (DeviceWidth::X4, Chipkill) => 36,
+            (DeviceWidth::X8, None) => 8,
+            (DeviceWidth::X8, Secded) => 9,
+            (DeviceWidth::X8, Chipkill) => 19,
+        }
+    }
+
+    /// Total ranks in the node.
+    pub fn total_ranks(&self) -> usize {
+        self.channels * self.dimms_per_channel * self.ranks_per_dimm
+    }
+
+    /// Total data chips in the node.
+    pub fn total_data_chips(&self) -> usize {
+        self.total_ranks() * self.data_chips_per_rank
+    }
+
+    /// Total ECC chips in the node.
+    pub fn total_ecc_chips(&self) -> usize {
+        self.total_ranks() * self.ecc_chips_per_rank
+    }
+
+    /// Core cycle time in ns.
+    pub fn cycle_ns(&self) -> f64 {
+        1.0 / self.clock_ghz
+    }
+
+    /// Render the Table 3 parameter block as the harness prints it.
+    pub fn table3(&self) -> String {
+        format!(
+            "Processor          : {} in-order cores, {} GHz\n\
+             L1 cache           : {} KB, {}-way, {} B lines (split I/D, private)\n\
+             L2 cache           : {} MB, {}-way, {} B lines (unified, shared)\n\
+             DRAM device        : DDR3-667, x4, 1.5 V\n\
+             Memory organization: {} channels, {} DIMMs/channel, {} ranks/DIMM, {} banks/rank\n\
+             Capacity           : {} GB\n\
+             Row buffer policy  : open\n\
+             Chipkill           : 128b data + 16b ECC, 2 channels\n\
+             SECDED             : 64b data + 8b ECC, 1 channel",
+            self.cores,
+            self.clock_ghz,
+            self.l1.capacity / 1024,
+            self.l1.ways,
+            self.l1.line_bytes,
+            self.l2.capacity / (1024 * 1024),
+            self.l2.ways,
+            self.l2.line_bytes,
+            self.channels,
+            self.dimms_per_channel,
+            self.ranks_per_dimm,
+            self.banks_per_rank,
+            self.capacity_bytes / (1024 * 1024 * 1024),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_defaults() {
+        let c = SystemConfig::default();
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.l1.sets(), 64);
+        assert_eq!(c.l2.sets(), 8192);
+        assert_eq!(c.total_ranks(), 32);
+        assert_eq!(c.total_data_chips(), 512);
+        assert_eq!(c.total_ecc_chips(), 64);
+        assert!(c.table3().contains("4 channels"));
+    }
+
+    #[test]
+    fn device_width_generalization() {
+        use abft_ecc::EccScheme;
+        let x4 = SystemConfig::default();
+        assert_eq!(x4.chips_per_access(EccScheme::Chipkill), 36);
+        let x8 = SystemConfig::default().with_device_width(DeviceWidth::X8);
+        assert_eq!(x8.chips_per_access(EccScheme::None), 8);
+        assert_eq!(x8.chips_per_access(EccScheme::Secded), 9);
+        assert_eq!(x8.chips_per_access(EccScheme::Chipkill), 19);
+        assert_eq!(x8.data_chips_per_rank, 8);
+        assert_eq!(x8.ecc_chips_per_rank, 1);
+        // x8 chipkill's relative overfetch (19/8) is *worse* than x4's
+        // (36/16) per Section 2.2's storage-overhead discussion.
+        let x4_ratio = 36.0 / 16.0;
+        let x8_ratio = 19.0 / 8.0;
+        assert!(x8_ratio > x4_ratio);
+    }
+
+    #[test]
+    fn timing_latencies_ordered() {
+        let t = DramTiming::default();
+        assert!(t.hit_ns() < t.closed_ns());
+        assert!(t.closed_ns() < t.conflict_ns());
+        assert_eq!(t.burst_ns(), 12.0);
+    }
+
+    #[test]
+    fn processor_power_scales_linearly() {
+        let p = ProcessorPower::default();
+        assert_eq!(p.watts_at(0.0), p.max_watts * p.idle_fraction);
+        assert_eq!(p.watts_at(4.0), p.max_watts);
+        assert_eq!(p.watts_at(8.0), p.max_watts, "clamped at peak");
+        let mid = p.watts_at(2.0);
+        assert!(mid > p.watts_at(0.0) && mid < p.max_watts);
+    }
+}

@@ -1,0 +1,614 @@
+//! DDR3 main-memory model: channels, ranks, banks, open-page row buffers,
+//! and a Micron-style energy account.
+//!
+//! The model is event-ordered rather than cycle-stepped: every access is
+//! serviced against per-bank row-buffer state and per-channel bus
+//! occupancy, which is what determines the row-hit rates, queueing delays
+//! and activate counts that drive the paper's energy and IPC differences
+//! between ECC schemes. Chipkill accesses lock-step a channel pair
+//! (Section 3.1): both channels are occupied and both banks activated,
+//! halving effective channel-level parallelism — the paper's stated
+//! performance mechanism.
+
+use crate::config::SystemConfig;
+use abft_ecc::EccScheme;
+
+/// How one memory request is serviced.
+///
+/// Beyond the three per-page schemes of the paper's proposal, the DGMS
+/// comparator (Section 5.3) issues *fine-grained* 16-byte accesses on
+/// sub-ranked DRAM: only a quarter of a rank's chips (4 data + 1 ECC for
+/// 16-byte SECDED granularity) are activated and the channel is occupied
+/// for a quarter of the width-time product.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessKind {
+    /// A whole-line access under one of the page-granular schemes.
+    Scheme(EccScheme),
+    /// DGMS fine-grained access: 16 bytes, sub-ranked, SECDED-protected.
+    FineSecded,
+}
+
+impl AccessKind {
+    fn chips(self, cfg: &SystemConfig) -> f64 {
+        match self {
+            AccessKind::Scheme(s) => cfg.chips_per_access(s) as f64,
+            AccessKind::FineSecded => match cfg.device_width {
+                crate::config::DeviceWidth::X4 => 5.0,
+                crate::config::DeviceWidth::X8 => 3.0,
+            },
+        }
+    }
+}
+
+/// Decoded DRAM coordinates of a physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramLocation {
+    /// Physical channel.
+    pub channel: u32,
+    /// Rank within the channel (across DIMMs).
+    pub rank: u32,
+    /// Bank within the rank.
+    pub bank: u32,
+    /// Row within the bank.
+    pub row: u64,
+    /// Column (line slot) within the row.
+    pub col: u32,
+}
+
+/// Physical address <-> DRAM coordinate mapping.
+///
+/// Bit order (LSB to MSB): line offset | channel | column | bank | rank |
+/// row — line-interleaved across channels, with consecutive same-channel
+/// lines filling a row (open-page friendly for streaming kernels).
+#[derive(Debug, Clone, Copy)]
+pub struct AddressMap {
+    channels: u32,
+    ranks_per_channel: u32,
+    banks_per_rank: u32,
+    cols_per_row: u32,
+    line_bytes: u64,
+}
+
+impl AddressMap {
+    /// Build from the system configuration.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        AddressMap {
+            channels: cfg.channels as u32,
+            ranks_per_channel: (cfg.dimms_per_channel * cfg.ranks_per_dimm) as u32,
+            banks_per_rank: cfg.banks_per_rank as u32,
+            cols_per_row: (cfg.row_bytes / cfg.l2.line_bytes) as u32,
+            line_bytes: cfg.l2.line_bytes as u64,
+        }
+    }
+
+    /// Decode a physical address.
+    pub fn decode(&self, paddr: u64) -> DramLocation {
+        let mut a = paddr / self.line_bytes;
+        let channel = (a % self.channels as u64) as u32;
+        a /= self.channels as u64;
+        let col = (a % self.cols_per_row as u64) as u32;
+        a /= self.cols_per_row as u64;
+        let bank = (a % self.banks_per_rank as u64) as u32;
+        a /= self.banks_per_rank as u64;
+        let rank = (a % self.ranks_per_channel as u64) as u32;
+        a /= self.ranks_per_channel as u64;
+        DramLocation { channel, rank, bank, row: a, col }
+    }
+
+    /// Re-encode DRAM coordinates into the (line-aligned) physical address —
+    /// the OS-side "address mapping scheme" of Section 3.2.1 used to turn a
+    /// fault site back into an address.
+    pub fn encode(&self, loc: &DramLocation) -> u64 {
+        let mut a = loc.row;
+        a = a * self.ranks_per_channel as u64 + loc.rank as u64;
+        a = a * self.banks_per_rank as u64 + loc.bank as u64;
+        a = a * self.cols_per_row as u64 + loc.col as u64;
+        a = a * self.channels as u64 + loc.channel as u64;
+        a * self.line_bytes
+    }
+}
+
+/// Row-buffer outcome of one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// Open row matched.
+    Hit,
+    /// Bank idle; row opened fresh.
+    Closed,
+    /// Different row open; precharge + activate.
+    Conflict,
+}
+
+/// Result of servicing one access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceResult {
+    /// Absolute completion time (ns).
+    pub completion_ns: f64,
+    /// Queueing delay before the command could start (ns).
+    pub queue_ns: f64,
+    /// Row-buffer outcome.
+    pub row: RowOutcome,
+}
+
+/// Aggregated DRAM statistics and energy.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DramStats {
+    /// Read accesses serviced.
+    pub reads: u64,
+    /// Write accesses serviced (incl. write-backs).
+    pub writes: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row activations (closed + conflict).
+    pub activations: u64,
+    /// Dynamic energy consumed (nJ).
+    pub dynamic_nj: f64,
+    /// Accesses per scheme: [None, Secded, Chipkill].
+    pub per_scheme: [u64; 3],
+    /// Accesses delayed by a refresh blackout.
+    pub refresh_stalls: u64,
+    /// Total queueing delay across accesses (ns).
+    pub queue_ns_total: f64,
+    /// Total service latency across accesses (ns).
+    pub latency_ns_total: f64,
+}
+
+impl DramStats {
+    /// Mean service latency per access (ns).
+    pub fn avg_latency_ns(&self) -> f64 {
+        let t = self.reads + self.writes;
+        if t == 0 {
+            0.0
+        } else {
+            self.latency_ns_total / t as f64
+        }
+    }
+
+    /// Mean queueing delay per access (ns).
+    pub fn avg_queue_ns(&self) -> f64 {
+        let t = self.reads + self.writes;
+        if t == 0 {
+            0.0
+        } else {
+            self.queue_ns_total / t as f64
+        }
+    }
+
+    /// Row-buffer hit rate.
+    pub fn row_hit_rate(&self) -> f64 {
+        let t = self.reads + self.writes;
+        if t == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / t as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BankState {
+    open_row: Option<u64>,
+    free_ns: f64,
+}
+
+/// The memory device array.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    cfg: SystemConfig,
+    map: AddressMap,
+    /// `[channel][rank][bank]`, flattened.
+    banks: Vec<BankState>,
+    channel_free_ns: Vec<f64>,
+    /// Accumulated busy time per rank (`[channel][rank]`, flattened):
+    /// while a rank is idle its CKE is dropped and it sits in precharge
+    /// power-down, the DRAMSim2 behaviour the standby model follows.
+    rank_busy_ns: Vec<f64>,
+    /// Statistics.
+    pub stats: DramStats,
+}
+
+fn scheme_index(s: EccScheme) -> usize {
+    match s {
+        EccScheme::None => 0,
+        EccScheme::Secded => 1,
+        EccScheme::Chipkill => 2,
+    }
+}
+
+impl Dram {
+    /// Build the device array.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let map = AddressMap::new(&cfg);
+        let nbanks =
+            cfg.channels * cfg.dimms_per_channel * cfg.ranks_per_dimm * cfg.banks_per_rank;
+        let nranks = cfg.channels * cfg.dimms_per_channel * cfg.ranks_per_dimm;
+        Dram {
+            map,
+            banks: vec![BankState { open_row: None, free_ns: 0.0 }; nbanks],
+            channel_free_ns: vec![0.0; cfg.channels],
+            rank_busy_ns: vec![0.0; nranks],
+            stats: DramStats::default(),
+            cfg,
+        }
+    }
+
+    /// The address map.
+    pub fn address_map(&self) -> &AddressMap {
+        &self.map
+    }
+
+    fn bank_index(&self, loc: &DramLocation) -> usize {
+        ((loc.channel as usize * self.cfg.dimms_per_channel * self.cfg.ranks_per_dimm)
+            + loc.rank as usize)
+            * self.cfg.banks_per_rank
+            + loc.bank as usize
+    }
+
+    /// Service one 64-byte access under `scheme`, arriving at `start_ns`.
+    pub fn access(
+        &mut self,
+        start_ns: f64,
+        paddr: u64,
+        write: bool,
+        scheme: EccScheme,
+    ) -> ServiceResult {
+        self.access_kind(start_ns, paddr, write, AccessKind::Scheme(scheme))
+    }
+
+    /// Service one request of the given kind, arriving at `start_ns`.
+    pub fn access_kind(
+        &mut self,
+        start_ns: f64,
+        paddr: u64,
+        write: bool,
+        kind: AccessKind,
+    ) -> ServiceResult {
+        let t = self.cfg.timing;
+        let loc = self.map.decode(paddr);
+        // Chipkill locks a channel pair; the partner channel services the
+        // same bank coordinates.
+        let lockstep = kind == AccessKind::Scheme(EccScheme::Chipkill);
+        let c0 = if lockstep { loc.channel & !1 } else { loc.channel };
+        let c1 = if lockstep { c0 + 1 } else { c0 };
+
+        // Earliest start: all involved channels and banks free, and not
+        // inside the rank's periodic refresh window (tREFI cadence, tRFC
+        // blackout — the rank is unavailable while refreshing).
+        let mut avail = start_ns;
+        for c in c0..=c1 {
+            avail = avail.max(self.channel_free_ns[c as usize]);
+        }
+        let phase = avail % t.t_refi_ns;
+        if phase < t.t_rfc_ns {
+            avail += t.t_rfc_ns - phase;
+            self.stats.refresh_stalls += 1;
+        }
+        let bi0 = self.bank_index(&DramLocation { channel: c0, ..loc });
+        let bi1 = self.bank_index(&DramLocation { channel: c1, ..loc });
+        avail = avail.max(self.banks[bi0].free_ns);
+        if lockstep {
+            avail = avail.max(self.banks[bi1].free_ns);
+        }
+        let queue_ns = avail - start_ns;
+
+        // Row-buffer outcome (the lock-stepped banks track identical state).
+        let row = match self.banks[bi0].open_row {
+            Some(r) if r == loc.row => RowOutcome::Hit,
+            Some(_) => RowOutcome::Conflict,
+            None => RowOutcome::Closed,
+        };
+        let array_ns = match row {
+            RowOutcome::Hit => t.hit_ns(),
+            RowOutcome::Closed => t.closed_ns(),
+            RowOutcome::Conflict => t.conflict_ns(),
+        };
+        // Lock-stepped 144-bit transfers move 64 B in half the beats;
+        // fine-grained sub-ranked transfers occupy a quarter of the
+        // channel's width-time; the ECC pipeline adds its decode latency.
+        let (burst_ns, decode_cycles) = match kind {
+            AccessKind::Scheme(EccScheme::Chipkill) => {
+                (t.burst_ns() / 2.0, EccScheme::Chipkill.decode_latency_cycles())
+            }
+            AccessKind::Scheme(s) => (t.burst_ns(), s.decode_latency_cycles()),
+            AccessKind::FineSecded => {
+                (t.burst_ns() / 4.0, EccScheme::Secded.decode_latency_cycles())
+            }
+        };
+        let latency_ns =
+            array_ns - t.burst_ns() + burst_ns + decode_cycles as f64 * t.tck_ns;
+        let completion = avail + latency_ns;
+
+        // Occupancy: the channel(s) carry the burst; the bank is busy until
+        // the access completes (open-page: row stays open).
+        for c in c0..=c1 {
+            self.channel_free_ns[c as usize] = completion;
+        }
+        let keep_open = self.cfg.row_policy == crate::config::RowPolicy::Open;
+        self.banks[bi0].open_row = if keep_open { Some(loc.row) } else { None };
+        self.banks[bi0].free_ns = completion;
+        if lockstep {
+            self.banks[bi1].open_row = if keep_open { Some(loc.row) } else { None };
+            self.banks[bi1].free_ns = completion;
+        }
+        // Rank busy accounting for the power-down standby model.
+        let busy = completion - avail;
+        let ranks_per_chan = self.cfg.dimms_per_channel * self.cfg.ranks_per_dimm;
+        self.rank_busy_ns[c0 as usize * ranks_per_chan + loc.rank as usize] += busy;
+        if lockstep {
+            self.rank_busy_ns[c1 as usize * ranks_per_chan + loc.rank as usize] += busy;
+        }
+
+        // Energy: per-chip coefficients x chips the request makes busy.
+        let e = self.cfg.energy;
+        let chips = kind.chips(&self.cfg);
+        let mut nj = if write { e.write_nj_per_chip } else { e.read_nj_per_chip } * chips;
+        if row != RowOutcome::Hit {
+            nj += e.act_nj_per_chip * chips;
+            self.stats.activations += 1;
+        } else {
+            self.stats.row_hits += 1;
+        }
+        if let AccessKind::Scheme(s) = kind {
+            nj += s.correction_energy_pj() / 1000.0;
+            self.stats.per_scheme[scheme_index(s)] += 1;
+        } else {
+            nj += EccScheme::Secded.correction_energy_pj() / 1000.0;
+            self.stats.per_scheme[scheme_index(EccScheme::Secded)] += 1;
+        }
+        self.stats.dynamic_nj += nj;
+        if write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        self.stats.queue_ns_total += queue_ns;
+        self.stats.latency_ns_total += completion - start_ns;
+
+        ServiceResult { completion_ns: completion, queue_ns, row }
+    }
+
+    /// Standby (background) energy for a wall-clock interval.
+    ///
+    /// Idle ranks drop CKE and sit in precharge power-down (as DRAMSim2
+    /// models); each rank draws full standby power only for the fraction of
+    /// time it was actually busy. ECC chips follow their rank when any ECC
+    /// is configured; under whole-node No-ECC they are parked in power-down
+    /// for the entire run (the "8 bits disabled" of Section 3.1).
+    pub fn standby_nj(&self, elapsed_ns: f64, ecc_chips_powered: bool) -> f64 {
+        if elapsed_ns <= 0.0 {
+            return 0.0;
+        }
+        let e = self.cfg.energy;
+        let data_chips = self.cfg.data_chips_per_rank as f64;
+        let ecc_chips = self.cfg.ecc_chips_per_rank as f64;
+        let mut mw = 0.0;
+        for &busy in &self.rank_busy_ns {
+            let frac = (busy / elapsed_ns).clamp(0.0, 1.0);
+            let per_chip =
+                e.powerdown_mw_per_chip + (e.standby_mw_per_chip - e.powerdown_mw_per_chip) * frac;
+            mw += data_chips * per_chip;
+            mw += ecc_chips
+                * if ecc_chips_powered { per_chip } else { e.powerdown_mw_per_chip };
+        }
+        // mW * ns = pJ; convert to nJ.
+        mw * elapsed_ns / 1000.0
+    }
+
+    /// Mean rank busy fraction over an interval (diagnostic).
+    pub fn mean_rank_utilization(&self, elapsed_ns: f64) -> f64 {
+        if elapsed_ns <= 0.0 {
+            return 0.0;
+        }
+        let s: f64 = self.rank_busy_ns.iter().map(|b| (b / elapsed_ns).clamp(0.0, 1.0)).sum();
+        s / self.rank_busy_ns.len() as f64
+    }
+
+    /// Reset bus/bank state and statistics.
+    pub fn reset(&mut self) {
+        for b in &mut self.banks {
+            *b = BankState { open_row: None, free_ns: 0.0 };
+        }
+        for c in &mut self.channel_free_ns {
+            *c = 0.0;
+        }
+        for r in &mut self.rank_busy_ns {
+            *r = 0.0;
+        }
+        self.stats = DramStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::default()
+    }
+
+    #[test]
+    fn address_map_round_trips() {
+        let m = AddressMap::new(&cfg());
+        for paddr in [0u64, 64, 4096, 1 << 20, (1 << 33) - 64, 0x1234_5678 & !63] {
+            let loc = m.decode(paddr);
+            assert_eq!(m.encode(&loc), paddr, "paddr {paddr:#x}");
+        }
+    }
+
+    #[test]
+    fn consecutive_lines_rotate_channels() {
+        let m = AddressMap::new(&cfg());
+        let c: Vec<u32> = (0..8).map(|i| m.decode(i * 64).channel).collect();
+        assert_eq!(c, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        // Lines 0 and 4 share channel 0 and are adjacent columns of one row.
+        let a = m.decode(0);
+        let b = m.decode(256);
+        assert_eq!(a.channel, b.channel);
+        assert_eq!(a.row, b.row);
+        assert_eq!(b.col, a.col + 1);
+    }
+
+    #[test]
+    fn streaming_same_row_hits_after_first() {
+        let mut d = Dram::new(cfg());
+        let mut t = 0.0;
+        for i in 0..32u64 {
+            let r = d.access(t, i * 256, false, EccScheme::None); // stay on channel 0
+            t = r.completion_ns;
+        }
+        assert_eq!(d.stats.activations, 1);
+        assert_eq!(d.stats.row_hits, 31);
+    }
+
+    #[test]
+    fn row_conflict_costs_more_than_hit() {
+        let mut d = Dram::new(cfg());
+        let first = d.access(0.0, 0, false, EccScheme::None);
+        assert_eq!(first.row, RowOutcome::Closed);
+        let hit = d.access(first.completion_ns, 256, false, EccScheme::None);
+        assert_eq!(hit.row, RowOutcome::Hit);
+        // Same channel+bank, different row: row bits are above
+        // rank bits; jump far.
+        let far = 1u64 << 30;
+        let conflict = d.access(hit.completion_ns, far, false, EccScheme::None);
+        let m = AddressMap::new(&cfg());
+        assert_eq!(m.decode(far).channel, 0);
+        if m.decode(far).bank == 0 && m.decode(far).rank == 0 {
+            assert_eq!(conflict.row, RowOutcome::Conflict);
+        }
+        let hit_lat = hit.completion_ns - first.completion_ns;
+        let conf_lat = conflict.completion_ns - hit.completion_ns;
+        assert!(conf_lat > hit_lat);
+    }
+
+    #[test]
+    fn chipkill_occupies_channel_pair() {
+        let mut d = Dram::new(cfg());
+        // A chipkill access on channel 0 must delay a subsequent access on
+        // channel 1 but leave channels 2/3 untouched.
+        let r = d.access(0.0, 0, false, EccScheme::Chipkill);
+        let on_partner = d.access(0.0, 64, false, EccScheme::None); // channel 1
+        assert!(on_partner.queue_ns > 0.0, "partner channel was locked");
+        let on_other = d.access(r.completion_ns, 128, false, EccScheme::None); // channel 2
+        assert_eq!(on_other.queue_ns, 0.0);
+    }
+
+    #[test]
+    fn chipkill_energy_ratio_is_chip_count_ratio() {
+        let mut d = Dram::new(cfg());
+        for i in 0..64u64 {
+            d.access(i as f64 * 1000.0, i * 64, false, EccScheme::None);
+        }
+        let none_nj = d.stats.dynamic_nj;
+        d.reset();
+        for i in 0..64u64 {
+            d.access(i as f64 * 1000.0, i * 64, false, EccScheme::Chipkill);
+        }
+        let ck_nj = d.stats.dynamic_nj;
+        let ratio = ck_nj / none_nj;
+        assert!((ratio - 36.0 / 16.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn secded_energy_about_one_eighth_more() {
+        let mut d = Dram::new(cfg());
+        for i in 0..64u64 {
+            d.access(i as f64 * 1000.0, i * 64, false, EccScheme::None);
+        }
+        let none_nj = d.stats.dynamic_nj;
+        d.reset();
+        for i in 0..64u64 {
+            d.access(i as f64 * 1000.0, i * 64, false, EccScheme::Secded);
+        }
+        let ratio = d.stats.dynamic_nj / none_nj;
+        assert!((ratio - 18.0 / 16.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn standby_energy_scales_with_time_and_activity() {
+        let mut d = Dram::new(cfg());
+        // Fully idle: every chip in power-down regardless of the ECC flag.
+        let idle = d.standby_nj(1e9, true);
+        let pd = cfg().energy.powerdown_mw_per_chip;
+        let expect_idle = (512.0 + 64.0) * pd * 1e9 / 1000.0;
+        assert!((idle - expect_idle).abs() < 1.0, "idle {idle} vs {expect_idle}");
+        assert!((d.standby_nj(2e9, true) - 2.0 * idle).abs() < 1e-3);
+        // Drive one rank hard: standby must rise, and rise more when the
+        // ECC chips are powered.
+        let mut t = 0.0;
+        for i in 0..4096u64 {
+            let r = d.access(t, (i % 128) * 256, false, EccScheme::Secded);
+            t = r.completion_ns;
+        }
+        let busy_on = d.standby_nj(t, true);
+        let busy_off = d.standby_nj(t, false);
+        assert!(busy_on / t > idle / 1e9, "busy standby power must exceed idle");
+        assert!(busy_on > busy_off);
+        assert!(d.mean_rank_utilization(t) > 0.0);
+    }
+
+    #[test]
+    fn refresh_blackouts_delay_colliding_accesses() {
+        let mut d = Dram::new(cfg());
+        let t = cfg().timing;
+        // Arrive exactly at the start of a refresh window.
+        let r = d.access(t.t_refi_ns, 0, false, EccScheme::None);
+        assert!(d.stats.refresh_stalls >= 1);
+        assert!(r.completion_ns >= t.t_refi_ns + t.t_rfc_ns, "waited out tRFC");
+        // Arrive mid-interval: no stall.
+        let mut d2 = Dram::new(cfg());
+        d2.access(t.t_refi_ns / 2.0, 0, false, EccScheme::None);
+        assert_eq!(d2.stats.refresh_stalls, 0);
+    }
+
+    #[test]
+    fn closed_page_policy_never_row_hits() {
+        let mut cfg2 = cfg();
+        cfg2.row_policy = crate::config::RowPolicy::Closed;
+        let mut d = Dram::new(cfg2);
+        let mut t = 0.0;
+        for i in 0..32u64 {
+            let r = d.access(t, i * 256, false, EccScheme::None);
+            t = r.completion_ns;
+        }
+        assert_eq!(d.stats.row_hits, 0);
+        assert_eq!(d.stats.activations, 32);
+        // The same stream under open-page hits after the first access.
+        let mut d2 = Dram::new(cfg());
+        let mut t = 0.0;
+        for i in 0..32u64 {
+            let r = d2.access(t, i * 256, false, EccScheme::None);
+            t = r.completion_ns;
+        }
+        assert!(d2.stats.dynamic_nj < d.stats.dynamic_nj, "open page saves activates");
+    }
+
+    #[test]
+    fn x8_devices_scale_chipkill_energy() {
+        let x8 = cfg().with_device_width(crate::config::DeviceWidth::X8);
+        let mut d = Dram::new(x8);
+        for i in 0..64u64 {
+            d.access(i as f64 * 1000.0, i * 64, false, EccScheme::None);
+        }
+        let none_nj = d.stats.dynamic_nj;
+        d.reset();
+        for i in 0..64u64 {
+            d.access(i as f64 * 1000.0, i * 64, false, EccScheme::Chipkill);
+        }
+        let ratio = d.stats.dynamic_nj / none_nj;
+        assert!((ratio - 19.0 / 8.0).abs() < 0.05, "x8 chipkill ratio {ratio}");
+    }
+
+    #[test]
+    fn queueing_appears_under_bursty_arrivals() {
+        let mut d = Dram::new(cfg());
+        // 16 simultaneous arrivals on the same channel (mid refresh
+        // interval): later ones queue.
+        let mut results = vec![];
+        for i in 0..16u64 {
+            results.push(d.access(1000.0, i * 256, false, EccScheme::None));
+        }
+        assert_eq!(results[0].queue_ns, 0.0);
+        assert!(results[15].queue_ns > results[1].queue_ns);
+    }
+}

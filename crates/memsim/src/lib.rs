@@ -1,0 +1,31 @@
+//! # abft-memsim
+//!
+//! Trace-driven memory-system simulator for the cooperative ABFT + ECC
+//! reproduction (Li et al., SC 2013) — the stand-in for the paper's
+//! Pin + McSim + DRAMSim2 stack:
+//!
+//! * [`config`] — the Table 3 system parameters.
+//! * [`trace`] — region-tagged cache-line reference streams.
+//! * [`cache`] — L1/L2 set-associative LRU write-back caches.
+//! * [`dram`] — DDR3-667 channel/rank/bank model with open-page row
+//!   buffers and a Micron-style energy account.
+//! * [`controller`] — the enhanced MC: ECC range registers, error
+//!   registers, interrupt line, and bit-true functional storage.
+//! * [`system`] — the whole node; runs traces into [`system::SimStats`].
+//! * [`workloads`] — trace generators replaying the blocked loop nests of
+//!   the paper's four ABFT kernels.
+
+pub mod cache;
+pub mod config;
+pub mod controller;
+pub mod dram;
+pub mod system;
+pub mod trace;
+pub mod tracefile;
+pub mod workloads;
+
+pub use config::SystemConfig;
+pub use controller::{MemoryController, ERROR_REGISTERS};
+pub use dram::{AddressMap, Dram, DramLocation};
+pub use system::{EccAssignment, Machine, SimStats};
+pub use trace::{Access, Region, RegionId, RegionMap, Trace};

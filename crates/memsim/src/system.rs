@@ -1,0 +1,460 @@
+//! Whole-node trace-driven simulation: in-order core(s) + L1/L2 caches +
+//! memory controller + DRAM, with the energy account of Section 5.
+
+use crate::cache::{Cache, CacheOutcome};
+use crate::config::SystemConfig;
+use crate::controller::MemoryController;
+use crate::dram::{AccessKind, AddressMap, Dram};
+use crate::trace::{RegionId, Trace};
+use abft_ecc::EccScheme;
+
+/// Per-region access statistics (feeds Table 4).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegionStats {
+    /// Region name.
+    pub name: String,
+    /// Whether the region is ABFT protected (ECC-relaxation eligible).
+    pub abft_protected: bool,
+    /// Whether errors in the region are detectable through ABFT invariants
+    /// (the Table 4 classification; a superset of `abft_protected`).
+    pub abft_detectable: bool,
+    /// References issued by the core.
+    pub refs: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// Last-level-cache (L2) misses — the paper's Table 4 metric.
+    pub llc_misses: u64,
+}
+
+/// Result of simulating one trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Core cycles to completion.
+    pub cycles: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Achieved instructions per cycle.
+    pub ipc: f64,
+    /// Dynamic memory energy (J).
+    pub mem_dynamic_j: f64,
+    /// Standby (background) memory energy (J).
+    pub mem_standby_j: f64,
+    /// Processor energy (J).
+    pub proc_j: f64,
+    /// L1 hit rate.
+    pub l1_hit_rate: f64,
+    /// L2 hit rate (of L1 misses).
+    pub l2_hit_rate: f64,
+    /// DRAM row-buffer hit rate.
+    pub row_hit_rate: f64,
+    /// DRAM reads serviced.
+    pub dram_reads: u64,
+    /// DRAM writes serviced.
+    pub dram_writes: u64,
+    /// Accesses per ECC scheme: [None, Secded, Chipkill].
+    pub per_scheme: [u64; 3],
+    /// Mean DRAM service latency per access (ns), queueing included.
+    pub avg_dram_latency_ns: f64,
+    /// Mean DRAM queueing delay per access (ns).
+    pub avg_dram_queue_ns: f64,
+    /// DRAM data bandwidth achieved (GB/s).
+    pub dram_bandwidth_gbps: f64,
+    /// Per-region statistics, same order as the trace's region map.
+    pub regions: Vec<RegionStats>,
+}
+
+impl SimStats {
+    /// Total memory energy (J).
+    pub fn mem_total_j(&self) -> f64 {
+        self.mem_dynamic_j + self.mem_standby_j
+    }
+
+    /// System energy: processor + memory (the paper's Figure 6 metric).
+    pub fn system_j(&self) -> f64 {
+        self.proc_j + self.mem_total_j()
+    }
+
+    /// LLC misses to blocks with ABFT protection (Table 4 numerator):
+    /// counts every structure whose errors the ABFT scheme can detect.
+    pub fn llc_misses_abft(&self) -> u64 {
+        self.regions.iter().filter(|r| r.abft_detectable).map(|r| r.llc_misses).sum()
+    }
+
+    /// LLC misses to blocks without ABFT protection (Table 4 denominator).
+    pub fn llc_misses_other(&self) -> u64 {
+        self.regions.iter().filter(|r| !r.abft_detectable).map(|r| r.llc_misses).sum()
+    }
+
+    /// The Table 4 ratio.
+    pub fn abft_ref_ratio(&self) -> f64 {
+        let o = self.llc_misses_other().max(1);
+        self.llc_misses_abft() as f64 / o as f64
+    }
+}
+
+/// ECC assignment for a simulation run: the default scheme plus per-region
+/// overrides (programmed into the MC range registers).
+#[derive(Debug, Clone)]
+pub struct EccAssignment {
+    /// Scheme for everything not overridden.
+    pub default_scheme: EccScheme,
+    /// `(region_id, scheme)` overrides.
+    pub overrides: Vec<(RegionId, EccScheme)>,
+}
+
+impl EccAssignment {
+    /// Uniform protection for all data.
+    pub fn uniform(scheme: EccScheme) -> Self {
+        EccAssignment { default_scheme: scheme, overrides: Vec::new() }
+    }
+
+    /// Strong default with relaxed scheme on the given regions.
+    pub fn relaxed(default_scheme: EccScheme, relaxed: EccScheme, regions: &[RegionId]) -> Self {
+        EccAssignment {
+            default_scheme,
+            overrides: regions.iter().map(|&r| (r, relaxed)).collect(),
+        }
+    }
+
+    /// Whether any ECC chips are exercised at all (drives their standby
+    /// power state: a whole-node No-ECC configuration parks them).
+    pub fn any_ecc(&self) -> bool {
+        self.default_scheme != EccScheme::None
+            || self.overrides.iter().any(|&(_, s)| s != EccScheme::None)
+    }
+}
+
+/// The simulated node.
+pub struct Machine {
+    cfg: SystemConfig,
+    l1: Cache,
+    l2: Cache,
+    dram: Dram,
+    /// The enhanced memory controller.
+    pub controller: MemoryController,
+}
+
+impl Machine {
+    /// Build a node from configuration with a strong default ECC.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let map = AddressMap::new(&cfg);
+        Machine {
+            l1: Cache::new(cfg.l1),
+            l2: Cache::new(cfg.l2),
+            dram: Dram::new(cfg.clone()),
+            controller: MemoryController::new(map, EccScheme::Chipkill),
+            cfg,
+        }
+    }
+
+    /// Access to the configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Program the MC's range registers from a trace's regions and an
+    /// assignment. Regions sharing a relaxed scheme and adjacency could be
+    /// merged; we program one range per override (<= 8 as in hardware).
+    pub fn program_ecc(&mut self, trace: &Trace, assign: &EccAssignment) {
+        self.controller.set_default_scheme(assign.default_scheme);
+        // Clear old ranges.
+        let bases: Vec<u64> = self.controller.ranges().iter().map(|r| r.base).collect();
+        for b in bases {
+            self.controller.clear_range(b);
+        }
+        for &(rid, scheme) in &assign.overrides {
+            let r = trace.regions.get(rid);
+            self.controller
+                .program_range(r.base, r.end(), scheme)
+                .expect("range registers exhausted: more than 8 relaxed regions");
+        }
+    }
+
+    /// Run a trace to completion and report statistics. Virtual addresses
+    /// are mapped to physical identically (the runtime crate provides real
+    /// paging when needed — for timing/energy the identity map is exact
+    /// because regions are page aligned and disjoint).
+    pub fn run_trace(&mut self, trace: &Trace, assign: &EccAssignment) -> SimStats {
+        self.program_ecc(trace, assign);
+        let ecc_powered = assign.any_ecc();
+        self.run_trace_with_policy(trace, ecc_powered, |_, mc, paddr| {
+            AccessKind::Scheme(mc.scheme_for(paddr))
+        })
+    }
+
+    /// Run a trace with a custom per-request protection policy (the DGMS
+    /// comparator plugs its granularity predictor in here). The policy
+    /// receives the triggering core access, the memory controller, and the
+    /// physical line address being serviced (demand line or write-back).
+    pub fn run_trace_with_policy<P>(
+        &mut self,
+        trace: &Trace,
+        ecc_chips_powered: bool,
+        mut policy: P,
+    ) -> SimStats
+    where
+        P: FnMut(&crate::trace::Access, &MemoryController, u64) -> AccessKind,
+    {
+        self.l1 = Cache::new(self.cfg.l1);
+        self.l2 = Cache::new(self.cfg.l2);
+        self.dram.reset();
+
+        let cycle_ns = self.cfg.cycle_ns();
+        let mut regions: Vec<RegionStats> = trace
+            .regions
+            .regions()
+            .iter()
+            .map(|r| RegionStats {
+                name: r.name.clone(),
+                abft_protected: r.abft_protected,
+                abft_detectable: r.abft_detectable,
+                ..Default::default()
+            })
+            .collect();
+
+        // Thread-level concurrency: `threads` in-order workers interleave
+        // their instruction streams, so per-thread cycles (compute + cache
+        // latencies) compress by the thread count on the machine timeline,
+        // while every access still reaches the shared memory system —
+        // multiplying bandwidth pressure exactly as the 4-core Table 3
+        // machine does. DRAM stalls are machine-level (shared-resource
+        // saturation) and are not divided.
+        let threads = self.cfg.threads.max(1) as u64;
+        let mut cycles: u64 = 0;
+        let mut thread_cycle_carry: u64 = 0;
+        let bump = |cycles: &mut u64, carry: &mut u64, thread_cycles: u64| {
+            let total = thread_cycles + *carry;
+            *cycles += total / threads;
+            *carry = total % threads;
+        };
+        let mut l1_hits = 0u64;
+        let mut l1_misses = 0u64;
+        let mut l2_hits = 0u64;
+        let mut l2_misses = 0u64;
+
+        for a in &trace.accesses {
+            bump(&mut cycles, &mut thread_cycle_carry, a.work as u64);
+            let rs = &mut regions[a.region as usize];
+            rs.refs += 1;
+            match self.l1.access(a.addr, a.write) {
+                CacheOutcome::Hit => {
+                    bump(&mut cycles, &mut thread_cycle_carry, self.cfg.l1.latency_cycles);
+                    l1_hits += 1;
+                    continue;
+                }
+                CacheOutcome::Miss { writeback } => {
+                    l1_misses += 1;
+                    rs.l1_misses += 1;
+                    if let Some(wb) = writeback {
+                        // The L1 victim is installed dirty in L2 (the full
+                        // line travels down, so no DRAM fill is needed);
+                        // only a dirty line L2 evicts to make room reaches
+                        // memory.
+                        if let CacheOutcome::Miss { writeback: l2wb } = self.l2.access(wb, true) {
+                            if let Some(wb2) = l2wb {
+                                let now = cycles as f64 * cycle_ns;
+                                let kind = policy(a, &self.controller, wb2);
+                                self.dram.access_kind(now, wb2, true, kind);
+                            }
+                        }
+                    }
+                }
+            }
+            match self.l2.access(a.addr, a.write) {
+                CacheOutcome::Hit => {
+                    bump(&mut cycles, &mut thread_cycle_carry, self.cfg.l2.latency_cycles);
+                    l2_hits += 1;
+                }
+                CacheOutcome::Miss { writeback } => {
+                    l2_misses += 1;
+                    rs.llc_misses += 1;
+                    let now = cycles as f64 * cycle_ns;
+                    let kind = policy(a, &self.controller, a.addr);
+                    // Demand miss: the line fill is a DRAM *read* even for
+                    // stores (write-allocate); the dirty data leaves the
+                    // cache later as a write-back.
+                    let res = self.dram.access_kind(now, a.addr, false, kind);
+                    // Demand miss: the in-order pipeline hides part of the
+                    // latency through memory-level parallelism.
+                    let lat_ns = res.completion_ns - now;
+                    let stall = (lat_ns * self.cfg.stall_factor / cycle_ns) as u64;
+                    bump(&mut cycles, &mut thread_cycle_carry, self.cfg.l2.latency_cycles);
+                    cycles += stall;
+                    if let Some(wb) = writeback {
+                        let kind = policy(a, &self.controller, wb);
+                        self.dram.access_kind(now, wb, true, kind);
+                    }
+                }
+            }
+        }
+
+        let seconds = cycles as f64 * cycle_ns * 1e-9;
+        let instructions = trace.instructions;
+        let ipc = if cycles == 0 { 0.0 } else { instructions as f64 / cycles as f64 };
+        let mem_dynamic_j = self.dram.stats.dynamic_nj * 1e-9;
+        let mem_standby_j =
+            self.dram.standby_nj(cycles as f64 * cycle_ns, ecc_chips_powered) * 1e-9;
+        let proc_j = self.cfg.proc_power.watts_at(ipc) * seconds;
+
+        SimStats {
+            instructions,
+            cycles,
+            seconds,
+            ipc,
+            mem_dynamic_j,
+            mem_standby_j,
+            proc_j,
+            l1_hit_rate: if l1_hits + l1_misses == 0 {
+                0.0
+            } else {
+                l1_hits as f64 / (l1_hits + l1_misses) as f64
+            },
+            l2_hit_rate: if l2_hits + l2_misses == 0 {
+                0.0
+            } else {
+                l2_hits as f64 / (l2_hits + l2_misses) as f64
+            },
+            row_hit_rate: self.dram.stats.row_hit_rate(),
+            dram_reads: self.dram.stats.reads,
+            dram_writes: self.dram.stats.writes,
+            per_scheme: self.dram.stats.per_scheme,
+            avg_dram_latency_ns: self.dram.stats.avg_latency_ns(),
+            avg_dram_queue_ns: self.dram.stats.avg_queue_ns(),
+            dram_bandwidth_gbps: {
+                let bytes = (self.dram.stats.reads + self.dram.stats.writes) * 64;
+                let ns = cycles as f64 * cycle_ns;
+                if ns > 0.0 {
+                    bytes as f64 / ns
+                } else {
+                    0.0
+                }
+            },
+            regions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::RegionMap;
+
+    fn linear_trace(region_bytes: u64, passes: usize, work: u32, abft: bool) -> Trace {
+        let mut rm = RegionMap::new();
+        let r = rm.alloc("data", region_bytes, abft);
+        let base = rm.get(r).base;
+        let mut t = Trace::new(rm);
+        for _ in 0..passes {
+            let mut a = base;
+            while a < base + region_bytes {
+                t.push(a, r, false, work);
+                a += 64;
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn small_working_set_stays_in_cache() {
+        let mut m = Machine::new(SystemConfig::default());
+        // 8 KB fits in the 16 KB L1 after the first pass; with compute
+        // work between accesses the in-order core stays near IPC 1.
+        let t = linear_trace(8 * 1024, 50, 10, true);
+        let s = m.run_trace(&t, &EccAssignment::uniform(EccScheme::None));
+        assert!(s.l1_hit_rate > 0.85, "l1 hit rate {}", s.l1_hit_rate);
+        assert!(s.ipc > 0.85, "ipc {}", s.ipc);
+    }
+
+    #[test]
+    fn streaming_set_misses_llc_and_stalls() {
+        let mut m = Machine::new(SystemConfig::default());
+        // 32 MB streamed twice: far beyond the 8MB L2.
+        let t = linear_trace(32 * 1024 * 1024, 2, 2, true);
+        let s = m.run_trace(&t, &EccAssignment::uniform(EccScheme::None));
+        assert!(s.l2_hit_rate < 0.1, "l2 hit rate {}", s.l2_hit_rate);
+        assert!(s.ipc < 1.0);
+        assert!(s.dram_reads > 900_000);
+    }
+
+    #[test]
+    fn chipkill_costs_more_energy_than_no_ecc() {
+        let t = linear_trace(16 * 1024 * 1024, 2, 4, true);
+        let mut m = Machine::new(SystemConfig::default());
+        let none = m.run_trace(&t, &EccAssignment::uniform(EccScheme::None));
+        let ck = m.run_trace(&t, &EccAssignment::uniform(EccScheme::Chipkill));
+        assert!(ck.mem_dynamic_j > 2.0 * none.mem_dynamic_j);
+        assert!(ck.mem_dynamic_j < 2.5 * none.mem_dynamic_j);
+        assert!(ck.ipc <= none.ipc, "lock-step cannot be faster");
+        assert!(ck.mem_standby_j >= none.mem_standby_j, "ECC chips powered + longer run");
+    }
+
+    #[test]
+    fn partial_relaxation_sits_between_whole_and_none() {
+        // Two regions: a big ABFT-protected one and a small other one.
+        let mut rm = RegionMap::new();
+        let big = rm.alloc("abft", 8 * 1024 * 1024, true);
+        let small = rm.alloc("other", 512 * 1024, false);
+        let (bb, sb) = (rm.get(big).base, rm.get(small).base);
+        let mut t = Trace::new(rm);
+        for _ in 0..2 {
+            let mut a = bb;
+            while a < bb + 8 * 1024 * 1024 {
+                t.push(a, big, false, 2);
+                a += 64;
+            }
+            let mut a = sb;
+            while a < sb + 512 * 1024 {
+                t.push(a, small, false, 2);
+                a += 64;
+            }
+        }
+        let mut m = Machine::new(SystemConfig::default());
+        let whole_ck = m.run_trace(&t, &EccAssignment::uniform(EccScheme::Chipkill));
+        let part = m.run_trace(
+            &t,
+            &EccAssignment::relaxed(EccScheme::Chipkill, EccScheme::None, &[big]),
+        );
+        let none = m.run_trace(&t, &EccAssignment::uniform(EccScheme::None));
+        assert!(part.mem_dynamic_j < whole_ck.mem_dynamic_j);
+        assert!(part.mem_dynamic_j > none.mem_dynamic_j);
+        // Most accesses hit the relaxed region.
+        assert!(part.per_scheme[0] > part.per_scheme[2]);
+        assert!(part.per_scheme[2] > 0);
+    }
+
+    #[test]
+    fn region_stats_classify_llc_misses() {
+        let mut rm = RegionMap::new();
+        let a = rm.alloc("abft", 16 * 1024 * 1024, true);
+        let b = rm.alloc("other", 1024 * 1024, false);
+        let (ab, bb) = (rm.get(a).base, rm.get(b).base);
+        let mut t = Trace::new(rm);
+        let mut addr = ab;
+        while addr < ab + 16 * 1024 * 1024 {
+            t.push(addr, a, false, 1);
+            addr += 64;
+        }
+        let mut addr = bb;
+        while addr < bb + 1024 * 1024 {
+            t.push(addr, b, false, 1);
+            addr += 64;
+        }
+        let mut m = Machine::new(SystemConfig::default());
+        let s = m.run_trace(&t, &EccAssignment::uniform(EccScheme::Secded));
+        assert!(s.llc_misses_abft() > 0);
+        assert!(s.llc_misses_other() > 0);
+        let ratio = s.abft_ref_ratio();
+        assert!(ratio > 10.0 && ratio < 20.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn ecc_assignment_any_ecc() {
+        assert!(!EccAssignment::uniform(EccScheme::None).any_ecc());
+        assert!(EccAssignment::uniform(EccScheme::Secded).any_ecc());
+        assert!(
+            EccAssignment::relaxed(EccScheme::None, EccScheme::Secded, &[0]).any_ecc()
+        );
+    }
+}

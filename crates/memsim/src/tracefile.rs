@@ -1,0 +1,129 @@
+//! Compact binary serialization for kernel traces.
+//!
+//! Traces run to millions of records; the on-disk format keeps them
+//! shareable between the harness binaries (generate once, sweep many
+//! strategies) and inspectable with `trace_stats`. Format (little endian):
+//!
+//! ```text
+//! magic "ABFTTRC1"
+//! u32 region_count
+//!   per region: u16 name_len, name bytes, u64 base, u64 bytes,
+//!               u8 abft_protected, u8 abft_detectable
+//! u64 access_count
+//!   per access: u64 addr, u16 region, u8 write, u32 work
+//! u64 instructions
+//! ```
+
+use crate::trace::{Access, Region, RegionMap, Trace};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"ABFTTRC1";
+
+/// Serialize a trace.
+pub fn write_trace<W: Write>(t: &Trace, w: &mut W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    let regions = t.regions.regions();
+    w.write_all(&(regions.len() as u32).to_le_bytes())?;
+    for r in regions {
+        let name = r.name.as_bytes();
+        w.write_all(&(name.len() as u16).to_le_bytes())?;
+        w.write_all(name)?;
+        w.write_all(&r.base.to_le_bytes())?;
+        w.write_all(&r.bytes.to_le_bytes())?;
+        w.write_all(&[r.abft_protected as u8, r.abft_detectable as u8])?;
+    }
+    w.write_all(&(t.accesses.len() as u64).to_le_bytes())?;
+    for a in &t.accesses {
+        w.write_all(&a.addr.to_le_bytes())?;
+        w.write_all(&a.region.to_le_bytes())?;
+        w.write_all(&[a.write as u8])?;
+        w.write_all(&a.work.to_le_bytes())?;
+    }
+    w.write_all(&t.instructions.to_le_bytes())?;
+    Ok(())
+}
+
+fn read_exact<R: Read, const N: usize>(r: &mut R) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Deserialize a trace.
+pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Trace> {
+    let magic = read_exact::<_, 8>(r)?;
+    if &magic != MAGIC {
+        return Err(bad("not an ABFT trace file"));
+    }
+    let region_count = u32::from_le_bytes(read_exact(r)?) as usize;
+    let mut regions = Vec::with_capacity(region_count);
+    for _ in 0..region_count {
+        let name_len = u16::from_le_bytes(read_exact(r)?) as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let base = u64::from_le_bytes(read_exact(r)?);
+        let bytes = u64::from_le_bytes(read_exact(r)?);
+        let [protected, detectable] = read_exact::<_, 2>(r)?;
+        regions.push(Region {
+            name: String::from_utf8(name).map_err(|_| bad("bad region name"))?,
+            base,
+            bytes,
+            abft_protected: protected != 0,
+            abft_detectable: detectable != 0,
+        });
+    }
+    let access_count = u64::from_le_bytes(read_exact(r)?) as usize;
+    let mut accesses = Vec::with_capacity(access_count);
+    for _ in 0..access_count {
+        let addr = u64::from_le_bytes(read_exact(r)?);
+        let region = u16::from_le_bytes(read_exact(r)?);
+        if region as usize >= region_count {
+            return Err(bad("access references unknown region"));
+        }
+        let [write] = read_exact::<_, 1>(r)?;
+        let work = u32::from_le_bytes(read_exact(r)?);
+        accesses.push(Access { addr, region, write: write != 0, work });
+    }
+    let instructions = u64::from_le_bytes(read_exact(r)?);
+    Ok(Trace { regions: RegionMap::from_regions(regions), accesses, instructions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{dgemm_trace, DgemmParams};
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = dgemm_trace(&DgemmParams { n: 128, nb: 64, abft: true, verify_interval: 2 });
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let back = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.accesses, t.accesses);
+        assert_eq!(back.instructions, t.instructions);
+        assert_eq!(back.regions.regions(), t.regions.regions());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_trace(&mut &b"NOTATRACE"[..]).is_err());
+        let mut buf = Vec::new();
+        let t = dgemm_trace(&DgemmParams { n: 64, nb: 64, abft: false, verify_interval: 1 });
+        write_trace(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_trace(&mut buf.as_slice()).is_err(), "truncation detected");
+    }
+
+    #[test]
+    fn format_is_compact() {
+        let t = dgemm_trace(&DgemmParams { n: 128, nb: 64, abft: true, verify_interval: 2 });
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        // 15 bytes per access + small header.
+        assert!(buf.len() < t.accesses.len() * 16 + 4096);
+    }
+}

@@ -1,0 +1,672 @@
+//! Kernel trace generators: the stand-in for Pin-instrumented runs.
+//!
+//! Each generator replays the blocked loop nest of one ABFT kernel at
+//! cache-line granularity, tagging every reference with the data structure
+//! it belongs to and whether that structure is ABFT protected — the same
+//! classification the paper derives from its Pin traces (Table 4). The
+//! paper simulates "a few iterations or representative computation phases"
+//! of each kernel; these generators do exactly that, at dimensions scaled
+//! so the working sets stress the 8 MB L2 the way the paper's 3000x3000
+//! (dp) inputs stress theirs.
+//!
+//! ABFT-protected structures per kernel (Section 2.1):
+//! * FT-DGEMM — the encoded matrices `A^c`, `B^c` and the result `C^f`.
+//! * FT-Cholesky — the in-place matrix `A` (and thus `L`).
+//! * FT-CG — the vectors `r, p, q, x, b` (not the operator `A` or the
+//!   preconditioner `M`).
+//! * FT-HPL — the in-place matrix `A` (and thus `U`), with row checksums.
+
+use crate::trace::{RegionId, RegionMap, Trace};
+
+const LINE: u64 = 64;
+const F64: u64 = 8;
+
+/// Effective floating-point operations retired per core cycle when the
+/// kernel's inner loops are vectorized (SSE/AVX + FMA on the paper's-era
+/// Xeon): flop counts are divided by this to produce the `work`
+/// (instruction) annotations of the trace.
+pub const FLOPS_PER_CYCLE: u64 = 8;
+
+/// Convert a flop count into trace work-instructions.
+#[inline]
+fn w(flops: u64) -> u64 {
+    flops / FLOPS_PER_CYCLE
+}
+
+/// Which of the four paper kernels a trace models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Fault-tolerant general matrix multiply (fail-continue).
+    Dgemm,
+    /// Fault-tolerant Cholesky factorization (fail-continue).
+    Cholesky,
+    /// Fault-tolerant preconditioned CG (fail-continue).
+    Cg,
+    /// Fault-tolerant High Performance Linpack (fail-stop).
+    Hpl,
+}
+
+impl KernelKind {
+    /// All four kernels in the paper's presentation order.
+    pub const ALL: [KernelKind; 4] =
+        [KernelKind::Dgemm, KernelKind::Cholesky, KernelKind::Cg, KernelKind::Hpl];
+
+    /// The paper's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelKind::Dgemm => "FT-DGEMM",
+            KernelKind::Cholesky => "FT-Cholesky",
+            KernelKind::Cg => "FT-CG",
+            KernelKind::Hpl => "FT-HPL",
+        }
+    }
+}
+
+/// IDs of the ABFT-protected regions of a trace (what `malloc_ecc` covers).
+pub fn abft_regions(trace: &Trace) -> Vec<RegionId> {
+    trace
+        .regions
+        .regions()
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.abft_protected)
+        .map(|(i, _)| i as RegionId)
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------
+
+/// Touch the lines of a `rows x cols` tile of a column-major matrix region
+/// whose full leading dimension is `ld` elements. `work_total` instructions
+/// are spread across the touches.
+#[allow(clippy::too_many_arguments)]
+fn touch_tile(
+    t: &mut Trace,
+    region: RegionId,
+    base: u64,
+    ld: u64,
+    row0: u64,
+    col0: u64,
+    rows: u64,
+    cols: u64,
+    write: bool,
+    work_total: u64,
+) {
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let lines_per_col = (rows * F64).div_ceil(LINE).max(1);
+    let total = lines_per_col * cols;
+    let per = (work_total / total) as u32;
+    for j in 0..cols {
+        let col_addr = base + ((col0 + j) * ld + row0) * F64;
+        let mut a = col_addr & !(LINE - 1);
+        for _ in 0..lines_per_col {
+            t.push(a, region, write, per);
+            a += LINE;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// FT-DGEMM
+// ---------------------------------------------------------------------
+
+/// FT-DGEMM trace parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DgemmParams {
+    /// Matrix dimension (square).
+    pub n: usize,
+    /// Tile size.
+    pub nb: usize,
+    /// Include ABFT checksum/verification traffic.
+    pub abft: bool,
+    /// Verify the checksum relationship every `verify_interval` k-panels.
+    pub verify_interval: usize,
+}
+
+impl Default for DgemmParams {
+    fn default() -> Self {
+        DgemmParams { n: 960, nb: 64, abft: true, verify_interval: 4 }
+    }
+}
+
+impl DgemmParams {
+    /// The paper's Table 3 problem (3000x3000 per task, rounded to the
+    /// tile size). The trace runs to ~10^8 references — minutes per
+    /// simulation; the scaled default reproduces the same cache pressure
+    /// in seconds.
+    pub fn paper_scale() -> Self {
+        DgemmParams { n: 3008, nb: 64, abft: true, verify_interval: 4 }
+    }
+}
+
+/// Generate the FT-DGEMM trace: outer-product `C^f = A^c B^c` with periodic
+/// checksum verification on `C^f`.
+pub fn dgemm_trace(p: &DgemmParams) -> Trace {
+    let (n, nb) = (p.n as u64, p.nb as u64);
+    assert!(n % nb == 0, "n must be a multiple of nb");
+    let nt = n / nb;
+    // A^c is (n+1) x n (column checksum row), B^c is n x (n+1), C^f is
+    // (n+1) x (n+1).
+    let lda = n + 1;
+    let ldc = n + 1;
+    let mut rm = RegionMap::new();
+    let ra = rm.alloc("matrix_a", lda * n * F64, true);
+    let rb = rm.alloc("matrix_b", n * (n + 1) * F64, true);
+    let rc = rm.alloc("matrix_c", ldc * (n + 1) * F64, true);
+    let re = rm.alloc("checksum_e", (n + 1) * F64, false);
+    let rw = rm.alloc("verify_workspace", (n + 1) * F64 * 4, false);
+    let (ba, bb, bc, be, bw) = (
+        rm.get(ra).base,
+        rm.get(rb).base,
+        rm.get(rc).base,
+        rm.get(re).base,
+        rm.get(rw).base,
+    );
+    let mut t = Trace::new(rm);
+
+    let tile_flops = 2 * nb * nb * nb;
+
+    for kt in 0..nt {
+        for jt in 0..nt {
+            // B tile (kt, jt) loaded once per (kt, jt).
+            touch_tile(&mut t, rb, bb, n, kt * nb, jt * nb, nb, nb, false, 0);
+            for it in 0..nt {
+                // A tile (it, kt); the checksum row rides along in the last
+                // row tile.
+                let arows = if it == nt - 1 { nb + 1 } else { nb };
+                touch_tile(&mut t, ra, ba, lda, it * nb, kt * nb, arows, nb, false, 0);
+                // C tile (it, jt): read-modify-write carries the flops.
+                touch_tile(&mut t, rc, bc, ldc, it * nb, jt * nb, arows, nb, false, w(tile_flops / 2));
+                touch_tile(&mut t, rc, bc, ldc, it * nb, jt * nb, arows, nb, true, w(tile_flops / 2));
+            }
+        }
+        // Periodic verification (the expensive part of fail-continue ABFT):
+        // recompute column sums of C and compare with the checksum row.
+        if p.abft && (kt + 1) % p.verify_interval as u64 == 0 {
+            t.stream(re, be, (n + 1) * F64, false, 0);
+            touch_tile(&mut t, rc, bc, ldc, 0, 0, n + 1, n + 1, false, w(2 * (n + 1) * (n + 1)));
+            t.stream(rw, bw, (n + 1) * F64 * 4, true, 0);
+            t.stream(rw, bw, (n + 1) * F64 * 4, false, (n + 1) * 2);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// FT-Cholesky
+// ---------------------------------------------------------------------
+
+/// FT-Cholesky trace parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CholeskyParams {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Panel width.
+    pub nb: usize,
+    /// Include checksum maintenance + per-step verification traffic.
+    pub abft: bool,
+}
+
+impl Default for CholeskyParams {
+    fn default() -> Self {
+        CholeskyParams { n: 1536, nb: 64, abft: true }
+    }
+}
+
+impl CholeskyParams {
+    /// The paper's Table 3 problem size (see [`DgemmParams::paper_scale`]).
+    pub fn paper_scale() -> Self {
+        CholeskyParams { n: 3008, nb: 64, abft: true }
+    }
+}
+
+/// Generate the FT-Cholesky trace: right-looking blocked factorization with
+/// per-step checksum verification (Section 2.1's 4-step iteration).
+pub fn cholesky_trace(p: &CholeskyParams) -> Trace {
+    let (n, nb) = (p.n as u64, p.nb as u64);
+    assert!(n % nb == 0, "n must be a multiple of nb");
+    let nt = n / nb;
+    // Checksums: two extra rows per block column (sum + weighted sum),
+    // stored in a strip appended below the matrix.
+    let chk_rows = 2 * nt;
+    let lda = n + chk_rows;
+    let mut rm = RegionMap::new();
+    let ra = rm.alloc("matrix_a", lda * n * F64, true);
+    // The packed panel every ScaLAPACK-style implementation broadcasts to
+    // the process column/row before the trailing update.
+    let rws = rm.alloc("panel_broadcast", (nb * n) * F64, false);
+    let rinfo = rm.alloc("step_info", 4096, false);
+    let (ba, bws, binfo) = (rm.get(ra).base, rm.get(rws).base, rm.get(rinfo).base);
+    let mut t = Trace::new(rm);
+
+    for kt in 0..nt {
+        let k = kt * nb;
+        let rest = n - k - nb;
+        // (1) potf2 on A11: approximated as 2 read+write sweeps carrying
+        // the nb^3/3 flops.
+        let potf2_flops = nb * nb * nb / 3;
+        touch_tile(&mut t, ra, ba, lda, k, k, nb, nb, false, w(potf2_flops / 2));
+        touch_tile(&mut t, ra, ba, lda, k, k, nb, nb, true, w(potf2_flops / 2));
+
+        if rest > 0 {
+            // (2) TRSM over the panel against L11.
+            let trsm_flops = nb * nb * rest;
+            touch_tile(&mut t, ra, ba, lda, k, k, nb, nb, false, 0);
+            touch_tile(&mut t, ra, ba, lda, k + nb, k, rest, nb, false, 0);
+            touch_tile(&mut t, ra, ba, lda, k + nb, k, rest, nb, true, w(trsm_flops));
+            // Pack + broadcast the factored panel (write once, read once
+            // by the update sweep).
+            touch_tile(&mut t, ra, ba, lda, k + nb, k, rest, nb, false, 0);
+            t.stream(rws, bws, (nb * (rest + nb)) * F64, true, 0);
+            t.stream(rws, bws, (nb * (rest + nb)) * F64, false, 0);
+
+            // (3) SYRK trailing update, tile by tile (lower triangle).
+            let rt = rest / nb;
+            let tile_flops = 2 * nb * nb * nb;
+            for jt in 0..rt {
+                for it in jt..rt {
+                    touch_tile(&mut t, ra, ba, lda, k + nb + it * nb, k, nb, nb, false, 0);
+                    touch_tile(&mut t, ra, ba, lda, k + nb + jt * nb, k, nb, nb, false, 0);
+                    let (r0, c0) = (k + nb + it * nb, k + nb + jt * nb);
+                    touch_tile(&mut t, ra, ba, lda, r0, c0, nb, nb, false, w(tile_flops / 2));
+                    touch_tile(&mut t, ra, ba, lda, r0, c0, nb, nb, true, w(tile_flops / 2));
+                }
+            }
+        }
+
+        if p.abft {
+            // Per-step verification: recompute column sums of the current
+            // panel and compare against the checksum strip.
+            let h = n - k;
+            touch_tile(&mut t, ra, ba, lda, k, k, h, nb, false, w(2 * h * nb));
+            touch_tile(&mut t, ra, ba, lda, n, k, chk_rows, nb, false, 0);
+            touch_tile(&mut t, ra, ba, lda, n, k, chk_rows, nb, true, 0);
+            t.stream(rinfo, binfo, 256, true, 64);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// FT-CG
+// ---------------------------------------------------------------------
+
+/// FT-CG trace parameters (5-point Poisson operator on a `grid x grid`
+/// mesh — the low-locality, memory-intensive workload).
+#[derive(Debug, Clone, Copy)]
+pub struct CgParams {
+    /// Grid edge; the system dimension is `grid * grid`.
+    pub grid: usize,
+    /// Iterations to trace.
+    pub iterations: usize,
+    /// Include the Online-ABFT invariant verification traffic.
+    pub abft: bool,
+    /// Verify every `verify_interval` iterations.
+    pub verify_interval: usize,
+}
+
+impl Default for CgParams {
+    fn default() -> Self {
+        CgParams { grid: 512, iterations: 10, abft: true, verify_interval: 4 }
+    }
+}
+
+impl CgParams {
+    /// A grid matching the paper's 3000x3000-operator memory footprint.
+    pub fn paper_scale() -> Self {
+        CgParams { grid: 1024, iterations: 10, abft: true, verify_interval: 4 }
+    }
+}
+
+/// Generate the FT-CG trace following the paper's Figure 1 line by line.
+pub fn cg_trace(p: &CgParams) -> Trace {
+    let g = p.grid as u64;
+    let n = g * g;
+    let nnz = 5 * n; // 5-point stencil upper bound
+    let mut rm = RegionMap::new();
+    // The operator values and preconditioner are not ECC-relaxed, but
+    // errors in them propagate into the checked vectors and are therefore
+    // ABFT-*detectable* ("they can also be used to detect errors in M and
+    // p", Section 2.1) — the Table 4 classification counts them as blocks
+    // with ABFT protection.
+    let rvals = rm.alloc_with("csr_values", nnz * F64, false, true);
+    let rcols = rm.alloc("csr_colidx", nnz * 4, false);
+    let rm_diag = rm.alloc_with("precond_m", n * F64, false, true);
+    let rz = rm.alloc("vector_z", n * F64, false);
+    let rr = rm.alloc("vector_r", n * F64, true);
+    let rp = rm.alloc("vector_p", n * F64, true);
+    let rq = rm.alloc("vector_q", n * F64, true);
+    let rx = rm.alloc("vector_x", n * F64, true);
+    let rb = rm.alloc("vector_b", n * F64, true);
+    let b_of = |rm: &RegionMap, id: RegionId| rm.get(id).base;
+    let (bvals, bcols, bm, bz, br, bp, bq, bx, bb) = (
+        b_of(&rm, rvals),
+        b_of(&rm, rcols),
+        b_of(&rm, rm_diag),
+        b_of(&rm, rz),
+        b_of(&rm, rr),
+        b_of(&rm, rp),
+        b_of(&rm, rq),
+        b_of(&rm, rx),
+        b_of(&rm, rb),
+    );
+    let mut t = Trace::new(rm);
+
+    // One SpMV: stream vals+cols, gather from `src` along the stencil's
+    // three bands (center row with strong locality, +/- grid neighbours),
+    // write `dst`.
+    let spmv = |t: &mut Trace, src: RegionId, bsrc: u64, dst: RegionId, bdst: u64| {
+        let rows_per_line = LINE / F64;
+        let mut i = 0u64;
+        while i < n {
+            let voff = (i * 5 * F64) & !(LINE - 1);
+            for l in 0..5 {
+                t.push(bvals + voff + l * LINE, rvals, false, 2);
+            }
+            let coff = (i * 5 * 4) & !(LINE - 1);
+            for l in 0..3 {
+                t.push(bcols + coff + l * LINE, rcols, false, 0);
+            }
+            t.push(bsrc + i * F64, src, false, 2);
+            if i >= g {
+                t.push(bsrc + (i - g) * F64, src, false, 2);
+            }
+            if i + g < n {
+                t.push(bsrc + (i + g) * F64, src, false, 2);
+            }
+            t.push(bdst + i * F64, dst, true, 10);
+            i += rows_per_line;
+        }
+    };
+    // A BLAS-1 pass over one vector region.
+    let pass = |t: &mut Trace, r: RegionId, base: u64, write: bool, work_per_line: u64| {
+        t.stream(r, base, n * F64, write, work_per_line * (n * F64).div_ceil(LINE));
+    };
+
+    for it in 0..p.iterations as u64 {
+        // line 3: q = A p
+        spmv(&mut t, rp, bp, rq, bq);
+        // line 4: alpha = rho / p.q
+        pass(&mut t, rp, bp, false, 4);
+        pass(&mut t, rq, bq, false, 4);
+        // line 5: x += alpha p
+        pass(&mut t, rp, bp, false, 2);
+        pass(&mut t, rx, bx, false, 2);
+        pass(&mut t, rx, bx, true, 2);
+        // line 6: r -= alpha q
+        pass(&mut t, rq, bq, false, 2);
+        pass(&mut t, rr, br, false, 2);
+        pass(&mut t, rr, br, true, 2);
+        // line 7: z = M^{-1} r
+        pass(&mut t, rr, br, false, 2);
+        pass(&mut t, rm_diag, bm, false, 2);
+        pass(&mut t, rz, bz, true, 2);
+        // line 8: rho = r.z
+        pass(&mut t, rr, br, false, 4);
+        pass(&mut t, rz, bz, false, 4);
+        // line 10: p = z + beta p
+        pass(&mut t, rz, bz, false, 2);
+        pass(&mut t, rp, bp, false, 2);
+        pass(&mut t, rp, bp, true, 2);
+        // line 11: convergence check ||r||
+        pass(&mut t, rr, br, false, 4);
+
+        // Online-ABFT verification (Equation 1): r + A x =? b — one extra
+        // SpMV on x plus passes over r and b.
+        if p.abft && (it + 1) % p.verify_interval as u64 == 0 {
+            spmv(&mut t, rx, bx, rq, bq);
+            pass(&mut t, rr, br, false, 2);
+            pass(&mut t, rb, bb, false, 2);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// FT-HPL
+// ---------------------------------------------------------------------
+
+/// FT-HPL trace parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HplParams {
+    /// Local matrix dimension (one of the paper's 4 MPI tasks is traced).
+    pub n: usize,
+    /// Panel width.
+    pub nb: usize,
+    /// Include row-checksum maintenance traffic.
+    pub abft: bool,
+}
+
+impl Default for HplParams {
+    fn default() -> Self {
+        HplParams { n: 1152, nb: 64, abft: true }
+    }
+}
+
+impl HplParams {
+    /// The paper's 8192x8192 HPL problem (one of the 2x2 grid's tasks
+    /// holds a 4096-wide share; we trace the full-problem loop nest).
+    pub fn paper_scale() -> Self {
+        HplParams { n: 4096, nb: 64, abft: true }
+    }
+}
+
+/// Generate the FT-HPL trace: blocked LU with partial pivoting and row
+/// checksums, one representative process of the paper's 2x2 grid.
+pub fn hpl_trace(p: &HplParams) -> Trace {
+    let (n, nb) = (p.n as u64, p.nb as u64);
+    assert!(n % nb == 0, "n must be a multiple of nb");
+    let nt = n / nb;
+    // Row checksums: two extra columns (sum + weighted).
+    let ncols = n + 2;
+    let lda = n;
+    let mut rm = RegionMap::new();
+    let ra = rm.alloc("matrix_a", lda * ncols * F64, true);
+    let rpiv = rm.alloc("pivot_array", n * 8, false);
+    // HPL's panel broadcast buffer: the factored panel is packed, sent and
+    // unpacked every step (non-ABFT runtime data).
+    let rws = rm.alloc("panel_broadcast", nb * n * F64, false);
+    let rbx = rm.alloc("rhs_b", n * F64, true);
+    let (ba, bpiv, bws, _bbx) =
+        (rm.get(ra).base, rm.get(rpiv).base, rm.get(rws).base, rm.get(rbx).base);
+    let mut t = Trace::new(rm);
+
+    for kt in 0..nt {
+        let k = kt * nb;
+        let rest = n - k - nb;
+        let below = n - k;
+
+        // Panel factorization: per column, pivot search down the column,
+        // one row swap across the full (checksummed) width, rank-1 update
+        // inside the panel.
+        for j in 0..nb {
+            let col = k + j;
+            touch_tile(&mut t, ra, ba, lda, col, col, n - col, 1, false, w((n - col) * 2));
+            t.push(bpiv + col * 8, rpiv, true, 2);
+            // Row swap: a row of a column-major matrix touches one line per
+            // column; sample every 8th column to keep the trace volume
+            // proportional to the real strided cost.
+            let mut c = 0;
+            while c < ncols {
+                let a1 = ba + (c * lda + col) * F64;
+                t.push(a1 & !(LINE - 1), ra, true, 0);
+                c += 8;
+            }
+            // Rank-1 update of the remaining panel columns.
+            let width = k + nb - col - 1;
+            if width > 0 {
+                touch_tile(
+                    &mut t,
+                    ra,
+                    ba,
+                    lda,
+                    col,
+                    col + 1,
+                    n - col,
+                    width,
+                    true,
+                    w((n - col) * width * 2),
+                );
+            }
+        }
+
+        if rest > 0 {
+            // Pack + broadcast the factored panel (write, then read on the
+            // receiving side), as HPL does between panel and update.
+            touch_tile(&mut t, ra, ba, lda, k, k, n - k, nb, false, 0);
+            t.stream(rws, bws, (nb * (n - k)) * F64, true, 0);
+            t.stream(rws, bws, (nb * (n - k)) * F64, false, 0);
+            // U12 = L11^{-1} A12 over the row panel (incl. checksum cols).
+            touch_tile(&mut t, ra, ba, lda, k, k + nb, nb, rest + 2, false, 0);
+            touch_tile(&mut t, ra, ba, lda, k, k + nb, nb, rest + 2, true, w(nb * nb * (rest + 2)));
+
+            // Trailing GEMM, tile by tile (checksum columns ride in the
+            // last column tile via rest+2 above).
+            let rt = rest / nb;
+            let tile_flops = 2 * nb * nb * nb;
+            for jt in 0..rt {
+                for it in 0..rt {
+                    touch_tile(&mut t, ra, ba, lda, k + nb + it * nb, k, nb, nb, false, 0);
+                    touch_tile(&mut t, ra, ba, lda, k, k + nb + jt * nb, nb, nb, false, 0);
+                    let (r0, c0) = (k + nb + it * nb, k + nb + jt * nb);
+                    touch_tile(&mut t, ra, ba, lda, r0, c0, nb, nb, false, w(tile_flops / 2));
+                    touch_tile(&mut t, ra, ba, lda, r0, c0, nb, nb, true, w(tile_flops / 2));
+                }
+            }
+        }
+
+        if p.abft {
+            // Maintain/verify the row-checksum columns of the trailing rows.
+            touch_tile(&mut t, ra, ba, lda, k, n, below, 2, false, w(below * 2));
+            touch_tile(&mut t, ra, ba, lda, k, n, below, 2, true, 0);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Basic-test bundle
+// ---------------------------------------------------------------------
+
+/// Generate the basic-test trace for a kernel at the default
+/// (Table-3-scaled) parameters.
+pub fn basic_trace(kind: KernelKind) -> Trace {
+    match kind {
+        KernelKind::Dgemm => dgemm_trace(&DgemmParams::default()),
+        KernelKind::Cholesky => cholesky_trace(&CholeskyParams::default()),
+        KernelKind::Cg => cg_trace(&CgParams::default()),
+        KernelKind::Hpl => hpl_trace(&HplParams::default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_addresses_in_regions(t: &Trace) {
+        for a in &t.accesses {
+            let r = t.regions.get(a.region);
+            assert!(
+                a.addr >= (r.base & !(LINE - 1)) && a.addr < r.end(),
+                "access {:#x} outside region {} [{:#x}, {:#x})",
+                a.addr,
+                r.name,
+                r.base,
+                r.end()
+            );
+        }
+    }
+
+    #[test]
+    fn dgemm_trace_structure() {
+        let t = dgemm_trace(&DgemmParams { n: 256, nb: 64, abft: true, verify_interval: 2 });
+        assert!(!t.is_empty());
+        check_addresses_in_regions(&t);
+        assert_eq!(abft_regions(&t).len(), 3, "A, B, C");
+        let abft_refs: u64 = t
+            .accesses
+            .iter()
+            .filter(|a| t.regions.get(a.region).abft_protected)
+            .count() as u64;
+        let other = t.len() as u64 - abft_refs;
+        assert!(abft_refs > 50 * other.max(1), "{abft_refs} vs {other}");
+    }
+
+    #[test]
+    fn cholesky_trace_structure() {
+        let t = cholesky_trace(&CholeskyParams { n: 256, nb: 64, abft: true });
+        check_addresses_in_regions(&t);
+        assert_eq!(abft_regions(&t).len(), 1);
+        assert!(t.instructions > 0);
+    }
+
+    #[test]
+    fn cg_trace_structure() {
+        let t = cg_trace(&CgParams { grid: 64, iterations: 3, abft: true, verify_interval: 2 });
+        check_addresses_in_regions(&t);
+        assert_eq!(abft_regions(&t).len(), 5, "r, p, q, x, b");
+        // CG is the least skewed kernel: non-ABFT operator traffic is a
+        // large minority.
+        let abft_refs = t
+            .accesses
+            .iter()
+            .filter(|a| t.regions.get(a.region).abft_protected)
+            .count() as f64;
+        let ratio = abft_refs / (t.len() as f64 - abft_refs);
+        assert!(ratio > 1.0 && ratio < 8.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn hpl_trace_structure() {
+        let t = hpl_trace(&HplParams { n: 256, nb: 64, abft: true });
+        check_addresses_in_regions(&t);
+        assert_eq!(abft_regions(&t).len(), 2, "matrix + rhs");
+    }
+
+    #[test]
+    fn abft_off_reduces_traffic() {
+        let on = dgemm_trace(&DgemmParams { n: 256, nb: 64, abft: true, verify_interval: 1 });
+        let off = dgemm_trace(&DgemmParams { n: 256, nb: 64, abft: false, verify_interval: 1 });
+        assert!(on.len() > off.len());
+        assert!(on.instructions > off.instructions);
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let a = cg_trace(&CgParams { grid: 32, iterations: 2, abft: true, verify_interval: 2 });
+        let b = cg_trace(&CgParams { grid: 32, iterations: 2, abft: true, verify_interval: 2 });
+        assert_eq!(a.accesses, b.accesses);
+        assert_eq!(a.instructions, b.instructions);
+    }
+
+    #[test]
+    fn paper_scale_presets_match_table3() {
+        assert_eq!(DgemmParams::paper_scale().n, 3008);
+        assert_eq!(CholeskyParams::paper_scale().n, 3008);
+        assert_eq!(CgParams::paper_scale().grid, 1024);
+        assert_eq!(HplParams::paper_scale().n, 4096);
+        // Paper-scale working sets dwarf the default (scaled) ones.
+        let d = DgemmParams::default();
+        let p = DgemmParams::paper_scale();
+        assert!(p.n * p.n > 9 * d.n * d.n);
+    }
+
+    #[test]
+    fn default_basic_traces_have_llc_scale_working_sets() {
+        for kind in KernelKind::ALL {
+            let t = basic_trace(kind);
+            let total_bytes: u64 = t.regions.regions().iter().map(|r| r.bytes).sum();
+            assert!(
+                total_bytes > 8 * 1024 * 1024,
+                "{} working set {} must exceed the 8MB L2",
+                kind.label(),
+                total_bytes
+            );
+            assert!(t.len() > 500_000, "{} trace too small: {}", kind.label(), t.len());
+        }
+    }
+}

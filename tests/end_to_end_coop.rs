@@ -1,0 +1,110 @@
+//! Cross-crate integration: the full cooperative path of Section 3 —
+//! allocation, ECC relaxation, bit-true corruption, MC interrupt, OS
+//! reverse mapping, sysfs exposure, ABFT repair.
+
+use abft_coop::prelude::*;
+
+#[test]
+fn malloc_ecc_relax_corrupt_repair_cycle() {
+    let cfg = SystemConfig::default();
+    let mut rt = EccRuntime::new(&cfg);
+    let n = 24usize;
+    let a = abft_coop::abft_linalg::gen::random_matrix(n, n, 5);
+    let chk = abft_coop::abft_kernels::ColChecksums::encode(&a, n);
+
+    // Allocate under SECDED (the P_CK+P_SD setting for ABFT data).
+    let (id, _) = rt.malloc_ecc("matrix", (n * n * 8) as u64, EccScheme::Secded).unwrap();
+    rt.store_f64(id, a.as_slice()).unwrap();
+
+    // A two-bit strike in one word defeats SECDED.
+    rt.inject_element_bit(id, 77, 52);
+    rt.inject_element_bit(id, 77, 40);
+
+    let (data, outcome) = rt.load_f64(id, n * n, 1e3).unwrap();
+    assert_eq!(outcome, EccOutcome::DetectedUncorrectable);
+
+    // OS interrupt path.
+    let out = rt.handle_interrupt(1.0);
+    assert_eq!(out.panics, 0);
+    assert_eq!(out.exposed.len(), 1);
+
+    // ABFT consumes the sysfs report and repairs the named line: the
+    // report pins the columns; the weighted checksum locates the row.
+    let mut m = Matrix::from_col_major(n, n, data);
+    let mut fixed = 0;
+    for rep in rt.sysfs().poll() {
+        let mut cols: Vec<usize> =
+            (rep.element..rep.element + 8).map(|e| e / n).filter(|&j| j < n).collect();
+        cols.dedup();
+        for j in cols {
+            if let Some(v) = chk.verify_column(&m, n, j) {
+                if chk.correct(&mut m, n, &v).is_some() {
+                    fixed += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(fixed, 1);
+    assert!(m.approx_eq(&a, 1e-12, 1e-12));
+}
+
+#[test]
+fn assign_ecc_transition_mid_lifecycle_preserves_data_and_protection() {
+    let cfg = SystemConfig::default();
+    let mut rt = EccRuntime::new(&cfg);
+    let data: Vec<f64> = (0..1000).map(|i| (i as f64).sqrt()).collect();
+    let (id, _) = rt.malloc_ecc("adaptive", 8192, EccScheme::None).unwrap();
+    rt.store_f64(id, &data).unwrap();
+
+    // The adaptive policy demands stronger protection (error rates rose):
+    // assign_ecc re-encodes in place.
+    rt.assign_ecc(id, EccScheme::Chipkill).unwrap();
+    rt.inject_element_bit(id, 500, 60);
+    let (back, o) = rt.load_f64(id, 1000, 0.0).unwrap();
+    assert!(matches!(o, EccOutcome::Corrected { .. }), "chipkill fixed it");
+    assert_eq!(back, data);
+
+    // Relax again: flips now pass silently (ABFT territory).
+    rt.assign_ecc(id, EccScheme::None).unwrap();
+    rt.inject_element_bit(id, 10, 60);
+    let (back, o) = rt.load_f64(id, 1000, 0.0).unwrap();
+    assert_eq!(o, EccOutcome::Clean);
+    assert_ne!(back[10], data[10]);
+}
+
+#[test]
+fn non_abft_uncorrectable_error_panics_the_node() {
+    let cfg = SystemConfig::default();
+    let mut rt = EccRuntime::new(&cfg);
+    // OS-owned allocation is NOT registered with relaxed ECC but lives in
+    // the page tables; corrupt a line in a hole with no mapping at all.
+    rt.controller.set_default_scheme(EccScheme::Secded);
+    rt.controller.write_line(0x3f00_0000, &[1u8; 64]);
+    rt.controller.inject_bit_flip(0x3f00_0000, 5);
+    rt.controller.inject_bit_flip(0x3f00_0000, 6);
+    let (_, o) = rt.controller.read_line(0x3f00_0000, 0.0);
+    assert_eq!(o, EccOutcome::DetectedUncorrectable);
+    let out = rt.handle_interrupt(0.0);
+    assert_eq!(out.panics, 1, "the traditional panic path still guards non-ABFT data");
+}
+
+#[test]
+fn error_registers_survive_bursts_up_to_design_depth() {
+    let cfg = SystemConfig::default();
+    let mut rt = EccRuntime::new(&cfg);
+    let (id, _) = rt.malloc_ecc("burst", 1 << 16, EccScheme::Secded).unwrap();
+    let zeros = vec![0.0f64; 4096];
+    rt.store_f64(id, &zeros).unwrap();
+    // Six uncorrectable events in distinct lines: exactly the n = 6
+    // register depth (Section 3.1).
+    for k in 0..6usize {
+        let e = k * 8;
+        rt.inject_element_bit(id, e, 1);
+        rt.inject_element_bit(id, e, 2);
+    }
+    let (_, o) = rt.load_f64(id, 4096, 0.0).unwrap();
+    assert_eq!(o, EccOutcome::DetectedUncorrectable);
+    let out = rt.handle_interrupt(0.0);
+    assert_eq!(out.exposed.len(), 6, "all six events retained and exposed");
+    assert_eq!(rt.controller.errors_overwritten, 0);
+}
