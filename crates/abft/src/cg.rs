@@ -309,9 +309,9 @@ where
                         // weighted sum too.
                         let (_, ws) = vector_sums(vec);
                         let wd = ws - maintained.ws;
-                        for e in lo..hi {
+                        for (e, v) in vec.iter_mut().enumerate().take(hi).skip(lo) {
                             if ((e + 1) as f64 * d - wd).abs() <= 1e-6 * wd.abs().max(1.0) {
-                                vec[e] -= d;
+                                *v -= d;
                                 stats.corrections += 1;
                                 break;
                             }

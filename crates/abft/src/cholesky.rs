@@ -164,7 +164,7 @@ where
     let n = a.rows();
     let b = opts.block;
     assert!(a.is_square(), "Cholesky needs a square matrix");
-    assert!(n % b == 0, "dimension must be a multiple of the block size");
+    assert!(n.is_multiple_of(b), "dimension must be a multiple of the block size");
     let nt = n / b;
 
     let mut stats = FtStats::default();

@@ -164,8 +164,11 @@ pub fn ft_hpl_with(
 ) -> Result<FtHplResult, FactorError> {
     let n = a.rows();
     assert!(a.is_square(), "HPL factors a square system");
-    assert!(n % opts.block == 0, "dimension must be a multiple of the panel width");
-    assert!(n % opts.process_cols == 0, "dimension must split across process columns");
+    assert!(n.is_multiple_of(opts.block), "dimension must be a multiple of the panel width");
+    assert!(
+        n.is_multiple_of(opts.process_cols),
+        "dimension must split across process columns"
+    );
 
     let mut stats = FtStats::default();
     let te = Instant::now();

@@ -117,7 +117,7 @@ where
 {
     let n = a.rows();
     assert!(a.is_square(), "LU factors a square system");
-    assert!(n % opts.block == 0, "dimension must be a multiple of the panel width");
+    assert!(n.is_multiple_of(opts.block), "dimension must be a multiple of the panel width");
     let nb = opts.block;
     let nt = n / nb;
 

@@ -161,17 +161,17 @@ mod tests {
     #[test]
     fn assisted_verification_is_cheaper() {
         // Table 1's mechanism: polling the (empty) error channel is far
-        // cheaper than recomputing checksums. Median of three to ride out
+        // cheaper than recomputing checksums. Median of five to ride out
         // scheduler noise under parallel test execution.
         for k in FailContinueKernel::ALL {
-            let mut gains: Vec<f64> = (0..3)
+            let mut gains: Vec<f64> = (0..5)
                 .map(|_| {
                     let ch = abft_coop_runtime::SysfsChannel::new();
                     simplified_verification_improvement(k, &small(), ch)
                 })
                 .collect();
             gains.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-            assert!(gains[1] > 0.0, "{}: expected speedup, got {:?}", k.label(), gains);
+            assert!(gains[2] > 0.0, "{}: expected speedup, got {:?}", k.label(), gains);
         }
     }
 }

@@ -3,37 +3,36 @@
 //! chips)"; Section 2.2 prices x8 chipkill at 18.75%-37.5% storage
 //! overhead. This study reruns the FT-DGEMM basic test on both widths.
 
-use abft_bench::print_header;
+use abft_bench::{print_header, report_progress};
 use abft_coop_core::report::{norm, pct, TextTable};
-use abft_coop_core::Strategy;
+use abft_coop_core::{Campaign, Strategy};
 use abft_memsim::config::DeviceWidth;
-use abft_memsim::system::Machine;
-use abft_memsim::workloads::{abft_regions, dgemm_trace, DgemmParams};
+use abft_memsim::workloads::{DgemmParams, KernelKind};
 use abft_memsim::SystemConfig;
 
 fn main() {
     print_header("Ablation — DRAM device width (FT-DGEMM trace)");
-    let trace = dgemm_trace(&DgemmParams { n: 768, nb: 64, abft: true, verify_interval: 4 });
-    let regions = abft_regions(&trace);
+    let run = Campaign::new()
+        .workload(DgemmParams { n: 768, nb: 64, abft: true, verify_interval: 4 })
+        .strategies([Strategy::NoEcc, Strategy::WholeChipkill, Strategy::PartialChipkillNoEcc])
+        .config("x4", SystemConfig::default().with_device_width(DeviceWidth::X4))
+        .config("x8", SystemConfig::default().with_device_width(DeviceWidth::X8))
+        .on_progress(report_progress)
+        .run();
     let mut t = TextTable::new(&["width", "strategy", "mem energy (norm)", "IPC (norm)"]);
-    for (w, label) in [(DeviceWidth::X4, "x4"), (DeviceWidth::X8, "x8")] {
-        let cfg = SystemConfig::default().with_device_width(w);
-        let mut m = Machine::new(cfg);
-        let base = m.run_trace(&trace, &Strategy::NoEcc.assignment(&regions));
-        let mut saving = 0.0;
-        let mut wck_e = 0.0;
-        for s in [Strategy::WholeChipkill, Strategy::PartialChipkillNoEcc] {
-            let st = m.run_trace(&trace, &s.assignment(&regions));
-            if s == Strategy::WholeChipkill {
-                wck_e = st.mem_total_j();
-            } else {
-                saving = 1.0 - st.mem_total_j() / wck_e;
-            }
+    for label in ["x4", "x8"] {
+        let cell =
+            |s| &run.get(KernelKind::Dgemm, s, label).expect("campaign cell").stats;
+        let base = cell(Strategy::NoEcc);
+        let wck = cell(Strategy::WholeChipkill);
+        let pck = cell(Strategy::PartialChipkillNoEcc);
+        let saving = 1.0 - pck.mem_total_j() / wck.mem_total_j();
+        for (s, st) in [(Strategy::WholeChipkill, wck), (Strategy::PartialChipkillNoEcc, pck)] {
             t.row(&[
                 label.to_string(),
                 s.label().to_string(),
                 norm(st.mem_total_j() / base.mem_total_j()),
-                norm(st.ipc / base.ipc),
+                norm(st.ipc() / base.ipc()),
             ]);
         }
         println!("{label}: partial-chipkill memory-energy saving = {}", pct(saving));

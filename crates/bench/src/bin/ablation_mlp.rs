@@ -2,30 +2,37 @@
 //! the `stall_factor` knob (the fraction of DRAM latency the pipeline
 //! cannot hide) moves the Figure 7 performance gaps.
 
-use abft_bench::print_header;
+use abft_bench::{print_header, report_progress};
 use abft_coop_core::report::norm;
 use abft_coop_core::report::TextTable;
-use abft_coop_core::Strategy;
-use abft_memsim::system::Machine;
-use abft_memsim::workloads::{abft_regions, cg_trace, CgParams};
+use abft_coop_core::{Campaign, Strategy};
+use abft_memsim::workloads::{CgParams, KernelKind};
 use abft_memsim::SystemConfig;
+
+const STALL_FACTORS: [f64; 6] = [0.1, 0.2, 0.35, 0.5, 0.75, 1.0];
 
 fn main() {
     print_header("Ablation — MLP sensitivity (FT-CG trace, W_CK vs No-ECC IPC gap)");
-    let trace = cg_trace(&CgParams { grid: 384, iterations: 6, abft: true, verify_interval: 4 });
-    let regions = abft_regions(&trace);
+    let mut campaign = Campaign::new()
+        .workload(CgParams { grid: 384, iterations: 6, abft: true, verify_interval: 4 })
+        .strategies([Strategy::NoEcc, Strategy::WholeChipkill])
+        .on_progress(report_progress);
+    for sf in STALL_FACTORS {
+        let cfg = SystemConfig { stall_factor: sf, ..SystemConfig::default() };
+        campaign = campaign.config(format!("sf={sf:.2}"), cfg);
+    }
+    let run = campaign.run();
     let mut t = TextTable::new(&["stall_factor", "IPC No-ECC", "IPC W_CK", "W_CK IPC (norm)"]);
-    for sf in [0.1, 0.2, 0.35, 0.5, 0.75, 1.0] {
-        let mut cfg = SystemConfig::default();
-        cfg.stall_factor = sf;
-        let mut m = Machine::new(cfg);
-        let base = m.run_trace(&trace, &Strategy::NoEcc.assignment(&regions));
-        let wck = m.run_trace(&trace, &Strategy::WholeChipkill.assignment(&regions));
+    for sf in STALL_FACTORS {
+        let tag = format!("sf={sf:.2}");
+        let cell = |s| &run.get(KernelKind::Cg, s, &tag).expect("campaign cell").stats;
+        let base = cell(Strategy::NoEcc);
+        let wck = cell(Strategy::WholeChipkill);
         t.row(&[
             format!("{sf:.2}"),
-            format!("{:.3}", base.ipc),
-            format!("{:.3}", wck.ipc),
-            norm(wck.ipc / base.ipc),
+            format!("{:.3}", base.ipc()),
+            format!("{:.3}", wck.ipc()),
+            norm(wck.ipc() / base.ipc()),
         ]);
     }
     print!("{}", t.render());

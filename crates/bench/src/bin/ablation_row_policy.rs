@@ -3,35 +3,42 @@
 //! energy savings of partial ECC; a closed-page machine shows the
 //! counterfactual.
 
-use abft_bench::print_header;
+use abft_bench::{print_header, report_progress};
 use abft_coop_core::report::{norm, TextTable};
-use abft_coop_core::Strategy;
+use abft_coop_core::{Campaign, Strategy};
 use abft_memsim::config::RowPolicy;
-use abft_memsim::system::Machine;
-use abft_memsim::workloads::{abft_regions, dgemm_trace, DgemmParams};
+use abft_memsim::workloads::{DgemmParams, KernelKind};
 use abft_memsim::SystemConfig;
+
+fn config_with_policy(policy: RowPolicy) -> SystemConfig {
+    SystemConfig { row_policy: policy, ..SystemConfig::default() }
+}
 
 fn main() {
     print_header("Ablation — row-buffer policy (FT-DGEMM trace)");
-    let trace = dgemm_trace(&DgemmParams { n: 768, nb: 64, abft: true, verify_interval: 4 });
-    let regions = abft_regions(&trace);
+    let run = Campaign::new()
+        .workload(DgemmParams { n: 768, nb: 64, abft: true, verify_interval: 4 })
+        .strategies([Strategy::WholeChipkill, Strategy::PartialChipkillNoEcc])
+        .config("open", config_with_policy(RowPolicy::Open))
+        .config("closed", config_with_policy(RowPolicy::Closed))
+        .on_progress(report_progress)
+        .run();
     let mut t = TextTable::new(&[
         "policy", "strategy", "row-hit rate", "mem dynamic (J)", "IPC", "partial-CK saving",
     ]);
-    for (policy, label) in [(RowPolicy::Open, "open"), (RowPolicy::Closed, "closed")] {
-        let mut cfg = SystemConfig::default();
-        cfg.row_policy = policy;
-        let mut m = Machine::new(cfg);
-        let wck = m.run_trace(&trace, &Strategy::WholeChipkill.assignment(&regions));
-        let pck = m.run_trace(&trace, &Strategy::PartialChipkillNoEcc.assignment(&regions));
+    for label in ["open", "closed"] {
+        let cell =
+            |s| &run.get(KernelKind::Dgemm, s, label).expect("campaign cell").stats;
+        let wck = cell(Strategy::WholeChipkill);
+        let pck = cell(Strategy::PartialChipkillNoEcc);
         let saving = 1.0 - pck.mem_total_j() / wck.mem_total_j();
-        for (s, st) in [("W_CK", &wck), ("P_CK+No_ECC", &pck)] {
+        for (s, st) in [("W_CK", wck), ("P_CK+No_ECC", pck)] {
             t.row(&[
                 label.to_string(),
                 s.to_string(),
                 norm(st.row_hit_rate),
-                format!("{:.3}", st.mem_dynamic_j),
-                format!("{:.3}", st.ipc),
+                format!("{:.3}", st.mem_dynamic_j()),
+                format!("{:.3}", st.ipc()),
                 format!("{:.1}%", saving * 100.0),
             ]);
         }

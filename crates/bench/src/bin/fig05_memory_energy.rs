@@ -12,14 +12,14 @@ fn main() {
         "Kernel", "Strategy", "Mem energy (norm)", "Dynamic (norm)", "Standby (norm)",
     ]);
     for bt in &tests {
-        let sb0 = bt.row(Strategy::NoEcc).stats.mem_standby_j;
+        let sb0 = bt.row(Strategy::NoEcc).stats.mem_standby_j();
         for s in Strategy::ALL {
             t.row(&[
                 bt.kernel.label().to_string(),
                 s.label().to_string(),
                 norm(bt.mem_energy_norm(s)),
                 norm(bt.mem_dynamic_norm(s)),
-                norm(bt.row(s).stats.mem_standby_j / sb0),
+                norm(bt.row(s).stats.mem_standby_j() / sb0),
             ]);
         }
     }

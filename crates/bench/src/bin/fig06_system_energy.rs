@@ -17,7 +17,7 @@ fn main() {
                 s.label().to_string(),
                 norm(bt.system_energy_norm(s)),
                 format!("{:.3}", st.mem_total_j()),
-                format!("{:.3}", st.proc_j),
+                format!("{:.3}", st.proc_j()),
             ]);
         }
     }

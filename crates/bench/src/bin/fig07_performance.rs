@@ -14,7 +14,7 @@ fn main() {
             t.row(&[
                 bt.kernel.label().to_string(),
                 s.label().to_string(),
-                format!("{:.3}", bt.row(s).stats.ipc),
+                format!("{:.3}", bt.row(s).stats.ipc()),
                 norm(bt.ipc_norm(s)),
             ]);
         }

@@ -2,17 +2,19 @@
 //! cost (FT-CG, 3000x3000-class per process, 100 -> 819,200 processes).
 
 use abft_analysis::{profiles_from_basic_test, weak_scaling, ScalingConfig};
-use abft_bench::print_header;
+use abft_bench::{print_header, report_progress};
 use abft_coop_core::report::TextTable;
-use abft_coop_core::run_basic_test_on;
-use abft_memsim::workloads::{cg_trace, CgParams, KernelKind};
-use abft_memsim::SystemConfig;
+use abft_coop_core::Campaign;
+use abft_memsim::workloads::KernelKind;
 
 fn main() {
     print_header("Figure 8 — Weak scaling: energy benefit vs ABFT recovery cost (FT-CG)");
     eprintln!("[measuring single-process FT-CG profile ...]");
-    let trace = cg_trace(&CgParams::default());
-    let bt = run_basic_test_on(KernelKind::Cg, &trace, &SystemConfig::default());
+    let bt = Campaign::new()
+        .kernel(KernelKind::Cg)
+        .on_progress(report_progress)
+        .run()
+        .basic_test(KernelKind::Cg);
     let cfg = ScalingConfig::default();
     let mut t = TextTable::new(&["Strategy", "Processes", "Energy benefit (kJ)", "Recovery cost (kJ)", "Errors"]);
     for prof in profiles_from_basic_test(&bt) {

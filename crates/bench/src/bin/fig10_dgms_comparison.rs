@@ -2,30 +2,36 @@
 //! flexible ECC) vs the cooperative ABFT-directed scheme, for FT-DGEMM
 //! (high spatial locality) and FT-Pred-CG (low spatial locality).
 
-use abft_bench::{kernel_trace, print_header};
+use abft_bench::{kernel_trace, print_header, report_progress};
 use abft_coop_core::report::{norm, pct, TextTable};
-use abft_coop_core::Strategy;
+use abft_coop_core::{Campaign, Strategy};
 use abft_dgms::run_dgms;
 use abft_memsim::system::Machine;
-use abft_memsim::workloads::{abft_regions, KernelKind};
+use abft_memsim::workloads::KernelKind;
 use abft_memsim::SystemConfig;
 
 fn main() {
     print_header("Figure 10 — DGMS vs the cooperative ABFT+ECC scheme (error-free)");
+    let kinds = [KernelKind::Dgemm, KernelKind::Cg];
+    let run = Campaign::new()
+        .kernels(kinds)
+        .strategies([Strategy::NoEcc, Strategy::WholeChipkill, Strategy::PartialChipkillSecded])
+        .on_progress(report_progress)
+        .run();
     let mut t = TextTable::new(&["Kernel", "Config", "Time (norm)", "Mem energy (norm)", "DGMS coarse frac"]);
-    for kind in [KernelKind::Dgemm, KernelKind::Cg] {
-        eprintln!("[fig10] {} ...", kind.label());
+    for kind in kinds {
+        eprintln!("[fig10] {} DGMS pass ...", kind.label());
+        let cell = |s| &run.get(kind, s, "default").expect("campaign cell").stats;
+        let base = cell(Strategy::NoEcc);
+        let wck = cell(Strategy::WholeChipkill);
+        let ours = cell(Strategy::PartialChipkillSecded);
         let trace = kernel_trace(kind);
-        let regions = abft_regions(&trace);
         let mut m = Machine::new(SystemConfig::default());
-        let base = m.run_trace(&trace, &Strategy::NoEcc.assignment(&regions));
-        let wck = m.run_trace(&trace, &Strategy::WholeChipkill.assignment(&regions));
-        let ours = m.run_trace(&trace, &Strategy::PartialChipkillSecded.assignment(&regions));
         let (dgms, coarse) = run_dgms(&mut m, &trace);
         for (label, s, cf) in [
-            ("W_CK", &wck, String::new()),
+            ("W_CK", wck, String::new()),
             ("DGMS", &dgms, format!("{coarse:.2}")),
-            ("Ours (P_CK+P_SD)", &ours, String::new()),
+            ("Ours (P_CK+P_SD)", ours, String::new()),
         ] {
             t.row(&[
                 kind.label().to_string(),

@@ -1,22 +1,22 @@
 //! Table 4: classification of last-level-cache references by ABFT
 //! protection of the accessed blocks.
 
-use abft_bench::{kernel_trace, print_header};
-use abft_coop_core::Strategy;
+use abft_bench::{print_header, report_progress};
 use abft_coop_core::report::TextTable;
-use abft_memsim::system::Machine;
-use abft_memsim::workloads::{abft_regions, KernelKind};
-use abft_memsim::SystemConfig;
+use abft_coop_core::{Campaign, Strategy};
+use abft_memsim::workloads::KernelKind;
 
 fn main() {
     print_header("Table 4 — Classification of cacheline accesses by ABFT protection");
+    let run = Campaign::new()
+        .kernels(KernelKind::ALL)
+        .strategy(Strategy::WholeChipkill)
+        .on_progress(report_progress)
+        .run();
     let mut t = TextTable::new(&["ABFT", "#Ref w/t ABFT", "#Ref w/o ABFT", "Ratio", "Paper ratio"]);
     let paper = [654.0, 14.0, 3.0, 20.0];
-    let mut m = Machine::new(SystemConfig::default());
     for (k, p) in KernelKind::ALL.iter().zip(paper) {
-        let trace = kernel_trace(*k);
-        let regions = abft_regions(&trace);
-        let s = m.run_trace(&trace, &Strategy::WholeChipkill.assignment(&regions));
+        let s = &run.get(*k, Strategy::WholeChipkill, "default").expect("campaign cell").stats;
         t.row(&[
             k.label().to_string(),
             s.llc_misses_abft().to_string(),

@@ -7,11 +7,11 @@
 //! trace_stats --load FILE
 //! ```
 
-use abft_bench::print_header;
+use abft_bench::{kernel_trace, print_header};
 use abft_coop_core::report::{pct, TextTable};
 use abft_memsim::tracefile;
 use abft_memsim::trace::Trace;
-use abft_memsim::workloads::{basic_trace, KernelKind};
+use abft_memsim::workloads::KernelKind;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
@@ -84,10 +84,12 @@ fn main() {
     }
     let trace = if let Some(path) = load {
         let f = File::open(&path).expect("open trace file");
-        tracefile::read_trace(&mut BufReader::new(f)).expect("parse trace file")
+        std::sync::Arc::new(
+            tracefile::read_trace(&mut BufReader::new(f)).expect("parse trace file"),
+        )
     } else {
         eprintln!("[generating {} trace ...]", kernel.label());
-        let t = basic_trace(kernel);
+        let t = kernel_trace(kernel);
         if let Some(path) = save {
             let f = File::create(&path).expect("create trace file");
             tracefile::write_trace(&t, &mut BufWriter::new(f)).expect("write trace");

@@ -16,11 +16,18 @@
 //! | `fig09_strong_scaling` | Figure 9 — strong-scaling benefit vs recovery |
 //! | `fig10_dgms_comparison` | Figure 10 — DGMS vs the cooperative scheme |
 //! | `cases_error_handling` | Section 4 — Case 1-4 end-to-end drills |
+//!
+//! All of the memory-simulation binaries drive the same
+//! [`Campaign`](abft_coop_core::Campaign) engine, so traces are generated
+//! once per process (shared through the [`TraceCache`]) and the
+//! (kernel x strategy x config) cells run on a rayon pool — set
+//! `RAYON_NUM_THREADS` to bound the workers.
 
-use abft_coop_core::{run_basic_test_on, BasicTest};
+use abft_coop_core::{BasicTest, Campaign, Progress};
 use abft_memsim::trace::Trace;
-use abft_memsim::workloads::{basic_trace, KernelKind};
-use abft_memsim::SystemConfig;
+use abft_memsim::workloads::{KernelKind, KernelParams};
+use abft_memsim::{SystemConfig, TraceCache};
+use std::sync::Arc;
 
 /// Print the standard run header (the Table 3 configuration).
 pub fn print_header(title: &str) {
@@ -32,21 +39,40 @@ pub fn print_header(title: &str) {
     println!("----------------------------------------------------------------");
 }
 
-/// Run the basic tests for all four kernels at the default scale.
-/// This is the expensive shared computation behind Figures 5-7 and
-/// Table 4 (a couple of minutes in release mode).
-pub fn all_basic_tests() -> Vec<BasicTest> {
-    KernelKind::ALL
-        .iter()
-        .map(|&k| {
-            eprintln!("[basic-test] {} ...", k.label());
-            let t = basic_trace(k);
-            run_basic_test_on(k, &t, &SystemConfig::default())
-        })
-        .collect()
+/// The standard stderr liveness line for campaign progress.
+pub fn report_progress(p: &Progress) {
+    eprintln!(
+        "[campaign {}/{}] {} / {} / {} ({:.2}s; traces: {} built, {} cache hits)",
+        p.completed,
+        p.total,
+        p.kernel.label(),
+        p.strategy.label(),
+        p.config_tag,
+        p.job_wall.as_secs_f64(),
+        p.cache_builds,
+        p.cache_hits,
+    );
 }
 
-/// Generate the basic trace for one kernel (re-exported convenience).
-pub fn kernel_trace(kind: KernelKind) -> Trace {
-    basic_trace(kind)
+/// Run the basic tests for all four kernels at the default scale, in
+/// parallel. This is the expensive shared computation behind Figures 5-7
+/// and Table 4. The raw campaign cells are also dumped to
+/// `reproduction-output/basic_tests.json` (best-effort).
+pub fn all_basic_tests() -> Vec<BasicTest> {
+    let run = Campaign::new()
+        .kernels(KernelKind::ALL)
+        .on_progress(report_progress)
+        .run();
+    let json_path = "reproduction-output/basic_tests.json";
+    match run.write_json(json_path) {
+        Ok(()) => eprintln!("[campaign] wrote {json_path}"),
+        Err(e) => eprintln!("[campaign] could not write {json_path}: {e}"),
+    }
+    run.basic_tests()
+}
+
+/// The default-scale trace for one kernel, from the process-wide
+/// [`TraceCache`] (generated at most once per process).
+pub fn kernel_trace(kind: KernelKind) -> Arc<Trace> {
+    TraceCache::global().get(KernelParams::default_for(kind))
 }

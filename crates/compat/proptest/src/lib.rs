@@ -1,0 +1,409 @@
+//! Minimal vendored `proptest` stand-in: the same call-site surface
+//! (`proptest!`, `prop_assert*!`, `prop_assume!`, `ProptestConfig`,
+//! `prop::sample::select`, `prop::collection::vec`, range strategies and
+//! `ident: Type` arbitrary params), driven by a deterministic ChaCha8 RNG
+//! seeded from the test name. No shrinking and no regression-file replay —
+//! failures report the generated case and the assertion message instead.
+
+pub mod test_runner {
+    /// Per-`proptest!` block configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config with an explicit case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// Input rejected by `prop_assume!` — retried, not a failure.
+        Reject(String),
+        /// Assertion failed — the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Build a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic RNG handed to strategies; seeded from the test name.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(pub rand_chacha::ChaCha8Rng);
+
+    impl TestRng {
+        /// RNG for the named test (FNV-1a of the name as the seed).
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            use rand::SeedableRng;
+            TestRng(rand_chacha::ChaCha8Rng::seed_from_u64(h))
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.0.fill_bytes(dest)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use core::ops::{Range, RangeInclusive};
+    use rand::{Rng, SampleUniform};
+
+    /// A value generator: `pick` draws one value for a test case.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+        /// Draw one value.
+        fn pick(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: SampleUniform + PartialOrd + Clone,
+    {
+        type Value = T;
+        fn pick(&self, rng: &mut TestRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: SampleUniform + PartialOrd + Clone,
+    {
+        type Value = T;
+        fn pick(&self, rng: &mut TestRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy choosing uniformly from a fixed set of values.
+    #[derive(Clone, Debug)]
+    pub struct Select<T>(Vec<T>);
+
+    /// Choose uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn pick(&self, rng: &mut TestRng) -> T {
+            let i = rng.random_range(0..self.0.len());
+            self.0[i].clone()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::ops::Range;
+    use rand::Rng;
+
+    /// Strategy producing a `Vec` whose length is drawn from a range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn pick(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.element.pick(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::test_runner::TestRng;
+    use rand::RngCore;
+
+    /// Default value generation for `name: Type` proptest parameters.
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),* $(,)?) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Uniform in [-1e6, 1e6): plenty of spread without NaN/inf.
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            (u - 0.5) * 2e6
+        }
+    }
+}
+
+/// Bind one generated value per parameter (internal; used by `proptest!`).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::pick(&($strat), $rng);
+    };
+    ($rng:ident; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::pick(&($strat), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary($rng);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary($rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// Emit the individual `#[test]` functions (internal; used by `proptest!`).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let rng = &mut $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut passed: u32 = 0;
+            let mut attempts: u32 = 0;
+            while passed < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases.saturating_mul(10) + 100,
+                    "proptest '{}': too many inputs rejected by prop_assume!",
+                    stringify!($name)
+                );
+                let outcome = (|| -> ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $crate::__proptest_bind!(rng; $($params)*);
+                    let _: () = $body;
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => continue,
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' failed after {} passing case(s): {}",
+                            stringify!($name),
+                            passed,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Property-test block: same syntax as the real `proptest!` macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{
+            @cfg($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Assert inside a proptest body (fails the case, not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Reject the current input (the runner draws a fresh one).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
+            );
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace mirror of proptest's `prop::` module tree.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_types_bind(
+            a in 2usize..40,
+            b in 1u8..=8,
+            f in -1.0f64..1.0,
+            pick in prop::sample::select(vec![10u64, 20, 30]),
+            ops in prop::collection::vec(1u64..64, 1..40),
+            raw: u64,
+            small: u8,
+        ) {
+            prop_assert!((2..40).contains(&a));
+            prop_assert!((1..=8).contains(&b));
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert!(pick % 10 == 0, "pick {}", pick);
+            prop_assert!(!ops.is_empty() && ops.len() < 40);
+            prop_assert!(ops.iter().all(|&x| (1..64).contains(&x)));
+            let _ = raw;
+            let _ = small;
+        }
+
+        #[test]
+        fn assume_retries(x in 0usize..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u32..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_processes() {
+        use crate::strategy::Strategy;
+        let rng = &mut crate::test_runner::TestRng::for_test("fixed-name");
+        let a: Vec<usize> = (0..8).map(|_| (0usize..100).pick(rng)).collect();
+        let rng2 = &mut crate::test_runner::TestRng::for_test("fixed-name");
+        let b: Vec<usize> = (0..8).map(|_| (0usize..100).pick(rng2)).collect();
+        assert_eq!(a, b);
+    }
+}

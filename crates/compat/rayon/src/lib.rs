@@ -1,0 +1,305 @@
+//! Minimal vendored `rayon` stand-in built on `std::thread::scope`.
+//!
+//! Supports the subset this workspace uses: `par_chunks_mut`, `par_iter`,
+//! `into_par_iter`, the `enumerate`/`map`/`for_each`/`collect` adapters,
+//! `ThreadPoolBuilder`/`ThreadPool::install`, and `current_num_threads`
+//! (honouring `RAYON_NUM_THREADS`). Work is partitioned round-robin across
+//! a fixed set of scoped worker threads; results are returned in input
+//! order, so `collect` is deterministic regardless of thread count.
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    let installed = POOL_THREADS.with(|c| c.get());
+    if installed > 0 {
+        return installed;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Run `items` through `f` on the current worker budget, preserving order.
+fn execute<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut buckets: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % threads].push((i, item));
+    }
+    let f = &f;
+    let mut tagged: Vec<(usize, U)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    bucket.into_iter().map(|(i, x)| (i, f(x))).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, u)| u).collect()
+}
+
+/// An eager, order-preserving parallel iterator over a materialized item set.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Lazily map each item through `f` (applied in parallel at the sink).
+    pub fn map<U, F>(self, f: F) -> Map<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        Map { items: self.items, f }
+    }
+
+    /// Apply `f` to every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        execute(self.items, |x| f(x));
+    }
+
+    /// Collect the items (parallelism already spent upstream).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Lazy `map` adapter produced by [`ParIter::map`].
+pub struct Map<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, U, F> Map<T, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    /// Run the mapped pipeline in parallel and collect results in order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        execute(self.items, self.f).into_iter().collect()
+    }
+
+    /// Run the mapped pipeline in parallel, discarding results.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(U) + Sync,
+    {
+        let f = self.f;
+        execute(self.items, |x| g(f(x)));
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into mutable chunks of at most `chunk_size`, in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParIter { items: self.chunks_mut(chunk_size).collect() }
+    }
+}
+
+/// By-value conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item yielded by the parallel iterator.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// By-reference conversion into a parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item yielded by the parallel iterator (a reference).
+    type Item: Send;
+    /// Iterate the collection's elements by reference, in parallel.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by this stand-in).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a fixed-size [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker-thread count (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Finish building the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A thread-count scope: parallel ops inside [`ThreadPool::install`] use
+/// this pool's worker budget. (Workers are scoped threads spawned at each
+/// parallel call, not persistent OS threads.)
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Number of worker threads this pool was built with.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with this pool's thread budget installed.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(self.num_threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+}
+
+/// The traits and adapters a `use rayon::prelude::*` expects.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunks_mut_writes_every_element() {
+        let mut v = vec![0usize; 103];
+        v.as_mut_slice()
+            .par_chunks_mut(10)
+            .enumerate()
+            .for_each(|(tile, chunk)| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = tile * 10 + j + 1;
+                }
+            });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i + 1);
+        }
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..257).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..257).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let seen = AtomicUsize::new(0);
+        pool.install(|| {
+            (0..10usize).collect::<Vec<_>>().into_par_iter().for_each(|_| {
+                seen.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn par_iter_by_ref() {
+        let v = vec![1u64, 2, 3, 4];
+        let sum: Vec<u64> = v.par_iter().map(|x| x + 1).collect();
+        assert_eq!(sum, vec![2, 3, 4, 5]);
+        assert_eq!(v.len(), 4);
+    }
+}

@@ -1,0 +1,510 @@
+//! The parallel campaign engine: one API for every harness binary.
+//!
+//! The paper's evaluation (Sections 5.1-5.3) is a grid of
+//! (kernel x ECC strategy x system config) simulations. [`Campaign`] is
+//! the builder for that grid: name the workloads, strategies and config
+//! variants, then [`Campaign::run`] expands them into independent jobs
+//! and executes the jobs on a rayon worker pool. Kernel traces — the
+//! dominant fixed cost — are generated once per process through the
+//! shared [`TraceCache`] and handed to jobs as `Arc<Trace>` clones.
+//!
+//! Every job runs on a fresh [`Machine`], so results are bit-identical
+//! regardless of worker count or completion order (the simulator itself
+//! is deterministic; see `tests/campaign_determinism.rs`).
+//!
+//! ```no_run
+//! use abft_coop_core::{Campaign, Strategy};
+//! use abft_memsim::KernelKind;
+//!
+//! let run = Campaign::new()
+//!     .kernels(KernelKind::ALL)          // 4 kernels x
+//!     .strategies(Strategy::ALL)         // 6 strategies x 1 default config
+//!     .run();                            // = 24 jobs, 4 trace generations
+//! let dgemm = run.basic_test(KernelKind::Dgemm);
+//! println!("W_CK memory energy x{:.2}", dgemm.mem_energy_norm(Strategy::WholeChipkill));
+//! run.write_json("reproduction-output/basic_tests.json").unwrap();
+//! ```
+
+use crate::experiment::{BasicTest, StrategyResult};
+use crate::strategy::Strategy;
+use abft_memsim::system::{Machine, SimStats};
+use abft_memsim::trace::Trace;
+use abft_memsim::trace_cache::TraceCache;
+use abft_memsim::workloads::{abft_regions, KernelKind, KernelParams};
+use abft_memsim::SystemConfig;
+use rayon::prelude::*;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Run one (trace, config, strategy) cell on a fresh machine — the job
+/// primitive every campaign cell and the legacy `run_basic_test_on` path
+/// share.
+pub fn run_strategy_job(trace: &Trace, cfg: &SystemConfig, strategy: Strategy) -> SimStats {
+    let regions = abft_regions(trace);
+    Machine::new(cfg.clone()).run_trace(trace, &strategy.assignment(&regions))
+}
+
+/// One completed campaign cell.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// The kernel the workload models.
+    pub kernel: KernelKind,
+    /// The full workload (kernel + scale).
+    pub workload: KernelParams,
+    /// The ECC strategy simulated.
+    pub strategy: Strategy,
+    /// Tag of the system-config variant (defaults to `"default"`).
+    pub config_tag: String,
+    /// Simulation statistics.
+    pub stats: SimStats,
+    /// Wall-clock this job took (simulation only; trace generation is
+    /// accounted to whichever job built the cache entry).
+    pub wall: Duration,
+}
+
+/// Progress snapshot handed to the [`Campaign::on_progress`] hook after
+/// every completed job.
+#[derive(Debug, Clone)]
+pub struct Progress {
+    /// Jobs completed so far (including this one).
+    pub completed: usize,
+    /// Total jobs in the grid.
+    pub total: usize,
+    /// Kernel of the job that just finished.
+    pub kernel: KernelKind,
+    /// Strategy of the job that just finished.
+    pub strategy: Strategy,
+    /// Config tag of the job that just finished.
+    pub config_tag: String,
+    /// Wall-clock of the job that just finished.
+    pub job_wall: Duration,
+    /// Trace-cache hits so far (process-wide for the cache in use).
+    pub cache_hits: u64,
+    /// Traces generated so far (process-wide for the cache in use).
+    pub cache_builds: u64,
+}
+
+/// Aggregate counters for a finished campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignMetrics {
+    /// Jobs executed.
+    pub jobs: usize,
+    /// Trace-cache lookups served without generating (delta over the run).
+    pub cache_hits: u64,
+    /// Traces generated during the run.
+    pub cache_builds: u64,
+    /// End-to-end wall-clock of [`Campaign::run`].
+    pub wall: Duration,
+}
+
+type ProgressHook = Arc<dyn Fn(&Progress) + Send + Sync>;
+
+/// Builder for a (workload x config x strategy) simulation grid.
+#[derive(Default)]
+pub struct Campaign {
+    workloads: Vec<KernelParams>,
+    strategies: Vec<Strategy>,
+    configs: Vec<(String, SystemConfig)>,
+    threads: Option<usize>,
+    progress: Option<ProgressHook>,
+}
+
+impl Campaign {
+    /// An empty campaign. Without further calls, [`run`](Campaign::run)
+    /// covers all four kernels at default scale, all six strategies, and
+    /// the default system config.
+    pub fn new() -> Self {
+        Campaign::default()
+    }
+
+    /// Add one kernel at its default (Table-3-scaled) workload.
+    pub fn kernel(self, kind: KernelKind) -> Self {
+        self.workload(KernelParams::default_for(kind))
+    }
+
+    /// Add several kernels at their default workloads.
+    pub fn kernels(mut self, kinds: impl IntoIterator<Item = KernelKind>) -> Self {
+        for k in kinds {
+            self.workloads.push(KernelParams::default_for(k));
+        }
+        self
+    }
+
+    /// Add one fully-specified workload (kernel + scale).
+    pub fn workload(mut self, params: impl Into<KernelParams>) -> Self {
+        self.workloads.push(params.into());
+        self
+    }
+
+    /// Add several fully-specified workloads.
+    pub fn workloads(mut self, params: impl IntoIterator<Item = KernelParams>) -> Self {
+        self.workloads.extend(params);
+        self
+    }
+
+    /// Add one strategy (default when none are added: all six).
+    pub fn strategy(mut self, s: Strategy) -> Self {
+        self.strategies.push(s);
+        self
+    }
+
+    /// Add several strategies.
+    pub fn strategies(mut self, ss: impl IntoIterator<Item = Strategy>) -> Self {
+        self.strategies.extend(ss);
+        self
+    }
+
+    /// Add a tagged system-config variant (default when none are added:
+    /// `("default", SystemConfig::default())`).
+    pub fn config(mut self, tag: impl Into<String>, cfg: SystemConfig) -> Self {
+        self.configs.push((tag.into(), cfg));
+        self
+    }
+
+    /// Pin the worker count (default: the rayon global default, which
+    /// honours `RAYON_NUM_THREADS`). `threads(1)` is the serial path.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Install a hook called after every completed job (liveness
+    /// reporting for long campaigns). May be called from worker threads.
+    pub fn on_progress(mut self, hook: impl Fn(&Progress) + Send + Sync + 'static) -> Self {
+        self.progress = Some(Arc::new(hook));
+        self
+    }
+
+    /// Execute the grid against the process-wide [`TraceCache`].
+    pub fn run(self) -> CampaignRun {
+        self.run_with_cache(TraceCache::global())
+    }
+
+    /// Execute the grid against an explicit cache (tests use private
+    /// caches to observe hit/build counts from a clean slate).
+    pub fn run_with_cache(self, cache: &TraceCache) -> CampaignRun {
+        let workloads = if self.workloads.is_empty() {
+            KernelKind::ALL.iter().map(|&k| KernelParams::default_for(k)).collect()
+        } else {
+            self.workloads
+        };
+        let strategies =
+            if self.strategies.is_empty() { Strategy::ALL.to_vec() } else { self.strategies };
+        let configs = if self.configs.is_empty() {
+            vec![("default".to_string(), SystemConfig::default())]
+        } else {
+            self.configs
+        };
+
+        // Deterministic nested order: workload, then config, then strategy.
+        let mut jobs: Vec<(KernelParams, usize, Strategy)> = Vec::new();
+        for &w in &workloads {
+            for c in 0..configs.len() {
+                for &s in &strategies {
+                    jobs.push((w, c, s));
+                }
+            }
+        }
+
+        let total = jobs.len();
+        let completed = AtomicUsize::new(0);
+        let hits0 = cache.hits();
+        let builds0 = cache.builds();
+        let progress = self.progress.clone();
+        let start = Instant::now();
+
+        // Pre-generate every distinct trace in parallel. Without this the
+        // workload-major job order makes all workers start on the same
+        // kernel and serialize behind one cache slot's build; warming the
+        // cache first costs max(build times) instead of their sum.
+        let mut distinct: Vec<KernelParams> = Vec::new();
+        for &w in &workloads {
+            if !distinct.contains(&w) {
+                distinct.push(w);
+            }
+        }
+
+        let execute = || -> Vec<CampaignResult> {
+            distinct.into_par_iter().for_each(|w| {
+                cache.get(w);
+            });
+            jobs.into_par_iter()
+                .map(|(workload, cfg_idx, strategy)| {
+                    let (tag, cfg) = &configs[cfg_idx];
+                    let job_start = Instant::now();
+                    let trace = cache.get(workload);
+                    let stats = run_strategy_job(&trace, cfg, strategy);
+                    let wall = job_start.elapsed();
+                    let result = CampaignResult {
+                        kernel: workload.kind(),
+                        workload,
+                        strategy,
+                        config_tag: tag.clone(),
+                        stats,
+                        wall,
+                    };
+                    if let Some(hook) = &progress {
+                        let done = completed.fetch_add(1, Ordering::SeqCst) + 1;
+                        hook(&Progress {
+                            completed: done,
+                            total,
+                            kernel: result.kernel,
+                            strategy,
+                            config_tag: result.config_tag.clone(),
+                            job_wall: wall,
+                            cache_hits: cache.hits(),
+                            cache_builds: cache.builds(),
+                        });
+                    }
+                    result
+                })
+                .collect()
+        };
+
+        let results = match self.threads {
+            Some(n) => rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .expect("thread pool")
+                .install(execute),
+            None => execute(),
+        };
+
+        CampaignRun {
+            results,
+            metrics: CampaignMetrics {
+                jobs: total,
+                cache_hits: cache.hits() - hits0,
+                cache_builds: cache.builds() - builds0,
+                wall: start.elapsed(),
+            },
+        }
+    }
+}
+
+/// The results of a finished campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// All cells, in the deterministic grid order
+    /// (workload-major, then config, then strategy).
+    pub results: Vec<CampaignResult>,
+    /// Aggregate counters.
+    pub metrics: CampaignMetrics,
+}
+
+impl CampaignRun {
+    /// The cell for an exact (kernel, strategy, config tag) triple — the
+    /// first matching workload when several share a kernel.
+    pub fn get(&self, kernel: KernelKind, s: Strategy, tag: &str) -> Option<&CampaignResult> {
+        self.results
+            .iter()
+            .find(|r| r.kernel == kernel && r.strategy == s && r.config_tag == tag)
+    }
+
+    /// Assemble the classic [`BasicTest`] view for one kernel under the
+    /// given config tag (rows in the campaign's strategy order).
+    pub fn basic_test_for(&self, kernel: KernelKind, tag: &str) -> BasicTest {
+        let workload = self
+            .results
+            .iter()
+            .find(|r| r.kernel == kernel && r.config_tag == tag)
+            .unwrap_or_else(|| panic!("campaign has no {} cells tagged {tag:?}", kernel.label()))
+            .workload;
+        let rows: Vec<StrategyResult> = self
+            .results
+            .iter()
+            .filter(|r| r.workload == workload && r.config_tag == tag)
+            .map(|r| StrategyResult { strategy: r.strategy, stats: r.stats.clone() })
+            .collect();
+        BasicTest { kernel, rows }
+    }
+
+    /// [`BasicTest`] view for one kernel under the first config.
+    pub fn basic_test(&self, kernel: KernelKind) -> BasicTest {
+        let tag = self
+            .results
+            .first()
+            .map(|r| r.config_tag.clone())
+            .expect("campaign produced no results");
+        self.basic_test_for(kernel, &tag)
+    }
+
+    /// [`BasicTest`] views for every distinct kernel, in grid order
+    /// (first config).
+    pub fn basic_tests(&self) -> Vec<BasicTest> {
+        let mut kinds: Vec<KernelKind> = Vec::new();
+        for r in &self.results {
+            if !kinds.contains(&r.kernel) {
+                kinds.push(r.kernel);
+            }
+        }
+        kinds.into_iter().map(|k| self.basic_test(k)).collect()
+    }
+
+    /// Machine-readable JSON of every cell plus the campaign counters.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"metrics\": {");
+        out.push_str(&format!(
+            "\"jobs\": {}, \"cache_hits\": {}, \"cache_builds\": {}, \"wall_seconds\": {:.6}",
+            self.metrics.jobs,
+            self.metrics.cache_hits,
+            self.metrics.cache_builds,
+            self.metrics.wall.as_secs_f64()
+        ));
+        out.push_str("},\n  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let st = &r.stats;
+            out.push_str(&format!(
+                "    {{\"kernel\": {}, \"workload\": {}, \"strategy\": {}, \"config\": {}, \
+                 \"wall_seconds\": {:.6}, \"stats\": {{\
+                 \"instructions\": {}, \"cycles\": {}, \"seconds\": {:.9}, \"ipc\": {:.6}, \
+                 \"mem_dynamic_j\": {:.9}, \"mem_standby_j\": {:.9}, \"mem_total_j\": {:.9}, \
+                 \"proc_j\": {:.9}, \"system_j\": {:.9}, \
+                 \"l1_hit_rate\": {:.6}, \"l2_hit_rate\": {:.6}, \"row_hit_rate\": {:.6}, \
+                 \"dram_reads\": {}, \"dram_writes\": {}, \
+                 \"avg_dram_latency_ns\": {:.4}, \"avg_dram_queue_ns\": {:.4}, \
+                 \"dram_bandwidth_gbps\": {:.4}}}}}{}\n",
+                json_string(r.kernel.label()),
+                json_string(&format!("{:?}", r.workload)),
+                json_string(r.strategy.label()),
+                json_string(&r.config_tag),
+                r.wall.as_secs_f64(),
+                st.instructions,
+                st.cycles,
+                st.seconds,
+                st.ipc(),
+                st.mem_dynamic_j(),
+                st.mem_standby_j(),
+                st.mem_total_j(),
+                st.proc_j(),
+                st.system_j(),
+                st.l1_hit_rate,
+                st.l2_hit_rate,
+                st.row_hit_rate,
+                st.dram_reads,
+                st.dram_writes,
+                st.avg_dram_latency_ns,
+                st.avg_dram_queue_ns,
+                st.dram_bandwidth_gbps,
+                if i + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write [`CampaignRun::to_json`] to a file, creating parent
+    /// directories (the harness binaries use `reproduction-output/`).
+    pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
+/// Minimal JSON string quoting (labels and tags are ASCII in practice).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_memsim::workloads::DgemmParams;
+
+    fn tiny() -> KernelParams {
+        KernelParams::Dgemm(DgemmParams { n: 128, nb: 64, abft: true, verify_interval: 2 })
+    }
+
+    #[test]
+    fn grid_order_is_workload_config_strategy() {
+        let cache = TraceCache::new();
+        let run = Campaign::new()
+            .workload(tiny())
+            .strategies([Strategy::NoEcc, Strategy::WholeChipkill])
+            .config("a", SystemConfig::default())
+            .config("b", SystemConfig::default())
+            .threads(2)
+            .run_with_cache(&cache);
+        let seen: Vec<(String, Strategy)> =
+            run.results.iter().map(|r| (r.config_tag.clone(), r.strategy)).collect();
+        assert_eq!(
+            seen,
+            vec![
+                ("a".into(), Strategy::NoEcc),
+                ("a".into(), Strategy::WholeChipkill),
+                ("b".into(), Strategy::NoEcc),
+                ("b".into(), Strategy::WholeChipkill),
+            ]
+        );
+        assert_eq!(run.metrics.jobs, 4);
+        assert_eq!(run.metrics.cache_builds, 1, "one workload = one generation");
+        assert_eq!(run.metrics.cache_hits, 4, "the pre-warm builds; every job hits");
+    }
+
+    #[test]
+    fn progress_hook_sees_every_job() {
+        let cache = TraceCache::new();
+        let count = Arc::new(AtomicUsize::new(0));
+        let count2 = Arc::clone(&count);
+        let run = Campaign::new()
+            .workload(tiny())
+            .strategies([Strategy::NoEcc, Strategy::WholeSecded, Strategy::WholeChipkill])
+            .threads(3)
+            .on_progress(move |p| {
+                assert!(p.completed <= p.total);
+                assert_eq!(p.total, 3);
+                count2.fetch_add(1, Ordering::SeqCst);
+            })
+            .run_with_cache(&cache);
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+        assert_eq!(run.results.len(), 3);
+    }
+
+    #[test]
+    fn basic_test_view_matches_direct_run() {
+        let cache = TraceCache::new();
+        let run = Campaign::new().workload(tiny()).threads(2).run_with_cache(&cache);
+        let bt = run.basic_test(KernelKind::Dgemm);
+        assert_eq!(bt.rows.len(), 6);
+        let trace = tiny().build();
+        let direct = run_strategy_job(&trace, &SystemConfig::default(), Strategy::WholeChipkill);
+        assert_eq!(bt.row(Strategy::WholeChipkill).stats, direct);
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let cache = TraceCache::new();
+        let run = Campaign::new()
+            .workload(tiny())
+            .strategy(Strategy::NoEcc)
+            .run_with_cache(&cache);
+        let json = run.to_json();
+        assert!(json.contains("\"kernel\": \"FT-DGEMM\""));
+        assert!(json.contains("\"strategy\": \"No ECC\""));
+        assert!(json.contains("\"cache_builds\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}

@@ -2,9 +2,9 @@
 //! under all six ECC strategies and collect the Figure 5/6/7 metrics.
 
 use crate::strategy::Strategy;
-use abft_memsim::system::{Machine, SimStats};
+use abft_memsim::system::SimStats;
 use abft_memsim::trace::Trace;
-use abft_memsim::workloads::{abft_regions, basic_trace, KernelKind};
+use abft_memsim::workloads::KernelKind;
 use abft_memsim::SystemConfig;
 
 /// Results of one (kernel, strategy) simulation.
@@ -38,7 +38,7 @@ impl BasicTest {
 
     /// Dynamic memory energy normalized to No-ECC.
     pub fn mem_dynamic_norm(&self, s: Strategy) -> f64 {
-        self.row(s).stats.mem_dynamic_j / self.row(Strategy::NoEcc).stats.mem_dynamic_j
+        self.row(s).stats.mem_dynamic_j() / self.row(Strategy::NoEcc).stats.mem_dynamic_j()
     }
 
     /// System energy normalized to No-ECC (Figure 6).
@@ -48,7 +48,7 @@ impl BasicTest {
 
     /// IPC normalized to No-ECC (Figure 7).
     pub fn ipc_norm(&self, s: Strategy) -> f64 {
-        self.row(s).stats.ipc / self.row(Strategy::NoEcc).stats.ipc
+        self.row(s).stats.ipc() / self.row(Strategy::NoEcc).stats.ipc()
     }
 
     /// Energy saving of a partial strategy against its whole-ECC baseline
@@ -66,20 +66,26 @@ impl BasicTest {
 }
 
 /// Run the full basic test for one kernel at the default Table 3 scale.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `Campaign` instead: `Campaign::new().kernel(k).run().basic_test(k)`"
+)]
 pub fn run_basic_test(kernel: KernelKind) -> BasicTest {
-    run_basic_test_on(kernel, &basic_trace(kernel), &SystemConfig::default())
+    crate::campaign::Campaign::new().kernel(kernel).run().basic_test(kernel)
 }
 
-/// Run the basic test for one kernel on a supplied trace/config (the
-/// benches reuse cached traces).
+/// Run the basic test for one kernel on a supplied trace/config.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `Campaign` (traces come from the shared `TraceCache`), or call \
+            `campaign::run_strategy_job` per cell for a hand-built trace"
+)]
 pub fn run_basic_test_on(kernel: KernelKind, trace: &Trace, cfg: &SystemConfig) -> BasicTest {
-    let regions = abft_regions(trace);
-    let mut machine = Machine::new(cfg.clone());
     let rows = Strategy::ALL
         .iter()
         .map(|&s| StrategyResult {
             strategy: s,
-            stats: machine.run_trace(trace, &s.assignment(&regions)),
+            stats: crate::campaign::run_strategy_job(trace, cfg, s),
         })
         .collect();
     BasicTest { kernel, rows }
@@ -88,11 +94,14 @@ pub fn run_basic_test_on(kernel: KernelKind, trace: &Trace, cfg: &SystemConfig) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use abft_memsim::workloads::{dgemm_trace, cg_trace, CgParams, DgemmParams};
+    use crate::campaign::Campaign;
+    use abft_memsim::workloads::{CgParams, DgemmParams};
 
     fn small_dgemm() -> BasicTest {
-        let t = dgemm_trace(&DgemmParams { n: 384, nb: 64, abft: true, verify_interval: 4 });
-        run_basic_test_on(KernelKind::Dgemm, &t, &SystemConfig::default())
+        Campaign::new()
+            .workload(DgemmParams { n: 384, nb: 64, abft: true, verify_interval: 4 })
+            .run()
+            .basic_test(KernelKind::Dgemm)
     }
 
     #[test]
@@ -138,8 +147,10 @@ mod tests {
     fn cg_is_the_most_ecc_sensitive_kernel() {
         // Sanity proxy of the paper's Figure 5: CG (memory intensive) pays
         // more for whole chipkill than DGEMM pays relative to its W_SD.
-        let t = cg_trace(&CgParams { grid: 192, iterations: 4, abft: true, verify_interval: 2 });
-        let cg = run_basic_test_on(KernelKind::Cg, &t, &SystemConfig::default());
+        let cg = Campaign::new()
+            .workload(CgParams { grid: 192, iterations: 4, abft: true, verify_interval: 2 })
+            .run()
+            .basic_test(KernelKind::Cg);
         assert!(
             cg.mem_energy_norm(Strategy::WholeChipkill)
                 > cg.mem_energy_norm(Strategy::WholeSecded)
@@ -214,13 +225,16 @@ pub fn fault_adjusted(
 #[cfg(test)]
 mod fault_adjusted_tests {
     use super::*;
+    use crate::campaign::Campaign;
     use crate::strategy::Strategy;
-    use abft_memsim::workloads::{dgemm_trace, DgemmParams};
+    use abft_memsim::workloads::DgemmParams;
 
     #[test]
     fn are_beats_ase_at_field_error_rates_and_loses_in_storms() {
-        let t = dgemm_trace(&DgemmParams { n: 384, nb: 64, abft: true, verify_interval: 4 });
-        let bt = run_basic_test_on(KernelKind::Dgemm, &t, &SystemConfig::default());
+        let bt = Campaign::new()
+            .workload(DgemmParams { n: 384, nb: 64, abft: true, verify_interval: 4 })
+            .run()
+            .basic_test(KernelKind::Dgemm);
         let day = 86_400.0;
         let gb = 1u64 << 30;
         // A day of FT-DGEMM, 2 GB ABFT data, 6 GB other.

@@ -5,8 +5,13 @@
 //!
 //! * [`strategy`] — the six basic-test ECC strategies (No ECC, W_CK,
 //!   P_CK+No_ECC, W_SD, P_SD+No_ECC, P_CK+P_SD).
-//! * [`experiment`] — the Section 5.1 driver: kernel traces through the
-//!   memory-system simulator under every strategy.
+//! * [`campaign`] — the parallel campaign engine: a builder-style
+//!   [`Campaign`] expands (workload x config x strategy) grids into jobs
+//!   run on a rayon pool with traces shared through the process-wide
+//!   `TraceCache`.
+//! * [`experiment`] — the Section 5.1 metrics ([`BasicTest`] and the
+//!   fault-adjusted projections); its free-function drivers are
+//!   deprecated wrappers over [`Campaign`].
 //! * [`errorflow`] — end-to-end Case 1-4 drills against the real stack
 //!   (bit-true ECC, MC error registers, OS interrupt path, sysfs, ABFT
 //!   correction) plus ARE-vs-ASE population summaries.
@@ -18,6 +23,7 @@
 //! * [`report`] — text tables for the per-figure harness binaries.
 
 pub mod adaptive;
+pub mod campaign;
 pub mod errorflow;
 pub mod experiment;
 pub mod policy;
@@ -25,11 +31,14 @@ pub mod report;
 pub mod strategy;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveController, Stance, Transition};
+pub use campaign::{
+    run_strategy_job, Campaign, CampaignMetrics, CampaignResult, CampaignRun, Progress,
+};
 pub use errorflow::{
     drill_chip_fault, drill_matrix, summarize_cases, CaseSummary, DetectedBy, DrillResult,
 };
-pub use experiment::{
-    fault_adjusted, run_basic_test, run_basic_test_on, BasicTest, FaultAdjusted, StrategyResult,
-};
+pub use experiment::{fault_adjusted, BasicTest, FaultAdjusted, StrategyResult};
+#[allow(deprecated)]
+pub use experiment::{run_basic_test, run_basic_test_on};
 pub use policy::{decide, PolicyDecision, PolicyInputs};
 pub use strategy::Strategy;

@@ -194,7 +194,7 @@ mod tests {
         let (dgms, _) = run_dgms(&mut m, &t);
         let wck =
             m.run_trace(&t, &abft_memsim::EccAssignment::uniform(EccScheme::Chipkill));
-        let ratio = dgms.mem_dynamic_j / wck.mem_dynamic_j;
+        let ratio = dgms.mem_dynamic_j() / wck.mem_dynamic_j();
         assert!(ratio > 0.85 && ratio < 1.1, "DGMS ~ W_CK for DGEMM, ratio {ratio}");
     }
 

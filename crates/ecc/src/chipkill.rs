@@ -42,15 +42,13 @@ fn generator() -> [Gf256; CHECK_SYMBOLS + 1] {
     *GEN.get_or_init(|| {
         let mut g = [Gf256::ZERO; CHECK_SYMBOLS + 1];
         g[0] = Gf256::ONE;
-        let mut deg = 0;
-        for j in 1..=CHECK_SYMBOLS as i32 {
-            let root = Gf256::alpha_pow(j);
+        for deg in 0..CHECK_SYMBOLS {
+            let root = Gf256::alpha_pow(deg as i32 + 1);
             let mut next = [Gf256::ZERO; CHECK_SYMBOLS + 1];
             for d in 0..=deg {
                 next[d + 1] = next[d + 1] + g[d];
-                next[d] = next[d] + g[d].mul(root);
+                next[d] = next[d] + g[d] * root;
             }
-            deg += 1;
             g = next;
         }
         g
@@ -69,9 +67,9 @@ pub fn encode_word(data: &[u8; DATA_BYTES]) -> ChipkillWord {
     for &ds in data.iter().rev() {
         let feedback = Gf256(ds) + rem[CHECK_SYMBOLS - 1];
         for k in (1..CHECK_SYMBOLS).rev() {
-            rem[k] = rem[k - 1] + feedback.mul(g[k]);
+            rem[k] = rem[k - 1] + feedback * g[k];
         }
-        rem[0] = feedback.mul(g[0]);
+        rem[0] = feedback * g[0];
     }
     let mut symbols = [0u8; TOTAL_SYMBOLS];
     symbols[..DATA_SYMBOLS].copy_from_slice(data);
@@ -102,7 +100,7 @@ fn syndromes(word: &ChipkillWord) -> [Gf256; CHECK_SYMBOLS] {
         let v = Gf256(sym);
         let deg = poly_degree(i);
         for (j, sj) in s.iter_mut().enumerate() {
-            *sj = *sj + v.mul(Gf256::alpha_pow((j as i32 + 1) * deg));
+            *sj = *sj + v * Gf256::alpha_pow((j as i32 + 1) * deg);
         }
     }
     s
@@ -125,8 +123,8 @@ pub fn decode_word(word: &ChipkillWord) -> (ChipkillWord, EccOutcome) {
     if s.contains(&Gf256::ZERO) {
         return (*word, EccOutcome::DetectedUncorrectable);
     }
-    let ratio = s[1].div(s[0]);
-    if s[2].div(s[1]) != ratio || s[3].div(s[2]) != ratio {
+    let ratio = s[1] / s[0];
+    if s[2] / s[1] != ratio || s[3] / s[2] != ratio {
         return (*word, EccOutcome::DetectedUncorrectable);
     }
     let d = match ratio.log() {
@@ -143,7 +141,7 @@ pub fn decode_word(word: &ChipkillWord) -> (ChipkillWord, EccOutcome) {
         return (*word, EccOutcome::DetectedUncorrectable);
     };
     // Magnitude: e = S_1 / α^d.
-    let e = s[0].div(Gf256::alpha_pow(d as i32));
+    let e = s[0] / Gf256::alpha_pow(d as i32);
     let mut fixed = *word;
     fixed.symbols[idx] ^= e.0;
     (fixed, EccOutcome::Corrected { bits_flipped: e.0.count_ones() })

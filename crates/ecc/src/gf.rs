@@ -71,22 +71,6 @@ impl Gf16 {
         Gf16(tables().exp[k])
     }
 
-    /// Addition = XOR in characteristic 2.
-    #[inline]
-    pub fn add(self, rhs: Gf16) -> Gf16 {
-        Gf16(self.0 ^ rhs.0)
-    }
-
-    /// Multiplication via log tables.
-    #[inline]
-    pub fn mul(self, rhs: Gf16) -> Gf16 {
-        if self.0 == 0 || rhs.0 == 0 {
-            return Gf16::ZERO;
-        }
-        let t = tables();
-        Gf16(t.exp[t.log[self.0 as usize] as usize + t.log[rhs.0 as usize] as usize])
-    }
-
     /// Multiplicative inverse.
     ///
     /// # Panics
@@ -98,12 +82,6 @@ impl Gf16 {
         Gf16(t.exp[GROUP_ORDER - t.log[self.0 as usize] as usize])
     }
 
-    /// Division `self / rhs`.
-    #[inline]
-    pub fn div(self, rhs: Gf16) -> Gf16 {
-        self.mul(rhs.inv())
-    }
-
     /// `self^k` for `k >= 0`.
     pub fn pow(self, mut k: u32) -> Gf16 {
         if self.0 == 0 {
@@ -113,9 +91,9 @@ impl Gf16 {
         let mut acc = Gf16::ONE;
         while k > 0 {
             if k & 1 == 1 {
-                acc = acc.mul(base);
+                acc = acc * base;
             }
-            base = base.mul(base);
+            base = base * base;
             k >>= 1;
         }
         acc
@@ -131,17 +109,38 @@ impl Gf16 {
     }
 }
 
+/// Addition = XOR in characteristic 2.
 impl std::ops::Add for Gf16 {
     type Output = Gf16;
+    // In characteristic 2, addition IS xor — not a typo'd `+`.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
     fn add(self, rhs: Gf16) -> Gf16 {
-        Gf16::add(self, rhs)
+        Gf16(self.0 ^ rhs.0)
     }
 }
 
+/// Multiplication via log tables.
 impl std::ops::Mul for Gf16 {
     type Output = Gf16;
+    #[inline]
     fn mul(self, rhs: Gf16) -> Gf16 {
-        Gf16::mul(self, rhs)
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf16::ZERO;
+        }
+        let t = tables();
+        Gf16(t.exp[t.log[self.0 as usize] as usize + t.log[rhs.0 as usize] as usize])
+    }
+}
+
+/// Division `self / rhs` (panics on a zero divisor).
+impl std::ops::Div for Gf16 {
+    type Output = Gf16;
+    // Field division is defined as multiplication by the inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn div(self, rhs: Gf16) -> Gf16 {
+        self * rhs.inv()
     }
 }
 
@@ -183,7 +182,7 @@ mod tests {
         }
         for a in 0..16u8 {
             for b in 0..16u8 {
-                assert_eq!(Gf16(a).mul(Gf16(b)).0, slow_mul(a, b), "a={a} b={b}");
+                assert_eq!((Gf16(a) * Gf16(b)).0, slow_mul(a, b), "a={a} b={b}");
             }
         }
     }
@@ -191,7 +190,7 @@ mod tests {
     #[test]
     fn every_nonzero_has_inverse() {
         for a in all_nonzero() {
-            assert_eq!(a.mul(a.inv()), Gf16::ONE);
+            assert_eq!(a * a.inv(), Gf16::ONE);
         }
     }
 
@@ -203,7 +202,7 @@ mod tests {
         }
         assert_eq!(seen.len(), GROUP_ORDER);
         assert_eq!(Gf16::alpha_pow(GROUP_ORDER as i32), Gf16::ONE);
-        assert_eq!(Gf16::alpha_pow(-1).mul(Gf16::ALPHA), Gf16::ONE);
+        assert_eq!(Gf16::alpha_pow(-1) * Gf16::ALPHA, Gf16::ONE);
     }
 
     #[test]
@@ -223,7 +222,7 @@ mod tests {
             for b in 0..16u8 {
                 for c in 0..16u8 {
                     let (a, b, c) = (Gf16(a), Gf16(b), Gf16(c));
-                    assert_eq!(a.mul(b + c), a.mul(b) + a.mul(c));
+                    assert_eq!(a * (b + c), a * b + a * c);
                 }
             }
         }
@@ -255,8 +254,8 @@ fn tables256() -> &'static Tables256 {
         let mut exp = [0u8; 512];
         let mut log = [0u8; 256];
         let mut x: u16 = 1;
-        for i in 0..GROUP_ORDER_256 {
-            exp[i] = x as u8;
+        for (i, e) in exp.iter_mut().enumerate().take(GROUP_ORDER_256) {
+            *e = x as u8;
             log[x as usize] = i as u8;
             x <<= 1;
             if x & 0x100 != 0 {
@@ -284,22 +283,6 @@ impl Gf256 {
         Gf256(tables256().exp[k])
     }
 
-    /// Addition = XOR.
-    #[inline]
-    pub fn add(self, rhs: Gf256) -> Gf256 {
-        Gf256(self.0 ^ rhs.0)
-    }
-
-    /// Multiplication via log tables.
-    #[inline]
-    pub fn mul(self, rhs: Gf256) -> Gf256 {
-        if self.0 == 0 || rhs.0 == 0 {
-            return Gf256::ZERO;
-        }
-        let t = tables256();
-        Gf256(t.exp[t.log[self.0 as usize] as usize + t.log[rhs.0 as usize] as usize])
-    }
-
     /// Multiplicative inverse.
     ///
     /// # Panics
@@ -309,12 +292,6 @@ impl Gf256 {
         assert!(self.0 != 0, "inverse of zero in GF(256)");
         let t = tables256();
         Gf256(t.exp[GROUP_ORDER_256 - t.log[self.0 as usize] as usize])
-    }
-
-    /// Division `self / rhs`.
-    #[inline]
-    pub fn div(self, rhs: Gf256) -> Gf256 {
-        self.mul(rhs.inv())
     }
 
     /// Discrete logarithm base α (None for zero).
@@ -327,17 +304,38 @@ impl Gf256 {
     }
 }
 
+/// Addition = XOR.
 impl std::ops::Add for Gf256 {
     type Output = Gf256;
+    // In characteristic 2, addition IS xor — not a typo'd `+`.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
     fn add(self, rhs: Gf256) -> Gf256 {
-        Gf256::add(self, rhs)
+        Gf256(self.0 ^ rhs.0)
     }
 }
 
+/// Multiplication via log tables.
 impl std::ops::Mul for Gf256 {
     type Output = Gf256;
+    #[inline]
     fn mul(self, rhs: Gf256) -> Gf256 {
-        Gf256::mul(self, rhs)
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let t = tables256();
+        Gf256(t.exp[t.log[self.0 as usize] as usize + t.log[rhs.0 as usize] as usize])
+    }
+}
+
+/// Division `self / rhs` (panics on a zero divisor).
+impl std::ops::Div for Gf256 {
+    type Output = Gf256;
+    // Field division is defined as multiplication by the inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn div(self, rhs: Gf256) -> Gf256 {
+        self * rhs.inv()
     }
 }
 
@@ -348,7 +346,7 @@ mod tests256 {
     #[test]
     fn every_nonzero_has_inverse_256() {
         for a in 1..=255u8 {
-            assert_eq!(Gf256(a).mul(Gf256(a).inv()), Gf256::ONE);
+            assert_eq!(Gf256(a) * Gf256(a).inv(), Gf256::ONE);
         }
     }
 
@@ -377,8 +375,8 @@ mod tests256 {
             for b in [2u8, 13, 90, 254] {
                 for c in [3u8, 55, 128] {
                     let (a, b, c) = (Gf256(a), Gf256(b), Gf256(c));
-                    assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
-                    assert_eq!(a.mul(b + c), a.mul(b) + a.mul(c));
+                    assert_eq!(a * b * c, a * (b * c));
+                    assert_eq!(a * (b + c), a * b + a * c);
                 }
             }
         }

@@ -14,15 +14,13 @@ use crate::outcome::EccOutcome;
 pub fn generator(check: usize) -> Vec<Gf256> {
     let mut g = vec![Gf256::ZERO; check + 1];
     g[0] = Gf256::ONE;
-    let mut deg = 0;
-    for j in 1..=check as i32 {
-        let root = Gf256::alpha_pow(j);
+    for deg in 0..check {
+        let root = Gf256::alpha_pow(deg as i32 + 1);
         let mut next = vec![Gf256::ZERO; check + 1];
         for d in 0..=deg {
             next[d + 1] = next[d + 1] + g[d];
-            next[d] = next[d] + g[d].mul(root);
+            next[d] = next[d] + g[d] * root;
         }
-        deg += 1;
         g = next;
     }
     g
@@ -39,9 +37,9 @@ pub fn encode(data: &[u8], check: usize) -> Vec<u8> {
     for &ds in data.iter().rev() {
         let feedback = Gf256(ds) + rem[check - 1];
         for k in (1..check).rev() {
-            rem[k] = rem[k - 1] + feedback.mul(g[k]);
+            rem[k] = rem[k - 1] + feedback * g[k];
         }
-        rem[0] = feedback.mul(g[0]);
+        rem[0] = feedback * g[0];
     }
     let mut out = Vec::with_capacity(data.len() + check);
     out.extend_from_slice(data);
@@ -70,7 +68,7 @@ pub fn syndromes(word: &[u8], data: usize, check: usize) -> Vec<Gf256> {
         let v = Gf256(sym);
         let deg = poly_degree(i, data, check);
         for (j, sj) in s.iter_mut().enumerate() {
-            *sj = *sj + v.mul(Gf256::alpha_pow((j as i32 + 1) * deg));
+            *sj = *sj + v * Gf256::alpha_pow((j as i32 + 1) * deg);
         }
     }
     s
@@ -87,9 +85,9 @@ pub fn decode_in_place(word: &mut [u8], data: usize, check: usize) -> EccOutcome
         return EccOutcome::DetectedUncorrectable;
     }
     // Single error at degree d: all consecutive syndrome ratios = α^d.
-    let ratio = s[1].div(s[0]);
+    let ratio = s[1] / s[0];
     for w in s.windows(2).skip(1) {
-        if w[1].div(w[0]) != ratio {
+        if w[1] / w[0] != ratio {
             return EccOutcome::DetectedUncorrectable;
         }
     }
@@ -104,7 +102,7 @@ pub fn decode_in_place(word: &mut [u8], data: usize, check: usize) -> EccOutcome
     } else {
         return EccOutcome::DetectedUncorrectable;
     };
-    let e = s[0].div(Gf256::alpha_pow(d as i32));
+    let e = s[0] / Gf256::alpha_pow(d as i32);
     word[idx] ^= e.0;
     EccOutcome::Corrected { bits_flipped: e.0.count_ones() }
 }

@@ -136,15 +136,37 @@ fn side_stats(per_run: &mut [(f64, f64, bool)]) -> SideStats {
     SideStats { mean_energy_j, p99_energy_j: p99, restart_fraction, mean_time_s }
 }
 
+/// Progress snapshot handed to [`run_campaign_with_progress`]'s hook.
+#[derive(Debug, Clone, Copy)]
+pub struct McProgress {
+    /// Trials simulated so far.
+    pub trials_done: u32,
+    /// Total trials in the campaign.
+    pub trials_total: u32,
+    /// Errors sampled so far.
+    pub errors_sampled: u64,
+}
+
 /// Run the campaign.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
+    run_campaign_with_progress(cfg, |_| {})
+}
+
+/// Run the campaign, reporting liveness roughly once per percent of
+/// trials (and on the final trial). The RNG consumption is identical to
+/// [`run_campaign`], so results are bit-identical for the same seed.
+pub fn run_campaign_with_progress(
+    cfg: &CampaignConfig,
+    mut progress: impl FnMut(&McProgress),
+) -> CampaignResult {
+    let report_every = (cfg.trials / 100).max(1);
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut result = CampaignResult::default();
     let mut are_runs = Vec::with_capacity(cfg.trials as usize);
     let mut coop_runs = Vec::with_capacity(cfg.trials as usize);
     let mut blind_runs = Vec::with_capacity(cfg.trials as usize);
 
-    for _ in 0..cfg.trials {
+    for trial in 0..cfg.trials {
         // Poisson(errors_per_run) via exponential thinning.
         let mut k = 0u32;
         let mut acc: f64 = rng.random_range(f64::MIN_POSITIVE..1.0f64).ln();
@@ -183,6 +205,13 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
         are_runs.push(are);
         coop_runs.push(coop);
         blind_runs.push(blind);
+        if (trial + 1) % report_every == 0 || trial + 1 == cfg.trials {
+            progress(&McProgress {
+                trials_done: trial + 1,
+                trials_total: cfg.trials,
+                errors_sampled: result.total_errors,
+            });
+        }
     }
     result.are = side_stats(&mut are_runs);
     result.ase_coop = side_stats(&mut coop_runs);
@@ -205,6 +234,19 @@ mod tests {
         assert_eq!(a, b);
         let c = run_campaign(&CampaignConfig { seed: 99, ..small() });
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn progress_hook_is_monotone_and_bit_preserving() {
+        let mut snapshots: Vec<McProgress> = Vec::new();
+        let with = run_campaign_with_progress(&small(), |p| snapshots.push(*p));
+        assert_eq!(with, run_campaign(&small()), "hook must not perturb the RNG stream");
+        assert!(snapshots.len() >= 100, "about one report per percent");
+        assert_eq!(snapshots.last().unwrap().trials_done, 3000);
+        for w in snapshots.windows(2) {
+            assert!(w[0].trials_done < w[1].trials_done);
+            assert!(w[0].errors_sampled <= w[1].errors_sampled);
+        }
     }
 
     #[test]

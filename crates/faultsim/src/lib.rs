@@ -21,7 +21,10 @@ pub mod injector;
 pub mod models;
 pub mod scenarios;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignResult, PatternMix};
+pub use campaign::{
+    run_campaign, run_campaign_with_progress, CampaignConfig, CampaignResult, McProgress,
+    PatternMix,
+};
 pub use fit::{age_factor, errors_per_second, expected_errors as fit_expected_errors, fit_per_mbit, table5};
 pub use injector::{flip_f64_bit, ErrorPattern, Injector, PlannedFault};
 pub use models::{

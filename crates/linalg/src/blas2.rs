@@ -12,8 +12,8 @@ pub fn gemv(alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) {
             *yi *= beta;
         }
     }
-    for j in 0..a.cols() {
-        let axj = alpha * x[j];
+    for (j, &xj) in x.iter().enumerate() {
+        let axj = alpha * xj;
         if axj == 0.0 {
             continue;
         }
@@ -37,8 +37,8 @@ pub fn gemv_t(alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) {
 pub fn ger(alpha: f64, x: &[f64], y: &[f64], a: &mut Matrix) {
     assert_eq!(x.len(), a.rows(), "ger x dimension mismatch");
     assert_eq!(y.len(), a.cols(), "ger y dimension mismatch");
-    for j in 0..a.cols() {
-        let ayj = alpha * y[j];
+    for (j, &yj) in y.iter().enumerate() {
+        let ayj = alpha * yj;
         if ayj == 0.0 {
             continue;
         }

@@ -129,16 +129,16 @@ impl LuFactors {
         // Forward substitution with unit L.
         for i in 0..n {
             let mut s = x[i];
-            for p in 0..i {
-                s -= self.lu[(i, p)] * x[p];
+            for (p, &xp) in x.iter().enumerate().take(i) {
+                s -= self.lu[(i, p)] * xp;
             }
             x[i] = s;
         }
         // Back substitution with U.
         for i in (0..n).rev() {
             let mut s = x[i];
-            for p in i + 1..n {
-                s -= self.lu[(i, p)] * x[p];
+            for (p, &xp) in x.iter().enumerate().skip(i + 1) {
+                s -= self.lu[(i, p)] * xp;
             }
             x[i] = s / self.lu[(i, i)];
         }

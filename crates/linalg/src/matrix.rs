@@ -186,8 +186,7 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for j in 0..self.cols {
-            let xj = x[j];
+        for (j, &xj) in x.iter().enumerate() {
             if xj == 0.0 {
                 continue;
             }

@@ -89,13 +89,13 @@ impl QrFactors {
                 continue;
             }
             let mut dot = x[j];
-            for i in j + 1..m {
-                dot += self.qr[(i, j)] * x[i];
+            for (i, &xi) in x.iter().enumerate().skip(j + 1) {
+                dot += self.qr[(i, j)] * xi;
             }
             let t = self.tau[j] * dot;
             x[j] -= t;
-            for i in j + 1..m {
-                x[i] -= t * self.qr[(i, j)];
+            for (i, xi) in x.iter_mut().enumerate().skip(j + 1) {
+                *xi -= t * self.qr[(i, j)];
             }
         }
     }
@@ -109,13 +109,13 @@ impl QrFactors {
                 continue;
             }
             let mut dot = x[j];
-            for i in j + 1..m {
-                dot += self.qr[(i, j)] * x[i];
+            for (i, &xi) in x.iter().enumerate().skip(j + 1) {
+                dot += self.qr[(i, j)] * xi;
             }
             let t = self.tau[j] * dot;
             x[j] -= t;
-            for i in j + 1..m {
-                x[i] -= t * self.qr[(i, j)];
+            for (i, xi) in x.iter_mut().enumerate().skip(j + 1) {
+                *xi -= t * self.qr[(i, j)];
             }
         }
     }
@@ -143,8 +143,8 @@ impl QrFactors {
         self.apply_qt(&mut y);
         for i in (0..n).rev() {
             let mut s = y[i];
-            for p in i + 1..n {
-                s -= self.qr[(i, p)] * y[p];
+            for (p, &yp) in y.iter().enumerate().skip(i + 1) {
+                s -= self.qr[(i, p)] * yp;
             }
             y[i] = s / self.qr[(i, i)];
         }

@@ -76,22 +76,22 @@ impl CsrMatrix {
     pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "spmv dimension mismatch");
         assert_eq!(y.len(), self.rows, "spmv output mismatch");
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut s = 0.0;
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 s += self.values[k] * x[self.col_idx[k]];
             }
-            y[i] = s;
+            *yi = s;
         }
     }
 
     /// Extract the diagonal (zero where absent).
     pub fn diagonal(&self) -> Vec<f64> {
         let mut d = vec![0.0; self.rows.min(self.cols)];
-        for i in 0..d.len() {
+        for (i, di) in d.iter_mut().enumerate() {
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 if self.col_idx[k] == i {
-                    d[i] = self.values[k];
+                    *di = self.values[k];
                 }
             }
         }

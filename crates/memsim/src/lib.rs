@@ -21,6 +21,7 @@ pub mod controller;
 pub mod dram;
 pub mod system;
 pub mod trace;
+pub mod trace_cache;
 pub mod tracefile;
 pub mod workloads;
 
@@ -29,3 +30,5 @@ pub use controller::{MemoryController, ERROR_REGISTERS};
 pub use dram::{AddressMap, Dram, DramLocation};
 pub use system::{EccAssignment, Machine, SimStats};
 pub use trace::{Access, Region, RegionId, RegionMap, Trace};
+pub use trace_cache::TraceCache;
+pub use workloads::{KernelKind, KernelParams};

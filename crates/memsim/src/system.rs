@@ -35,14 +35,14 @@ pub struct SimStats {
     pub cycles: u64,
     /// Wall-clock seconds.
     pub seconds: f64,
-    /// Achieved instructions per cycle.
-    pub ipc: f64,
-    /// Dynamic memory energy (J).
-    pub mem_dynamic_j: f64,
-    /// Standby (background) memory energy (J).
-    pub mem_standby_j: f64,
-    /// Processor energy (J).
-    pub proc_j: f64,
+    /// Achieved instructions per cycle (read via [`SimStats::ipc`]).
+    pub(crate) ipc: f64,
+    /// Dynamic memory energy, J (read via [`SimStats::mem_dynamic_j`]).
+    pub(crate) mem_dynamic_j: f64,
+    /// Standby memory energy, J (read via [`SimStats::mem_standby_j`]).
+    pub(crate) mem_standby_j: f64,
+    /// Processor energy, J (read via [`SimStats::proc_j`]).
+    pub(crate) proc_j: f64,
     /// L1 hit rate.
     pub l1_hit_rate: f64,
     /// L2 hit rate (of L1 misses).
@@ -66,6 +66,26 @@ pub struct SimStats {
 }
 
 impl SimStats {
+    /// Achieved instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.ipc
+    }
+
+    /// Dynamic memory energy (J).
+    pub fn mem_dynamic_j(&self) -> f64 {
+        self.mem_dynamic_j
+    }
+
+    /// Standby (background) memory energy (J).
+    pub fn mem_standby_j(&self) -> f64 {
+        self.mem_standby_j
+    }
+
+    /// Processor energy (J).
+    pub fn proc_j(&self) -> f64 {
+        self.proc_j
+    }
+
     /// Total memory energy (J).
     pub fn mem_total_j(&self) -> f64 {
         self.mem_dynamic_j + self.mem_standby_j
@@ -252,12 +272,12 @@ impl Machine {
                         // line travels down, so no DRAM fill is needed);
                         // only a dirty line L2 evicts to make room reaches
                         // memory.
-                        if let CacheOutcome::Miss { writeback: l2wb } = self.l2.access(wb, true) {
-                            if let Some(wb2) = l2wb {
-                                let now = cycles as f64 * cycle_ns;
-                                let kind = policy(a, &self.controller, wb2);
-                                self.dram.access_kind(now, wb2, true, kind);
-                            }
+                        if let CacheOutcome::Miss { writeback: Some(wb2) } =
+                            self.l2.access(wb, true)
+                        {
+                            let now = cycles as f64 * cycle_ns;
+                            let kind = policy(a, &self.controller, wb2);
+                            self.dram.access_kind(now, wb2, true, kind);
                         }
                     }
                 }

@@ -1,0 +1,144 @@
+//! Process-wide memoization of generated kernel traces.
+//!
+//! Trace generation is the dominant fixed cost of every harness binary:
+//! a default-scale FT-DGEMM trace is tens of millions of references, and
+//! the seed harness regenerated it once per binary per figure. The
+//! [`TraceCache`] generates each distinct [`KernelParams`] workload once
+//! per process and hands out `Arc<Trace>` clones, so a campaign running
+//! 24 (kernel x strategy) jobs performs exactly 4 trace generations.
+//!
+//! Concurrency: the map lock is held only to look up or insert a
+//! per-key slot; the (expensive) generation itself runs outside the map
+//! lock behind the slot's own mutex, so two workers asking for
+//! *different* kernels build concurrently while two workers asking for
+//! the *same* kernel serialize and share one build.
+
+use crate::trace::Trace;
+use crate::workloads::KernelParams;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Shared, lazily-built store of generated kernel traces, keyed by
+/// kernel + scale.
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    slots: Mutex<HashMap<KernelParams, Arc<OnceLock<Arc<Trace>>>>>,
+    hits: AtomicU64,
+    builds: AtomicU64,
+}
+
+impl TraceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TraceCache::default()
+    }
+
+    /// The process-wide cache shared by default by every campaign.
+    pub fn global() -> &'static TraceCache {
+        static GLOBAL: OnceLock<TraceCache> = OnceLock::new();
+        GLOBAL.get_or_init(TraceCache::new)
+    }
+
+    /// The trace for a workload: generated on first request, shared (same
+    /// allocation, pointer-equal `Arc`) on every subsequent one.
+    pub fn get(&self, params: KernelParams) -> Arc<Trace> {
+        let slot = {
+            let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(slots.entry(params).or_default())
+        };
+        if let Some(trace) = slot.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(trace);
+        }
+        let mut built_here = false;
+        let trace = slot.get_or_init(|| {
+            built_here = true;
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(params.build())
+        });
+        if !built_here {
+            // Lost the build race (or arrived between the fast-path check
+            // and `get_or_init`): this lookup was served from cache.
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(trace)
+    }
+
+    /// Lookups served without generating a trace.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Traces actually generated.
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct workloads currently cached.
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when no trace has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{CgParams, DgemmParams};
+
+    fn tiny_dgemm() -> KernelParams {
+        KernelParams::Dgemm(DgemmParams { n: 128, nb: 64, abft: true, verify_interval: 2 })
+    }
+
+    #[test]
+    fn repeat_lookups_are_pointer_equal_and_counted() {
+        let cache = TraceCache::new();
+        let a = cache.get(tiny_dgemm());
+        let b = cache.get(tiny_dgemm());
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_scales_get_distinct_traces() {
+        let cache = TraceCache::new();
+        let small = cache.get(tiny_dgemm());
+        let large = cache.get(KernelParams::Dgemm(DgemmParams {
+            n: 256,
+            nb: 64,
+            abft: true,
+            verify_interval: 2,
+        }));
+        assert!(!Arc::ptr_eq(&small, &large));
+        assert!(large.len() > small.len());
+        assert_eq!(cache.builds(), 2);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn concurrent_lookups_build_once() {
+        let cache = TraceCache::new();
+        let key = KernelParams::Cg(CgParams {
+            grid: 64,
+            iterations: 2,
+            abft: true,
+            verify_interval: 2,
+        });
+        let traces: Vec<Arc<Trace>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8).map(|_| s.spawn(|| cache.get(key))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.hits(), 7);
+        for t in &traces[1..] {
+            assert!(Arc::ptr_eq(&traces[0], t));
+        }
+    }
+}

@@ -115,7 +115,7 @@ fn touch_tile(
 // ---------------------------------------------------------------------
 
 /// FT-DGEMM trace parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DgemmParams {
     /// Matrix dimension (square).
     pub n: usize,
@@ -201,7 +201,7 @@ pub fn dgemm_trace(p: &DgemmParams) -> Trace {
 // ---------------------------------------------------------------------
 
 /// FT-Cholesky trace parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CholeskyParams {
     /// Matrix dimension.
     pub n: usize,
@@ -297,7 +297,7 @@ pub fn cholesky_trace(p: &CholeskyParams) -> Trace {
 
 /// FT-CG trace parameters (5-point Poisson operator on a `grid x grid`
 /// mesh — the low-locality, memory-intensive workload).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CgParams {
     /// Grid edge; the system dimension is `grid * grid`.
     pub grid: usize,
@@ -431,7 +431,7 @@ pub fn cg_trace(p: &CgParams) -> Trace {
 // ---------------------------------------------------------------------
 
 /// FT-HPL trace parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HplParams {
     /// Local matrix dimension (one of the paper's 4 MPI tasks is traced).
     pub n: usize,
@@ -555,11 +555,96 @@ pub fn hpl_trace(p: &HplParams) -> Trace {
 /// Generate the basic-test trace for a kernel at the default
 /// (Table-3-scaled) parameters.
 pub fn basic_trace(kind: KernelKind) -> Trace {
-    match kind {
-        KernelKind::Dgemm => dgemm_trace(&DgemmParams::default()),
-        KernelKind::Cholesky => cholesky_trace(&CholeskyParams::default()),
-        KernelKind::Cg => cg_trace(&CgParams::default()),
-        KernelKind::Hpl => hpl_trace(&HplParams::default()),
+    KernelParams::default_for(kind).build()
+}
+
+/// Fully-specified workload: kernel + scale, in one hashable value.
+///
+/// This is the key type of the process-wide trace cache
+/// ([`crate::trace_cache::TraceCache`]): two jobs that name the same
+/// `KernelParams` share one generated [`Trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelParams {
+    /// FT-DGEMM at the given scale.
+    Dgemm(DgemmParams),
+    /// FT-Cholesky at the given scale.
+    Cholesky(CholeskyParams),
+    /// FT-CG at the given scale.
+    Cg(CgParams),
+    /// FT-HPL at the given scale.
+    Hpl(HplParams),
+}
+
+impl KernelParams {
+    /// The default (Table-3-scaled) workload for a kernel — what
+    /// [`basic_trace`] generates.
+    pub fn default_for(kind: KernelKind) -> Self {
+        match kind {
+            KernelKind::Dgemm => KernelParams::Dgemm(DgemmParams::default()),
+            KernelKind::Cholesky => KernelParams::Cholesky(CholeskyParams::default()),
+            KernelKind::Cg => KernelParams::Cg(CgParams::default()),
+            KernelKind::Hpl => KernelParams::Hpl(HplParams::default()),
+        }
+    }
+
+    /// The paper's full Table 3 problem for a kernel.
+    pub fn paper_for(kind: KernelKind) -> Self {
+        match kind {
+            KernelKind::Dgemm => KernelParams::Dgemm(DgemmParams::paper_scale()),
+            KernelKind::Cholesky => KernelParams::Cholesky(CholeskyParams::paper_scale()),
+            KernelKind::Cg => KernelParams::Cg(CgParams::paper_scale()),
+            KernelKind::Hpl => KernelParams::Hpl(HplParams::paper_scale()),
+        }
+    }
+
+    /// Which kernel this workload models.
+    pub fn kind(self) -> KernelKind {
+        match self {
+            KernelParams::Dgemm(_) => KernelKind::Dgemm,
+            KernelParams::Cholesky(_) => KernelKind::Cholesky,
+            KernelParams::Cg(_) => KernelKind::Cg,
+            KernelParams::Hpl(_) => KernelKind::Hpl,
+        }
+    }
+
+    /// The paper's kernel label.
+    pub fn label(self) -> &'static str {
+        self.kind().label()
+    }
+
+    /// Generate the trace (expensive; prefer going through the
+    /// [`crate::trace_cache::TraceCache`]).
+    pub fn build(self) -> Trace {
+        match self {
+            KernelParams::Dgemm(p) => dgemm_trace(&p),
+            KernelParams::Cholesky(p) => cholesky_trace(&p),
+            KernelParams::Cg(p) => cg_trace(&p),
+            KernelParams::Hpl(p) => hpl_trace(&p),
+        }
+    }
+}
+
+impl From<DgemmParams> for KernelParams {
+    fn from(p: DgemmParams) -> Self {
+        KernelParams::Dgemm(p)
+    }
+}
+
+impl From<CholeskyParams> for KernelParams {
+    fn from(p: CholeskyParams) -> Self {
+        KernelParams::Cholesky(p)
+    }
+}
+
+impl From<CgParams> for KernelParams {
+    fn from(p: CgParams) -> Self {
+        KernelParams::Cg(p)
+    }
+}
+
+impl From<HplParams> for KernelParams {
+    fn from(p: HplParams) -> Self {
+        KernelParams::Hpl(p)
     }
 }
 

@@ -54,11 +54,11 @@ fn main() {
     let mut machine = Machine::new(cfg);
     let wck = machine.run_trace(&trace, &Strategy::WholeChipkill.assignment(&regions));
     let ours = machine.run_trace(&trace, &Strategy::PartialChipkillSecded.assignment(&regions));
-    println!("  whole chipkill : {:.3} J memory, IPC {:.2}", wck.mem_total_j(), wck.ipc);
+    println!("  whole chipkill : {:.3} J memory, IPC {:.2}", wck.mem_total_j(), wck.ipc());
     println!(
         "  cooperative    : {:.3} J memory, IPC {:.2}  ({:.0}% memory energy saved)",
         ours.mem_total_j(),
-        ours.ipc,
+        ours.ipc(),
         (1.0 - ours.mem_total_j() / wck.mem_total_j()) * 100.0
     );
 }

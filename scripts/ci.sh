@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The full CI gate: release build, the test suite, and a warning-free
+# clippy pass over the workspace. Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== cargo build --release ==="
+cargo build --release
+
+echo "=== cargo test -q ==="
+cargo test -q
+
+echo "=== cargo clippy --workspace -- -D warnings ==="
+cargo clippy --workspace -- -D warnings
+
+echo "CI gate passed."

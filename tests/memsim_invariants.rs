@@ -54,9 +54,9 @@ fn accounting_identities_hold_across_strategies() {
         let llc: u64 = st.regions.iter().map(|r| r.llc_misses).sum();
         assert_eq!(st.dram_reads, llc, "{s}");
         // Cycles cover at least the issued work.
-        assert!(st.cycles > 0 && st.ipc > 0.0 && st.ipc <= 4.0 + 1e-9, "{s}: ipc {}", st.ipc);
+        assert!(st.cycles > 0 && st.ipc() > 0.0 && st.ipc() <= 4.0 + 1e-9, "{s}: ipc {}", st.ipc());
         // Energy terms are positive and finite.
-        for v in [st.mem_dynamic_j, st.mem_standby_j, st.proc_j] {
+        for v in [st.mem_dynamic_j(), st.mem_standby_j(), st.proc_j()] {
             assert!(v.is_finite() && v > 0.0, "{s}");
         }
         assert!(st.avg_dram_latency_ns >= st.avg_dram_queue_ns, "{s}");
@@ -117,5 +117,5 @@ fn more_threads_never_slow_the_machine_down_on_compute_bound_work() {
     let s1 = Machine::new(c1).run_trace(&t, &EccAssignment::uniform(EccScheme::None));
     let s4 = Machine::new(c4).run_trace(&t, &EccAssignment::uniform(EccScheme::None));
     assert!(s4.cycles < s1.cycles, "4 threads must compress compute-bound wall clock");
-    assert!(s4.ipc > 2.0 * s1.ipc);
+    assert!(s4.ipc() > 2.0 * s1.ipc());
 }

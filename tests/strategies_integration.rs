@@ -2,35 +2,22 @@
 //! (reduced dimensions) and the policy layer consuming measured profiles.
 
 use abft_coop::prelude::*;
-use abft_coop::abft_coop_core::run_basic_test_on;
-use abft_coop::abft_memsim::workloads::{
-    cholesky_trace, hpl_trace, CholeskyParams, HplParams,
-};
+use abft_coop::abft_memsim::workloads::{CholeskyParams, HplParams};
 
-fn small_tests() -> Vec<abft_coop::abft_coop_core::BasicTest> {
-    let cfg = SystemConfig::default();
-    vec![
-        run_basic_test_on(
-            KernelKind::Dgemm,
-            &dgemm_trace(&DgemmParams { n: 384, nb: 64, abft: true, verify_interval: 4 }),
-            &cfg,
-        ),
-        run_basic_test_on(
-            KernelKind::Cholesky,
-            &cholesky_trace(&CholeskyParams { n: 512, nb: 64, abft: true }),
-            &cfg,
-        ),
-        run_basic_test_on(
-            KernelKind::Cg,
-            &cg_trace(&CgParams { grid: 192, iterations: 4, abft: true, verify_interval: 2 }),
-            &cfg,
-        ),
-        run_basic_test_on(
-            KernelKind::Hpl,
-            &hpl_trace(&HplParams { n: 512, nb: 64, abft: true }),
-            &cfg,
-        ),
-    ]
+fn small_cg() -> CgParams {
+    CgParams { grid: 192, iterations: 4, abft: true, verify_interval: 2 }
+}
+
+fn small_tests() -> Vec<BasicTest> {
+    // Reduced-dimension grid; traces come from the process-wide cache, so
+    // the tests in this file share one generation per workload.
+    Campaign::new()
+        .workload(DgemmParams { n: 384, nb: 64, abft: true, verify_interval: 4 })
+        .workload(CholeskyParams { n: 512, nb: 64, abft: true })
+        .workload(small_cg())
+        .workload(HplParams { n: 512, nb: 64, abft: true })
+        .run()
+        .basic_tests()
 }
 
 #[test]
@@ -88,12 +75,7 @@ fn table4_ordering_holds_at_reduced_scale() {
 
 #[test]
 fn measured_profiles_drive_the_policy_sensibly() {
-    let cfg = SystemConfig::default();
-    let bt = run_basic_test_on(
-        KernelKind::Cg,
-        &cg_trace(&CgParams { grid: 192, iterations: 4, abft: true, verify_interval: 2 }),
-        &cfg,
-    );
+    let bt = Campaign::new().workload(small_cg()).run().basic_test(KernelKind::Cg);
     let profiles = profiles_from_basic_test(&bt);
     assert_eq!(profiles.len(), 3);
     for p in &profiles {
@@ -131,12 +113,7 @@ fn measured_profiles_drive_the_policy_sensibly() {
 
 #[test]
 fn weak_and_strong_scaling_consume_measured_profiles() {
-    let cfg = SystemConfig::default();
-    let bt = run_basic_test_on(
-        KernelKind::Cg,
-        &cg_trace(&CgParams { grid: 192, iterations: 4, abft: true, verify_interval: 2 }),
-        &cfg,
-    );
+    let bt = Campaign::new().workload(small_cg()).run().basic_test(KernelKind::Cg);
     let scaling_cfg = ScalingConfig::default();
     for prof in profiles_from_basic_test(&bt) {
         let weak = weak_scaling(&prof, &scaling_cfg);
