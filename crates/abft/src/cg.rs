@@ -499,8 +499,8 @@ mod tests {
         );
         assert!(r.converged, "residual {}", r.residual_norm);
         assert!(r.stats.corrections >= 1);
-        for i in 0..n {
-            assert!((r.x[i] - x_true[i]).abs() < 1e-5, "x[{i}]");
+        for (i, (xi, ti)) in r.x.iter().zip(&x_true).enumerate() {
+            assert!((xi - ti).abs() < 1e-5, "x[{i}]");
         }
     }
 

@@ -22,7 +22,7 @@ fn bench_strategies(c: &mut Criterion) {
     }
     g.bench_function("DGMS_predicted", |b| {
         let mut m = Machine::new(SystemConfig::default());
-        b.iter(|| run_dgms(&mut m, &trace));
+        b.iter(|| run_dgms(&mut m, &mut trace.replay()));
     });
     g.finish();
 }

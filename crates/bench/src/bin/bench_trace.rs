@@ -1,0 +1,150 @@
+//! Trace-pipeline smoke benchmark: measures, for every kernel of the
+//! Figure 5-7 grid at default scale, what the streaming packed trace
+//! pipeline costs and saves versus materializing `Vec<Access>` traces —
+//! generation throughput, packed replay throughput, and the resident
+//! trace footprint before/after. Writes `BENCH_trace.json` (consumed by
+//! `scripts/ci.sh` as the perf smoke gate) and prints a summary table.
+
+use abft_bench::print_header;
+use abft_coop_core::report::TextTable;
+use abft_memsim::trace::Access;
+use abft_memsim::workloads::{KernelKind, KernelParams};
+use abft_memsim::{AccessSource, DEFAULT_CHUNK};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Row {
+    kernel: &'static str,
+    accesses: u64,
+    instructions: u64,
+    /// Resident bytes of the old materialized path: the `Vec<Access>`
+    /// capacity the builder actually allocated (doubling growth included —
+    /// that is what the old `TraceCache` kept alive), measured, not
+    /// estimated.
+    materialized_bytes: u64,
+    packed_bytes: u64,
+    build_trace_secs: f64,
+    build_packed_secs: f64,
+    replay_secs: f64,
+}
+
+impl Row {
+    fn ratio(&self) -> f64 {
+        self.materialized_bytes as f64 / self.packed_bytes as f64
+    }
+
+    fn replay_aps(&self) -> f64 {
+        self.accesses as f64 / self.replay_secs
+    }
+}
+
+fn measure(kind: KernelKind) -> Row {
+    let params = KernelParams::default_for(kind);
+
+    // Old path: materialize the full Vec<Access> (then drop it — only the
+    // capacity measurement survives).
+    let t0 = Instant::now();
+    let trace = params.build();
+    let build_trace_secs = t0.elapsed().as_secs_f64();
+    let accesses = trace.accesses.len() as u64;
+    let instructions = trace.instructions;
+    let materialized_bytes =
+        trace.accesses.capacity() as u64 * std::mem::size_of::<Access>() as u64;
+    drop(trace);
+
+    // New path: emit straight into packed segments.
+    let t0 = Instant::now();
+    let packed = Arc::new(params.build_packed());
+    let build_packed_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(packed.len(), accesses, "packed build must cover the same stream");
+    let packed_bytes = packed.packed_bytes();
+
+    // Streaming replay throughput (what every campaign job pays per pass).
+    let mut replay = packed.replay();
+    let mut chunk = Vec::with_capacity(DEFAULT_CHUNK);
+    let t0 = Instant::now();
+    let mut drained = 0u64;
+    while replay.fill(&mut chunk, DEFAULT_CHUNK) > 0 {
+        drained += chunk.len() as u64;
+    }
+    let replay_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(drained, accesses);
+
+    Row {
+        kernel: kind.label(),
+        accesses,
+        instructions,
+        materialized_bytes,
+        packed_bytes,
+        build_trace_secs,
+        build_packed_secs,
+        replay_secs,
+    }
+}
+
+fn main() {
+    print_header("Trace-pipeline benchmark — materialized vs streaming packed");
+    let rows: Vec<Row> = KernelKind::ALL.iter().map(|&k| measure(k)).collect();
+
+    let mut t = TextTable::new(&[
+        "kernel", "accesses", "mat MB", "packed MB", "ratio", "gen s", "pack s", "replay Macc/s",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.kernel.to_string(),
+            r.accesses.to_string(),
+            format!("{:.1}", r.materialized_bytes as f64 / 1e6),
+            format!("{:.1}", r.packed_bytes as f64 / 1e6),
+            format!("{:.2}x", r.ratio()),
+            format!("{:.2}", r.build_trace_secs),
+            format!("{:.2}", r.build_packed_secs),
+            format!("{:.1}", r.replay_aps() / 1e6),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let mat_total: u64 = rows.iter().map(|r| r.materialized_bytes).sum();
+    let packed_total: u64 = rows.iter().map(|r| r.packed_bytes).sum();
+    let agg_ratio = mat_total as f64 / packed_total as f64;
+    println!(
+        "\ngrid aggregate: {:.1} MB materialized -> {:.1} MB packed ({agg_ratio:.2}x smaller)",
+        mat_total as f64 / 1e6,
+        packed_total as f64 / 1e6
+    );
+
+    let mut json = String::from("{\n  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"accesses\": {}, \"instructions\": {}, \
+             \"materialized_bytes\": {}, \"packed_bytes\": {}, \"ratio\": {:.4}, \
+             \"build_trace_secs\": {:.4}, \"build_packed_secs\": {:.4}, \
+             \"replay_secs\": {:.4}, \"replay_accesses_per_sec\": {:.0}}}{}",
+            r.kernel,
+            r.accesses,
+            r.instructions,
+            r.materialized_bytes,
+            r.packed_bytes,
+            r.ratio(),
+            r.build_trace_secs,
+            r.build_packed_secs,
+            r.replay_secs,
+            r.replay_aps(),
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"aggregate\": {{\"materialized_bytes\": {mat_total}, \
+         \"packed_bytes\": {packed_total}, \"ratio\": {agg_ratio:.4}}}\n}}\n"
+    );
+    let path = "BENCH_trace.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -27,7 +27,7 @@ fn main() {
         let ours = cell(Strategy::PartialChipkillSecded);
         let trace = kernel_trace(kind);
         let mut m = Machine::new(SystemConfig::default());
-        let (dgms, coarse) = run_dgms(&mut m, &trace);
+        let (dgms, coarse) = run_dgms(&mut m, &mut trace.replay());
         for (label, s, cf) in [
             ("W_CK", wck, String::new()),
             ("DGMS", &dgms, format!("{coarse:.2}")),

@@ -4,13 +4,13 @@
 
 use abft_bench::print_header;
 use abft_coop_core::report::{pct, TextTable};
-use abft_faultsim::{run_campaign_with_progress, CampaignConfig};
+use abft_faultsim::{run_fault_campaign_with_progress, FaultCampaignConfig};
 
 fn main() {
     print_header("Monte-Carlo fault campaign — ARE vs ASE distributions");
     for errors_per_run in [0.1, 0.5, 2.0, 10.0] {
-        let cfg = CampaignConfig { errors_per_run, trials: 20_000, ..Default::default() };
-        let r = run_campaign_with_progress(&cfg, |p| {
+        let cfg = FaultCampaignConfig { errors_per_run, trials: 20_000, ..Default::default() };
+        let r = run_fault_campaign_with_progress(&cfg, |p| {
             if p.trials_done % 5000 == 0 || p.trials_done == p.trials_total {
                 eprintln!(
                     "[mc e/r={errors_per_run}] {}/{} trials, {} errors sampled",

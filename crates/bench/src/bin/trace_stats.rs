@@ -1,6 +1,9 @@
 //! Trace inspector: generate (or load) a kernel trace and print its
 //! composition — per-region reference counts, footprints, read/write mix,
-//! and compute intensity. Usage:
+//! and compute intensity. Fully streaming: the trace is pulled through a
+//! bounded chunk buffer whether it comes from the packed cache or a file,
+//! so inspecting a multi-gigabyte trace file costs one chunk of memory.
+//! Usage:
 //!
 //! ```text
 //! trace_stats [dgemm|cholesky|cg|hpl] [--save FILE]
@@ -9,9 +12,9 @@
 
 use abft_bench::{kernel_trace, print_header};
 use abft_coop_core::report::{pct, TextTable};
-use abft_memsim::tracefile;
-use abft_memsim::trace::Trace;
+use abft_memsim::tracefile::{self, TraceFileSource};
 use abft_memsim::workloads::KernelKind;
+use abft_memsim::{AccessSource, DEFAULT_CHUNK};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
@@ -25,18 +28,27 @@ fn parse_kernel(name: &str) -> Option<KernelKind> {
     }
 }
 
-fn stats(t: &Trace) {
+fn stats<S: AccessSource + ?Sized>(src: &mut S) {
+    src.reset();
+    let regions = src.regions().clone();
+    let mut refs = vec![0u64; regions.regions().len()];
+    let mut writes = vec![0u64; regions.regions().len()];
+    let mut total = 0u64;
+    let mut instructions = 0u64;
+    let mut chunk = Vec::with_capacity(DEFAULT_CHUNK);
+    while src.fill(&mut chunk, DEFAULT_CHUNK) > 0 {
+        for a in &chunk {
+            refs[a.region as usize] += 1;
+            writes[a.region as usize] += a.write as u64;
+            instructions += a.work as u64 + 1;
+        }
+        total += chunk.len() as u64;
+    }
+    let instructions = src.instructions_hint().unwrap_or(instructions);
     let mut t_out = TextTable::new(&[
         "region", "ABFT", "detectable", "footprint", "refs", "writes", "share",
     ]);
-    let mut refs = vec![0u64; t.regions.regions().len()];
-    let mut writes = vec![0u64; t.regions.regions().len()];
-    for a in &t.accesses {
-        refs[a.region as usize] += 1;
-        writes[a.region as usize] += a.write as u64;
-    }
-    let total = t.accesses.len() as f64;
-    for (i, r) in t.regions.regions().iter().enumerate() {
+    for (i, r) in regions.regions().iter().enumerate() {
         t_out.row(&[
             r.name.clone(),
             if r.abft_protected { "yes" } else { "-" }.into(),
@@ -44,15 +56,15 @@ fn stats(t: &Trace) {
             format!("{:.1} MB", r.bytes as f64 / (1 << 20) as f64),
             refs[i].to_string(),
             writes[i].to_string(),
-            pct(refs[i] as f64 / total),
+            pct(refs[i] as f64 / total as f64),
         ]);
     }
     print!("{}", t_out.render());
     println!(
         "\ntotal: {} refs, {} instructions ({:.1} instructions/ref)",
-        t.accesses.len(),
-        t.instructions,
-        t.instructions as f64 / total
+        total,
+        instructions,
+        instructions as f64 / total as f64
     );
 }
 
@@ -82,20 +94,23 @@ fn main() {
             }
         }
     }
-    let trace = if let Some(path) = load {
+    if let Some(path) = load {
         let f = File::open(&path).expect("open trace file");
-        std::sync::Arc::new(
-            tracefile::read_trace(&mut BufReader::new(f)).expect("parse trace file"),
-        )
+        let mut src = TraceFileSource::open(BufReader::new(f)).expect("parse trace header");
+        stats(&mut src);
+        if let Some(e) = src.take_error() {
+            eprintln!("warning: trace file ended early: {e}");
+            std::process::exit(1);
+        }
     } else {
         eprintln!("[generating {} trace ...]", kernel.label());
         let t = kernel_trace(kernel);
         if let Some(path) = save {
             let f = File::create(&path).expect("create trace file");
-            tracefile::write_trace(&t, &mut BufWriter::new(f)).expect("write trace");
+            tracefile::write_source(&mut t.replay(), &mut BufWriter::new(f))
+                .expect("write trace");
             eprintln!("[saved to {path}]");
         }
-        t
-    };
-    stats(&trace);
+        stats(&mut t.replay());
+    }
 }

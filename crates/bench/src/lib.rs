@@ -24,9 +24,8 @@
 //! `RAYON_NUM_THREADS` to bound the workers.
 
 use abft_coop_core::{BasicTest, Campaign, Progress};
-use abft_memsim::trace::Trace;
 use abft_memsim::workloads::{KernelKind, KernelParams};
-use abft_memsim::{SystemConfig, TraceCache};
+use abft_memsim::{PackedTrace, SystemConfig, TraceCache};
 use std::sync::Arc;
 
 /// Print the standard run header (the Table 3 configuration).
@@ -71,8 +70,10 @@ pub fn all_basic_tests() -> Vec<BasicTest> {
     run.basic_tests()
 }
 
-/// The default-scale trace for one kernel, from the process-wide
-/// [`TraceCache`] (generated at most once per process).
-pub fn kernel_trace(kind: KernelKind) -> Arc<Trace> {
+/// The default-scale packed trace for one kernel, from the process-wide
+/// [`TraceCache`] (generated at most once per process). Stream it with
+/// [`PackedTrace::replay`]; materialize only when random access is
+/// genuinely required.
+pub fn kernel_trace(kind: KernelKind) -> Arc<PackedTrace> {
     TraceCache::global().get(KernelParams::default_for(kind))
 }

@@ -6,7 +6,9 @@
 //! variants, then [`Campaign::run`] expands them into independent jobs
 //! and executes the jobs on a rayon worker pool. Kernel traces — the
 //! dominant fixed cost — are generated once per process through the
-//! shared [`TraceCache`] and handed to jobs as `Arc<Trace>` clones.
+//! shared [`TraceCache`] in the packed 8-byte encoding and streamed into
+//! each job's machine as an `Arc<PackedTrace>` replay, so N concurrent
+//! jobs share one compact allocation and never materialize `Vec<Access>`.
 //!
 //! Every job runs on a fresh [`Machine`], so results are bit-identical
 //! regardless of worker count or completion order (the simulator itself
@@ -30,8 +32,8 @@ use crate::strategy::Strategy;
 use abft_memsim::system::{Machine, SimStats};
 use abft_memsim::trace::Trace;
 use abft_memsim::trace_cache::TraceCache;
-use abft_memsim::workloads::{abft_regions, KernelKind, KernelParams};
-use abft_memsim::SystemConfig;
+use abft_memsim::workloads::{abft_region_ids, KernelKind, KernelParams};
+use abft_memsim::{AccessSource, SystemConfig};
 use rayon::prelude::*;
 use std::io::Write;
 use std::path::Path;
@@ -39,12 +41,23 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Run one (trace, config, strategy) cell on a fresh machine — the job
-/// primitive every campaign cell and the legacy `run_basic_test_on` path
-/// share.
+/// Run one (stream, config, strategy) cell on a fresh machine — the job
+/// primitive every campaign cell shares. The source may be anything
+/// pull-based: a packed-cache replay, a live kernel generator, or a trace
+/// file; the simulator drains it in bounded-memory chunks.
+pub fn run_strategy_source<S: AccessSource + ?Sized>(
+    src: &mut S,
+    cfg: &SystemConfig,
+    strategy: Strategy,
+) -> SimStats {
+    let regions = abft_region_ids(src.regions());
+    Machine::new(cfg.clone()).run_source(src, &strategy.assignment(&regions))
+}
+
+/// [`run_strategy_source`] over a materialized trace (the compatibility
+/// adapter for hand-built traces; bit-identical to streaming).
 pub fn run_strategy_job(trace: &Trace, cfg: &SystemConfig, strategy: Strategy) -> SimStats {
-    let regions = abft_regions(trace);
-    Machine::new(cfg.clone()).run_trace(trace, &strategy.assignment(&regions))
+    run_strategy_source(&mut trace.replay(), cfg, strategy)
 }
 
 /// One completed campaign cell.
@@ -236,7 +249,7 @@ impl Campaign {
                     let (tag, cfg) = &configs[cfg_idx];
                     let job_start = Instant::now();
                     let trace = cache.get(workload);
-                    let stats = run_strategy_job(&trace, cfg, strategy);
+                    let stats = run_strategy_source(&mut trace.replay(), cfg, strategy);
                     let wall = job_start.elapsed();
                     let result = CampaignResult {
                         kernel: workload.kind(),

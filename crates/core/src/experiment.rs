@@ -3,9 +3,7 @@
 
 use crate::strategy::Strategy;
 use abft_memsim::system::SimStats;
-use abft_memsim::trace::Trace;
 use abft_memsim::workloads::KernelKind;
-use abft_memsim::SystemConfig;
 
 /// Results of one (kernel, strategy) simulation.
 #[derive(Debug, Clone)]
@@ -63,32 +61,6 @@ impl BasicTest {
         let base = self.row(s.baseline()).stats.system_j();
         1.0 - self.row(s).stats.system_j() / base
     }
-}
-
-/// Run the full basic test for one kernel at the default Table 3 scale.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `Campaign` instead: `Campaign::new().kernel(k).run().basic_test(k)`"
-)]
-pub fn run_basic_test(kernel: KernelKind) -> BasicTest {
-    crate::campaign::Campaign::new().kernel(kernel).run().basic_test(kernel)
-}
-
-/// Run the basic test for one kernel on a supplied trace/config.
-#[deprecated(
-    since = "0.1.0",
-    note = "build a `Campaign` (traces come from the shared `TraceCache`), or call \
-            `campaign::run_strategy_job` per cell for a hand-built trace"
-)]
-pub fn run_basic_test_on(kernel: KernelKind, trace: &Trace, cfg: &SystemConfig) -> BasicTest {
-    let rows = Strategy::ALL
-        .iter()
-        .map(|&s| StrategyResult {
-            strategy: s,
-            stats: crate::campaign::run_strategy_job(trace, cfg, s),
-        })
-        .collect();
-    BasicTest { kernel, rows }
 }
 
 #[cfg(test)]

@@ -10,8 +10,7 @@
 //!   run on a rayon pool with traces shared through the process-wide
 //!   `TraceCache`.
 //! * [`experiment`] — the Section 5.1 metrics ([`BasicTest`] and the
-//!   fault-adjusted projections); its free-function drivers are
-//!   deprecated wrappers over [`Campaign`].
+//!   fault-adjusted projections); [`Campaign`] is the only driver.
 //! * [`errorflow`] — end-to-end Case 1-4 drills against the real stack
 //!   (bit-true ECC, MC error registers, OS interrupt path, sysfs, ABFT
 //!   correction) plus ARE-vs-ASE population summaries.
@@ -32,13 +31,12 @@ pub mod strategy;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveController, Stance, Transition};
 pub use campaign::{
-    run_strategy_job, Campaign, CampaignMetrics, CampaignResult, CampaignRun, Progress,
+    run_strategy_job, run_strategy_source, Campaign, CampaignMetrics, CampaignResult,
+    CampaignRun, Progress,
 };
 pub use errorflow::{
     drill_chip_fault, drill_matrix, summarize_cases, CaseSummary, DetectedBy, DrillResult,
 };
 pub use experiment::{fault_adjusted, BasicTest, FaultAdjusted, StrategyResult};
-#[allow(deprecated)]
-pub use experiment::{run_basic_test, run_basic_test_on};
 pub use policy::{decide, PolicyDecision, PolicyInputs};
 pub use strategy::Strategy;

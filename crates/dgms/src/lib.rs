@@ -14,7 +14,7 @@
 use abft_ecc::EccScheme;
 use abft_memsim::dram::AccessKind;
 use abft_memsim::system::{Machine, SimStats};
-use abft_memsim::trace::Trace;
+use abft_memsim::AccessSource;
 use std::collections::HashMap;
 
 /// Size of the spatial-pattern tracking granule (one OS page).
@@ -130,15 +130,16 @@ impl SpatialPredictor {
     }
 }
 
-/// Run a kernel trace through the machine under DGMS prediction.
+/// Run a kernel access stream through the machine under DGMS prediction.
+/// Accepts any [`AccessSource`] — a packed-cache replay, a live kernel
+/// generator, or a materialized trace's `replay()`.
 ///
 /// Note the hardware-only view: the predictor sees physical addresses and
 /// nothing else; ABFT-protected and unprotected data are indistinguishable
 /// to it. The ECC chips are always powered (every access carries ECC).
-pub fn run_dgms(machine: &mut Machine, trace: &Trace) -> (SimStats, f64) {
+pub fn run_dgms<S: AccessSource + ?Sized>(machine: &mut Machine, src: &mut S) -> (SimStats, f64) {
     let mut predictor = SpatialPredictor::default();
-    let stats =
-        machine.run_trace_with_policy(trace, true, |_, _, paddr| predictor.predict(paddr));
+    let stats = machine.run_source_with_policy(src, true, |_, _, paddr| predictor.predict(paddr));
     let frac = predictor.coarse_fraction();
     (stats, frac)
 }
@@ -180,7 +181,7 @@ mod tests {
         // spatial locality".
         let t = dgemm_trace(&DgemmParams { n: 256, nb: 64, abft: true, verify_interval: 4 });
         let mut m = Machine::new(SystemConfig::default());
-        let (stats, coarse_frac) = run_dgms(&mut m, &t);
+        let (stats, coarse_frac) = run_dgms(&mut m, &mut t.replay());
         // (A small trace pays proportionally more predictor warm-up; the
         // Figure 10 harness at full scale classifies >90% coarse.)
         assert!(coarse_frac > 0.8, "coarse fraction {coarse_frac}");
@@ -191,7 +192,7 @@ mod tests {
     fn dgms_energy_for_dgemm_close_to_whole_chipkill() {
         let t = dgemm_trace(&DgemmParams { n: 384, nb: 64, abft: true, verify_interval: 4 });
         let mut m = Machine::new(SystemConfig::default());
-        let (dgms, _) = run_dgms(&mut m, &t);
+        let (dgms, _) = run_dgms(&mut m, &mut t.replay());
         let wck =
             m.run_trace(&t, &abft_memsim::EccAssignment::uniform(EccScheme::Chipkill));
         let ratio = dgms.mem_dynamic_j() / wck.mem_dynamic_j();
@@ -219,10 +220,23 @@ mod tests {
     fn cg_gets_a_mix_of_granularities() {
         let t = cg_trace(&CgParams { grid: 96, iterations: 3, abft: true, verify_interval: 2 });
         let mut m = Machine::new(SystemConfig::default());
-        let (_, coarse_frac) = run_dgms(&mut m, &t);
+        let (_, coarse_frac) = run_dgms(&mut m, &mut t.replay());
         assert!(
             coarse_frac > 0.3 && coarse_frac < 0.995,
             "CG should mix coarse and fine, got {coarse_frac}"
         );
+    }
+
+    #[test]
+    fn streamed_generator_matches_materialized_replay() {
+        use abft_memsim::workloads::KernelParams;
+        let params =
+            KernelParams::Cg(CgParams { grid: 64, iterations: 2, abft: true, verify_interval: 2 });
+        let t = params.build();
+        let mut m = Machine::new(SystemConfig::default());
+        let (from_trace, f1) = run_dgms(&mut m, &mut t.replay());
+        let (from_stream, f2) = run_dgms(&mut m, &mut params.stream());
+        assert_eq!(from_trace, from_stream, "DGMS must be stream/materialize agnostic");
+        assert_eq!(f1, f2);
     }
 }

@@ -70,7 +70,7 @@ impl PatternMix {
 
 /// Campaign configuration.
 #[derive(Debug, Clone, PartialEq)]
-pub struct CampaignConfig {
+pub struct FaultCampaignConfig {
     /// Independent application runs to simulate.
     pub trials: u32,
     /// Expected errors per run (the Poisson mean; scale via Eq 4).
@@ -85,9 +85,9 @@ pub struct CampaignConfig {
     pub seed: u64,
 }
 
-impl Default for CampaignConfig {
+impl Default for FaultCampaignConfig {
     fn default() -> Self {
-        CampaignConfig {
+        FaultCampaignConfig {
             trials: 10_000,
             errors_per_run: 0.5,
             mix: PatternMix::default(),
@@ -113,7 +113,7 @@ pub struct SideStats {
 
 /// Full campaign result.
 #[derive(Debug, Clone, Default, PartialEq)]
-pub struct CampaignResult {
+pub struct FaultCampaignResult {
     /// Error-case histogram: [both, only-ABFT, only-ECC, neither].
     pub case_counts: [u64; 4],
     /// Total errors sampled.
@@ -136,7 +136,7 @@ fn side_stats(per_run: &mut [(f64, f64, bool)]) -> SideStats {
     SideStats { mean_energy_j, p99_energy_j: p99, restart_fraction, mean_time_s }
 }
 
-/// Progress snapshot handed to [`run_campaign_with_progress`]'s hook.
+/// Progress snapshot handed to [`run_fault_campaign_with_progress`]'s hook.
 #[derive(Debug, Clone, Copy)]
 pub struct McProgress {
     /// Trials simulated so far.
@@ -148,20 +148,20 @@ pub struct McProgress {
 }
 
 /// Run the campaign.
-pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
-    run_campaign_with_progress(cfg, |_| {})
+pub fn run_fault_campaign(cfg: &FaultCampaignConfig) -> FaultCampaignResult {
+    run_fault_campaign_with_progress(cfg, |_| {})
 }
 
 /// Run the campaign, reporting liveness roughly once per percent of
 /// trials (and on the final trial). The RNG consumption is identical to
-/// [`run_campaign`], so results are bit-identical for the same seed.
-pub fn run_campaign_with_progress(
-    cfg: &CampaignConfig,
+/// [`run_fault_campaign`], so results are bit-identical for the same seed.
+pub fn run_fault_campaign_with_progress(
+    cfg: &FaultCampaignConfig,
     mut progress: impl FnMut(&McProgress),
-) -> CampaignResult {
+) -> FaultCampaignResult {
     let report_every = (cfg.trials / 100).max(1);
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-    let mut result = CampaignResult::default();
+    let mut result = FaultCampaignResult::default();
     let mut are_runs = Vec::with_capacity(cfg.trials as usize);
     let mut coop_runs = Vec::with_capacity(cfg.trials as usize);
     let mut blind_runs = Vec::with_capacity(cfg.trials as usize);
@@ -223,24 +223,24 @@ pub fn run_campaign_with_progress(
 mod tests {
     use super::*;
 
-    fn small() -> CampaignConfig {
-        CampaignConfig { trials: 3000, ..Default::default() }
+    fn small() -> FaultCampaignConfig {
+        FaultCampaignConfig { trials: 3000, ..Default::default() }
     }
 
     #[test]
     fn campaign_is_deterministic_per_seed() {
-        let a = run_campaign(&small());
-        let b = run_campaign(&small());
+        let a = run_fault_campaign(&small());
+        let b = run_fault_campaign(&small());
         assert_eq!(a, b);
-        let c = run_campaign(&CampaignConfig { seed: 99, ..small() });
+        let c = run_fault_campaign(&FaultCampaignConfig { seed: 99, ..small() });
         assert_ne!(a, c);
     }
 
     #[test]
     fn progress_hook_is_monotone_and_bit_preserving() {
         let mut snapshots: Vec<McProgress> = Vec::new();
-        let with = run_campaign_with_progress(&small(), |p| snapshots.push(*p));
-        assert_eq!(with, run_campaign(&small()), "hook must not perturb the RNG stream");
+        let with = run_fault_campaign_with_progress(&small(), |p| snapshots.push(*p));
+        assert_eq!(with, run_fault_campaign(&small()), "hook must not perturb the RNG stream");
         assert!(snapshots.len() >= 100, "about one report per percent");
         assert_eq!(snapshots.last().unwrap().trials_done, 3000);
         for w in snapshots.windows(2) {
@@ -251,14 +251,14 @@ mod tests {
 
     #[test]
     fn poisson_mean_is_respected() {
-        let r = run_campaign(&small());
+        let r = run_fault_campaign(&small());
         let mean = r.total_errors as f64 / 3000.0;
         assert!((mean - 0.5).abs() < 0.05, "sampled mean {mean}");
     }
 
     #[test]
     fn case1_dominates_under_the_field_mix() {
-        let r = run_campaign(&small());
+        let r = run_fault_campaign(&small());
         let total: u64 = r.case_counts.iter().sum();
         assert!(r.case_counts[0] as f64 / total as f64 > 0.9, "{:?}", r.case_counts);
     }
@@ -267,22 +267,22 @@ mod tests {
     fn cooperative_ase_restarts_least() {
         // The Section 4 ranking: blind ASE restarts on Cases 2+4,
         // cooperative ASE only on 4, ARE on 3+4.
-        let r = run_campaign(&small());
+        let r = run_fault_campaign(&small());
         assert!(r.ase_coop.restart_fraction <= r.ase_blind.restart_fraction);
         assert!(r.ase_coop.restart_fraction <= r.are.restart_fraction);
     }
 
     #[test]
     fn blind_ase_pays_more_energy_than_cooperative() {
-        let r = run_campaign(&small());
+        let r = run_fault_campaign(&small());
         assert!(r.ase_blind.mean_energy_j >= r.ase_coop.mean_energy_j);
         assert!(r.ase_blind.p99_energy_j >= r.ase_coop.p99_energy_j);
     }
 
     #[test]
     fn higher_error_rates_scale_costs() {
-        let lo = run_campaign(&small());
-        let hi = run_campaign(&CampaignConfig { errors_per_run: 5.0, ..small() });
+        let lo = run_fault_campaign(&small());
+        let hi = run_fault_campaign(&FaultCampaignConfig { errors_per_run: 5.0, ..small() });
         assert!(hi.are.mean_energy_j > 5.0 * lo.are.mean_energy_j);
     }
 }

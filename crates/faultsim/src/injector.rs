@@ -166,7 +166,7 @@ mod tests {
         let mut inj = Injector::new(42);
         let times = inj.poisson_times(10.0, 100.0);
         assert!(times.windows(2).all(|w| w[0] < w[1]));
-        assert!(times.iter().all(|&t| t >= 0.0 && t < 100.0));
+        assert!(times.iter().all(|&t| (0.0..100.0).contains(&t)));
         // ~1000 expected; loose 5-sigma band.
         assert!(times.len() > 800 && times.len() < 1200, "{}", times.len());
     }

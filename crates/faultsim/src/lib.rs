@@ -13,7 +13,8 @@
 //! * [`scenarios`] — the Case 1-4 classifier and ARE-vs-ASE outcome
 //!   accounting.
 //! * [`campaign`] — Monte-Carlo fault campaigns over realistic pattern
-//!   mixes, producing ARE/ASE outcome distributions.
+//!   mixes, producing ARE/ASE outcome distributions (the `FaultCampaign*`
+//!   namespace; the simulation-grid `Campaign` lives in `abft-coop-core`).
 
 pub mod campaign;
 pub mod fit;
@@ -22,8 +23,8 @@ pub mod models;
 pub mod scenarios;
 
 pub use campaign::{
-    run_campaign, run_campaign_with_progress, CampaignConfig, CampaignResult, McProgress,
-    PatternMix,
+    run_fault_campaign, run_fault_campaign_with_progress, FaultCampaignConfig,
+    FaultCampaignResult, McProgress, PatternMix,
 };
 pub use fit::{age_factor, errors_per_second, expected_errors as fit_expected_errors, fit_per_mbit, table5};
 pub use injector::{flip_f64_bit, ErrorPattern, Injector, PlannedFault};

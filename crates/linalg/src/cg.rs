@@ -255,8 +255,8 @@ mod tests {
         let b = a.matvec(&x_true);
         let res = pcg(&a, &IdentityPrecond, &b, &vec![0.0; n], 1e-12, 500);
         assert!(res.converged, "CG must converge on SPD");
-        for i in 0..n {
-            assert!((res.x[i] - x_true[i]).abs() < 1e-6);
+        for (xi, ti) in res.x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-6);
         }
     }
 

@@ -243,7 +243,7 @@ mod tests {
         assert!(d.iter().all(|&v| v == 6.0));
         // Interior-point row sums to 0; boundaries positive (SPD with
         // Dirichlet).
-        let y = a.spmv(&vec![1.0; 24]);
+        let y = a.spmv(&[1.0; 24]);
         assert!(y.iter().all(|&v| v >= 0.0));
     }
 

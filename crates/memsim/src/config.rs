@@ -259,7 +259,152 @@ impl Default for SystemConfig {
     }
 }
 
+/// A rejected [`SystemConfig`]: which parameter is impossible and why.
+///
+/// Produced by [`SystemConfig::validate`] / [`SystemConfigBuilder::build`]
+/// so that impossible cache or DRAM geometry is reported at construction
+/// instead of panicking deep inside [`crate::cache::Cache::new`] or the
+/// address decoder mid-simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemConfigError {
+    /// The offending parameter ("l2.capacity", "row_bytes", ...).
+    pub field: &'static str,
+    /// Human-readable explanation of the constraint that failed.
+    pub reason: String,
+}
+
+impl std::fmt::Display for SystemConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid SystemConfig: {}: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for SystemConfigError {}
+
+fn err(field: &'static str, reason: String) -> SystemConfigError {
+    SystemConfigError { field, reason }
+}
+
+fn validate_cache(prefix: &'static str, c: &CacheConfig) -> Result<(), SystemConfigError> {
+    let field = match prefix {
+        "l1" => "l1",
+        _ => "l2",
+    };
+    if c.line_bytes == 0 || !c.line_bytes.is_power_of_two() {
+        return Err(err(field, format!("line size {} is not a power of two", c.line_bytes)));
+    }
+    if c.ways == 0 {
+        return Err(err(field, "associativity must be at least 1".into()));
+    }
+    if c.capacity == 0 || !c.capacity.is_multiple_of(c.ways * c.line_bytes) {
+        return Err(err(
+            field,
+            format!(
+                "capacity {} is not a multiple of ways x line ({} x {})",
+                c.capacity, c.ways, c.line_bytes
+            ),
+        ));
+    }
+    let sets = c.sets();
+    if !sets.is_power_of_two() {
+        return Err(err(field, format!("set count {sets} is not a power of two")));
+    }
+    Ok(())
+}
+
 impl SystemConfig {
+    /// A validating builder starting from the Table 3 defaults.
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder { cfg: SystemConfig::default() }
+    }
+
+    /// Check every geometric and physical constraint the simulator relies
+    /// on. [`crate::system::Machine::new`] calls this, so an impossible
+    /// configuration fails fast with a named parameter instead of an
+    /// assert deep in the cache or DRAM model.
+    pub fn validate(&self) -> Result<(), SystemConfigError> {
+        if !(self.clock_ghz.is_finite() && self.clock_ghz > 0.0) {
+            return Err(err("clock_ghz", format!("{} is not a positive clock", self.clock_ghz)));
+        }
+        if self.cores == 0 {
+            return Err(err("cores", "at least one core is required".into()));
+        }
+        if self.threads == 0 {
+            return Err(err("threads", "at least one worker thread is required".into()));
+        }
+        validate_cache("l1", &self.l1)?;
+        validate_cache("l2", &self.l2)?;
+        if self.l1.line_bytes != self.l2.line_bytes {
+            return Err(err(
+                "l2",
+                format!(
+                    "L1/L2 line sizes differ ({} vs {}); the write-back path assumes one line size",
+                    self.l1.line_bytes, self.l2.line_bytes
+                ),
+            ));
+        }
+        for (field, v) in [
+            ("channels", self.channels),
+            ("dimms_per_channel", self.dimms_per_channel),
+            ("ranks_per_dimm", self.ranks_per_dimm),
+            ("banks_per_rank", self.banks_per_rank),
+        ] {
+            if v == 0 {
+                return Err(err(field, "must be at least 1".into()));
+            }
+        }
+        if self.row_bytes == 0 || !self.row_bytes.is_power_of_two() {
+            return Err(err(
+                "row_bytes",
+                format!("row buffer size {} is not a power of two", self.row_bytes),
+            ));
+        }
+        if self.row_bytes < self.l2.line_bytes {
+            return Err(err(
+                "row_bytes",
+                format!(
+                    "row buffer ({} B) is smaller than a cache line ({} B)",
+                    self.row_bytes, self.l2.line_bytes
+                ),
+            ));
+        }
+        if self.capacity_bytes == 0 {
+            return Err(err("capacity_bytes", "capacity must be nonzero".into()));
+        }
+        if !(0.0..=1.0).contains(&self.stall_factor) || !self.stall_factor.is_finite() {
+            return Err(err(
+                "stall_factor",
+                format!("{} is not a fraction in [0, 1]", self.stall_factor),
+            ));
+        }
+        if self.data_chips_per_rank != self.device_width.data_chips_per_rank() {
+            return Err(err(
+                "data_chips_per_rank",
+                format!(
+                    "{} does not match the {:?} device width ({} expected; use with_device_width)",
+                    self.data_chips_per_rank,
+                    self.device_width,
+                    self.device_width.data_chips_per_rank()
+                ),
+            ));
+        }
+        if self.ecc_chips_per_rank != self.device_width.ecc_chips_per_rank() {
+            return Err(err(
+                "ecc_chips_per_rank",
+                format!(
+                    "{} does not match the {:?} device width ({} expected; use with_device_width)",
+                    self.ecc_chips_per_rank,
+                    self.device_width,
+                    self.device_width.ecc_chips_per_rank()
+                ),
+            ));
+        }
+        if !(self.timing.tck_ns.is_finite() && self.timing.tck_ns > 0.0) {
+            return Err(err("timing", format!("tCK {} ns is not positive", self.timing.tck_ns)));
+        }
+        Ok(())
+    }
+
     /// Reconfigure for a device width (adjusts the per-rank chip counts).
     pub fn with_device_width(mut self, width: DeviceWidth) -> Self {
         self.device_width = width;
@@ -333,6 +478,133 @@ impl SystemConfig {
     }
 }
 
+/// Fluent, validating constructor for [`SystemConfig`].
+///
+/// Starts from the Table 3 defaults; every setter overrides one knob and
+/// [`SystemConfigBuilder::build`] rejects impossible geometry with a
+/// [`SystemConfigError`] naming the offending field.
+///
+/// ```
+/// use abft_memsim::SystemConfig;
+/// let cfg = SystemConfig::builder().threads(1).stall_factor(0.5).build().unwrap();
+/// assert_eq!(cfg.threads, 1);
+/// assert!(SystemConfig::builder().row_bytes(100).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemConfigBuilder {
+    /// Core clock in GHz.
+    pub fn clock_ghz(mut self, v: f64) -> Self {
+        self.cfg.clock_ghz = v;
+        self
+    }
+
+    /// Number of in-order cores.
+    pub fn cores(mut self, v: usize) -> Self {
+        self.cfg.cores = v;
+        self
+    }
+
+    /// Concurrent worker threads driving the memory system.
+    pub fn threads(mut self, v: usize) -> Self {
+        self.cfg.threads = v;
+        self
+    }
+
+    /// L1 data cache geometry.
+    pub fn l1(mut self, v: CacheConfig) -> Self {
+        self.cfg.l1 = v;
+        self
+    }
+
+    /// L2 unified cache geometry.
+    pub fn l2(mut self, v: CacheConfig) -> Self {
+        self.cfg.l2 = v;
+        self
+    }
+
+    /// Memory channels.
+    pub fn channels(mut self, v: usize) -> Self {
+        self.cfg.channels = v;
+        self
+    }
+
+    /// DIMMs per channel.
+    pub fn dimms_per_channel(mut self, v: usize) -> Self {
+        self.cfg.dimms_per_channel = v;
+        self
+    }
+
+    /// Ranks per DIMM.
+    pub fn ranks_per_dimm(mut self, v: usize) -> Self {
+        self.cfg.ranks_per_dimm = v;
+        self
+    }
+
+    /// Banks per rank.
+    pub fn banks_per_rank(mut self, v: usize) -> Self {
+        self.cfg.banks_per_rank = v;
+        self
+    }
+
+    /// Row-buffer size per bank in bytes.
+    pub fn row_bytes(mut self, v: usize) -> Self {
+        self.cfg.row_bytes = v;
+        self
+    }
+
+    /// Total DRAM capacity in bytes.
+    pub fn capacity_bytes(mut self, v: u64) -> Self {
+        self.cfg.capacity_bytes = v;
+        self
+    }
+
+    /// DRAM timing parameters.
+    pub fn timing(mut self, v: DramTiming) -> Self {
+        self.cfg.timing = v;
+        self
+    }
+
+    /// DRAM energy coefficients.
+    pub fn energy(mut self, v: DramEnergy) -> Self {
+        self.cfg.energy = v;
+        self
+    }
+
+    /// Processor power model.
+    pub fn proc_power(mut self, v: ProcessorPower) -> Self {
+        self.cfg.proc_power = v;
+        self
+    }
+
+    /// Unhidden fraction of DRAM miss latency, in `[0, 1]`.
+    pub fn stall_factor(mut self, v: f64) -> Self {
+        self.cfg.stall_factor = v;
+        self
+    }
+
+    /// DRAM device width (also sets the per-rank chip counts).
+    pub fn device_width(mut self, v: DeviceWidth) -> Self {
+        self.cfg = self.cfg.with_device_width(v);
+        self
+    }
+
+    /// Row-buffer management policy.
+    pub fn row_policy(mut self, v: RowPolicy) -> Self {
+        self.cfg.row_policy = v;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<SystemConfig, SystemConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +645,78 @@ mod tests {
         assert!(t.hit_ns() < t.closed_ns());
         assert!(t.closed_ns() < t.conflict_ns());
         assert_eq!(t.burst_ns(), 12.0);
+    }
+
+    #[test]
+    fn default_and_ablation_configs_validate() {
+        SystemConfig::default().validate().unwrap();
+        SystemConfig::default().with_device_width(DeviceWidth::X8).validate().unwrap();
+        SystemConfig { stall_factor: 0.5, ..SystemConfig::default() }.validate().unwrap();
+        SystemConfig { row_policy: RowPolicy::Closed, ..SystemConfig::default() }
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn builder_accepts_possible_geometry() {
+        let cfg = SystemConfig::builder()
+            .threads(2)
+            .channels(2)
+            .l1(CacheConfig { capacity: 32 * 1024, ways: 8, line_bytes: 64, latency_cycles: 2 })
+            .stall_factor(0.2)
+            .device_width(DeviceWidth::X8)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.l1.sets(), 64);
+        assert_eq!(cfg.data_chips_per_rank, 8);
+    }
+
+    #[test]
+    fn builder_rejects_impossible_geometry() {
+        // Non-power-of-two set count.
+        let e = SystemConfig::builder()
+            .l2(CacheConfig { capacity: 3 * 1024 * 1024, ways: 16, line_bytes: 64, latency_cycles: 20 })
+            .build()
+            .unwrap_err();
+        assert_eq!(e.field, "l2");
+
+        // Capacity not a multiple of ways x line.
+        let e = SystemConfig::builder()
+            .l1(CacheConfig { capacity: 1000, ways: 4, line_bytes: 64, latency_cycles: 1 })
+            .build()
+            .unwrap_err();
+        assert_eq!(e.field, "l1");
+
+        // Mismatched line sizes.
+        let e = SystemConfig::builder()
+            .l1(CacheConfig { capacity: 16 * 1024, ways: 4, line_bytes: 32, latency_cycles: 1 })
+            .build()
+            .unwrap_err();
+        assert_eq!(e.field, "l2");
+
+        // Row buffer must be a power of two and hold a line.
+        assert_eq!(SystemConfig::builder().row_bytes(100).build().unwrap_err().field, "row_bytes");
+        assert_eq!(SystemConfig::builder().row_bytes(32).build().unwrap_err().field, "row_bytes");
+
+        // Degenerate organization and physics.
+        assert_eq!(SystemConfig::builder().channels(0).build().unwrap_err().field, "channels");
+        assert_eq!(SystemConfig::builder().threads(0).build().unwrap_err().field, "threads");
+        assert_eq!(
+            SystemConfig::builder().stall_factor(1.5).build().unwrap_err().field,
+            "stall_factor"
+        );
+        assert_eq!(
+            SystemConfig::builder().clock_ghz(0.0).build().unwrap_err().field,
+            "clock_ghz"
+        );
+
+        // Chip counts must track the device width.
+        let cfg = SystemConfig { data_chips_per_rank: 8, ..Default::default() };
+        assert_eq!(cfg.validate().unwrap_err().field, "data_chips_per_rank");
+
+        let err = SystemConfig::builder().row_bytes(100).build().unwrap_err();
+        assert!(err.to_string().contains("row_bytes"));
     }
 
     #[test]

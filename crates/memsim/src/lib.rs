@@ -11,24 +11,34 @@
 //!   buffers and a Micron-style energy account.
 //! * [`controller`] — the enhanced MC: ECC range registers, error
 //!   registers, interrupt line, and bit-true functional storage.
-//! * [`system`] — the whole node; runs traces into [`system::SimStats`].
-//! * [`workloads`] — trace generators replaying the blocked loop nests of
-//!   the paper's four ABFT kernels.
+//! * [`system`] — the whole node; runs access streams into
+//!   [`system::SimStats`].
+//! * [`stream`] — the pull-based [`stream::AccessSource`] /
+//!   [`stream::AccessSink`] traits every producer and consumer meet at.
+//! * [`packed`] — the 8-byte packed access encoding and the compact
+//!   [`packed::PackedTrace`] store.
+//! * [`workloads`] — streaming trace generators replaying the blocked
+//!   loop nests of the paper's four ABFT kernels.
 
 pub mod cache;
 pub mod config;
 pub mod controller;
 pub mod dram;
+pub mod packed;
+pub mod stream;
 pub mod system;
 pub mod trace;
 pub mod trace_cache;
 pub mod tracefile;
 pub mod workloads;
 
-pub use config::SystemConfig;
+pub use config::{SystemConfig, SystemConfigBuilder, SystemConfigError};
 pub use controller::{MemoryController, ERROR_REGISTERS};
 pub use dram::{AddressMap, Dram, DramLocation};
+pub use packed::{PackedBuilder, PackedReplay, PackedTrace};
+pub use stream::{AccessSink, AccessSource, TraceReplay, DEFAULT_CHUNK};
 pub use system::{EccAssignment, Machine, SimStats};
 pub use trace::{Access, Region, RegionId, RegionMap, Trace};
 pub use trace_cache::TraceCache;
-pub use workloads::{KernelKind, KernelParams};
+pub use tracefile::TraceFileSource;
+pub use workloads::{KernelKind, KernelParams, KernelStream};

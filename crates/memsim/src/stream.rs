@@ -1,0 +1,215 @@
+//! Pull-based access streams: the trace layer's core abstraction.
+//!
+//! The paper's Pin→McSim stack never holds a whole trace in memory — it
+//! streams references into the timing model. [`AccessSource`] is that
+//! interface: a resumable producer of [`Access`] records that the
+//! simulator drains in bounded-memory chunks. Everything that used to
+//! require a materialized [`Trace`] is now an adapter over this trait:
+//!
+//! * [`Trace::replay`] — replay an in-memory trace (the compatibility
+//!   path; bit-identical to iterating `trace.accesses`).
+//! * [`crate::packed::PackedReplay`] — replay a compact 8-byte-per-record
+//!   packed trace (what the [`crate::trace_cache::TraceCache`] memoizes).
+//! * [`crate::workloads::KernelStream`] — generate a kernel's reference
+//!   stream step by step, never materializing more than one outer-loop
+//!   iteration.
+//! * [`crate::tracefile::TraceFileSource`] — stream a trace file from
+//!   disk without loading it.
+//!
+//! The dual trait [`AccessSink`] is the producer side: workload
+//! generators emit into any sink (a [`Trace`], a packed builder, a chunk
+//! buffer), which is how the materialized and streaming paths are
+//! guaranteed to produce identical reference sequences — they run the
+//! same emission code.
+
+use crate::trace::{Access, RegionId, RegionMap, Trace};
+
+/// Default number of accesses the simulator pulls per chunk (512 KB of
+/// transient buffer at 16 B per record).
+pub const DEFAULT_CHUNK: usize = 32 * 1024;
+
+/// A resumable, pull-based producer of memory accesses.
+///
+/// Contract: [`fill`](AccessSource::fill) clears `buf` and appends up to
+/// `max` accesses in stream order, returning how many were written; `0`
+/// means the stream is exhausted. [`reset`](AccessSource::reset) rewinds
+/// to the first access, and a reset stream must reproduce the identical
+/// sequence (sources are deterministic).
+pub trait AccessSource {
+    /// The region registry the stream's accesses refer to.
+    fn regions(&self) -> &RegionMap;
+
+    /// Clear `buf` and refill it with up to `max` accesses; returns the
+    /// number written (0 = exhausted).
+    fn fill(&mut self, buf: &mut Vec<Access>, max: usize) -> usize;
+
+    /// Rewind to the beginning of the stream.
+    fn reset(&mut self);
+
+    /// Exact total number of accesses, if known without draining.
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+
+    /// Exact total retired instructions (work + one per access), if known
+    /// without draining. Sources that don't know let the consumer
+    /// accumulate the identical sum while draining.
+    fn instructions_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// A consumer of emitted accesses — the generator-facing dual of
+/// [`AccessSource`]. [`Trace`] implements it (append), as does the packed
+/// builder and the plain `Vec<Access>` chunk buffer.
+pub trait AccessSink {
+    /// Record one reference.
+    fn emit(&mut self, addr: u64, region: RegionId, write: bool, work: u32);
+
+    /// Touch every line of `bytes` bytes starting at `addr` once,
+    /// spreading `total_work` instructions uniformly across the touches
+    /// (the streaming sweep primitive shared by every kernel generator).
+    fn emit_span(&mut self, region: RegionId, addr: u64, bytes: u64, write: bool, total_work: u64) {
+        let lines = bytes.div_ceil(64).max(1);
+        let per = (total_work / lines) as u32;
+        let mut a = addr & !63;
+        for _ in 0..lines {
+            self.emit(a, region, write, per);
+            a += 64;
+        }
+    }
+}
+
+impl AccessSink for Trace {
+    fn emit(&mut self, addr: u64, region: RegionId, write: bool, work: u32) {
+        self.push(addr, region, write, work);
+    }
+}
+
+impl AccessSink for Vec<Access> {
+    fn emit(&mut self, addr: u64, region: RegionId, write: bool, work: u32) {
+        self.push(Access { addr, region, write, work });
+    }
+}
+
+/// Replay adapter over a materialized [`Trace`].
+#[derive(Debug)]
+pub struct TraceReplay<'a> {
+    trace: &'a Trace,
+    pos: usize,
+}
+
+impl Trace {
+    /// A pull-based stream over this trace's accesses.
+    pub fn replay(&self) -> TraceReplay<'_> {
+        TraceReplay { trace: self, pos: 0 }
+    }
+
+    /// Materialize a full trace by draining a source (the one adapter
+    /// every legacy `Vec<Access>` consumer goes through).
+    pub fn from_source<S: AccessSource + ?Sized>(src: &mut S) -> Trace {
+        let mut t = Trace::new(src.regions().clone());
+        if let Some(n) = src.len_hint() {
+            t.accesses.reserve_exact(n as usize);
+        }
+        let mut chunk = Vec::with_capacity(DEFAULT_CHUNK);
+        while src.fill(&mut chunk, DEFAULT_CHUNK) > 0 {
+            for a in &chunk {
+                t.push(a.addr, a.region, a.write, a.work);
+            }
+        }
+        if let Some(instructions) = src.instructions_hint() {
+            t.instructions = instructions;
+        }
+        t
+    }
+}
+
+impl AccessSource for TraceReplay<'_> {
+    fn regions(&self) -> &RegionMap {
+        &self.trace.regions
+    }
+
+    fn fill(&mut self, buf: &mut Vec<Access>, max: usize) -> usize {
+        buf.clear();
+        let n = max.min(self.trace.accesses.len() - self.pos);
+        buf.extend_from_slice(&self.trace.accesses[self.pos..self.pos + n]);
+        self.pos += n;
+        n
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.trace.accesses.len() as u64)
+    }
+
+    fn instructions_hint(&self) -> Option<u64> {
+        Some(self.trace.instructions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut rm = RegionMap::new();
+        let r = rm.alloc("v", 4096, true);
+        let base = rm.get(r).base;
+        let mut t = Trace::new(rm);
+        for i in 0..100u64 {
+            t.push(base + (i % 64) * 64, r, i % 3 == 0, (i % 7) as u32);
+        }
+        t
+    }
+
+    #[test]
+    fn replay_reproduces_the_trace_in_chunks() {
+        let t = sample_trace();
+        let mut replay = t.replay();
+        let mut out = Vec::new();
+        let mut chunk = Vec::new();
+        while replay.fill(&mut chunk, 7) > 0 {
+            out.extend_from_slice(&chunk);
+        }
+        assert_eq!(out, t.accesses);
+        assert_eq!(replay.len_hint(), Some(100));
+        assert_eq!(replay.instructions_hint(), Some(t.instructions));
+    }
+
+    #[test]
+    fn reset_rewinds_to_the_start() {
+        let t = sample_trace();
+        let mut replay = t.replay();
+        let mut chunk = Vec::new();
+        replay.fill(&mut chunk, 10);
+        let first = chunk.clone();
+        replay.reset();
+        replay.fill(&mut chunk, 10);
+        assert_eq!(chunk, first);
+    }
+
+    #[test]
+    fn from_source_round_trips() {
+        let t = sample_trace();
+        let back = Trace::from_source(&mut t.replay());
+        assert_eq!(back.accesses, t.accesses);
+        assert_eq!(back.instructions, t.instructions);
+        assert_eq!(back.regions.regions(), t.regions.regions());
+    }
+
+    #[test]
+    fn emit_span_matches_trace_stream() {
+        let mut rm = RegionMap::new();
+        let r = rm.alloc("v", 640, true);
+        let base = rm.get(r).base;
+        let mut t = Trace::new(rm.clone());
+        t.stream(r, base, 640, false, 1000);
+        let mut v: Vec<Access> = Vec::new();
+        v.emit_span(r, base, 640, false, 1000);
+        assert_eq!(v, t.accesses);
+    }
+}

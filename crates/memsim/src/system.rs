@@ -5,7 +5,8 @@ use crate::cache::{Cache, CacheOutcome};
 use crate::config::SystemConfig;
 use crate::controller::MemoryController;
 use crate::dram::{AccessKind, AddressMap, Dram};
-use crate::trace::{RegionId, Trace};
+use crate::stream::{AccessSource, DEFAULT_CHUNK};
+use crate::trace::{RegionId, RegionMap, Trace};
 use abft_ecc::EccScheme;
 
 /// Per-region access statistics (feeds Table 4).
@@ -158,7 +159,13 @@ pub struct Machine {
 
 impl Machine {
     /// Build a node from configuration with a strong default ECC.
+    /// Panics on impossible geometry; use [`SystemConfig::builder`] (or
+    /// [`SystemConfig::validate`]) to reject bad configurations as values
+    /// instead.
     pub fn new(cfg: SystemConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("{e}");
+        }
         let map = AddressMap::new(&cfg);
         Machine {
             l1: Cache::new(cfg.l1),
@@ -174,10 +181,10 @@ impl Machine {
         &self.cfg
     }
 
-    /// Program the MC's range registers from a trace's regions and an
+    /// Program the MC's range registers from a region registry and an
     /// assignment. Regions sharing a relaxed scheme and adjacency could be
     /// merged; we program one range per override (<= 8 as in hardware).
-    pub fn program_ecc(&mut self, trace: &Trace, assign: &EccAssignment) {
+    pub fn program_ecc(&mut self, regions: &RegionMap, assign: &EccAssignment) {
         self.controller.set_default_scheme(assign.default_scheme);
         // Clear old ranges.
         let bases: Vec<u64> = self.controller.ranges().iter().map(|r| r.base).collect();
@@ -185,45 +192,77 @@ impl Machine {
             self.controller.clear_range(b);
         }
         for &(rid, scheme) in &assign.overrides {
-            let r = trace.regions.get(rid);
+            let r = regions.get(rid);
             self.controller
                 .program_range(r.base, r.end(), scheme)
                 .expect("range registers exhausted: more than 8 relaxed regions");
         }
     }
 
-    /// Run a trace to completion and report statistics. Virtual addresses
-    /// are mapped to physical identically (the runtime crate provides real
-    /// paging when needed — for timing/energy the identity map is exact
-    /// because regions are page aligned and disjoint).
+    /// Run a materialized trace to completion (adapter over
+    /// [`Machine::run_source`]; bit-identical to streaming the same
+    /// sequence).
     pub fn run_trace(&mut self, trace: &Trace, assign: &EccAssignment) -> SimStats {
-        self.program_ecc(trace, assign);
-        let ecc_powered = assign.any_ecc();
-        self.run_trace_with_policy(trace, ecc_powered, |_, mc, paddr| {
-            AccessKind::Scheme(mc.scheme_for(paddr))
-        })
+        self.run_source(&mut trace.replay(), assign)
     }
 
-    /// Run a trace with a custom per-request protection policy (the DGMS
-    /// comparator plugs its granularity predictor in here). The policy
-    /// receives the triggering core access, the memory controller, and the
-    /// physical line address being serviced (demand line or write-back).
+    /// Run a materialized trace with a custom protection policy (see
+    /// [`Machine::run_source_with_policy`]).
     pub fn run_trace_with_policy<P>(
         &mut self,
         trace: &Trace,
         ecc_chips_powered: bool,
-        mut policy: P,
+        policy: P,
     ) -> SimStats
     where
         P: FnMut(&crate::trace::Access, &MemoryController, u64) -> AccessKind,
     {
+        self.run_source_with_policy(&mut trace.replay(), ecc_chips_powered, policy)
+    }
+
+    /// Run an access stream to completion and report statistics. The
+    /// source is consumed in bounded-memory chunks ([`DEFAULT_CHUNK`]
+    /// accesses at a time), so the peak footprint is independent of the
+    /// stream length. Virtual addresses are mapped to physical identically
+    /// (the runtime crate provides real paging when needed — for
+    /// timing/energy the identity map is exact because regions are page
+    /// aligned and disjoint).
+    pub fn run_source<S: AccessSource + ?Sized>(
+        &mut self,
+        src: &mut S,
+        assign: &EccAssignment,
+    ) -> SimStats {
+        self.program_ecc(&src.regions().clone(), assign);
+        let ecc_powered = assign.any_ecc();
+        self.run_source_with_policy(src, ecc_powered, |_, mc, paddr| {
+            AccessKind::Scheme(mc.scheme_for(paddr))
+        })
+    }
+
+    /// Run an access stream with a custom per-request protection policy
+    /// (the DGMS comparator plugs its granularity predictor in here). The
+    /// policy receives the triggering core access, the memory controller,
+    /// and the physical line address being serviced (demand line or
+    /// write-back). The source is rewound before the run, so a freshly
+    /// created or an already-drained stream behave identically.
+    pub fn run_source_with_policy<S, P>(
+        &mut self,
+        src: &mut S,
+        ecc_chips_powered: bool,
+        mut policy: P,
+    ) -> SimStats
+    where
+        S: AccessSource + ?Sized,
+        P: FnMut(&crate::trace::Access, &MemoryController, u64) -> AccessKind,
+    {
+        src.reset();
         self.l1 = Cache::new(self.cfg.l1);
         self.l2 = Cache::new(self.cfg.l2);
         self.dram.reset();
 
         let cycle_ns = self.cfg.cycle_ns();
-        let mut regions: Vec<RegionStats> = trace
-            .regions
+        let mut regions: Vec<RegionStats> = src
+            .regions()
             .regions()
             .iter()
             .map(|r| RegionStats {
@@ -254,64 +293,72 @@ impl Machine {
         let mut l2_hits = 0u64;
         let mut l2_misses = 0u64;
 
-        for a in &trace.accesses {
-            bump(&mut cycles, &mut thread_cycle_carry, a.work as u64);
-            let rs = &mut regions[a.region as usize];
-            rs.refs += 1;
-            match self.l1.access(a.addr, a.write) {
-                CacheOutcome::Hit => {
-                    bump(&mut cycles, &mut thread_cycle_carry, self.cfg.l1.latency_cycles);
-                    l1_hits += 1;
-                    continue;
-                }
-                CacheOutcome::Miss { writeback } => {
-                    l1_misses += 1;
-                    rs.l1_misses += 1;
-                    if let Some(wb) = writeback {
-                        // The L1 victim is installed dirty in L2 (the full
-                        // line travels down, so no DRAM fill is needed);
-                        // only a dirty line L2 evicts to make room reaches
-                        // memory.
-                        if let CacheOutcome::Miss { writeback: Some(wb2) } =
-                            self.l2.access(wb, true)
-                        {
-                            let now = cycles as f64 * cycle_ns;
-                            let kind = policy(a, &self.controller, wb2);
-                            self.dram.access_kind(now, wb2, true, kind);
+        let mut retired: u64 = 0;
+        let mut chunk: Vec<crate::trace::Access> = Vec::with_capacity(DEFAULT_CHUNK);
+        while src.fill(&mut chunk, DEFAULT_CHUNK) > 0 {
+            for a in &chunk {
+                retired += a.work as u64 + 1;
+                bump(&mut cycles, &mut thread_cycle_carry, a.work as u64);
+                let rs = &mut regions[a.region as usize];
+                rs.refs += 1;
+                match self.l1.access(a.addr, a.write) {
+                    CacheOutcome::Hit => {
+                        bump(&mut cycles, &mut thread_cycle_carry, self.cfg.l1.latency_cycles);
+                        l1_hits += 1;
+                        continue;
+                    }
+                    CacheOutcome::Miss { writeback } => {
+                        l1_misses += 1;
+                        rs.l1_misses += 1;
+                        if let Some(wb) = writeback {
+                            // The L1 victim is installed dirty in L2 (the
+                            // full line travels down, so no DRAM fill is
+                            // needed); only a dirty line L2 evicts to make
+                            // room reaches memory.
+                            if let CacheOutcome::Miss { writeback: Some(wb2) } =
+                                self.l2.access(wb, true)
+                            {
+                                let now = cycles as f64 * cycle_ns;
+                                let kind = policy(a, &self.controller, wb2);
+                                self.dram.access_kind(now, wb2, true, kind);
+                            }
                         }
                     }
                 }
-            }
-            match self.l2.access(a.addr, a.write) {
-                CacheOutcome::Hit => {
-                    bump(&mut cycles, &mut thread_cycle_carry, self.cfg.l2.latency_cycles);
-                    l2_hits += 1;
-                }
-                CacheOutcome::Miss { writeback } => {
-                    l2_misses += 1;
-                    rs.llc_misses += 1;
-                    let now = cycles as f64 * cycle_ns;
-                    let kind = policy(a, &self.controller, a.addr);
-                    // Demand miss: the line fill is a DRAM *read* even for
-                    // stores (write-allocate); the dirty data leaves the
-                    // cache later as a write-back.
-                    let res = self.dram.access_kind(now, a.addr, false, kind);
-                    // Demand miss: the in-order pipeline hides part of the
-                    // latency through memory-level parallelism.
-                    let lat_ns = res.completion_ns - now;
-                    let stall = (lat_ns * self.cfg.stall_factor / cycle_ns) as u64;
-                    bump(&mut cycles, &mut thread_cycle_carry, self.cfg.l2.latency_cycles);
-                    cycles += stall;
-                    if let Some(wb) = writeback {
-                        let kind = policy(a, &self.controller, wb);
-                        self.dram.access_kind(now, wb, true, kind);
+                match self.l2.access(a.addr, a.write) {
+                    CacheOutcome::Hit => {
+                        bump(&mut cycles, &mut thread_cycle_carry, self.cfg.l2.latency_cycles);
+                        l2_hits += 1;
+                    }
+                    CacheOutcome::Miss { writeback } => {
+                        l2_misses += 1;
+                        rs.llc_misses += 1;
+                        let now = cycles as f64 * cycle_ns;
+                        let kind = policy(a, &self.controller, a.addr);
+                        // Demand miss: the line fill is a DRAM *read* even
+                        // for stores (write-allocate); the dirty data
+                        // leaves the cache later as a write-back.
+                        let res = self.dram.access_kind(now, a.addr, false, kind);
+                        // Demand miss: the in-order pipeline hides part of
+                        // the latency through memory-level parallelism.
+                        let lat_ns = res.completion_ns - now;
+                        let stall = (lat_ns * self.cfg.stall_factor / cycle_ns) as u64;
+                        bump(&mut cycles, &mut thread_cycle_carry, self.cfg.l2.latency_cycles);
+                        cycles += stall;
+                        if let Some(wb) = writeback {
+                            let kind = policy(a, &self.controller, wb);
+                            self.dram.access_kind(now, wb, true, kind);
+                        }
                     }
                 }
             }
         }
 
         let seconds = cycles as f64 * cycle_ns * 1e-9;
-        let instructions = trace.instructions;
+        // `push` maintains the same sum, so for sources that know their
+        // total this is exact, and for generators it is the identical
+        // accumulation.
+        let instructions = src.instructions_hint().unwrap_or(retired);
         let ipc = if cycles == 0 { 0.0 } else { instructions as f64 / cycles as f64 };
         let mem_dynamic_j = self.dram.stats.dynamic_nj * 1e-9;
         let mem_standby_j =

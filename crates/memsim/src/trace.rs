@@ -201,7 +201,7 @@ mod tests {
         assert_eq!(ra.base % PAGE_BYTES, 0);
         assert_eq!(rb.base % PAGE_BYTES, 0);
         assert!(ra.end() <= rb.base, "regions must not overlap");
-        assert!(ra.bytes >= 100 && ra.bytes % PAGE_BYTES == 0);
+        assert!(ra.bytes >= 100 && ra.bytes.is_multiple_of(PAGE_BYTES));
     }
 
     #[test]

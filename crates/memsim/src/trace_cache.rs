@@ -4,8 +4,13 @@
 //! a default-scale FT-DGEMM trace is tens of millions of references, and
 //! the seed harness regenerated it once per binary per figure. The
 //! [`TraceCache`] generates each distinct [`KernelParams`] workload once
-//! per process and hands out `Arc<Trace>` clones, so a campaign running
-//! 24 (kernel x strategy) jobs performs exactly 4 trace generations.
+//! per process and hands out `Arc<PackedTrace>` clones, so a campaign
+//! running 24 (kernel x strategy) jobs performs exactly 4 trace
+//! generations — and because the cache stores the packed run-coalesced
+//! encoding (built straight from the step emitters, never materializing
+//! `Vec<Access>`), its resident cost sits an order of magnitude below the
+//! old materialized-`Trace` cache (16 B per record plus `Vec` growth
+//! slack; see `BENCH_trace.json` for measured per-kernel ratios).
 //!
 //! Concurrency: the map lock is held only to look up or insert a
 //! per-key slot; the (expensive) generation itself runs outside the map
@@ -13,17 +18,17 @@
 //! *different* kernels build concurrently while two workers asking for
 //! the *same* kernel serialize and share one build.
 
-use crate::trace::Trace;
+use crate::packed::PackedTrace;
 use crate::workloads::KernelParams;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Shared, lazily-built store of generated kernel traces, keyed by
-/// kernel + scale.
+/// Shared, lazily-built store of generated kernel traces in packed form,
+/// keyed by kernel + scale.
 #[derive(Debug, Default)]
 pub struct TraceCache {
-    slots: Mutex<HashMap<KernelParams, Arc<OnceLock<Arc<Trace>>>>>,
+    slots: Mutex<HashMap<KernelParams, Arc<OnceLock<Arc<PackedTrace>>>>>,
     hits: AtomicU64,
     builds: AtomicU64,
 }
@@ -40,9 +45,12 @@ impl TraceCache {
         GLOBAL.get_or_init(TraceCache::new)
     }
 
-    /// The trace for a workload: generated on first request, shared (same
-    /// allocation, pointer-equal `Arc`) on every subsequent one.
-    pub fn get(&self, params: KernelParams) -> Arc<Trace> {
+    /// The packed trace for a workload: generated on first request, shared
+    /// (same allocation, pointer-equal `Arc`) on every subsequent one.
+    /// Replay it with [`PackedTrace::replay`], or materialize a full
+    /// [`crate::trace::Trace`] with [`PackedTrace::materialize`] when a
+    /// consumer genuinely needs random access.
+    pub fn get(&self, params: KernelParams) -> Arc<PackedTrace> {
         let slot = {
             let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
             Arc::clone(slots.entry(params).or_default())
@@ -55,7 +63,7 @@ impl TraceCache {
         let trace = slot.get_or_init(|| {
             built_here = true;
             self.builds.fetch_add(1, Ordering::Relaxed);
-            Arc::new(params.build())
+            Arc::new(params.build_packed())
         });
         if !built_here {
             // Lost the build race (or arrived between the fast-path check
@@ -84,6 +92,12 @@ impl TraceCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Total bytes resident in cached packed traces.
+    pub fn resident_bytes(&self) -> u64 {
+        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        slots.values().filter_map(|s| s.get()).map(|t| t.packed_bytes()).sum()
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +118,8 @@ mod tests {
         assert_eq!(cache.builds(), 1);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.len(), 1);
+        assert!(cache.resident_bytes() > 0);
+        assert_eq!(cache.resident_bytes(), a.packed_bytes());
     }
 
     #[test]
@@ -123,6 +139,16 @@ mod tests {
     }
 
     #[test]
+    fn cached_trace_matches_direct_build() {
+        let cache = TraceCache::new();
+        let packed = cache.get(tiny_dgemm());
+        let direct = tiny_dgemm().build();
+        assert_eq!(packed.len(), direct.len() as u64);
+        assert_eq!(packed.instructions(), direct.instructions);
+        assert_eq!(packed.materialize().accesses, direct.accesses);
+    }
+
+    #[test]
     fn concurrent_lookups_build_once() {
         let cache = TraceCache::new();
         let key = KernelParams::Cg(CgParams {
@@ -131,7 +157,7 @@ mod tests {
             abft: true,
             verify_interval: 2,
         });
-        let traces: Vec<Arc<Trace>> = std::thread::scope(|s| {
+        let traces: Vec<Arc<PackedTrace>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..8).map(|_| s.spawn(|| cache.get(key))).collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });

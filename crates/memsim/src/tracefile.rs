@@ -14,15 +14,15 @@
 //! u64 instructions
 //! ```
 
+use crate::stream::{AccessSource, DEFAULT_CHUNK};
 use crate::trace::{Access, Region, RegionMap, Trace};
-use std::io::{self, Read, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 
 const MAGIC: &[u8; 8] = b"ABFTTRC1";
 
-/// Serialize a trace.
-pub fn write_trace<W: Write>(t: &Trace, w: &mut W) -> io::Result<()> {
+fn write_header<W: Write>(regions: &RegionMap, w: &mut W) -> io::Result<()> {
     w.write_all(MAGIC)?;
-    let regions = t.regions.regions();
+    let regions = regions.regions();
     w.write_all(&(regions.len() as u32).to_le_bytes())?;
     for r in regions {
         let name = r.name.as_bytes();
@@ -32,14 +32,54 @@ pub fn write_trace<W: Write>(t: &Trace, w: &mut W) -> io::Result<()> {
         w.write_all(&r.bytes.to_le_bytes())?;
         w.write_all(&[r.abft_protected as u8, r.abft_detectable as u8])?;
     }
-    w.write_all(&(t.accesses.len() as u64).to_le_bytes())?;
-    for a in &t.accesses {
-        w.write_all(&a.addr.to_le_bytes())?;
-        w.write_all(&a.region.to_le_bytes())?;
-        w.write_all(&[a.write as u8])?;
-        w.write_all(&a.work.to_le_bytes())?;
+    Ok(())
+}
+
+fn write_access<W: Write>(a: &Access, w: &mut W) -> io::Result<()> {
+    w.write_all(&a.addr.to_le_bytes())?;
+    w.write_all(&a.region.to_le_bytes())?;
+    w.write_all(&[a.write as u8])?;
+    w.write_all(&a.work.to_le_bytes())?;
+    Ok(())
+}
+
+/// Serialize a materialized trace.
+pub fn write_trace<W: Write>(t: &Trace, w: &mut W) -> io::Result<()> {
+    write_source(&mut t.replay(), w)
+}
+
+/// Serialize any access source without materializing it. Sources that
+/// don't know their length upfront are drained twice (they are resumable
+/// and deterministic by contract), so the peak memory stays one chunk.
+pub fn write_source<S: AccessSource + ?Sized, W: Write>(src: &mut S, w: &mut W) -> io::Result<()> {
+    src.reset();
+    let mut chunk = Vec::with_capacity(DEFAULT_CHUNK);
+    let count = match src.len_hint() {
+        Some(n) => n,
+        None => {
+            let mut n = 0u64;
+            while let got @ 1.. = src.fill(&mut chunk, DEFAULT_CHUNK) {
+                n += got as u64;
+            }
+            src.reset();
+            n
+        }
+    };
+    write_header(src.regions(), w)?;
+    w.write_all(&count.to_le_bytes())?;
+    let mut written = 0u64;
+    let mut instructions = 0u64;
+    while src.fill(&mut chunk, DEFAULT_CHUNK) > 0 {
+        for a in &chunk {
+            write_access(a, w)?;
+            instructions += a.work as u64 + 1;
+        }
+        written += chunk.len() as u64;
     }
-    w.write_all(&t.instructions.to_le_bytes())?;
+    if written != count {
+        return Err(bad("source length changed between passes"));
+    }
+    w.write_all(&src.instructions_hint().unwrap_or(instructions).to_le_bytes())?;
     Ok(())
 }
 
@@ -53,8 +93,7 @@ fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-/// Deserialize a trace.
-pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Trace> {
+fn read_header<R: Read>(r: &mut R) -> io::Result<RegionMap> {
     let magic = read_exact::<_, 8>(r)?;
     if &magic != MAGIC {
         return Err(bad("not an ABFT trace file"));
@@ -76,20 +115,125 @@ pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Trace> {
             abft_detectable: detectable != 0,
         });
     }
+    Ok(RegionMap::from_regions(regions))
+}
+
+fn read_access<R: Read>(r: &mut R, region_count: usize) -> io::Result<Access> {
+    let addr = u64::from_le_bytes(read_exact(r)?);
+    let region = u16::from_le_bytes(read_exact(r)?);
+    if region as usize >= region_count {
+        return Err(bad("access references unknown region"));
+    }
+    let [write] = read_exact::<_, 1>(r)?;
+    let work = u32::from_le_bytes(read_exact(r)?);
+    Ok(Access { addr, region, write: write != 0, work })
+}
+
+/// Streaming reader over a trace file: an [`AccessSource`] whose memory
+/// footprint is one chunk regardless of file size. The header is parsed
+/// eagerly; accesses are decoded on demand.
+///
+/// IO or format errors end the stream early (`fill` returns what it has,
+/// then 0); the parked error is retrievable with
+/// [`TraceFileSource::take_error`] — check it after draining when the
+/// file is untrusted.
+#[derive(Debug)]
+pub struct TraceFileSource<R: Read + Seek> {
+    reader: R,
+    regions: RegionMap,
+    total: u64,
+    read_so_far: u64,
+    data_start: u64,
+    instructions: Option<u64>,
+    error: Option<io::Error>,
+}
+
+impl<R: Read + Seek> TraceFileSource<R> {
+    /// Parse the header and position the stream at the first access.
+    pub fn open(mut reader: R) -> io::Result<Self> {
+        let regions = read_header(&mut reader)?;
+        let total = u64::from_le_bytes(read_exact(&mut reader)?);
+        let data_start = reader.stream_position()?;
+        Ok(TraceFileSource {
+            reader,
+            regions,
+            total,
+            read_so_far: 0,
+            data_start,
+            instructions: None,
+            error: None,
+        })
+    }
+
+    /// The IO/format error that ended the stream early, if any.
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.error.take()
+    }
+}
+
+impl<R: Read + Seek> AccessSource for TraceFileSource<R> {
+    fn regions(&self) -> &RegionMap {
+        &self.regions
+    }
+
+    fn fill(&mut self, buf: &mut Vec<Access>, max: usize) -> usize {
+        buf.clear();
+        if self.error.is_some() {
+            return 0;
+        }
+        let region_count = self.regions.regions().len();
+        let n = (max as u64).min(self.total - self.read_so_far) as usize;
+        for _ in 0..n {
+            match read_access(&mut self.reader, region_count) {
+                Ok(a) => buf.push(a),
+                Err(e) => {
+                    self.error = Some(e);
+                    break;
+                }
+            }
+        }
+        self.read_so_far += buf.len() as u64;
+        if self.read_so_far == self.total && self.instructions.is_none() && self.error.is_none() {
+            match read_exact::<_, 8>(&mut self.reader) {
+                Ok(b) => self.instructions = Some(u64::from_le_bytes(b)),
+                Err(e) => self.error = Some(e),
+            }
+        }
+        buf.len()
+    }
+
+    fn reset(&mut self) {
+        if let Err(e) = self.reader.seek(SeekFrom::Start(self.data_start)) {
+            self.error = Some(e);
+            return;
+        }
+        self.read_so_far = 0;
+        self.error = None;
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.total)
+    }
+
+    fn instructions_hint(&self) -> Option<u64> {
+        // Known once the trailer has been reached (or from a prior pass);
+        // consumers that need it before draining can seek it themselves.
+        self.instructions
+    }
+}
+
+/// Deserialize a whole trace into memory (materializing adapter; use
+/// [`TraceFileSource`] to stream instead).
+pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Trace> {
+    let regions = read_header(r)?;
+    let region_count = regions.regions().len();
     let access_count = u64::from_le_bytes(read_exact(r)?) as usize;
     let mut accesses = Vec::with_capacity(access_count);
     for _ in 0..access_count {
-        let addr = u64::from_le_bytes(read_exact(r)?);
-        let region = u16::from_le_bytes(read_exact(r)?);
-        if region as usize >= region_count {
-            return Err(bad("access references unknown region"));
-        }
-        let [write] = read_exact::<_, 1>(r)?;
-        let work = u32::from_le_bytes(read_exact(r)?);
-        accesses.push(Access { addr, region, write: write != 0, work });
+        accesses.push(read_access(r, region_count)?);
     }
     let instructions = u64::from_le_bytes(read_exact(r)?);
-    Ok(Trace { regions: RegionMap::from_regions(regions), accesses, instructions })
+    Ok(Trace { regions, accesses, instructions })
 }
 
 #[cfg(test)]
@@ -125,5 +269,52 @@ mod tests {
         write_trace(&t, &mut buf).unwrap();
         // 15 bytes per access + small header.
         assert!(buf.len() < t.accesses.len() * 16 + 4096);
+    }
+
+    #[test]
+    fn streaming_source_matches_full_read() {
+        use crate::workloads::KernelParams;
+        let params = KernelParams::Dgemm(DgemmParams {
+            n: 128,
+            nb: 64,
+            abft: true,
+            verify_interval: 2,
+        });
+        let t = params.build();
+        let mut buf = Vec::new();
+        // Write from the generator stream (no materialized trace involved).
+        write_source(&mut params.stream(), &mut buf).unwrap();
+
+        let full = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(full.accesses, t.accesses);
+        assert_eq!(full.instructions, t.instructions);
+
+        let mut src = TraceFileSource::open(io::Cursor::new(&buf)).unwrap();
+        assert_eq!(src.len_hint(), Some(t.accesses.len() as u64));
+        assert_eq!(src.instructions_hint(), None, "trailer not reached yet");
+        let streamed = Trace::from_source(&mut src);
+        assert!(src.take_error().is_none());
+        assert_eq!(streamed.accesses, t.accesses);
+        assert_eq!(streamed.instructions, t.instructions);
+        assert_eq!(streamed.regions.regions(), t.regions.regions());
+
+        // Reset and re-drain reproduces the stream (and keeps the cached
+        // instruction count).
+        assert_eq!(src.instructions_hint(), Some(t.instructions));
+        src.reset();
+        let again = Trace::from_source(&mut src);
+        assert_eq!(again.accesses, t.accesses);
+    }
+
+    #[test]
+    fn streaming_source_parks_truncation_errors() {
+        let t = dgemm_trace(&DgemmParams { n: 64, nb: 64, abft: false, verify_interval: 1 });
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let mut src = TraceFileSource::open(io::Cursor::new(&buf)).unwrap();
+        let mut chunk = Vec::new();
+        while src.fill(&mut chunk, 4096) > 0 {}
+        assert!(src.take_error().is_some(), "truncation must be detectable");
     }
 }

@@ -9,6 +9,15 @@
 //! so the working sets stress the 8 MB L2 the way the paper's 3000x3000
 //! (dp) inputs stress theirs.
 //!
+//! Generators are *streaming*: each kernel is split into a region layout
+//! plus a step emitter (one outer-loop iteration — a k-panel for the
+//! factorizations, a CG iteration) that writes into any
+//! [`AccessSink`]. [`KernelParams::stream`] wraps the steps as a resumable
+//! [`AccessSource`] that never materializes more than one step;
+//! [`KernelParams::build`] runs the *same* step emitters into a [`Trace`],
+//! so the materialized and streaming paths produce bit-identical
+//! reference sequences by construction.
+//!
 //! ABFT-protected structures per kernel (Section 2.1):
 //! * FT-DGEMM — the encoded matrices `A^c`, `B^c` and the result `C^f`.
 //! * FT-Cholesky — the in-place matrix `A` (and thus `L`).
@@ -16,7 +25,9 @@
 //!   preconditioner `M`).
 //! * FT-HPL — the in-place matrix `A` (and thus `U`), with row checksums.
 
-use crate::trace::{RegionId, RegionMap, Trace};
+use crate::packed::{PackedBuilder, PackedTrace};
+use crate::stream::{AccessSink, AccessSource};
+use crate::trace::{Access, RegionId, RegionMap, Trace};
 
 const LINE: u64 = 64;
 const F64: u64 = 8;
@@ -62,16 +73,21 @@ impl KernelKind {
     }
 }
 
-/// IDs of the ABFT-protected regions of a trace (what `malloc_ecc` covers).
-pub fn abft_regions(trace: &Trace) -> Vec<RegionId> {
-    trace
-        .regions
+/// IDs of the ABFT-protected regions in a registry (what `malloc_ecc`
+/// covers).
+pub fn abft_region_ids(regions: &RegionMap) -> Vec<RegionId> {
+    regions
         .regions()
         .iter()
         .enumerate()
         .filter(|(_, r)| r.abft_protected)
         .map(|(i, _)| i as RegionId)
         .collect()
+}
+
+/// IDs of the ABFT-protected regions of a materialized trace.
+pub fn abft_regions(trace: &Trace) -> Vec<RegionId> {
+    abft_region_ids(&trace.regions)
 }
 
 // ---------------------------------------------------------------------
@@ -82,8 +98,8 @@ pub fn abft_regions(trace: &Trace) -> Vec<RegionId> {
 /// whose full leading dimension is `ld` elements. `work_total` instructions
 /// are spread across the touches.
 #[allow(clippy::too_many_arguments)]
-fn touch_tile(
-    t: &mut Trace,
+fn touch_tile<S: AccessSink + ?Sized>(
+    t: &mut S,
     region: RegionId,
     base: u64,
     ld: u64,
@@ -104,7 +120,7 @@ fn touch_tile(
         let col_addr = base + ((col0 + j) * ld + row0) * F64;
         let mut a = col_addr & !(LINE - 1);
         for _ in 0..lines_per_col {
-            t.push(a, region, write, per);
+            t.emit(a, region, write, per);
             a += LINE;
         }
     }
@@ -143,12 +159,24 @@ impl DgemmParams {
     }
 }
 
-/// Generate the FT-DGEMM trace: outer-product `C^f = A^c B^c` with periodic
-/// checksum verification on `C^f`.
-pub fn dgemm_trace(p: &DgemmParams) -> Trace {
+#[derive(Debug)]
+struct DgemmLayout {
+    regions: RegionMap,
+    ra: RegionId,
+    rb: RegionId,
+    rc: RegionId,
+    re: RegionId,
+    rw: RegionId,
+    ba: u64,
+    bb: u64,
+    bc: u64,
+    be: u64,
+    bw: u64,
+}
+
+fn dgemm_layout(p: &DgemmParams) -> DgemmLayout {
     let (n, nb) = (p.n as u64, p.nb as u64);
     assert!(n % nb == 0, "n must be a multiple of nb");
-    let nt = n / nb;
     // A^c is (n+1) x n (column checksum row), B^c is n x (n+1), C^f is
     // (n+1) x (n+1).
     let lda = n + 1;
@@ -166,34 +194,45 @@ pub fn dgemm_trace(p: &DgemmParams) -> Trace {
         rm.get(re).base,
         rm.get(rw).base,
     );
-    let mut t = Trace::new(rm);
+    DgemmLayout { regions: rm, ra, rb, rc, re, rw, ba, bb, bc, be, bw }
+}
 
+/// One k-panel of the outer-product `C^f = A^c B^c`, with the periodic
+/// checksum verification when the panel index hits the interval.
+fn dgemm_step<S: AccessSink + ?Sized>(p: &DgemmParams, l: &DgemmLayout, kt: u64, t: &mut S) {
+    let (n, nb) = (p.n as u64, p.nb as u64);
+    let nt = n / nb;
+    let lda = n + 1;
+    let ldc = n + 1;
     let tile_flops = 2 * nb * nb * nb;
 
-    for kt in 0..nt {
-        for jt in 0..nt {
-            // B tile (kt, jt) loaded once per (kt, jt).
-            touch_tile(&mut t, rb, bb, n, kt * nb, jt * nb, nb, nb, false, 0);
-            for it in 0..nt {
-                // A tile (it, kt); the checksum row rides along in the last
-                // row tile.
-                let arows = if it == nt - 1 { nb + 1 } else { nb };
-                touch_tile(&mut t, ra, ba, lda, it * nb, kt * nb, arows, nb, false, 0);
-                // C tile (it, jt): read-modify-write carries the flops.
-                touch_tile(&mut t, rc, bc, ldc, it * nb, jt * nb, arows, nb, false, w(tile_flops / 2));
-                touch_tile(&mut t, rc, bc, ldc, it * nb, jt * nb, arows, nb, true, w(tile_flops / 2));
-            }
-        }
-        // Periodic verification (the expensive part of fail-continue ABFT):
-        // recompute column sums of C and compare with the checksum row.
-        if p.abft && (kt + 1) % p.verify_interval as u64 == 0 {
-            t.stream(re, be, (n + 1) * F64, false, 0);
-            touch_tile(&mut t, rc, bc, ldc, 0, 0, n + 1, n + 1, false, w(2 * (n + 1) * (n + 1)));
-            t.stream(rw, bw, (n + 1) * F64 * 4, true, 0);
-            t.stream(rw, bw, (n + 1) * F64 * 4, false, (n + 1) * 2);
+    for jt in 0..nt {
+        // B tile (kt, jt) loaded once per (kt, jt).
+        touch_tile(t, l.rb, l.bb, n, kt * nb, jt * nb, nb, nb, false, 0);
+        for it in 0..nt {
+            // A tile (it, kt); the checksum row rides along in the last
+            // row tile.
+            let arows = if it == nt - 1 { nb + 1 } else { nb };
+            touch_tile(t, l.ra, l.ba, lda, it * nb, kt * nb, arows, nb, false, 0);
+            // C tile (it, jt): read-modify-write carries the flops.
+            touch_tile(t, l.rc, l.bc, ldc, it * nb, jt * nb, arows, nb, false, w(tile_flops / 2));
+            touch_tile(t, l.rc, l.bc, ldc, it * nb, jt * nb, arows, nb, true, w(tile_flops / 2));
         }
     }
-    t
+    // Periodic verification (the expensive part of fail-continue ABFT):
+    // recompute column sums of C and compare with the checksum row.
+    if p.abft && (kt + 1).is_multiple_of(p.verify_interval as u64) {
+        t.emit_span(l.re, l.be, (n + 1) * F64, false, 0);
+        touch_tile(t, l.rc, l.bc, ldc, 0, 0, n + 1, n + 1, false, w(2 * (n + 1) * (n + 1)));
+        t.emit_span(l.rw, l.bw, (n + 1) * F64 * 4, true, 0);
+        t.emit_span(l.rw, l.bw, (n + 1) * F64 * 4, false, (n + 1) * 2);
+    }
+}
+
+/// Generate the FT-DGEMM trace: outer-product `C^f = A^c B^c` with periodic
+/// checksum verification on `C^f`.
+pub fn dgemm_trace(p: &DgemmParams) -> Trace {
+    KernelParams::Dgemm(*p).build()
 }
 
 // ---------------------------------------------------------------------
@@ -224,9 +263,18 @@ impl CholeskyParams {
     }
 }
 
-/// Generate the FT-Cholesky trace: right-looking blocked factorization with
-/// per-step checksum verification (Section 2.1's 4-step iteration).
-pub fn cholesky_trace(p: &CholeskyParams) -> Trace {
+#[derive(Debug)]
+struct CholeskyLayout {
+    regions: RegionMap,
+    ra: RegionId,
+    rws: RegionId,
+    rinfo: RegionId,
+    ba: u64,
+    bws: u64,
+    binfo: u64,
+}
+
+fn cholesky_layout(p: &CholeskyParams) -> CholeskyLayout {
     let (n, nb) = (p.n as u64, p.nb as u64);
     assert!(n % nb == 0, "n must be a multiple of nb");
     let nt = n / nb;
@@ -241,54 +289,71 @@ pub fn cholesky_trace(p: &CholeskyParams) -> Trace {
     let rws = rm.alloc("panel_broadcast", (nb * n) * F64, false);
     let rinfo = rm.alloc("step_info", 4096, false);
     let (ba, bws, binfo) = (rm.get(ra).base, rm.get(rws).base, rm.get(rinfo).base);
-    let mut t = Trace::new(rm);
+    CholeskyLayout { regions: rm, ra, rws, rinfo, ba, bws, binfo }
+}
 
-    for kt in 0..nt {
-        let k = kt * nb;
-        let rest = n - k - nb;
-        // (1) potf2 on A11: approximated as 2 read+write sweeps carrying
-        // the nb^3/3 flops.
-        let potf2_flops = nb * nb * nb / 3;
-        touch_tile(&mut t, ra, ba, lda, k, k, nb, nb, false, w(potf2_flops / 2));
-        touch_tile(&mut t, ra, ba, lda, k, k, nb, nb, true, w(potf2_flops / 2));
+/// One k-panel of the right-looking blocked factorization (Section 2.1's
+/// 4-step iteration: potf2, trsm, syrk update, verify).
+fn cholesky_step<S: AccessSink + ?Sized>(
+    p: &CholeskyParams,
+    l: &CholeskyLayout,
+    kt: u64,
+    t: &mut S,
+) {
+    let (n, nb) = (p.n as u64, p.nb as u64);
+    let nt = n / nb;
+    let chk_rows = 2 * nt;
+    let lda = n + chk_rows;
 
-        if rest > 0 {
-            // (2) TRSM over the panel against L11.
-            let trsm_flops = nb * nb * rest;
-            touch_tile(&mut t, ra, ba, lda, k, k, nb, nb, false, 0);
-            touch_tile(&mut t, ra, ba, lda, k + nb, k, rest, nb, false, 0);
-            touch_tile(&mut t, ra, ba, lda, k + nb, k, rest, nb, true, w(trsm_flops));
-            // Pack + broadcast the factored panel (write once, read once
-            // by the update sweep).
-            touch_tile(&mut t, ra, ba, lda, k + nb, k, rest, nb, false, 0);
-            t.stream(rws, bws, (nb * (rest + nb)) * F64, true, 0);
-            t.stream(rws, bws, (nb * (rest + nb)) * F64, false, 0);
+    let k = kt * nb;
+    let rest = n - k - nb;
+    // (1) potf2 on A11: approximated as 2 read+write sweeps carrying
+    // the nb^3/3 flops.
+    let potf2_flops = nb * nb * nb / 3;
+    touch_tile(t, l.ra, l.ba, lda, k, k, nb, nb, false, w(potf2_flops / 2));
+    touch_tile(t, l.ra, l.ba, lda, k, k, nb, nb, true, w(potf2_flops / 2));
 
-            // (3) SYRK trailing update, tile by tile (lower triangle).
-            let rt = rest / nb;
-            let tile_flops = 2 * nb * nb * nb;
-            for jt in 0..rt {
-                for it in jt..rt {
-                    touch_tile(&mut t, ra, ba, lda, k + nb + it * nb, k, nb, nb, false, 0);
-                    touch_tile(&mut t, ra, ba, lda, k + nb + jt * nb, k, nb, nb, false, 0);
-                    let (r0, c0) = (k + nb + it * nb, k + nb + jt * nb);
-                    touch_tile(&mut t, ra, ba, lda, r0, c0, nb, nb, false, w(tile_flops / 2));
-                    touch_tile(&mut t, ra, ba, lda, r0, c0, nb, nb, true, w(tile_flops / 2));
-                }
+    if rest > 0 {
+        // (2) TRSM over the panel against L11.
+        let trsm_flops = nb * nb * rest;
+        touch_tile(t, l.ra, l.ba, lda, k, k, nb, nb, false, 0);
+        touch_tile(t, l.ra, l.ba, lda, k + nb, k, rest, nb, false, 0);
+        touch_tile(t, l.ra, l.ba, lda, k + nb, k, rest, nb, true, w(trsm_flops));
+        // Pack + broadcast the factored panel (write once, read once
+        // by the update sweep).
+        touch_tile(t, l.ra, l.ba, lda, k + nb, k, rest, nb, false, 0);
+        t.emit_span(l.rws, l.bws, (nb * (rest + nb)) * F64, true, 0);
+        t.emit_span(l.rws, l.bws, (nb * (rest + nb)) * F64, false, 0);
+
+        // (3) SYRK trailing update, tile by tile (lower triangle).
+        let rt = rest / nb;
+        let tile_flops = 2 * nb * nb * nb;
+        for jt in 0..rt {
+            for it in jt..rt {
+                touch_tile(t, l.ra, l.ba, lda, k + nb + it * nb, k, nb, nb, false, 0);
+                touch_tile(t, l.ra, l.ba, lda, k + nb + jt * nb, k, nb, nb, false, 0);
+                let (r0, c0) = (k + nb + it * nb, k + nb + jt * nb);
+                touch_tile(t, l.ra, l.ba, lda, r0, c0, nb, nb, false, w(tile_flops / 2));
+                touch_tile(t, l.ra, l.ba, lda, r0, c0, nb, nb, true, w(tile_flops / 2));
             }
         }
-
-        if p.abft {
-            // Per-step verification: recompute column sums of the current
-            // panel and compare against the checksum strip.
-            let h = n - k;
-            touch_tile(&mut t, ra, ba, lda, k, k, h, nb, false, w(2 * h * nb));
-            touch_tile(&mut t, ra, ba, lda, n, k, chk_rows, nb, false, 0);
-            touch_tile(&mut t, ra, ba, lda, n, k, chk_rows, nb, true, 0);
-            t.stream(rinfo, binfo, 256, true, 64);
-        }
     }
-    t
+
+    if p.abft {
+        // Per-step verification: recompute column sums of the current
+        // panel and compare against the checksum strip.
+        let h = n - k;
+        touch_tile(t, l.ra, l.ba, lda, k, k, h, nb, false, w(2 * h * nb));
+        touch_tile(t, l.ra, l.ba, lda, n, k, chk_rows, nb, false, 0);
+        touch_tile(t, l.ra, l.ba, lda, n, k, chk_rows, nb, true, 0);
+        t.emit_span(l.rinfo, l.binfo, 256, true, 64);
+    }
+}
+
+/// Generate the FT-Cholesky trace: right-looking blocked factorization with
+/// per-step checksum verification (Section 2.1's 4-step iteration).
+pub fn cholesky_trace(p: &CholeskyParams) -> Trace {
+    KernelParams::Cholesky(*p).build()
 }
 
 // ---------------------------------------------------------------------
@@ -322,8 +387,30 @@ impl CgParams {
     }
 }
 
-/// Generate the FT-CG trace following the paper's Figure 1 line by line.
-pub fn cg_trace(p: &CgParams) -> Trace {
+#[derive(Debug)]
+struct CgLayout {
+    regions: RegionMap,
+    rvals: RegionId,
+    rcols: RegionId,
+    rm_diag: RegionId,
+    rz: RegionId,
+    rr: RegionId,
+    rp: RegionId,
+    rq: RegionId,
+    rx: RegionId,
+    rb: RegionId,
+    bvals: u64,
+    bcols: u64,
+    bm: u64,
+    bz: u64,
+    br: u64,
+    bp: u64,
+    bq: u64,
+    bx: u64,
+    bb: u64,
+}
+
+fn cg_layout(p: &CgParams) -> CgLayout {
     let g = p.grid as u64;
     let n = g * g;
     let nnz = 5 * n; // 5-point stencil upper bound
@@ -354,76 +441,122 @@ pub fn cg_trace(p: &CgParams) -> Trace {
         b_of(&rm, rx),
         b_of(&rm, rb),
     );
-    let mut t = Trace::new(rm);
-
-    // One SpMV: stream vals+cols, gather from `src` along the stencil's
-    // three bands (center row with strong locality, +/- grid neighbours),
-    // write `dst`.
-    let spmv = |t: &mut Trace, src: RegionId, bsrc: u64, dst: RegionId, bdst: u64| {
-        let rows_per_line = LINE / F64;
-        let mut i = 0u64;
-        while i < n {
-            let voff = (i * 5 * F64) & !(LINE - 1);
-            for l in 0..5 {
-                t.push(bvals + voff + l * LINE, rvals, false, 2);
-            }
-            let coff = (i * 5 * 4) & !(LINE - 1);
-            for l in 0..3 {
-                t.push(bcols + coff + l * LINE, rcols, false, 0);
-            }
-            t.push(bsrc + i * F64, src, false, 2);
-            if i >= g {
-                t.push(bsrc + (i - g) * F64, src, false, 2);
-            }
-            if i + g < n {
-                t.push(bsrc + (i + g) * F64, src, false, 2);
-            }
-            t.push(bdst + i * F64, dst, true, 10);
-            i += rows_per_line;
-        }
-    };
-    // A BLAS-1 pass over one vector region.
-    let pass = |t: &mut Trace, r: RegionId, base: u64, write: bool, work_per_line: u64| {
-        t.stream(r, base, n * F64, write, work_per_line * (n * F64).div_ceil(LINE));
-    };
-
-    for it in 0..p.iterations as u64 {
-        // line 3: q = A p
-        spmv(&mut t, rp, bp, rq, bq);
-        // line 4: alpha = rho / p.q
-        pass(&mut t, rp, bp, false, 4);
-        pass(&mut t, rq, bq, false, 4);
-        // line 5: x += alpha p
-        pass(&mut t, rp, bp, false, 2);
-        pass(&mut t, rx, bx, false, 2);
-        pass(&mut t, rx, bx, true, 2);
-        // line 6: r -= alpha q
-        pass(&mut t, rq, bq, false, 2);
-        pass(&mut t, rr, br, false, 2);
-        pass(&mut t, rr, br, true, 2);
-        // line 7: z = M^{-1} r
-        pass(&mut t, rr, br, false, 2);
-        pass(&mut t, rm_diag, bm, false, 2);
-        pass(&mut t, rz, bz, true, 2);
-        // line 8: rho = r.z
-        pass(&mut t, rr, br, false, 4);
-        pass(&mut t, rz, bz, false, 4);
-        // line 10: p = z + beta p
-        pass(&mut t, rz, bz, false, 2);
-        pass(&mut t, rp, bp, false, 2);
-        pass(&mut t, rp, bp, true, 2);
-        // line 11: convergence check ||r||
-        pass(&mut t, rr, br, false, 4);
-
-        // Online-ABFT verification (Equation 1): r + A x =? b — one extra
-        // SpMV on x plus passes over r and b.
-        if p.abft && (it + 1) % p.verify_interval as u64 == 0 {
-            spmv(&mut t, rx, bx, rq, bq);
-            pass(&mut t, rr, br, false, 2);
-            pass(&mut t, rb, bb, false, 2);
-        }
+    CgLayout {
+        regions: rm,
+        rvals,
+        rcols,
+        rm_diag,
+        rz,
+        rr,
+        rp,
+        rq,
+        rx,
+        rb,
+        bvals,
+        bcols,
+        bm,
+        bz,
+        br,
+        bp,
+        bq,
+        bx,
+        bb,
     }
-    t
+}
+
+/// One SpMV: stream vals+cols, gather from `src` along the stencil's
+/// three bands (center row with strong locality, +/- grid neighbours),
+/// write `dst`.
+#[allow(clippy::too_many_arguments)]
+fn cg_spmv<S: AccessSink + ?Sized>(
+    t: &mut S,
+    l: &CgLayout,
+    n: u64,
+    g: u64,
+    src: RegionId,
+    bsrc: u64,
+    dst: RegionId,
+    bdst: u64,
+) {
+    let rows_per_line = LINE / F64;
+    let mut i = 0u64;
+    while i < n {
+        let voff = (i * 5 * F64) & !(LINE - 1);
+        for line in 0..5 {
+            t.emit(l.bvals + voff + line * LINE, l.rvals, false, 2);
+        }
+        let coff = (i * 5 * 4) & !(LINE - 1);
+        for line in 0..3 {
+            t.emit(l.bcols + coff + line * LINE, l.rcols, false, 0);
+        }
+        t.emit(bsrc + i * F64, src, false, 2);
+        if i >= g {
+            t.emit(bsrc + (i - g) * F64, src, false, 2);
+        }
+        if i + g < n {
+            t.emit(bsrc + (i + g) * F64, src, false, 2);
+        }
+        t.emit(bdst + i * F64, dst, true, 10);
+        i += rows_per_line;
+    }
+}
+
+/// A BLAS-1 pass over one vector region.
+fn cg_pass<S: AccessSink + ?Sized>(
+    t: &mut S,
+    r: RegionId,
+    base: u64,
+    n: u64,
+    write: bool,
+    work_per_line: u64,
+) {
+    t.emit_span(r, base, n * F64, write, work_per_line * (n * F64).div_ceil(LINE));
+}
+
+/// One FT-CG iteration following the paper's Figure 1 line by line.
+fn cg_step<S: AccessSink + ?Sized>(p: &CgParams, l: &CgLayout, it: u64, t: &mut S) {
+    let g = p.grid as u64;
+    let n = g * g;
+
+    // line 3: q = A p
+    cg_spmv(t, l, n, g, l.rp, l.bp, l.rq, l.bq);
+    // line 4: alpha = rho / p.q
+    cg_pass(t, l.rp, l.bp, n, false, 4);
+    cg_pass(t, l.rq, l.bq, n, false, 4);
+    // line 5: x += alpha p
+    cg_pass(t, l.rp, l.bp, n, false, 2);
+    cg_pass(t, l.rx, l.bx, n, false, 2);
+    cg_pass(t, l.rx, l.bx, n, true, 2);
+    // line 6: r -= alpha q
+    cg_pass(t, l.rq, l.bq, n, false, 2);
+    cg_pass(t, l.rr, l.br, n, false, 2);
+    cg_pass(t, l.rr, l.br, n, true, 2);
+    // line 7: z = M^{-1} r
+    cg_pass(t, l.rr, l.br, n, false, 2);
+    cg_pass(t, l.rm_diag, l.bm, n, false, 2);
+    cg_pass(t, l.rz, l.bz, n, true, 2);
+    // line 8: rho = r.z
+    cg_pass(t, l.rr, l.br, n, false, 4);
+    cg_pass(t, l.rz, l.bz, n, false, 4);
+    // line 10: p = z + beta p
+    cg_pass(t, l.rz, l.bz, n, false, 2);
+    cg_pass(t, l.rp, l.bp, n, false, 2);
+    cg_pass(t, l.rp, l.bp, n, true, 2);
+    // line 11: convergence check ||r||
+    cg_pass(t, l.rr, l.br, n, false, 4);
+
+    // Online-ABFT verification (Equation 1): r + A x =? b — one extra
+    // SpMV on x plus passes over r and b.
+    if p.abft && (it + 1).is_multiple_of(p.verify_interval as u64) {
+        cg_spmv(t, l, n, g, l.rx, l.bx, l.rq, l.bq);
+        cg_pass(t, l.rr, l.br, n, false, 2);
+        cg_pass(t, l.rb, l.bb, n, false, 2);
+    }
+}
+
+/// Generate the FT-CG trace following the paper's Figure 1 line by line.
+pub fn cg_trace(p: &CgParams) -> Trace {
+    KernelParams::Cg(*p).build()
 }
 
 // ---------------------------------------------------------------------
@@ -455,12 +588,20 @@ impl HplParams {
     }
 }
 
-/// Generate the FT-HPL trace: blocked LU with partial pivoting and row
-/// checksums, one representative process of the paper's 2x2 grid.
-pub fn hpl_trace(p: &HplParams) -> Trace {
+#[derive(Debug)]
+struct HplLayout {
+    regions: RegionMap,
+    ra: RegionId,
+    rpiv: RegionId,
+    rws: RegionId,
+    ba: u64,
+    bpiv: u64,
+    bws: u64,
+}
+
+fn hpl_layout(p: &HplParams) -> HplLayout {
     let (n, nb) = (p.n as u64, p.nb as u64);
     assert!(n % nb == 0, "n must be a multiple of nb");
-    let nt = n / nb;
     // Row checksums: two extra columns (sum + weighted).
     let ncols = n + 2;
     let lda = n;
@@ -470,82 +611,91 @@ pub fn hpl_trace(p: &HplParams) -> Trace {
     // HPL's panel broadcast buffer: the factored panel is packed, sent and
     // unpacked every step (non-ABFT runtime data).
     let rws = rm.alloc("panel_broadcast", nb * n * F64, false);
-    let rbx = rm.alloc("rhs_b", n * F64, true);
-    let (ba, bpiv, bws, _bbx) =
-        (rm.get(ra).base, rm.get(rpiv).base, rm.get(rws).base, rm.get(rbx).base);
-    let mut t = Trace::new(rm);
+    let _rbx = rm.alloc("rhs_b", n * F64, true);
+    let (ba, bpiv, bws) = (rm.get(ra).base, rm.get(rpiv).base, rm.get(rws).base);
+    HplLayout { regions: rm, ra, rpiv, rws, ba, bpiv, bws }
+}
 
-    for kt in 0..nt {
-        let k = kt * nb;
-        let rest = n - k - nb;
-        let below = n - k;
+/// One k-panel of blocked LU with partial pivoting and row checksums.
+fn hpl_step<S: AccessSink + ?Sized>(p: &HplParams, l: &HplLayout, kt: u64, t: &mut S) {
+    let (n, nb) = (p.n as u64, p.nb as u64);
+    let ncols = n + 2;
+    let lda = n;
 
-        // Panel factorization: per column, pivot search down the column,
-        // one row swap across the full (checksummed) width, rank-1 update
-        // inside the panel.
-        for j in 0..nb {
-            let col = k + j;
-            touch_tile(&mut t, ra, ba, lda, col, col, n - col, 1, false, w((n - col) * 2));
-            t.push(bpiv + col * 8, rpiv, true, 2);
-            // Row swap: a row of a column-major matrix touches one line per
-            // column; sample every 8th column to keep the trace volume
-            // proportional to the real strided cost.
-            let mut c = 0;
-            while c < ncols {
-                let a1 = ba + (c * lda + col) * F64;
-                t.push(a1 & !(LINE - 1), ra, true, 0);
-                c += 8;
-            }
-            // Rank-1 update of the remaining panel columns.
-            let width = k + nb - col - 1;
-            if width > 0 {
-                touch_tile(
-                    &mut t,
-                    ra,
-                    ba,
-                    lda,
-                    col,
-                    col + 1,
-                    n - col,
-                    width,
-                    true,
-                    w((n - col) * width * 2),
-                );
-            }
+    let k = kt * nb;
+    let rest = n - k - nb;
+    let below = n - k;
+
+    // Panel factorization: per column, pivot search down the column,
+    // one row swap across the full (checksummed) width, rank-1 update
+    // inside the panel.
+    for j in 0..nb {
+        let col = k + j;
+        touch_tile(t, l.ra, l.ba, lda, col, col, n - col, 1, false, w((n - col) * 2));
+        t.emit(l.bpiv + col * 8, l.rpiv, true, 2);
+        // Row swap: a row of a column-major matrix touches one line per
+        // column; sample every 8th column to keep the trace volume
+        // proportional to the real strided cost.
+        let mut c = 0;
+        while c < ncols {
+            let a1 = l.ba + (c * lda + col) * F64;
+            t.emit(a1 & !(LINE - 1), l.ra, true, 0);
+            c += 8;
         }
-
-        if rest > 0 {
-            // Pack + broadcast the factored panel (write, then read on the
-            // receiving side), as HPL does between panel and update.
-            touch_tile(&mut t, ra, ba, lda, k, k, n - k, nb, false, 0);
-            t.stream(rws, bws, (nb * (n - k)) * F64, true, 0);
-            t.stream(rws, bws, (nb * (n - k)) * F64, false, 0);
-            // U12 = L11^{-1} A12 over the row panel (incl. checksum cols).
-            touch_tile(&mut t, ra, ba, lda, k, k + nb, nb, rest + 2, false, 0);
-            touch_tile(&mut t, ra, ba, lda, k, k + nb, nb, rest + 2, true, w(nb * nb * (rest + 2)));
-
-            // Trailing GEMM, tile by tile (checksum columns ride in the
-            // last column tile via rest+2 above).
-            let rt = rest / nb;
-            let tile_flops = 2 * nb * nb * nb;
-            for jt in 0..rt {
-                for it in 0..rt {
-                    touch_tile(&mut t, ra, ba, lda, k + nb + it * nb, k, nb, nb, false, 0);
-                    touch_tile(&mut t, ra, ba, lda, k, k + nb + jt * nb, nb, nb, false, 0);
-                    let (r0, c0) = (k + nb + it * nb, k + nb + jt * nb);
-                    touch_tile(&mut t, ra, ba, lda, r0, c0, nb, nb, false, w(tile_flops / 2));
-                    touch_tile(&mut t, ra, ba, lda, r0, c0, nb, nb, true, w(tile_flops / 2));
-                }
-            }
-        }
-
-        if p.abft {
-            // Maintain/verify the row-checksum columns of the trailing rows.
-            touch_tile(&mut t, ra, ba, lda, k, n, below, 2, false, w(below * 2));
-            touch_tile(&mut t, ra, ba, lda, k, n, below, 2, true, 0);
+        // Rank-1 update of the remaining panel columns.
+        let width = k + nb - col - 1;
+        if width > 0 {
+            touch_tile(
+                t,
+                l.ra,
+                l.ba,
+                lda,
+                col,
+                col + 1,
+                n - col,
+                width,
+                true,
+                w((n - col) * width * 2),
+            );
         }
     }
-    t
+
+    if rest > 0 {
+        // Pack + broadcast the factored panel (write, then read on the
+        // receiving side), as HPL does between panel and update.
+        touch_tile(t, l.ra, l.ba, lda, k, k, n - k, nb, false, 0);
+        t.emit_span(l.rws, l.bws, (nb * (n - k)) * F64, true, 0);
+        t.emit_span(l.rws, l.bws, (nb * (n - k)) * F64, false, 0);
+        // U12 = L11^{-1} A12 over the row panel (incl. checksum cols).
+        touch_tile(t, l.ra, l.ba, lda, k, k + nb, nb, rest + 2, false, 0);
+        touch_tile(t, l.ra, l.ba, lda, k, k + nb, nb, rest + 2, true, w(nb * nb * (rest + 2)));
+
+        // Trailing GEMM, tile by tile (checksum columns ride in the
+        // last column tile via rest+2 above).
+        let rt = rest / nb;
+        let tile_flops = 2 * nb * nb * nb;
+        for jt in 0..rt {
+            for it in 0..rt {
+                touch_tile(t, l.ra, l.ba, lda, k + nb + it * nb, k, nb, nb, false, 0);
+                touch_tile(t, l.ra, l.ba, lda, k, k + nb + jt * nb, nb, nb, false, 0);
+                let (r0, c0) = (k + nb + it * nb, k + nb + jt * nb);
+                touch_tile(t, l.ra, l.ba, lda, r0, c0, nb, nb, false, w(tile_flops / 2));
+                touch_tile(t, l.ra, l.ba, lda, r0, c0, nb, nb, true, w(tile_flops / 2));
+            }
+        }
+    }
+
+    if p.abft {
+        // Maintain/verify the row-checksum columns of the trailing rows.
+        touch_tile(t, l.ra, l.ba, lda, k, n, below, 2, false, w(below * 2));
+        touch_tile(t, l.ra, l.ba, lda, k, n, below, 2, true, 0);
+    }
+}
+
+/// Generate the FT-HPL trace: blocked LU with partial pivoting and row
+/// checksums, one representative process of the paper's 2x2 grid.
+pub fn hpl_trace(p: &HplParams) -> Trace {
+    KernelParams::Hpl(*p).build()
 }
 
 // ---------------------------------------------------------------------
@@ -562,7 +712,7 @@ pub fn basic_trace(kind: KernelKind) -> Trace {
 ///
 /// This is the key type of the process-wide trace cache
 /// ([`crate::trace_cache::TraceCache`]): two jobs that name the same
-/// `KernelParams` share one generated [`Trace`].
+/// `KernelParams` share one generated packed trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KernelParams {
     /// FT-DGEMM at the given scale.
@@ -612,15 +762,53 @@ impl KernelParams {
         self.kind().label()
     }
 
-    /// Generate the trace (expensive; prefer going through the
-    /// [`crate::trace_cache::TraceCache`]).
-    pub fn build(self) -> Trace {
+    /// Number of outer-loop steps (k-panels for the factorizations, CG
+    /// iterations) the generator is split into.
+    pub fn steps(self) -> u64 {
         match self {
-            KernelParams::Dgemm(p) => dgemm_trace(&p),
-            KernelParams::Cholesky(p) => cholesky_trace(&p),
-            KernelParams::Cg(p) => cg_trace(&p),
-            KernelParams::Hpl(p) => hpl_trace(&p),
+            KernelParams::Dgemm(p) => (p.n / p.nb) as u64,
+            KernelParams::Cholesky(p) => (p.n / p.nb) as u64,
+            KernelParams::Cg(p) => p.iterations as u64,
+            KernelParams::Hpl(p) => (p.n / p.nb) as u64,
         }
+    }
+
+    /// A resumable stream over the kernel's reference sequence that never
+    /// materializes more than one outer-loop step (the bounded-memory
+    /// path).
+    pub fn stream(self) -> KernelStream {
+        KernelStream {
+            params: self,
+            layout: KernelLayout::new(self),
+            steps: self.steps(),
+            next_step: 0,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Materialize the full trace (24 B per record; prefer
+    /// [`KernelParams::stream`] or [`KernelParams::build_packed`] —
+    /// both cost a third of the memory or less).
+    pub fn build(self) -> Trace {
+        let layout = KernelLayout::new(self);
+        let mut t = Trace::new(layout.regions().clone());
+        for step in 0..self.steps() {
+            emit_kernel_step(&self, &layout, step, &mut t);
+        }
+        t
+    }
+
+    /// Generate straight into packed 8-byte storage without ever holding
+    /// `Access` records — the lowest-memory build path and what the
+    /// [`crate::trace_cache::TraceCache`] memoizes.
+    pub fn build_packed(self) -> PackedTrace {
+        let layout = KernelLayout::new(self);
+        let mut b = PackedBuilder::new(layout.regions().clone());
+        for step in 0..self.steps() {
+            emit_kernel_step(&self, &layout, step, &mut b);
+        }
+        b.finish()
     }
 }
 
@@ -645,6 +833,107 @@ impl From<CgParams> for KernelParams {
 impl From<HplParams> for KernelParams {
     fn from(p: HplParams) -> Self {
         KernelParams::Hpl(p)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Streaming generation
+// ---------------------------------------------------------------------
+
+/// A kernel's region layout: the registry plus the per-structure ids and
+/// bases the step emitters index into.
+#[derive(Debug)]
+enum KernelLayout {
+    Dgemm(DgemmLayout),
+    Cholesky(CholeskyLayout),
+    Cg(CgLayout),
+    Hpl(HplLayout),
+}
+
+impl KernelLayout {
+    fn new(p: KernelParams) -> Self {
+        match p {
+            KernelParams::Dgemm(p) => KernelLayout::Dgemm(dgemm_layout(&p)),
+            KernelParams::Cholesky(p) => KernelLayout::Cholesky(cholesky_layout(&p)),
+            KernelParams::Cg(p) => KernelLayout::Cg(cg_layout(&p)),
+            KernelParams::Hpl(p) => KernelLayout::Hpl(hpl_layout(&p)),
+        }
+    }
+
+    fn regions(&self) -> &RegionMap {
+        match self {
+            KernelLayout::Dgemm(l) => &l.regions,
+            KernelLayout::Cholesky(l) => &l.regions,
+            KernelLayout::Cg(l) => &l.regions,
+            KernelLayout::Hpl(l) => &l.regions,
+        }
+    }
+}
+
+/// Emit one outer-loop step of a kernel into a sink.
+fn emit_kernel_step<S: AccessSink + ?Sized>(
+    p: &KernelParams,
+    l: &KernelLayout,
+    step: u64,
+    sink: &mut S,
+) {
+    match (p, l) {
+        (KernelParams::Dgemm(p), KernelLayout::Dgemm(l)) => dgemm_step(p, l, step, sink),
+        (KernelParams::Cholesky(p), KernelLayout::Cholesky(l)) => cholesky_step(p, l, step, sink),
+        (KernelParams::Cg(p), KernelLayout::Cg(l)) => cg_step(p, l, step, sink),
+        (KernelParams::Hpl(p), KernelLayout::Hpl(l)) => hpl_step(p, l, step, sink),
+        _ => unreachable!("kernel layout does not match its params"),
+    }
+}
+
+/// Resumable streaming generator for one kernel workload: an
+/// [`AccessSource`] whose backing store is a single outer-loop step
+/// (a few hundred KB) rather than the full trace.
+#[derive(Debug)]
+pub struct KernelStream {
+    params: KernelParams,
+    layout: KernelLayout,
+    steps: u64,
+    next_step: u64,
+    buf: Vec<Access>,
+    pos: usize,
+}
+
+impl KernelStream {
+    /// The workload this stream generates.
+    pub fn params(&self) -> KernelParams {
+        self.params
+    }
+}
+
+impl AccessSource for KernelStream {
+    fn regions(&self) -> &RegionMap {
+        self.layout.regions()
+    }
+
+    fn fill(&mut self, buf: &mut Vec<Access>, max: usize) -> usize {
+        buf.clear();
+        while buf.len() < max {
+            if self.pos == self.buf.len() {
+                if self.next_step == self.steps {
+                    break;
+                }
+                self.buf.clear();
+                self.pos = 0;
+                emit_kernel_step(&self.params, &self.layout, self.next_step, &mut self.buf);
+                self.next_step += 1;
+            }
+            let take = (max - buf.len()).min(self.buf.len() - self.pos);
+            buf.extend_from_slice(&self.buf[self.pos..self.pos + take]);
+            self.pos += take;
+        }
+        buf.len()
+    }
+
+    fn reset(&mut self) {
+        self.next_step = 0;
+        self.buf.clear();
+        self.pos = 0;
     }
 }
 
@@ -726,6 +1015,46 @@ mod tests {
         let b = cg_trace(&CgParams { grid: 32, iterations: 2, abft: true, verify_interval: 2 });
         assert_eq!(a.accesses, b.accesses);
         assert_eq!(a.instructions, b.instructions);
+    }
+
+    #[test]
+    fn stream_matches_build_for_every_kernel() {
+        let workloads: [KernelParams; 4] = [
+            DgemmParams { n: 192, nb: 64, abft: true, verify_interval: 2 }.into(),
+            CholeskyParams { n: 192, nb: 64, abft: true }.into(),
+            CgParams { grid: 48, iterations: 2, abft: true, verify_interval: 2 }.into(),
+            HplParams { n: 192, nb: 64, abft: true }.into(),
+        ];
+        for w in workloads {
+            let built = w.build();
+            // Odd chunk size so chunk boundaries never line up with steps.
+            let mut stream = w.stream();
+            let mut streamed: Vec<Access> = Vec::new();
+            let mut chunk = Vec::new();
+            while stream.fill(&mut chunk, 1013) > 0 {
+                streamed.extend_from_slice(&chunk);
+            }
+            assert_eq!(streamed, built.accesses, "{}", w.label());
+            assert_eq!(stream.regions().regions(), built.regions.regions());
+            // Reset replays the identical sequence.
+            stream.reset();
+            let again = Trace::from_source(&mut stream);
+            assert_eq!(again.accesses, built.accesses);
+            assert_eq!(again.instructions, built.instructions);
+        }
+    }
+
+    #[test]
+    fn build_packed_matches_build() {
+        use std::sync::Arc;
+        let w: KernelParams =
+            DgemmParams { n: 192, nb: 64, abft: true, verify_interval: 2 }.into();
+        let built = w.build();
+        let packed = Arc::new(w.build_packed());
+        assert_eq!(packed.len(), built.len() as u64);
+        assert_eq!(packed.instructions(), built.instructions);
+        let back = packed.materialize();
+        assert_eq!(back.accesses, built.accesses);
     }
 
     #[test]

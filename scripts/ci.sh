@@ -7,6 +7,9 @@ cd "$(dirname "$0")/.."
 echo "=== cargo build --release ==="
 cargo build --release
 
+echo "=== trace-pipeline smoke bench (writes BENCH_trace.json) ==="
+./target/release/bench_trace
+
 echo "=== cargo test -q ==="
 cargo test -q
 

@@ -36,12 +36,10 @@ pub mod prelude {
     };
     pub use abft_coop_core::{
         decide, drill_chip_fault, drill_matrix, fault_adjusted, run_strategy_job,
-        summarize_cases, AdaptiveConfig, AdaptiveController, BasicTest, Campaign,
-        CampaignMetrics, CampaignResult, CampaignRun, PolicyInputs, Progress, Stance,
+        run_strategy_source, summarize_cases, AdaptiveConfig, AdaptiveController, BasicTest,
+        Campaign, CampaignMetrics, CampaignResult, CampaignRun, PolicyInputs, Progress, Stance,
         Strategy, StrategyResult,
     };
-    #[allow(deprecated)]
-    pub use abft_coop_core::run_basic_test_on;
     pub use abft_coop_runtime::{EccRuntime, RetirePolicy, SwapSpace, SysfsChannel};
     pub use abft_ecc::{EccOutcome, EccScheme, ProtectedLine};
     pub use abft_faultsim::{ErrorPattern, Injector, RecoveryCosts};
@@ -59,5 +57,7 @@ pub mod prelude {
         abft_regions, basic_trace, cg_trace, dgemm_trace, CgParams, DgemmParams, KernelKind,
         KernelParams,
     };
-    pub use abft_memsim::{SystemConfig, TraceCache};
+    pub use abft_memsim::{
+        AccessSink, AccessSource, PackedTrace, SystemConfig, SystemConfigBuilder, TraceCache,
+    };
 }

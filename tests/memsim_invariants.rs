@@ -110,10 +110,8 @@ fn more_threads_never_slow_the_machine_down_on_compute_bound_work() {
     for i in 0..200_000u64 {
         t.push(base + (i % 128) * 64, r, false, 30);
     }
-    let mut c1 = SystemConfig::default();
-    c1.threads = 1;
-    let mut c4 = SystemConfig::default();
-    c4.threads = 4;
+    let c1 = SystemConfig { threads: 1, ..Default::default() };
+    let c4 = SystemConfig { threads: 4, ..Default::default() };
     let s1 = Machine::new(c1).run_trace(&t, &EccAssignment::uniform(EccScheme::None));
     let s4 = Machine::new(c4).run_trace(&t, &EccAssignment::uniform(EccScheme::None));
     assert!(s4.cycles < s1.cycles, "4 threads must compress compute-bound wall clock");

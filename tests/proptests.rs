@@ -177,6 +177,39 @@ proptest! {
         prop_assert!((loss - benefit).abs() <= 1e-9 * benefit.abs().max(1.0));
     }
 
+    // ----- packed trace encoding -----------------------------------------
+
+    #[test]
+    fn packed_encoding_round_trips_any_kernel_workload(
+        kind_idx in 0usize..4,
+        tiles in 1usize..4,
+        nb in prop::sample::select(vec![32usize, 64]),
+        grid in 32usize..80,
+        iterations in 1usize..3,
+        abft_bit in 0u8..2,
+    ) {
+        use abft_coop::abft_memsim::workloads::{
+            CgParams, CholeskyParams, DgemmParams, HplParams, KernelParams,
+        };
+        let n = nb * tiles;
+        let abft = abft_bit == 1;
+        let params = match kind_idx {
+            0 => KernelParams::Dgemm(DgemmParams { n, nb, abft, verify_interval: 2 }),
+            1 => KernelParams::Cholesky(CholeskyParams { n, nb, abft }),
+            2 => KernelParams::Cg(CgParams { grid, iterations, abft, verify_interval: 2 }),
+            _ => KernelParams::Hpl(HplParams { n, nb, abft }),
+        };
+        let built = params.build();
+        let packed = std::sync::Arc::new(params.build_packed());
+        prop_assert_eq!(packed.len(), built.accesses.len() as u64);
+        prop_assert_eq!(packed.instructions(), built.instructions);
+        prop_assert!(packed.packed_bytes() <= packed.materialized_bytes());
+        let back = packed.materialize();
+        prop_assert_eq!(&back.accesses, &built.accesses);
+        prop_assert_eq!(back.instructions, built.instructions);
+        prop_assert_eq!(back.regions.regions(), built.regions.regions());
+    }
+
     // ----- dram address map ---------------------------------------------
 
     #[test]
