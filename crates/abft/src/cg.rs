@@ -249,8 +249,7 @@ where
                     // (b is owned by the caller; corruption of b is
                     // detected and reported, not repaired here.)
                     let (sb, _) = vector_sums(b);
-                    if (sb - b_sums.s).abs() > SUM_RTOL * sb.abs().max(1.0) * (n as f64).sqrt()
-                    {
+                    if (sb - b_sums.s).abs() > SUM_RTOL * sb.abs().max(1.0) * (n as f64).sqrt() {
                         stats.uncorrectable += 1;
                     }
                     if check_vector(&mut st.p, carrier.p, &mut stats).is_err() {
@@ -301,8 +300,7 @@ where
                         }
                         // The report pins the corrupted cache line; the sum
                         // delta repairs the element within it.
-                        let viol =
-                            Violation { index: 0, delta: d, weighted_delta: 0.0 };
+                        let viol = Violation { index: 0, delta: d, weighted_delta: 0.0 };
                         let lo = rep.element;
                         let hi = (rep.element + 8).min(vec.len());
                         // Find the element whose repair restores the

@@ -28,6 +28,7 @@ impl Violation {
     /// Returns `None` if the mismatch does not look like a single error
     /// (e.g. the ratio is not close to an integer in `0..rows`).
     pub fn locate(&self, rows: usize) -> Option<usize> {
+        // repolint:allow(FP001) exact-zero division guard, not a tolerance check
         if self.delta == 0.0 {
             return None;
         }

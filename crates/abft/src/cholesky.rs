@@ -88,6 +88,7 @@ impl State {
     }
 
     fn chk_of(&self, it: usize, jt: usize) -> &BlockChk {
+        // repolint:allow(PANIC001) construction invariant: every lower-triangle block is encoded
         self.chk[it * self.nt + jt].as_ref().expect("checksum exists for lower block")
     }
 
@@ -106,6 +107,7 @@ impl State {
     fn verify_all(&mut self, stats: &mut FtStats) {
         for it in 0..self.nt {
             for jt in 0..=it {
+                // repolint:allow(PANIC001) construction invariant: every lower-triangle block is encoded
                 let chk = self.chk[it * self.nt + jt].clone().expect("encoded");
                 let mut blk = self.block(it, jt);
                 let mut changed = false;
@@ -168,14 +170,8 @@ where
     let nt = n / b;
 
     let mut stats = FtStats::default();
-    let mut st = State {
-        a: a.clone(),
-        chk: vec![None; nt * nt],
-        n,
-        b,
-        nt,
-        multi: opts.multi_error,
-    };
+    let mut st =
+        State { a: a.clone(), chk: vec![None; nt * nt], n, b, nt, multi: opts.multi_error };
 
     // Initial encoding of every lower-triangle block.
     let t0 = Instant::now();
@@ -237,10 +233,9 @@ where
                 let chk_panel = st.chk_of(it, kt).clone();
                 match (st.chk[it * nt + jt].as_mut(), &chk_panel) {
                     (Some(BlockChk::Two(chk)), BlockChk::Two(panel)) => {
-                        for (dst, src) in [
-                            (&mut chk.plain, &panel.plain),
-                            (&mut chk.weighted, &panel.weighted),
-                        ] {
+                        for (dst, src) in
+                            [(&mut chk.plain, &panel.plain), (&mut chk.weighted, &panel.weighted)]
+                        {
                             for (jj, d) in dst.iter_mut().enumerate() {
                                 let mut s = 0.0;
                                 for p in 0..b {
@@ -289,8 +284,7 @@ where
                             let others: f64 =
                                 (0..b).filter(|&r| r != li).map(|r| blk[(r, lj)]).sum();
                             let fixed = plain_sum - others;
-                            if (blk[(li, lj)] - fixed).abs() > CHECK_RTOL * fixed.abs().max(1.0)
-                            {
+                            if (blk[(li, lj)] - fixed).abs() > CHECK_RTOL * fixed.abs().max(1.0) {
                                 blk[(li, lj)] = fixed;
                                 st.set_block(it, jt, &blk);
                                 stats.corrections += 1;
@@ -372,7 +366,12 @@ mod tests {
         let a = random_spd(96, 2);
         let r = ft_cholesky(
             &a,
-            &FtCholeskyOptions { block: 24, verify_interval: 1, mode: VerifyMode::Full , multi_error: false },
+            &FtCholeskyOptions {
+                block: 24,
+                verify_interval: 1,
+                mode: VerifyMode::Full,
+                multi_error: false,
+            },
         )
         .unwrap();
         assert_eq!(r.stats.corrections, 0, "round-off must not trip the tolerance");
@@ -390,7 +389,12 @@ mod tests {
         };
         let r = ft_cholesky_with(
             &a,
-            &FtCholeskyOptions { block: 16, verify_interval: 1, mode: VerifyMode::Full , multi_error: false },
+            &FtCholeskyOptions {
+                block: 16,
+                verify_interval: 1,
+                mode: VerifyMode::Full,
+                multi_error: false,
+            },
             |kt, m| {
                 if kt == 1 {
                     // Strike the not-yet-factored trailing matrix.
@@ -409,7 +413,12 @@ mod tests {
         let a = random_spd(64, 4);
         let r = ft_cholesky_with(
             &a,
-            &FtCholeskyOptions { block: 16, verify_interval: 1, mode: VerifyMode::Full , multi_error: false },
+            &FtCholeskyOptions {
+                block: 16,
+                verify_interval: 1,
+                mode: VerifyMode::Full,
+                multi_error: false,
+            },
             |kt, m| {
                 if kt == 2 {
                     // Strike already-factored L entries.
@@ -427,7 +436,12 @@ mod tests {
         let a = random_spd(96, 5);
         let r = ft_cholesky_with(
             &a,
-            &FtCholeskyOptions { block: 24, verify_interval: 1, mode: VerifyMode::Full , multi_error: false },
+            &FtCholeskyOptions {
+                block: 24,
+                verify_interval: 1,
+                mode: VerifyMode::Full,
+                multi_error: false,
+            },
             |kt, m| {
                 if kt == 0 {
                     m[(40, 30)] += 3.0;

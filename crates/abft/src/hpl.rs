@@ -165,10 +165,7 @@ pub fn ft_hpl_with(
     let n = a.rows();
     assert!(a.is_square(), "HPL factors a square system");
     assert!(n.is_multiple_of(opts.block), "dimension must be a multiple of the panel width");
-    assert!(
-        n.is_multiple_of(opts.process_cols),
-        "dimension must split across process columns"
-    );
+    assert!(n.is_multiple_of(opts.process_cols), "dimension must split across process columns");
 
     let mut stats = FtStats::default();
     let te = Instant::now();
@@ -333,10 +330,7 @@ mod tests {
                 )
                 .unwrap();
                 let x = r.solve(&b);
-                let err = x
-                    .iter()
-                    .zip(&x_true)
-                    .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()));
+                let err = x.iter().zip(&x_true).fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()));
                 assert!(err < 1e-6, "step {step} proc {proc}: err {err}");
             }
         }

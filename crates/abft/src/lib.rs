@@ -31,6 +31,6 @@ pub mod qr;
 pub mod verify;
 
 pub use checksum::{ColChecksums, Violation};
-pub use multichecksum::{ColumnFinding, LocatedError, MultiChecksums};
 pub use dgemm::{ft_dgemm, ft_dgemm_with, FtDgemmOptions, FtDgemmResult};
+pub use multichecksum::{ColumnFinding, LocatedError, MultiChecksums};
 pub use verify::{FtStats, VerifyMode};

@@ -111,7 +111,11 @@ fn verify_rows(ext: &mut Matrix, n: usize, factored: usize, stats: &mut FtStats)
 /// Run FT-LU with a fail-continue fault hook: `inject(step, ext)` fires
 /// after each panel's trailing update (the encoded matrix has `n + 2`
 /// columns; inject into the first `n`).
-pub fn ft_lu_with<F>(a: &Matrix, opts: &FtLuOptions, mut inject: F) -> Result<FtLuResult, FactorError>
+pub fn ft_lu_with<F>(
+    a: &Matrix,
+    opts: &FtLuOptions,
+    mut inject: F,
+) -> Result<FtLuResult, FactorError>
 where
     F: FnMut(usize, &mut Matrix),
 {

@@ -82,12 +82,8 @@ impl MultiChecksums {
     /// assert!(m.approx_eq(&original, 1e-9, 1e-9));
     /// ```
     pub fn encode(m: &Matrix, rows: usize) -> Self {
-        let mut sums = [
-            vec![0.0; m.cols()],
-            vec![0.0; m.cols()],
-            vec![0.0; m.cols()],
-            vec![0.0; m.cols()],
-        ];
+        let mut sums =
+            [vec![0.0; m.cols()], vec![0.0; m.cols()], vec![0.0; m.cols()], vec![0.0; m.cols()]];
         for j in 0..m.cols() {
             let col = m.col(j);
             let mut acc = [0.0f64; 4];
@@ -133,8 +129,7 @@ impl MultiChecksums {
         // for the locator coefficients; a genuine single error makes the
         // determinant vanish.
         let det = d[1] * d[1] - d[0] * d[2];
-        if det.abs() > noise(2).powi(1).max(1e-9 * (d[1] * d[1]).abs().max((d[0] * d[2]).abs()))
-        {
+        if det.abs() > noise(2).powi(1).max(1e-9 * (d[1] * d[1]).abs().max((d[0] * d[2]).abs())) {
             let p = (d[0] * d[3] - d[1] * d[2]) / -det;
             let q = (d[1] * d[3] - d[2] * d[2]) / -det;
             let disc = p * p - 4.0 * q;
@@ -171,6 +166,7 @@ impl MultiChecksums {
         }
 
         // Single-error hypothesis: d1/d0 = x = d2/d1 = d3/d2.
+        // repolint:allow(FP001) exact-zero division guard, not a tolerance check
         if d[0] != 0.0 {
             let x = d[1] / d[0];
             let consistent = (d[2] / d[0] - x * x).abs() <= 1e-4 * x.abs().max(1.0).powi(2)

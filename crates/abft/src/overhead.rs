@@ -69,16 +69,16 @@ pub struct OverheadReport {
 /// Run one kernel with the given verification mode and report its
 /// overhead breakdown. The paper's worst-case scenario uses an aggressive
 /// verification interval (every step / small interval).
-pub fn measure(kernel: FailContinueKernel, scale: &OverheadScale, mode: VerifyMode) -> OverheadReport {
+pub fn measure(
+    kernel: FailContinueKernel,
+    scale: &OverheadScale,
+    mode: VerifyMode,
+) -> OverheadReport {
     let stats = match kernel {
         FailContinueKernel::Dgemm => {
             let a = random_matrix(scale.n, scale.n, 11);
             let b = random_matrix(scale.n, scale.n, 12);
-            let r = ft_dgemm(
-                &a,
-                &b,
-                &FtDgemmOptions { panel: 16, verify_interval: 2, mode },
-            );
+            let r = ft_dgemm(&a, &b, &FtDgemmOptions { panel: 16, verify_interval: 2, mode });
             r.stats
         }
         FailContinueKernel::Cholesky => {
@@ -87,7 +87,7 @@ pub fn measure(kernel: FailContinueKernel, scale: &OverheadScale, mode: VerifyMo
                 &a,
                 &FtCholeskyOptions { block: 32, verify_interval: 2, mode, multi_error: false },
             )
-            .expect("SPD input factors");
+            .expect("SPD input factors"); // repolint:allow(PANIC001) random_spd input is SPD by construction
             r.stats
         }
         FailContinueKernel::PredCg => {
@@ -138,9 +138,8 @@ mod tests {
     /// Median of three runs: wall-clock instrumentation jitters when the
     /// whole test suite runs in parallel.
     fn median_share(k: FailContinueKernel) -> f64 {
-        let mut shares: Vec<f64> = (0..3)
-            .map(|_| measure(k, &small(), VerifyMode::Full).verify_share)
-            .collect();
+        let mut shares: Vec<f64> =
+            (0..3).map(|_| measure(k, &small(), VerifyMode::Full).verify_share).collect();
         shares.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         shares[1]
     }

@@ -198,15 +198,12 @@ mod tests {
         // why the factorization kernels default to per-step examination.
         let n = 24;
         let a = random_matrix(n, n, 87);
-        let r = ft_qr_with(
-            &a,
-            &FtQrOptions { verify_interval: 8, ..Default::default() },
-            |j, w| {
+        let r =
+            ft_qr_with(&a, &FtQrOptions { verify_interval: 8, ..Default::default() }, |j, w| {
                 if j == 5 {
                     w[(18, 20)] += 25.0;
                 }
-            },
-        );
+            });
         assert_eq!(r.stats.corrections, 1, "stale error detected and located");
         assert_eq!(r.stats.uncorrectable, 0);
     }
@@ -217,16 +214,13 @@ mod tests {
         let a = random_matrix(n, n, 82);
         let x_true = random_vector(n, 83);
         let b = a.matvec(&x_true);
-        let r = ft_qr_with(
-            &a,
-            &FtQrOptions { verify_interval: 4, ..Default::default() },
-            |j, w| {
+        let r =
+            ft_qr_with(&a, &FtQrOptions { verify_interval: 4, ..Default::default() }, |j, w| {
                 if j == 7 {
                     // Strike the still-active trailing region.
                     w[(20, 25)] += 40.0;
                 }
-            },
-        );
+            });
         assert_eq!(r.stats.corrections, 1);
         assert_eq!(r.stats.uncorrectable, 0);
         let x = r.factors.solve(&b);
@@ -241,16 +235,13 @@ mod tests {
         let a = random_matrix(n, n, 84);
         let x_true = random_vector(n, 85);
         let b = a.matvec(&x_true);
-        let r = ft_qr_with(
-            &a,
-            &FtQrOptions { verify_interval: 4, ..Default::default() },
-            |j, w| {
+        let r =
+            ft_qr_with(&a, &FtQrOptions { verify_interval: 4, ..Default::default() }, |j, w| {
                 if j == 11 {
                     // An R entry: row 3 (frozen), column 20 (to its right).
                     w[(3, 20)] -= 9.0;
                 }
-            },
-        );
+            });
         assert_eq!(r.stats.corrections, 1);
         let x = r.factors.solve(&b);
         for i in 0..n {
@@ -262,16 +253,13 @@ mod tests {
     fn multiple_columns_hit_all_corrected() {
         let n = 40;
         let a = random_matrix(n, n, 86);
-        let r = ft_qr_with(
-            &a,
-            &FtQrOptions { verify_interval: 2, ..Default::default() },
-            |j, w| {
+        let r =
+            ft_qr_with(&a, &FtQrOptions { verify_interval: 2, ..Default::default() }, |j, w| {
                 if j == 5 {
                     w[(30, 10)] += 3.0;
                     w[(15, 33)] -= 7.0;
                 }
-            },
-        );
+            });
         assert_eq!(r.stats.corrections, 2);
         assert_eq!(r.stats.uncorrectable, 0);
     }

@@ -53,6 +53,7 @@ impl FtStats {
     /// Fraction of the overhead spent verifying (the Figure 3 split).
     pub fn verify_share(&self) -> f64 {
         let o = self.overhead().as_secs_f64();
+        // repolint:allow(FP001) exact-zero division guard, not a tolerance check
         if o == 0.0 {
             0.0
         } else {
@@ -63,6 +64,7 @@ impl FtStats {
     /// Overhead relative to the pure compute time.
     pub fn overhead_ratio(&self) -> f64 {
         let c = self.compute_time.as_secs_f64();
+        // repolint:allow(FP001) exact-zero division guard, not a tolerance check
         if c == 0.0 {
             0.0
         } else {

@@ -21,8 +21,7 @@ fn main() {
         .run();
     let mut t = TextTable::new(&["width", "strategy", "mem energy (norm)", "IPC (norm)"]);
     for label in ["x4", "x8"] {
-        let cell =
-            |s| &run.get(KernelKind::Dgemm, s, label).expect("campaign cell").stats;
+        let cell = |s| &run.get(KernelKind::Dgemm, s, label).expect("campaign cell").stats;
         let base = cell(Strategy::NoEcc);
         let wck = cell(Strategy::WholeChipkill);
         let pck = cell(Strategy::PartialChipkillNoEcc);

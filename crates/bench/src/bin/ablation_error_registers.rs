@@ -22,9 +22,7 @@ fn main() {
     // Burst sizes drawn from a Poisson-ish schedule: mean 2 events per
     // examination period (an aggressively high uncorrectable rate).
     let trials = 2000;
-    let bursts: Vec<usize> = (0..trials)
-        .map(|_| inj.poisson_times(2.0, 1.0).len())
-        .collect();
+    let bursts: Vec<usize> = (0..trials).map(|_| inj.poisson_times(2.0, 1.0).len()).collect();
 
     let mut t = TextTable::new(&["n (registers)", "events lost", "periods with loss", "loss rate"]);
     for n in [1usize, 2, 4, 6, 8, 12] {

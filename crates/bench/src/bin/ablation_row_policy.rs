@@ -24,11 +24,15 @@ fn main() {
         .on_progress(report_progress)
         .run();
     let mut t = TextTable::new(&[
-        "policy", "strategy", "row-hit rate", "mem dynamic (J)", "IPC", "partial-CK saving",
+        "policy",
+        "strategy",
+        "row-hit rate",
+        "mem dynamic (J)",
+        "IPC",
+        "partial-CK saving",
     ]);
     for label in ["open", "closed"] {
-        let cell =
-            |s| &run.get(KernelKind::Dgemm, s, label).expect("campaign cell").stats;
+        let cell = |s| &run.get(KernelKind::Dgemm, s, label).expect("campaign cell").stats;
         let wck = cell(Strategy::WholeChipkill);
         let pck = cell(Strategy::PartialChipkillNoEcc);
         let saving = 1.0 - pck.mem_total_j() / wck.mem_total_j();

@@ -14,7 +14,10 @@ fn main() {
     let a = random_matrix(n, n, 1);
     let b = random_matrix(n, n, 2);
     let mut t = TextTable::new(&[
-        "interval (panels)", "FT overhead", "verify share", "panels-to-repair (worst case)",
+        "interval (panels)",
+        "FT overhead",
+        "verify share",
+        "panels-to-repair (worst case)",
     ]);
     for interval in [1usize, 2, 4, 8, 16] {
         let opts = FtDgemmOptions { panel: 24, verify_interval: interval, mode: VerifyMode::Full };

@@ -3,9 +3,9 @@
 //! with live configuration values.
 
 use abft_bench::print_header;
+use abft_ecc::EccScheme;
 use abft_memsim::controller::{ECC_RANGE_SLOTS, ERROR_REGISTERS};
 use abft_memsim::SystemConfig;
-use abft_ecc::EccScheme;
 
 fn main() {
     print_header("Figure 2 / Figure 4 — architecture overview (as implemented)");

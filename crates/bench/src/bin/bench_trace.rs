@@ -88,7 +88,14 @@ fn main() {
     let rows: Vec<Row> = KernelKind::ALL.iter().map(|&k| measure(k)).collect();
 
     let mut t = TextTable::new(&[
-        "kernel", "accesses", "mat MB", "packed MB", "ratio", "gen s", "pack s", "replay Macc/s",
+        "kernel",
+        "accesses",
+        "mat MB",
+        "packed MB",
+        "ratio",
+        "gen s",
+        "pack s",
+        "replay Macc/s",
     ]);
     for r in &rows {
         t.row(&[

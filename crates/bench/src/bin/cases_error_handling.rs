@@ -12,7 +12,13 @@ fn main() {
     print_header("Section 4 — Error-handling cases, end to end");
 
     println!("End-to-end drills (bit-true ECC + OS interrupt path + ABFT repair):\n");
-    let mut t = TextTable::new(&["Scheme on data", "Injected bits", "Detected by", "Restored", "Restarted"]);
+    let mut t = TextTable::new(&[
+        "Scheme on data",
+        "Injected bits",
+        "Detected by",
+        "Restored",
+        "Restarted",
+    ]);
     let drills: Vec<(EccScheme, Vec<u32>, &str)> = vec![
         (EccScheme::Chipkill, vec![55], "single bit"),
         (EccScheme::Secded, vec![55], "single bit"),

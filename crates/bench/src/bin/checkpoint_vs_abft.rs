@@ -11,9 +11,8 @@ fn main() {
     // tax (the basic tests' measured band), 1-second ABFT recoveries.
     let mttfs = [900.0, 1800.0, 3600.0, 4.0 * 3600.0, 24.0 * 3600.0];
     let rows = sweep(120.0, 300.0, 0.03, 1.0, &mttfs);
-    let mut t = TextTable::new(&[
-        "system MTTF", "Daly interval", "checkpoint overhead", "ABFT overhead",
-    ]);
+    let mut t =
+        TextTable::new(&["system MTTF", "Daly interval", "checkpoint overhead", "ABFT overhead"]);
     for r in rows {
         t.row(&[
             format!("{:.1} h", r.mttf_s / 3600.0),

@@ -9,7 +9,12 @@ use abft_kernels::VerifyMode;
 fn main() {
     print_header("Figure 3 — ABFT overhead breakdown (checksum vs verification)");
     let scale = OverheadScale::default();
-    let mut t = TextTable::new(&["Kernel", "Checksum overhead", "Verification overhead", "FT overhead vs compute"]);
+    let mut t = TextTable::new(&[
+        "Kernel",
+        "Checksum overhead",
+        "Verification overhead",
+        "FT overhead vs compute",
+    ]);
     for k in FailContinueKernel::ALL {
         let r = measure(k, &scale, VerifyMode::Full);
         t.row(&[

@@ -9,7 +9,11 @@ fn main() {
     print_header("Figure 5 — Memory energy for ABFT with different ECC strategies");
     let tests = all_basic_tests();
     let mut t = TextTable::new(&[
-        "Kernel", "Strategy", "Mem energy (norm)", "Dynamic (norm)", "Standby (norm)",
+        "Kernel",
+        "Strategy",
+        "Mem energy (norm)",
+        "Dynamic (norm)",
+        "Standby (norm)",
     ]);
     for bt in &tests {
         let sb0 = bt.row(Strategy::NoEcc).stats.mem_standby_j();

@@ -8,7 +8,13 @@ use abft_coop_core::Strategy;
 fn main() {
     print_header("Figure 6 — System energy for ABFT with different ECC strategies");
     let tests = all_basic_tests();
-    let mut t = TextTable::new(&["Kernel", "Strategy", "System energy (norm)", "Memory (J)", "Processor (J)"]);
+    let mut t = TextTable::new(&[
+        "Kernel",
+        "Strategy",
+        "System energy (norm)",
+        "Memory (J)",
+        "Processor (J)",
+    ]);
     for bt in &tests {
         for s in Strategy::ALL {
             let st = &bt.row(s).stats;

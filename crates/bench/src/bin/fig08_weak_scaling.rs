@@ -16,7 +16,13 @@ fn main() {
         .run()
         .basic_test(KernelKind::Cg);
     let cfg = ScalingConfig::default();
-    let mut t = TextTable::new(&["Strategy", "Processes", "Energy benefit (kJ)", "Recovery cost (kJ)", "Errors"]);
+    let mut t = TextTable::new(&[
+        "Strategy",
+        "Processes",
+        "Energy benefit (kJ)",
+        "Recovery cost (kJ)",
+        "Errors",
+    ]);
     for prof in profiles_from_basic_test(&bt) {
         for p in weak_scaling(&prof, &cfg) {
             t.row(&[

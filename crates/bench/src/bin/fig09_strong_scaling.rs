@@ -17,7 +17,8 @@ fn main() {
         .run()
         .basic_test(KernelKind::Cg);
     let cfg = ScalingConfig::default();
-    let mut t = TextTable::new(&["Strategy", "Processes", "Energy benefit (kJ)", "Recovery cost (kJ)"]);
+    let mut t =
+        TextTable::new(&["Strategy", "Processes", "Energy benefit (kJ)", "Recovery cost (kJ)"]);
     for prof in profiles_from_basic_test(&bt) {
         for p in strong_scaling(&prof, &cfg) {
             t.row(&[

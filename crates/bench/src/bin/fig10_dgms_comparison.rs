@@ -18,7 +18,13 @@ fn main() {
         .strategies([Strategy::NoEcc, Strategy::WholeChipkill, Strategy::PartialChipkillSecded])
         .on_progress(report_progress)
         .run();
-    let mut t = TextTable::new(&["Kernel", "Config", "Time (norm)", "Mem energy (norm)", "DGMS coarse frac"]);
+    let mut t = TextTable::new(&[
+        "Kernel",
+        "Config",
+        "Time (norm)",
+        "Mem energy (norm)",
+        "DGMS coarse frac",
+    ]);
     for kind in kinds {
         eprintln!("[fig10] {} DGMS pass ...", kind.label());
         let cell = |s| &run.get(kind, s, "default").expect("campaign cell").stats;

@@ -22,9 +22,8 @@ fn main() {
             "\nerrors/run = {errors_per_run}  (cases [both, only-ABFT, only-ECC, neither] = {:?})",
             r.case_counts
         );
-        let mut t = TextTable::new(&[
-            "config", "mean recovery (J)", "p99 recovery (J)", "runs restarted",
-        ]);
+        let mut t =
+            TextTable::new(&["config", "mean recovery (J)", "p99 recovery (J)", "runs restarted"]);
         for (label, s) in [
             ("ARE (relaxed ECC)", &r.are),
             ("ASE cooperative", &r.ase_coop),

@@ -18,7 +18,10 @@ fn main() {
     let lines = 4096u64; // a 256 KB SECDED-protected region
     let strikes = 6000u32; // heavy accelerated fault load
     let mut t = TextTable::new(&[
-        "scrub every N strikes", "corrected by scrub", "uncorrectable at read", "uncorrectable rate",
+        "scrub every N strikes",
+        "corrected by scrub",
+        "uncorrectable at read",
+        "uncorrectable rate",
     ]);
     for interval in [u32::MAX, 2000, 500, 100, 20] {
         let mut rng = ChaCha8Rng::seed_from_u64(11);

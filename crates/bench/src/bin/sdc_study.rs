@@ -13,9 +13,7 @@ fn main() {
     print_header("Silent-data-corruption study — random k-bit line errors");
     let mut rng = ChaCha8Rng::seed_from_u64(2013);
     let trials = 4000;
-    let mut t = TextTable::new(&[
-        "scheme", "bits", "corrected", "detected", "silent (SDC)",
-    ]);
+    let mut t = TextTable::new(&["scheme", "bits", "corrected", "detected", "silent (SDC)"]);
     for scheme in [EccScheme::Secded, EccScheme::Chipkill, EccScheme::None] {
         for bits in [1usize, 2, 3, 4, 8] {
             let mut corrected = 0u64;
@@ -25,7 +23,7 @@ fn main() {
                 let mut data = [0u8; 64];
                 rng.fill(&mut data[..]);
                 let mut line = ProtectedLine::encode(scheme, &data);
-                let mut flipped = std::collections::HashSet::new();
+                let mut flipped = std::collections::BTreeSet::new();
                 while flipped.len() < bits {
                     flipped.insert(rng.random_range(0..512usize));
                 }

@@ -45,9 +45,8 @@ fn stats<S: AccessSource + ?Sized>(src: &mut S) {
         total += chunk.len() as u64;
     }
     let instructions = src.instructions_hint().unwrap_or(instructions);
-    let mut t_out = TextTable::new(&[
-        "region", "ABFT", "detectable", "footprint", "refs", "writes", "share",
-    ]);
+    let mut t_out =
+        TextTable::new(&["region", "ABFT", "detectable", "footprint", "refs", "writes", "share"]);
     for (i, r) in regions.regions().iter().enumerate() {
         t_out.row(&[
             r.name.clone(),
@@ -107,8 +106,7 @@ fn main() {
         let t = kernel_trace(kernel);
         if let Some(path) = save {
             let f = File::create(&path).expect("create trace file");
-            tracefile::write_source(&mut t.replay(), &mut BufWriter::new(f))
-                .expect("write trace");
+            tracefile::write_source(&mut t.replay(), &mut BufWriter::new(f)).expect("write trace");
             eprintln!("[saved to {path}]");
         }
         stats(&mut t.replay());

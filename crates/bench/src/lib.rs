@@ -58,10 +58,7 @@ pub fn report_progress(p: &Progress) {
 /// and Table 4. The raw campaign cells are also dumped to
 /// `reproduction-output/basic_tests.json` (best-effort).
 pub fn all_basic_tests() -> Vec<BasicTest> {
-    let run = Campaign::new()
-        .kernels(KernelKind::ALL)
-        .on_progress(report_progress)
-        .run();
+    let run = Campaign::new().kernels(KernelKind::ALL).on_progress(report_progress).run();
     let json_path = "reproduction-output/basic_tests.json";
     match run.write_json(json_path) {
         Ok(()) => eprintln!("[campaign] wrote {json_path}"),

@@ -59,7 +59,8 @@ impl EccRuntime {
     /// record its ECC type, release the frame, and unmap.
     pub fn page_out(&mut self, vaddr: u64, swap: &mut SwapSpace) -> Result<(), PagingError> {
         let vpage = vaddr / PAGE_BYTES;
-        let paddr = self.page_table.translate(vpage * PAGE_BYTES).ok_or(PagingError::NotResident)?;
+        let paddr =
+            self.page_table.translate(vpage * PAGE_BYTES).ok_or(PagingError::NotResident)?;
         let ecc = self.page_table.ecc_of(vpage * PAGE_BYTES).ok_or(PagingError::NotResident)?;
         let mut data = Vec::with_capacity((PAGE_BYTES / 64) as usize);
         for off in (0..PAGE_BYTES).step_by(64) {
@@ -86,9 +87,7 @@ impl EccRuntime {
         // The new frame may fall outside the original MC range; extend
         // coverage so the recorded ECC type is enforced.
         if page.ecc != self.controller.default_scheme() {
-            let _ = self
-                .controller
-                .program_range_coalescing(paddr, paddr + PAGE_BYTES, page.ecc);
+            let _ = self.controller.program_range_coalescing(paddr, paddr + PAGE_BYTES, page.ecc);
         }
         for (k, line) in page.data.iter().enumerate() {
             self.controller.write_line(paddr + (k as u64) * 64, line);

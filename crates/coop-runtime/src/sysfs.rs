@@ -57,7 +57,13 @@ mod tests {
     use super::*;
 
     fn report(e: usize) -> ErrorReport {
-        ErrorReport { vaddr: 64 * e as u64, alloc_vaddr: 0, element: e, name: "m".into(), time_s: 0.0 }
+        ErrorReport {
+            vaddr: 64 * e as u64,
+            alloc_vaddr: 0,
+            element: e,
+            name: "m".into(),
+            time_s: 0.0,
+        }
     }
 
     #[test]

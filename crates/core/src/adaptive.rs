@@ -130,9 +130,7 @@ impl AdaptiveController {
             // Escalate as soon as the policy says ARE no longer pays.
             Stance::Relaxed if !d.use_are => Some(Stance::Strong),
             // De-escalate only with hysteresis headroom.
-            Stance::Strong if mttf > self.cfg.hysteresis * d.mttf_thr_s => {
-                Some(Stance::Relaxed)
-            }
+            Stance::Strong if mttf > self.cfg.hysteresis * d.mttf_thr_s => Some(Stance::Relaxed),
             _ => None,
         }?;
         let scheme = match want {
@@ -140,6 +138,7 @@ impl AdaptiveController {
             Stance::Strong => self.cfg.strong,
         };
         for &id in &self.allocations {
+            // repolint:allow(PANIC001) policy contract: registered allocations outlive the policy
             rt.assign_ecc(id, scheme).expect("allocation stays live");
         }
         self.stance = want;

@@ -227,7 +227,7 @@ impl Campaign {
         let hits0 = cache.hits();
         let builds0 = cache.builds();
         let progress = self.progress.clone();
-        let start = Instant::now();
+        let start = Instant::now(); // repolint:allow(DET002) wall time is reporting-only progress metadata
 
         // Pre-generate every distinct trace in parallel. Without this the
         // workload-major job order makes all workers start on the same
@@ -247,6 +247,7 @@ impl Campaign {
             jobs.into_par_iter()
                 .map(|(workload, cfg_idx, strategy)| {
                     let (tag, cfg) = &configs[cfg_idx];
+                    // repolint:allow(DET002) wall time is reporting-only progress metadata
                     let job_start = Instant::now();
                     let trace = cache.get(workload);
                     let stats = run_strategy_source(&mut trace.replay(), cfg, strategy);
@@ -281,7 +282,7 @@ impl Campaign {
             Some(n) => rayon::ThreadPoolBuilder::new()
                 .num_threads(n)
                 .build()
-                .expect("thread pool")
+                .expect("thread pool") // repolint:allow(PANIC001) no recovery path if OS thread spawn fails at startup
                 .install(execute),
             None => execute(),
         };
@@ -312,9 +313,7 @@ impl CampaignRun {
     /// The cell for an exact (kernel, strategy, config tag) triple — the
     /// first matching workload when several share a kernel.
     pub fn get(&self, kernel: KernelKind, s: Strategy, tag: &str) -> Option<&CampaignResult> {
-        self.results
-            .iter()
-            .find(|r| r.kernel == kernel && r.strategy == s && r.config_tag == tag)
+        self.results.iter().find(|r| r.kernel == kernel && r.strategy == s && r.config_tag == tag)
     }
 
     /// Assemble the classic [`BasicTest`] view for one kernel under the
@@ -324,6 +323,7 @@ impl CampaignRun {
             .results
             .iter()
             .find(|r| r.kernel == kernel && r.config_tag == tag)
+            // repolint:allow(PANIC001) documented API contract: caller names a cell the campaign ran
             .unwrap_or_else(|| panic!("campaign has no {} cells tagged {tag:?}", kernel.label()))
             .workload;
         let rows: Vec<StrategyResult> = self
@@ -341,6 +341,7 @@ impl CampaignRun {
             .results
             .first()
             .map(|r| r.config_tag.clone())
+            // repolint:allow(PANIC001) documented API contract: views require a non-empty campaign
             .expect("campaign produced no results");
         self.basic_test_for(kernel, &tag)
     }
@@ -509,10 +510,7 @@ mod tests {
     #[test]
     fn json_is_structurally_sound() {
         let cache = TraceCache::new();
-        let run = Campaign::new()
-            .workload(tiny())
-            .strategy(Strategy::NoEcc)
-            .run_with_cache(&cache);
+        let run = Campaign::new().workload(tiny()).strategy(Strategy::NoEcc).run_with_cache(&cache);
         let json = run.to_json();
         assert!(json.contains("\"kernel\": \"FT-DGEMM\""));
         assert!(json.contains("\"strategy\": \"No ECC\""));

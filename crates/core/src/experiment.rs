@@ -26,6 +26,7 @@ pub struct BasicTest {
 impl BasicTest {
     /// The row for a given strategy.
     pub fn row(&self, s: Strategy) -> &StrategyResult {
+        // repolint:allow(PANIC001) documented API contract: a BasicTest holds one row per strategy
         self.rows.iter().find(|r| r.strategy == s).expect("all strategies were run")
     }
 
@@ -124,8 +125,7 @@ mod tests {
             .run()
             .basic_test(KernelKind::Cg);
         assert!(
-            cg.mem_energy_norm(Strategy::WholeChipkill)
-                > cg.mem_energy_norm(Strategy::WholeSecded)
+            cg.mem_energy_norm(Strategy::WholeChipkill) > cg.mem_energy_norm(Strategy::WholeSecded)
         );
         assert!(cg.ipc_norm(Strategy::WholeChipkill) < 0.98);
     }
@@ -210,15 +210,8 @@ mod fault_adjusted_tests {
         let day = 86_400.0;
         let gb = 1u64 << 30;
         // A day of FT-DGEMM, 2 GB ABFT data, 6 GB other.
-        let are = fault_adjusted(
-            &bt,
-            Strategy::PartialChipkillNoEcc,
-            day,
-            2 * gb,
-            6 * gb,
-            0.8,
-            120.0,
-        );
+        let are =
+            fault_adjusted(&bt, Strategy::PartialChipkillNoEcc, day, 2 * gb, 6 * gb, 0.8, 120.0);
         let ase = fault_adjusted(&bt, Strategy::WholeChipkill, day, 2 * gb, 6 * gb, 0.8, 120.0);
         // Field rates: a handful of ABFT recoveries per day at most.
         assert!(are.expected_errors < 50.0, "errors {}", are.expected_errors);

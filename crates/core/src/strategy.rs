@@ -75,9 +75,9 @@ impl Strategy {
     /// The scheme applied to ABFT-protected data.
     pub fn relaxed_scheme(self) -> EccScheme {
         match self {
-            Strategy::NoEcc
-            | Strategy::PartialChipkillNoEcc
-            | Strategy::PartialSecdedNoEcc => EccScheme::None,
+            Strategy::NoEcc | Strategy::PartialChipkillNoEcc | Strategy::PartialSecdedNoEcc => {
+                EccScheme::None
+            }
             Strategy::WholeChipkill => EccScheme::Chipkill,
             Strategy::WholeSecded => EccScheme::Secded,
             Strategy::PartialChipkillSecded => EccScheme::Secded,

@@ -193,8 +193,7 @@ mod tests {
         let t = dgemm_trace(&DgemmParams { n: 384, nb: 64, abft: true, verify_interval: 4 });
         let mut m = Machine::new(SystemConfig::default());
         let (dgms, _) = run_dgms(&mut m, &mut t.replay());
-        let wck =
-            m.run_trace(&t, &abft_memsim::EccAssignment::uniform(EccScheme::Chipkill));
+        let wck = m.run_trace(&t, &abft_memsim::EccAssignment::uniform(EccScheme::Chipkill));
         let ratio = dgms.mem_dynamic_j() / wck.mem_dynamic_j();
         assert!(ratio > 0.85 && ratio < 1.1, "DGMS ~ W_CK for DGEMM, ratio {ratio}");
     }

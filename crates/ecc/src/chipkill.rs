@@ -108,6 +108,7 @@ fn syndromes(word: &ChipkillWord) -> [Gf256; CHECK_SYMBOLS] {
 
 /// Extract the data bytes of a word.
 pub fn word_data(word: &ChipkillWord) -> [u8; DATA_BYTES] {
+    // repolint:allow(PANIC001) fixed-length split of a const-sized array; infallible
     word.symbols[..DATA_SYMBOLS].try_into().expect("fixed split")
 }
 

@@ -47,15 +47,16 @@ impl ProtectedLine {
             EccScheme::Secded => {
                 let mut words = [SecdedWord { data: 0, check: 0 }; 8];
                 for (w, chunk) in words.iter_mut().zip(data.chunks_exact(8)) {
+                    // repolint:allow(PANIC001) chunks_exact(8) guarantees the length; infallible
                     let v = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
                     *w = hsiao::encode(v);
                 }
                 ProtectedLine::Secded(words)
             }
             EccScheme::Chipkill => {
-                let mut words =
-                    [ChipkillWord { symbols: [0; chipkill::TOTAL_SYMBOLS] }; 2];
+                let mut words = [ChipkillWord { symbols: [0; chipkill::TOTAL_SYMBOLS] }; 2];
                 for (w, chunk) in words.iter_mut().zip(data.chunks_exact(DATA_BYTES)) {
+                    // repolint:allow(PANIC001) chunks_exact(DATA_BYTES) guarantees the length; infallible
                     *w = chipkill::encode_word(chunk.try_into().expect("32-byte chunk"));
                 }
                 ProtectedLine::Chipkill(words)
@@ -122,12 +123,14 @@ impl ProtectedLine {
     /// Model a whole-chip fault for chipkill lines: XOR `pattern` into the
     /// given chip's symbol in every code word.
     pub fn fail_chip(&mut self, chip: usize, pattern: u8) {
+        assert!(
+            matches!(self, ProtectedLine::Chipkill(_)),
+            "fail_chip only applies to chipkill lines"
+        );
         if let ProtectedLine::Chipkill(words) = self {
             for w in words.iter_mut() {
                 chipkill::inject_chip_error(w, chip, pattern);
             }
-        } else {
-            panic!("fail_chip only applies to chipkill lines");
         }
     }
 }

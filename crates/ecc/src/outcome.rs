@@ -58,10 +58,7 @@ pub enum TruthOutcome {
 }
 
 /// Compare the decoder's verdict with ground truth.
-pub fn classify_against_truth(
-    outcome: EccOutcome,
-    decoded_matches_truth: bool,
-) -> TruthOutcome {
+pub fn classify_against_truth(outcome: EccOutcome, decoded_matches_truth: bool) -> TruthOutcome {
     match outcome {
         EccOutcome::DetectedUncorrectable => TruthOutcome::TrueDetection,
         EccOutcome::Clean if decoded_matches_truth => TruthOutcome::TrueClean,
@@ -78,10 +75,7 @@ mod tests {
     fn merge_prefers_worst() {
         use EccOutcome::*;
         assert_eq!(Clean.merge(Clean), Clean);
-        assert_eq!(
-            Clean.merge(Corrected { bits_flipped: 2 }),
-            Corrected { bits_flipped: 2 }
-        );
+        assert_eq!(Clean.merge(Corrected { bits_flipped: 2 }), Corrected { bits_flipped: 2 });
         assert_eq!(
             Corrected { bits_flipped: 1 }.merge(Corrected { bits_flipped: 3 }),
             Corrected { bits_flipped: 4 }
@@ -102,10 +96,7 @@ mod tests {
 
     #[test]
     fn truth_classification() {
-        assert_eq!(
-            classify_against_truth(EccOutcome::Clean, true),
-            TruthOutcome::TrueClean
-        );
+        assert_eq!(classify_against_truth(EccOutcome::Clean, true), TruthOutcome::TrueClean);
         assert_eq!(
             classify_against_truth(EccOutcome::Clean, false),
             TruthOutcome::SilentCorruption

@@ -42,9 +42,8 @@ impl Default for PatternMix {
 
 impl PatternMix {
     fn sample(&self, rng: &mut ChaCha8Rng) -> ErrorPattern {
-        let total = self.single_bit + self.single_chip + self.scattered
-            + self.repeated_column
-            + self.burst;
+        let total =
+            self.single_bit + self.single_chip + self.scattered + self.repeated_column + self.burst;
         let mut x: f64 = rng.random_range(0.0..total);
         if x < self.single_bit {
             return ErrorPattern::SingleBit;
@@ -131,7 +130,7 @@ fn side_stats(per_run: &mut [(f64, f64, bool)]) -> SideStats {
     let mean_energy_j = per_run.iter().map(|r| r.0).sum::<f64>() / n;
     let mean_time_s = per_run.iter().map(|r| r.1).sum::<f64>() / n;
     let restart_fraction = per_run.iter().filter(|r| r.2).count() as f64 / n;
-    per_run.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+    per_run.sort_by(|a, b| a.0.total_cmp(&b.0));
     let p99 = per_run[((n * 0.99) as usize).min(per_run.len() - 1)].0;
     SideStats { mean_energy_j, p99_energy_j: p99, restart_fraction, mean_time_s }
 }

@@ -11,9 +11,9 @@ const FIT_HOURS: f64 = 1e9;
 /// Error rate (FIT/Mbit) for memory protected by `scheme` — Table 5.
 pub fn fit_per_mbit(scheme: EccScheme) -> f64 {
     match scheme {
-        EccScheme::None => 5000.0,     // [23, 25]
-        EccScheme::Chipkill => 0.02,   // [25, 34]
-        EccScheme::Secded => 1300.0,   // [25, 36]
+        EccScheme::None => 5000.0,   // [23, 25]
+        EccScheme::Chipkill => 0.02, // [25, 34]
+        EccScheme::Secded => 1300.0, // [25, 36]
     }
 }
 
@@ -34,11 +34,8 @@ pub fn table5() -> [(&'static str, f64); 3] {
 pub fn age_factor(dimm_age_years: f64) -> f64 {
     assert!(dimm_age_years >= 0.0, "age cannot be negative");
     let infant = 2.0 * (-dimm_age_years / 0.25).exp();
-    let wearout = if dimm_age_years > 5.0 {
-        ((dimm_age_years - 5.0) / 2.0).exp() - 1.0
-    } else {
-        0.0
-    };
+    let wearout =
+        if dimm_age_years > 5.0 { ((dimm_age_years - 5.0) / 2.0).exp() - 1.0 } else { 0.0 };
     1.0 + infant + wearout
 }
 

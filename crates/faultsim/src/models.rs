@@ -31,10 +31,8 @@ pub fn mttf_seconds(fr_fit_per_mbit: f64, capacity_mbit: f64, age_factor: f64, n
 /// Equation (3): MTTF for heterogeneous ECC protection, in seconds:
 /// `1 / (sum_i fr_i * mc_i * f_i(A) * N)`.
 pub fn mttf_hetero_seconds(regions: &[EccRegionTerm], nodes: u64) -> f64 {
-    let sum: f64 = regions
-        .iter()
-        .map(|r| fit_to_per_second(r.fr_fit_per_mbit * r.mbit * r.age_factor))
-        .sum();
+    let sum: f64 =
+        regions.iter().map(|r| fit_to_per_second(r.fr_fit_per_mbit * r.mbit * r.age_factor)).sum();
     let rate = sum * nodes as f64;
     assert!(rate > 0.0, "MTTF undefined for zero failure rate");
     1.0 / rate

@@ -165,11 +165,9 @@ pub fn are_outcome(case: ErrorCase, costs: &RecoveryCosts) -> Outcome {
 /// traditional panic path).
 pub fn ase_outcome(case: ErrorCase, costs: &RecoveryCosts, errors_exposed_to_app: bool) -> Outcome {
     match case {
-        ErrorCase::BothCorrect | ErrorCase::OnlyEcc => Outcome {
-            energy_j: costs.ecc_correction_j,
-            time_s: 0.0,
-            restarted: false,
-        },
+        ErrorCase::BothCorrect | ErrorCase::OnlyEcc => {
+            Outcome { energy_j: costs.ecc_correction_j, time_s: 0.0, restarted: false }
+        }
         ErrorCase::OnlyAbft => {
             if errors_exposed_to_app {
                 Outcome {

@@ -63,10 +63,7 @@ pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
 ///
 /// Returns `None` for an empty slice.
 pub fn idamax(x: &[f64]) -> Option<usize> {
-    x.iter()
-        .enumerate()
-        .max_by(|(_, a), (_, b)| a.abs().partial_cmp(&b.abs()).expect("NaN in idamax"))
-        .map(|(i, _)| i)
+    x.iter().enumerate().max_by(|(_, a), (_, b)| a.abs().total_cmp(&b.abs())).map(|(i, _)| i)
 }
 
 #[cfg(test)]

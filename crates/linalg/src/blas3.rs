@@ -47,10 +47,8 @@ pub fn gemm(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, beta: f64,
         (Trans::No, Trans::No) => {
             let a_data = a.as_slice();
             let b_data = b.as_slice();
-            c.as_mut_slice()
-                .par_chunks_mut(m * GEMM_COL_TILE)
-                .enumerate()
-                .for_each(|(tile, c_tile)| {
+            c.as_mut_slice().par_chunks_mut(m * GEMM_COL_TILE).enumerate().for_each(
+                |(tile, c_tile)| {
                     let j0 = tile * GEMM_COL_TILE;
                     for (jj, c_col) in c_tile.chunks_mut(m).enumerate() {
                         let j = j0 + jj;
@@ -74,64 +72,56 @@ pub fn gemm(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, beta: f64,
                             }
                         }
                     }
-                });
+                },
+            );
         }
         (Trans::Yes, Trans::No) => {
             // C[i,j] = sum_l A[l,i] * B[l,j]: dot of two contiguous columns.
             let a_data = a.as_slice();
             let b_data = b.as_slice();
-            c.as_mut_slice()
-                .par_chunks_mut(m)
-                .enumerate()
-                .for_each(|(j, c_col)| {
-                    let b_col = &b_data[j * k..j * k + k];
-                    for (i, ci) in c_col.iter_mut().enumerate() {
-                        let a_col = &a_data[i * k..i * k + k];
-                        let s: f64 = a_col.iter().zip(b_col).map(|(x, y)| x * y).sum();
-                        *ci = alpha * s + beta * *ci;
-                    }
-                });
+            c.as_mut_slice().par_chunks_mut(m).enumerate().for_each(|(j, c_col)| {
+                let b_col = &b_data[j * k..j * k + k];
+                for (i, ci) in c_col.iter_mut().enumerate() {
+                    let a_col = &a_data[i * k..i * k + k];
+                    let s: f64 = a_col.iter().zip(b_col).map(|(x, y)| x * y).sum();
+                    *ci = alpha * s + beta * *ci;
+                }
+            });
         }
         (Trans::No, Trans::Yes) => {
             let a_data = a.as_slice();
-            c.as_mut_slice()
-                .par_chunks_mut(m)
-                .enumerate()
-                .for_each(|(j, c_col)| {
-                    if beta != 1.0 {
-                        if beta == 0.0 {
-                            c_col.fill(0.0);
-                        } else {
-                            for x in c_col.iter_mut() {
-                                *x *= beta;
-                            }
+            c.as_mut_slice().par_chunks_mut(m).enumerate().for_each(|(j, c_col)| {
+                if beta != 1.0 {
+                    if beta == 0.0 {
+                        c_col.fill(0.0);
+                    } else {
+                        for x in c_col.iter_mut() {
+                            *x *= beta;
                         }
                     }
-                    for l in 0..k {
-                        let blj = alpha * b[(j, l)];
-                        if blj == 0.0 {
-                            continue;
-                        }
-                        let a_col = &a_data[l * m..l * m + m];
-                        for (ci, &ail) in c_col.iter_mut().zip(a_col) {
-                            *ci += ail * blj;
-                        }
+                }
+                for l in 0..k {
+                    let blj = alpha * b[(j, l)];
+                    if blj == 0.0 {
+                        continue;
                     }
-                });
+                    let a_col = &a_data[l * m..l * m + m];
+                    for (ci, &ail) in c_col.iter_mut().zip(a_col) {
+                        *ci += ail * blj;
+                    }
+                }
+            });
         }
         (Trans::Yes, Trans::Yes) => {
-            c.as_mut_slice()
-                .par_chunks_mut(m)
-                .enumerate()
-                .for_each(|(j, c_col)| {
-                    for (i, ci) in c_col.iter_mut().enumerate() {
-                        let mut s = 0.0;
-                        for l in 0..k {
-                            s += a[(l, i)] * b[(j, l)];
-                        }
-                        *ci = alpha * s + beta * *ci;
+            c.as_mut_slice().par_chunks_mut(m).enumerate().for_each(|(j, c_col)| {
+                for (i, ci) in c_col.iter_mut().enumerate() {
+                    let mut s = 0.0;
+                    for l in 0..k {
+                        s += a[(l, i)] * b[(j, l)];
                     }
-                });
+                    *ci = alpha * s + beta * *ci;
+                }
+            });
         }
     }
 }
@@ -153,18 +143,15 @@ pub fn syrk_lower(alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
     assert_eq!(c.shape(), (n, n), "syrk output must be n x n");
     // Parallel over columns of C's lower triangle.
     let a_data = a.as_slice();
-    c.as_mut_slice()
-        .par_chunks_mut(n)
-        .enumerate()
-        .for_each(|(j, c_col)| {
-            for (i, ci) in c_col.iter_mut().enumerate().skip(j) {
-                let mut s = 0.0;
-                for l in 0..k {
-                    s += a_data[l * n + i] * a_data[l * n + j];
-                }
-                *ci = alpha * s + beta * *ci;
+    c.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(j, c_col)| {
+        for (i, ci) in c_col.iter_mut().enumerate().skip(j) {
+            let mut s = 0.0;
+            for l in 0..k {
+                s += a_data[l * n + i] * a_data[l * n + j];
             }
-        });
+            *ci = alpha * s + beta * *ci;
+        }
+    });
 }
 
 /// Solve `X * op(L)^T = B` in place where `L` is lower triangular with a
@@ -284,9 +271,7 @@ mod tests {
         let a = random_matrix(8, 8, 3);
         let b = random_matrix(8, 8, 4);
         let mut c = random_matrix(8, 8, 5);
-        let expect = naive_mm(&a, &b)
-            .scale_clone(2.0)
-            .add(&c.scale_clone(0.5));
+        let expect = naive_mm(&a, &b).scale_clone(2.0).add(&c.scale_clone(0.5));
         gemm(2.0, &a, Trans::No, &b, Trans::No, 0.5, &mut c);
         assert!(c.approx_eq(&expect, 1e-12, 1e-12));
     }

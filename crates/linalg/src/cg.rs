@@ -214,12 +214,7 @@ where
     for (ri, &bi) in true_r.iter_mut().zip(b) {
         *ri = bi - *ri;
     }
-    CgResult {
-        residual_norm: nrm2(&true_r),
-        converged,
-        iterations: st.iter,
-        x: st.x,
-    }
+    CgResult { residual_norm: nrm2(&true_r), converged, iterations: st.iter, x: st.x }
 }
 
 /// Preconditioned CG without an observer.

@@ -159,10 +159,7 @@ mod tests {
         cholesky_blocked(&mut l, block).expect("SPD must factor");
         let mut rec = Matrix::zeros(n, n);
         gemm(1.0, &l, Trans::No, &l, Trans::Yes, 0.0, &mut rec);
-        assert!(
-            rec.approx_eq(&a, 1e-10, 1e-10),
-            "L L^T must reconstruct A (n={n}, block={block})"
-        );
+        assert!(rec.approx_eq(&a, 1e-10, 1e-10), "L L^T must reconstruct A (n={n}, block={block})");
     }
 
     #[test]

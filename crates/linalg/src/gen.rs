@@ -30,15 +30,7 @@ pub fn random_vector(n: usize, seed: u64) -> Vec<f64> {
 pub fn random_spd(n: usize, seed: u64) -> Matrix {
     let b = random_matrix(n, n, seed);
     let mut a = Matrix::zeros(n, n);
-    crate::blas3::gemm(
-        1.0,
-        &b,
-        crate::blas3::Trans::No,
-        &b,
-        crate::blas3::Trans::Yes,
-        0.0,
-        &mut a,
-    );
+    crate::blas3::gemm(1.0, &b, crate::blas3::Trans::No, &b, crate::blas3::Trans::Yes, 0.0, &mut a);
     for i in 0..n {
         a[(i, i)] += n as f64;
     }

@@ -35,8 +35,8 @@ pub use cg::{
     pcg, pcg_with, CgControl, CgResult, CgState, JacobiPrecond, LinearOperator, Preconditioner,
 };
 pub use cholesky::{cholesky_blocked, cholesky_blocked_with, cholesky_solve, FactorError};
-pub use lu::{lu_blocked, lu_blocked_with, LuFactors};
 pub use lu::refine_solution;
+pub use lu::{lu_blocked, lu_blocked_with, LuFactors};
 pub use matrix::Matrix;
 pub use qr::{householder_qr, householder_qr_with, QrFactors};
 pub use sparse::{poisson_2d, poisson_3d, CsrMatrix};

@@ -70,7 +70,11 @@ fn panel_factor(
 /// FT-HPL uses to maintain/verify row checksums per iteration. The hook may
 /// mutate `a` (that is how fail-stop recovery re-injects reconstructed
 /// panels).
-pub fn lu_blocked_with<F>(a: &mut Matrix, block: usize, mut on_step: F) -> Result<LuFactors, FactorError>
+pub fn lu_blocked_with<F>(
+    a: &mut Matrix,
+    block: usize,
+    mut on_step: F,
+) -> Result<LuFactors, FactorError>
 where
     F: FnMut(usize, usize, &mut Matrix) -> Result<(), FactorError>,
 {

@@ -201,9 +201,7 @@ impl Matrix {
     /// Transposed matrix-vector product `y = A^T x`.
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
-        (0..self.cols)
-            .map(|j| self.col(j).iter().zip(x).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.cols).map(|j| self.col(j).iter().zip(x).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// True when `|self - other|_max <= atol + rtol * |other|_max`.

@@ -44,7 +44,7 @@ where
         let beta = -alpha.signum() * norm;
         let v0 = alpha - beta;
         tau[j] = (beta - alpha) / beta; // = -v0 / beta
-        // Normalize so v[j] = 1 implicitly; store v[i] = w[i,j] / v0.
+                                        // Normalize so v[j] = 1 implicitly; store v[i] = w[i,j] / v0.
         for i in j + 1..m {
             w[(i, j)] /= v0;
         }

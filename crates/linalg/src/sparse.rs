@@ -37,6 +37,7 @@ impl CsrMatrix {
             let mut last: Option<usize> = None;
             for &(j, v) in row.iter() {
                 if last == Some(j) {
+                    // repolint:allow(PANIC001) `last == Some(j)` implies a prior push; infallible
                     *values.last_mut().expect("entry exists") += v;
                 } else {
                     col_idx.push(j);

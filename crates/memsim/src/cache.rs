@@ -161,7 +161,7 @@ mod tests {
         c.access(0x0000, false);
         c.access(0x0100, false);
         c.access(0x0000, false); // refresh line 0
-        // Fill third line in set 0: victim must be 0x0100.
+                                 // Fill third line in set 0: victim must be 0x0100.
         c.access(0x0200, false);
         assert_eq!(c.access(0x0000, false), CacheOutcome::Hit);
         assert!(matches!(c.access(0x0100, false), CacheOutcome::Miss { .. }));

@@ -676,7 +676,12 @@ mod tests {
     fn builder_rejects_impossible_geometry() {
         // Non-power-of-two set count.
         let e = SystemConfig::builder()
-            .l2(CacheConfig { capacity: 3 * 1024 * 1024, ways: 16, line_bytes: 64, latency_cycles: 20 })
+            .l2(CacheConfig {
+                capacity: 3 * 1024 * 1024,
+                ways: 16,
+                line_bytes: 64,
+                latency_cycles: 20,
+            })
             .build()
             .unwrap_err();
         assert_eq!(e.field, "l2");
@@ -706,10 +711,7 @@ mod tests {
             SystemConfig::builder().stall_factor(1.5).build().unwrap_err().field,
             "stall_factor"
         );
-        assert_eq!(
-            SystemConfig::builder().clock_ghz(0.0).build().unwrap_err().field,
-            "clock_ghz"
-        );
+        assert_eq!(SystemConfig::builder().clock_ghz(0.0).build().unwrap_err().field, "clock_ghz");
 
         // Chip counts must track the device width.
         let cfg = SystemConfig { data_chips_per_rank: 8, ..Default::default() };

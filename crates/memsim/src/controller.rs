@@ -15,7 +15,8 @@
 
 use crate::dram::{AddressMap, DramLocation};
 use abft_ecc::{EccOutcome, EccScheme, ProtectedLine, LINE_BYTES};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::fmt;
 
 /// Number of ECC range registers (8 ranges x {base, limit}); Section 3.2.1.
 pub const ECC_RANGE_SLOTS: usize = 8;
@@ -52,7 +53,23 @@ pub enum RangeError {
     OutOfSlots,
     /// The new range overlaps an existing one.
     Overlap,
+    /// `base >= end`: the range covers no addresses.
+    Empty,
 }
+
+impl fmt::Display for RangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RangeError::OutOfSlots => {
+                write!(f, "all {ECC_RANGE_SLOTS} ECC range register slots are in use")
+            }
+            RangeError::Overlap => write!(f, "new ECC range overlaps an existing one"),
+            RangeError::Empty => write!(f, "empty ECC range (base >= end)"),
+        }
+    }
+}
+
+impl std::error::Error for RangeError {}
 
 /// The memory controller.
 #[derive(Debug, Clone)]
@@ -68,7 +85,10 @@ pub struct MemoryController {
     /// Interrupt pending flag (cleared by the OS handler).
     interrupt: bool,
     /// Functional backing store: encoded lines by line-aligned address.
-    store: HashMap<u64, ProtectedLine>,
+    /// Ordered so that whole-store walks (scrubbing) visit lines in
+    /// address order — error-register contents must not depend on hash
+    /// iteration order.
+    store: BTreeMap<u64, ProtectedLine>,
     map: AddressMap,
     /// Corrections performed by ECC logic (per scheme index).
     pub corrections: [u64; 3],
@@ -87,7 +107,7 @@ impl MemoryController {
             errors: Vec::new(),
             errors_overwritten: 0,
             interrupt: false,
-            store: HashMap::new(),
+            store: BTreeMap::new(),
             map,
             corrections: [0; 3],
             uncorrectable: 0,
@@ -119,8 +139,15 @@ impl MemoryController {
     }
 
     /// Program a range register pair. Ranges must not overlap.
-    pub fn program_range(&mut self, base: u64, end: u64, scheme: EccScheme) -> Result<(), RangeError> {
-        assert!(base < end, "empty range");
+    pub fn program_range(
+        &mut self,
+        base: u64,
+        end: u64,
+        scheme: EccScheme,
+    ) -> Result<(), RangeError> {
+        if base >= end {
+            return Err(RangeError::Empty);
+        }
         if self.ranges.len() >= ECC_RANGE_SLOTS {
             return Err(RangeError::OutOfSlots);
         }
@@ -128,6 +155,8 @@ impl MemoryController {
             return Err(RangeError::Overlap);
         }
         self.ranges.push(EccRange { base, end, scheme });
+        #[cfg(feature = "validate")]
+        self.audit_invariants();
         Ok(())
     }
 
@@ -142,7 +171,9 @@ impl MemoryController {
         end: u64,
         scheme: EccScheme,
     ) -> Result<(), RangeError> {
-        assert!(base < end, "empty range");
+        if base >= end {
+            return Err(RangeError::Empty);
+        }
         if self.ranges.iter().any(|r| base < r.end && r.base < end) {
             return Err(RangeError::Overlap);
         }
@@ -171,6 +202,8 @@ impl MemoryController {
             return Err(RangeError::OutOfSlots);
         }
         self.ranges.push(EccRange { base, end, scheme });
+        #[cfg(feature = "validate")]
+        self.audit_invariants();
         Ok(())
     }
 
@@ -285,12 +318,9 @@ impl MemoryController {
     /// defense against SECDED double-bit accumulation). Returns
     /// `(lines_scrubbed, corrected, uncorrectable)`.
     pub fn scrub_range(&mut self, base: u64, end: u64, now_ns: f64) -> (u64, u64, u64) {
-        let lines: Vec<u64> = self
-            .store
-            .keys()
-            .copied()
-            .filter(|&a| a >= base && a < end)
-            .collect();
+        // BTreeMap range: ascending address order, so repeated runs record
+        // uncorrectable errors in the same sequence.
+        let lines: Vec<u64> = self.store.range(base..end).map(|(a, _)| *a).collect();
         let mut corrected = 0;
         let mut uncorrectable = 0;
         for line in &lines {
@@ -316,6 +346,8 @@ impl MemoryController {
         }
         self.errors.push(ErrorRecord { site, paddr: line, time_ns: now_ns });
         self.interrupt = true;
+        #[cfg(feature = "validate")]
+        self.audit_invariants();
     }
 
     /// Interrupt line state.
@@ -333,6 +365,42 @@ impl MemoryController {
     /// Peek at the error registers without clearing.
     pub fn errors(&self) -> &[ErrorRecord] {
         &self.errors
+    }
+
+    /// Feature `validate`: audit the controller's architectural
+    /// invariants (DESIGN.md §3.12). Backed by `debug_assert!`, so the
+    /// checks vanish in release builds even with the feature on.
+    #[cfg(feature = "validate")]
+    pub fn audit_invariants(&self) {
+        debug_assert!(
+            self.errors.len() <= self.error_depth,
+            "error ring holds {} records but depth is {}",
+            self.errors.len(),
+            self.error_depth
+        );
+        debug_assert!(
+            self.ranges.len() <= ECC_RANGE_SLOTS,
+            "{} programmed ranges exceed the {} register slots",
+            self.ranges.len(),
+            ECC_RANGE_SLOTS
+        );
+        for (i, r) in self.ranges.iter().enumerate() {
+            debug_assert!(r.base < r.end, "range {i} is empty: {:#x}..{:#x}", r.base, r.end);
+            for o in &self.ranges[i + 1..] {
+                debug_assert!(
+                    r.end <= o.base || o.end <= r.base,
+                    "ranges overlap: {:#x}..{:#x} vs {:#x}..{:#x}",
+                    r.base,
+                    r.end,
+                    o.base,
+                    o.end
+                );
+            }
+        }
+        debug_assert!(
+            self.store.keys().all(|a| a % LINE_BYTES as u64 == 0),
+            "stored line address is not line-aligned"
+        );
     }
 }
 
@@ -359,8 +427,7 @@ mod tests {
     fn range_slots_are_limited_to_eight() {
         let mut m = mc();
         for i in 0..8u64 {
-            m.program_range(i * 0x1000, i * 0x1000 + 0x1000, EccScheme::Secded)
-                .unwrap();
+            m.program_range(i * 0x1000, i * 0x1000 + 0x1000, EccScheme::Secded).unwrap();
         }
         assert_eq!(
             m.program_range(0x100000, 0x101000, EccScheme::Secded),
@@ -369,13 +436,23 @@ mod tests {
     }
 
     #[test]
+    fn empty_ranges_rejected_as_typed_errors() {
+        let mut m = mc();
+        assert_eq!(m.program_range(0x2000, 0x2000, EccScheme::None), Err(RangeError::Empty));
+        assert_eq!(m.program_range(0x3000, 0x2000, EccScheme::None), Err(RangeError::Empty));
+        assert_eq!(
+            m.program_range_coalescing(0x2000, 0x1000, EccScheme::None),
+            Err(RangeError::Empty)
+        );
+        assert_eq!(RangeError::Empty.to_string(), "empty ECC range (base >= end)");
+        assert!(m.ranges().is_empty());
+    }
+
+    #[test]
     fn overlapping_ranges_rejected() {
         let mut m = mc();
         m.program_range(0x1000, 0x3000, EccScheme::None).unwrap();
-        assert_eq!(
-            m.program_range(0x2000, 0x4000, EccScheme::Secded),
-            Err(RangeError::Overlap)
-        );
+        assert_eq!(m.program_range(0x2000, 0x4000, EccScheme::Secded), Err(RangeError::Overlap));
         // Adjacent is fine.
         m.program_range(0x3000, 0x4000, EccScheme::Secded).unwrap();
     }
@@ -486,12 +563,7 @@ mod tests {
     fn coalescing_merges_same_scheme_neighbours() {
         let mut m = mc();
         for i in 0..20u64 {
-            m.program_range_coalescing(
-                i * 0x2000,
-                i * 0x2000 + 0x1000,
-                EccScheme::None,
-            )
-            .unwrap();
+            m.program_range_coalescing(i * 0x2000, i * 0x2000 + 0x1000, EccScheme::None).unwrap();
         }
         // 20 allocations separated by one guard page each share one slot.
         assert_eq!(m.ranges().len(), 1);

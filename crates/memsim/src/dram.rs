@@ -219,8 +219,7 @@ impl Dram {
     /// Build the device array.
     pub fn new(cfg: SystemConfig) -> Self {
         let map = AddressMap::new(&cfg);
-        let nbanks =
-            cfg.channels * cfg.dimms_per_channel * cfg.ranks_per_dimm * cfg.banks_per_rank;
+        let nbanks = cfg.channels * cfg.dimms_per_channel * cfg.ranks_per_dimm * cfg.banks_per_rank;
         let nranks = cfg.channels * cfg.dimms_per_channel * cfg.ranks_per_dimm;
         Dram {
             map,
@@ -314,8 +313,7 @@ impl Dram {
                 (t.burst_ns() / 4.0, EccScheme::Secded.decode_latency_cycles())
             }
         };
-        let latency_ns =
-            array_ns - t.burst_ns() + burst_ns + decode_cycles as f64 * t.tck_ns;
+        let latency_ns = array_ns - t.burst_ns() + burst_ns + decode_cycles as f64 * t.tck_ns;
         let completion = avail + latency_ns;
 
         // Occupancy: the channel(s) carry the burst; the bank is busy until
@@ -364,7 +362,46 @@ impl Dram {
         self.stats.queue_ns_total += queue_ns;
         self.stats.latency_ns_total += completion - start_ns;
 
+        #[cfg(feature = "validate")]
+        self.audit_invariants();
         ServiceResult { completion_ns: completion, queue_ns, row }
+    }
+
+    /// Feature `validate`: audit the DRAM model's state-machine
+    /// invariants after an access (DESIGN.md §3.12). `debug_assert!`
+    /// backed, so release builds pay nothing even with the feature on.
+    #[cfg(feature = "validate")]
+    pub fn audit_invariants(&self) {
+        let accesses = self.stats.reads + self.stats.writes;
+        debug_assert!(
+            self.stats.row_hits + self.stats.activations == accesses,
+            "every access is exactly one of row-hit or activation: {} + {} != {}",
+            self.stats.row_hits,
+            self.stats.activations,
+            accesses
+        );
+        debug_assert!(
+            self.stats.per_scheme.iter().sum::<u64>() == accesses,
+            "per-scheme access counts must sum to reads + writes"
+        );
+        if self.cfg.row_policy == crate::config::RowPolicy::Closed {
+            debug_assert!(
+                self.banks.iter().all(|b| b.open_row.is_none()),
+                "closed-page policy left a row open"
+            );
+        }
+        debug_assert!(
+            self.banks.iter().all(|b| b.free_ns.is_finite() && b.free_ns >= 0.0),
+            "bank free time must be finite and non-negative"
+        );
+        debug_assert!(
+            self.channel_free_ns.iter().all(|c| c.is_finite() && *c >= 0.0),
+            "channel free time must be finite and non-negative"
+        );
+        debug_assert!(
+            self.stats.dynamic_nj.is_finite() && self.stats.dynamic_nj >= 0.0,
+            "dynamic energy must be finite and non-negative"
+        );
     }
 
     /// Standby (background) energy for a wall-clock interval.
@@ -387,8 +424,7 @@ impl Dram {
             let per_chip =
                 e.powerdown_mw_per_chip + (e.standby_mw_per_chip - e.powerdown_mw_per_chip) * frac;
             mw += data_chips * per_chip;
-            mw += ecc_chips
-                * if ecc_chips_powered { per_chip } else { e.powerdown_mw_per_chip };
+            mw += ecc_chips * if ecc_chips_powered { per_chip } else { e.powerdown_mw_per_chip };
         }
         // mW * ns = pJ; convert to nJ.
         mw * elapsed_ns / 1000.0

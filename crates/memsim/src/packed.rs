@@ -60,10 +60,13 @@ const SEG_WORDS: usize = 1 << 16;
 /// kernel generators stay far inside it by construction.
 #[inline]
 pub fn pack_run(a: &Access, region_base: u64, run_len: usize) -> u64 {
-    let offset = a
-        .addr
-        .checked_sub(region_base & !63)
-        .expect("packed trace: access address below its region base");
+    assert!(
+        a.addr >= region_base & !63,
+        "packed trace: access address {:#x} below its region base {:#x}",
+        a.addr,
+        region_base & !63
+    );
+    let offset = a.addr - (region_base & !63);
     assert!(
         offset <= MAX_PACKED_OFFSET,
         "packed trace: offset {offset:#x} exceeds the 33-bit range"
@@ -189,6 +192,50 @@ impl PackedTrace {
     pub fn materialize(self: &Arc<Self>) -> Trace {
         Trace::from_source(&mut self.replay())
     }
+
+    /// Feature `validate`: audit the packed encoding's structural
+    /// invariants (DESIGN.md §3.12) — segment shape, run lengths, offset
+    /// ranges, and the access/instruction accounting.
+    #[cfg(feature = "validate")]
+    pub fn audit_invariants(&self) {
+        let mut covered = 0u64;
+        for (si, seg) in self.segs.iter().enumerate() {
+            debug_assert!(!seg.is_empty(), "packed segment {si} is empty");
+            debug_assert!(
+                si + 1 == self.segs.len() || seg.len() == SEG_WORDS,
+                "non-final packed segment {si} holds {} of {SEG_WORDS} words",
+                seg.len()
+            );
+            for &word in seg.iter() {
+                let rl = run_len(word);
+                debug_assert!(
+                    (1..=MAX_PACKED_RUN).contains(&rl),
+                    "packed run length {rl} outside 1..={MAX_PACKED_RUN}"
+                );
+                let last_offset = (word >> OFFSET_SHIFT) + 64 * (rl as u64 - 1);
+                debug_assert!(
+                    last_offset <= MAX_PACKED_OFFSET,
+                    "run extends past the 33-bit offset range"
+                );
+                let region = ((word >> REGION_SHIFT) & ((1 << REGION_BITS) - 1)) as usize;
+                debug_assert!(
+                    region < self.bases.len(),
+                    "packed word references region {region} of {}",
+                    self.bases.len()
+                );
+                covered += rl as u64;
+            }
+        }
+        debug_assert!(
+            covered == self.len,
+            "packed runs cover {covered} accesses but the trace claims {}",
+            self.len
+        );
+        debug_assert!(
+            self.instructions >= self.len,
+            "each access retires at least one instruction"
+        );
+    }
 }
 
 /// Incremental [`PackedTrace`] builder; an [`AccessSink`], so kernel
@@ -256,13 +303,16 @@ impl PackedBuilder {
         if !self.cur.is_empty() {
             self.segs.push(self.cur.into_boxed_slice());
         }
-        PackedTrace {
+        let trace = PackedTrace {
             regions: self.regions,
             bases: self.bases,
             segs: self.segs,
             len: self.len,
             instructions: self.instructions,
-        }
+        };
+        #[cfg(feature = "validate")]
+        trace.audit_invariants();
+        trace
     }
 }
 

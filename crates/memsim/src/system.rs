@@ -133,10 +133,7 @@ impl EccAssignment {
 
     /// Strong default with relaxed scheme on the given regions.
     pub fn relaxed(default_scheme: EccScheme, relaxed: EccScheme, regions: &[RegionId]) -> Self {
-        EccAssignment {
-            default_scheme,
-            overrides: regions.iter().map(|&r| (r, relaxed)).collect(),
-        }
+        EccAssignment { default_scheme, overrides: regions.iter().map(|&r| (r, relaxed)).collect() }
     }
 
     /// Whether any ECC chips are exercised at all (drives their standby
@@ -164,6 +161,7 @@ impl Machine {
     /// instead.
     pub fn new(cfg: SystemConfig) -> Self {
         if let Err(e) = cfg.validate() {
+            // repolint:allow(PANIC001) documented constructor contract; builder() is the fallible path
             panic!("{e}");
         }
         let map = AddressMap::new(&cfg);
@@ -195,6 +193,7 @@ impl Machine {
             let r = regions.get(rid);
             self.controller
                 .program_range(r.base, r.end(), scheme)
+                // repolint:allow(PANIC001) documented hardware contract: at most 8 range registers
                 .expect("range registers exhausted: more than 8 relaxed regions");
         }
     }
@@ -479,10 +478,8 @@ mod tests {
         }
         let mut m = Machine::new(SystemConfig::default());
         let whole_ck = m.run_trace(&t, &EccAssignment::uniform(EccScheme::Chipkill));
-        let part = m.run_trace(
-            &t,
-            &EccAssignment::relaxed(EccScheme::Chipkill, EccScheme::None, &[big]),
-        );
+        let part =
+            m.run_trace(&t, &EccAssignment::relaxed(EccScheme::Chipkill, EccScheme::None, &[big]));
         let none = m.run_trace(&t, &EccAssignment::uniform(EccScheme::None));
         assert!(part.mem_dynamic_j < whole_ck.mem_dynamic_j);
         assert!(part.mem_dynamic_j > none.mem_dynamic_j);
@@ -520,8 +517,6 @@ mod tests {
     fn ecc_assignment_any_ecc() {
         assert!(!EccAssignment::uniform(EccScheme::None).any_ecc());
         assert!(EccAssignment::uniform(EccScheme::Secded).any_ecc());
-        assert!(
-            EccAssignment::relaxed(EccScheme::None, EccScheme::Secded, &[0]).any_ecc()
-        );
+        assert!(EccAssignment::relaxed(EccScheme::None, EccScheme::Secded, &[0]).any_ecc());
     }
 }

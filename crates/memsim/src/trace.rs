@@ -104,11 +104,7 @@ impl RegionMap {
 
     /// Rebuild a map from explicit regions (trace deserialization).
     pub fn from_regions(regions: Vec<Region>) -> Self {
-        let next_base = regions
-            .iter()
-            .map(|r| r.end() + PAGE_BYTES)
-            .max()
-            .unwrap_or(0x1000_0000);
+        let next_base = regions.iter().map(|r| r.end() + PAGE_BYTES).max().unwrap_or(0x1000_0000);
         RegionMap { regions, next_base }
     }
 
@@ -124,10 +120,7 @@ impl RegionMap {
 
     /// Find the region containing an address.
     pub fn find(&self, addr: u64) -> Option<RegionId> {
-        self.regions
-            .iter()
-            .position(|r| r.contains(addr))
-            .map(|i| i as RegionId)
+        self.regions.iter().position(|r| r.contains(addr)).map(|i| i as RegionId)
     }
 
     /// Byte address of element `index` (of `elem_bytes`-sized elements)
@@ -166,7 +159,14 @@ impl Trace {
 
     /// Touch every line of `bytes` bytes starting at `addr` once,
     /// spreading `total_work` instructions uniformly across the touches.
-    pub fn stream(&mut self, region: RegionId, addr: u64, bytes: u64, write: bool, total_work: u64) {
+    pub fn stream(
+        &mut self,
+        region: RegionId,
+        addr: u64,
+        bytes: u64,
+        write: bool,
+        total_work: u64,
+    ) {
         let lines = bytes.div_ceil(64).max(1);
         let per = (total_work / lines) as u32;
         let mut a = addr & !63;

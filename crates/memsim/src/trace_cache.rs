@@ -20,7 +20,7 @@
 
 use crate::packed::PackedTrace;
 use crate::workloads::KernelParams;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -28,7 +28,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// keyed by kernel + scale.
 #[derive(Debug, Default)]
 pub struct TraceCache {
-    slots: Mutex<HashMap<KernelParams, Arc<OnceLock<Arc<PackedTrace>>>>>,
+    // Ordered map so diagnostics that walk the cache (`resident_bytes`,
+    // future dump/report paths) visit workloads deterministically.
+    slots: Mutex<BTreeMap<KernelParams, Arc<OnceLock<Arc<PackedTrace>>>>>,
     hits: AtomicU64,
     builds: AtomicU64,
 }
@@ -151,12 +153,8 @@ mod tests {
     #[test]
     fn concurrent_lookups_build_once() {
         let cache = TraceCache::new();
-        let key = KernelParams::Cg(CgParams {
-            grid: 64,
-            iterations: 2,
-            abft: true,
-            verify_interval: 2,
-        });
+        let key =
+            KernelParams::Cg(CgParams { grid: 64, iterations: 2, abft: true, verify_interval: 2 });
         let traces: Vec<Arc<PackedTrace>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..8).map(|_| s.spawn(|| cache.get(key))).collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()

@@ -16,9 +16,70 @@
 
 use crate::stream::{AccessSource, DEFAULT_CHUNK};
 use crate::trace::{Access, Region, RegionMap, Trace};
+use std::fmt;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 
 const MAGIC: &[u8; 8] = b"ABFTTRC1";
+
+/// Typed errors for trace (de)serialization: IO failures plus the format
+/// violations the reader can detect, so callers can distinguish "disk
+/// broke" from "that is not a trace file" without string matching.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying reader/writer failure (includes truncation, surfaced
+    /// as `UnexpectedEof`).
+    Io(io::Error),
+    /// The file does not start with the `ABFTTRC1` magic.
+    BadMagic,
+    /// A region name is not valid UTF-8.
+    BadRegionName,
+    /// An access referenced a region index beyond the header's count.
+    UnknownRegion {
+        /// Region index found in the access record.
+        region: u16,
+        /// Number of regions declared in the header.
+        count: usize,
+    },
+    /// A two-pass source produced a different length on the second pass
+    /// (it violated the resumable-and-deterministic contract).
+    LengthChanged {
+        /// Accesses counted on the first pass.
+        expected: u64,
+        /// Accesses produced on the second pass.
+        written: u64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace IO error: {e}"),
+            TraceError::BadMagic => write!(f, "not an ABFT trace file (bad magic)"),
+            TraceError::BadRegionName => write!(f, "bad region name (invalid UTF-8)"),
+            TraceError::UnknownRegion { region, count } => {
+                write!(f, "access references region {region} but the header declares {count}")
+            }
+            TraceError::LengthChanged { expected, written } => {
+                write!(f, "source length changed between passes: {expected} then {written}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> TraceError {
+        TraceError::Io(e)
+    }
+}
 
 fn write_header<W: Write>(regions: &RegionMap, w: &mut W) -> io::Result<()> {
     w.write_all(MAGIC)?;
@@ -44,14 +105,17 @@ fn write_access<W: Write>(a: &Access, w: &mut W) -> io::Result<()> {
 }
 
 /// Serialize a materialized trace.
-pub fn write_trace<W: Write>(t: &Trace, w: &mut W) -> io::Result<()> {
+pub fn write_trace<W: Write>(t: &Trace, w: &mut W) -> Result<(), TraceError> {
     write_source(&mut t.replay(), w)
 }
 
 /// Serialize any access source without materializing it. Sources that
 /// don't know their length upfront are drained twice (they are resumable
 /// and deterministic by contract), so the peak memory stays one chunk.
-pub fn write_source<S: AccessSource + ?Sized, W: Write>(src: &mut S, w: &mut W) -> io::Result<()> {
+pub fn write_source<S: AccessSource + ?Sized, W: Write>(
+    src: &mut S,
+    w: &mut W,
+) -> Result<(), TraceError> {
     src.reset();
     let mut chunk = Vec::with_capacity(DEFAULT_CHUNK);
     let count = match src.len_hint() {
@@ -77,7 +141,7 @@ pub fn write_source<S: AccessSource + ?Sized, W: Write>(src: &mut S, w: &mut W) 
         written += chunk.len() as u64;
     }
     if written != count {
-        return Err(bad("source length changed between passes"));
+        return Err(TraceError::LengthChanged { expected: count, written });
     }
     w.write_all(&src.instructions_hint().unwrap_or(instructions).to_le_bytes())?;
     Ok(())
@@ -89,14 +153,10 @@ fn read_exact<R: Read, const N: usize>(r: &mut R) -> io::Result<[u8; N]> {
     Ok(buf)
 }
 
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg)
-}
-
-fn read_header<R: Read>(r: &mut R) -> io::Result<RegionMap> {
+fn read_header<R: Read>(r: &mut R) -> Result<RegionMap, TraceError> {
     let magic = read_exact::<_, 8>(r)?;
     if &magic != MAGIC {
-        return Err(bad("not an ABFT trace file"));
+        return Err(TraceError::BadMagic);
     }
     let region_count = u32::from_le_bytes(read_exact(r)?) as usize;
     let mut regions = Vec::with_capacity(region_count);
@@ -108,7 +168,7 @@ fn read_header<R: Read>(r: &mut R) -> io::Result<RegionMap> {
         let bytes = u64::from_le_bytes(read_exact(r)?);
         let [protected, detectable] = read_exact::<_, 2>(r)?;
         regions.push(Region {
-            name: String::from_utf8(name).map_err(|_| bad("bad region name"))?,
+            name: String::from_utf8(name).map_err(|_| TraceError::BadRegionName)?,
             base,
             bytes,
             abft_protected: protected != 0,
@@ -118,11 +178,11 @@ fn read_header<R: Read>(r: &mut R) -> io::Result<RegionMap> {
     Ok(RegionMap::from_regions(regions))
 }
 
-fn read_access<R: Read>(r: &mut R, region_count: usize) -> io::Result<Access> {
+fn read_access<R: Read>(r: &mut R, region_count: usize) -> Result<Access, TraceError> {
     let addr = u64::from_le_bytes(read_exact(r)?);
     let region = u16::from_le_bytes(read_exact(r)?);
     if region as usize >= region_count {
-        return Err(bad("access references unknown region"));
+        return Err(TraceError::UnknownRegion { region, count: region_count });
     }
     let [write] = read_exact::<_, 1>(r)?;
     let work = u32::from_le_bytes(read_exact(r)?);
@@ -145,12 +205,12 @@ pub struct TraceFileSource<R: Read + Seek> {
     read_so_far: u64,
     data_start: u64,
     instructions: Option<u64>,
-    error: Option<io::Error>,
+    error: Option<TraceError>,
 }
 
 impl<R: Read + Seek> TraceFileSource<R> {
     /// Parse the header and position the stream at the first access.
-    pub fn open(mut reader: R) -> io::Result<Self> {
+    pub fn open(mut reader: R) -> Result<Self, TraceError> {
         let regions = read_header(&mut reader)?;
         let total = u64::from_le_bytes(read_exact(&mut reader)?);
         let data_start = reader.stream_position()?;
@@ -166,7 +226,7 @@ impl<R: Read + Seek> TraceFileSource<R> {
     }
 
     /// The IO/format error that ended the stream early, if any.
-    pub fn take_error(&mut self) -> Option<io::Error> {
+    pub fn take_error(&mut self) -> Option<TraceError> {
         self.error.take()
     }
 }
@@ -196,7 +256,7 @@ impl<R: Read + Seek> AccessSource for TraceFileSource<R> {
         if self.read_so_far == self.total && self.instructions.is_none() && self.error.is_none() {
             match read_exact::<_, 8>(&mut self.reader) {
                 Ok(b) => self.instructions = Some(u64::from_le_bytes(b)),
-                Err(e) => self.error = Some(e),
+                Err(e) => self.error = Some(TraceError::Io(e)),
             }
         }
         buf.len()
@@ -204,7 +264,7 @@ impl<R: Read + Seek> AccessSource for TraceFileSource<R> {
 
     fn reset(&mut self) {
         if let Err(e) = self.reader.seek(SeekFrom::Start(self.data_start)) {
-            self.error = Some(e);
+            self.error = Some(TraceError::Io(e));
             return;
         }
         self.read_so_far = 0;
@@ -224,7 +284,7 @@ impl<R: Read + Seek> AccessSource for TraceFileSource<R> {
 
 /// Deserialize a whole trace into memory (materializing adapter; use
 /// [`TraceFileSource`] to stream instead).
-pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Trace> {
+pub fn read_trace<R: Read>(r: &mut R) -> Result<Trace, TraceError> {
     let regions = read_header(r)?;
     let region_count = regions.regions().len();
     let access_count = u64::from_le_bytes(read_exact(r)?) as usize;
@@ -274,12 +334,8 @@ mod tests {
     #[test]
     fn streaming_source_matches_full_read() {
         use crate::workloads::KernelParams;
-        let params = KernelParams::Dgemm(DgemmParams {
-            n: 128,
-            nb: 64,
-            abft: true,
-            verify_interval: 2,
-        });
+        let params =
+            KernelParams::Dgemm(DgemmParams { n: 128, nb: 64, abft: true, verify_interval: 2 });
         let t = params.build();
         let mut buf = Vec::new();
         // Write from the generator stream (no materialized trace involved).

@@ -45,7 +45,7 @@ fn w(flops: u64) -> u64 {
 }
 
 /// Which of the four paper kernels a trace models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum KernelKind {
     /// Fault-tolerant general matrix multiply (fail-continue).
     Dgemm,
@@ -131,7 +131,7 @@ fn touch_tile<S: AccessSink + ?Sized>(
 // ---------------------------------------------------------------------
 
 /// FT-DGEMM trace parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DgemmParams {
     /// Matrix dimension (square).
     pub n: usize,
@@ -187,13 +187,8 @@ fn dgemm_layout(p: &DgemmParams) -> DgemmLayout {
     let rc = rm.alloc("matrix_c", ldc * (n + 1) * F64, true);
     let re = rm.alloc("checksum_e", (n + 1) * F64, false);
     let rw = rm.alloc("verify_workspace", (n + 1) * F64 * 4, false);
-    let (ba, bb, bc, be, bw) = (
-        rm.get(ra).base,
-        rm.get(rb).base,
-        rm.get(rc).base,
-        rm.get(re).base,
-        rm.get(rw).base,
-    );
+    let (ba, bb, bc, be, bw) =
+        (rm.get(ra).base, rm.get(rb).base, rm.get(rc).base, rm.get(re).base, rm.get(rw).base);
     DgemmLayout { regions: rm, ra, rb, rc, re, rw, ba, bb, bc, be, bw }
 }
 
@@ -240,7 +235,7 @@ pub fn dgemm_trace(p: &DgemmParams) -> Trace {
 // ---------------------------------------------------------------------
 
 /// FT-Cholesky trace parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CholeskyParams {
     /// Matrix dimension.
     pub n: usize,
@@ -362,7 +357,7 @@ pub fn cholesky_trace(p: &CholeskyParams) -> Trace {
 
 /// FT-CG trace parameters (5-point Poisson operator on a `grid x grid`
 /// mesh — the low-locality, memory-intensive workload).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CgParams {
     /// Grid edge; the system dimension is `grid * grid`.
     pub grid: usize,
@@ -564,7 +559,7 @@ pub fn cg_trace(p: &CgParams) -> Trace {
 // ---------------------------------------------------------------------
 
 /// FT-HPL trace parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HplParams {
     /// Local matrix dimension (one of the paper's 4 MPI tasks is traced).
     pub n: usize,
@@ -713,7 +708,7 @@ pub fn basic_trace(kind: KernelKind) -> Trace {
 /// This is the key type of the process-wide trace cache
 /// ([`crate::trace_cache::TraceCache`]): two jobs that name the same
 /// `KernelParams` share one generated packed trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum KernelParams {
     /// FT-DGEMM at the given scale.
     Dgemm(DgemmParams),
@@ -961,11 +956,8 @@ mod tests {
         assert!(!t.is_empty());
         check_addresses_in_regions(&t);
         assert_eq!(abft_regions(&t).len(), 3, "A, B, C");
-        let abft_refs: u64 = t
-            .accesses
-            .iter()
-            .filter(|a| t.regions.get(a.region).abft_protected)
-            .count() as u64;
+        let abft_refs: u64 =
+            t.accesses.iter().filter(|a| t.regions.get(a.region).abft_protected).count() as u64;
         let other = t.len() as u64 - abft_refs;
         assert!(abft_refs > 50 * other.max(1), "{abft_refs} vs {other}");
     }
@@ -985,11 +977,8 @@ mod tests {
         assert_eq!(abft_regions(&t).len(), 5, "r, p, q, x, b");
         // CG is the least skewed kernel: non-ABFT operator traffic is a
         // large minority.
-        let abft_refs = t
-            .accesses
-            .iter()
-            .filter(|a| t.regions.get(a.region).abft_protected)
-            .count() as f64;
+        let abft_refs =
+            t.accesses.iter().filter(|a| t.regions.get(a.region).abft_protected).count() as f64;
         let ratio = abft_refs / (t.len() as f64 - abft_refs);
         assert!(ratio > 1.0 && ratio < 8.0, "ratio {ratio}");
     }
@@ -1047,8 +1036,7 @@ mod tests {
     #[test]
     fn build_packed_matches_build() {
         use std::sync::Arc;
-        let w: KernelParams =
-            DgemmParams { n: 192, nb: 64, abft: true, verify_interval: 2 }.into();
+        let w: KernelParams = DgemmParams { n: 192, nb: 64, abft: true, verify_interval: 2 }.into();
         let built = w.build();
         let packed = Arc::new(w.build_packed());
         assert_eq!(packed.len(), built.len() as u64);

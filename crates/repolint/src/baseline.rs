@@ -1,0 +1,82 @@
+//! Baseline / ratchet file.
+//!
+//! `repolint.baseline` records, per `(rule, file)`, how many violations
+//! are grandfathered in. A check passes when every pair is at or below
+//! its baselined count; `--update-baseline` rewrites the file with the
+//! current (hopefully smaller) counts, so the debt can only ratchet
+//! down. An empty file means the workspace must be completely clean.
+
+use std::collections::BTreeMap;
+
+/// Grandfathered violation counts keyed by `(rule, path)`.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    counts: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    /// Parse the baseline file text. Lines are `RULE PATH COUNT`;
+    /// `#` comments and blank lines are skipped.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut counts = BTreeMap::new();
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule), Some(path), Some(count)) = (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!("baseline line {}: expected `RULE PATH COUNT`", n + 1));
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count {count:?}", n + 1))?;
+            counts.insert((rule.to_string(), path.to_string()), count);
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Baselined count for one `(rule, path)`.
+    pub fn allowance(&self, rule: &str, path: &str) -> usize {
+        self.counts.get(&(rule.to_string(), path.to_string())).copied().unwrap_or(0)
+    }
+
+    /// Render a baseline from current counts (sorted, stable).
+    pub fn render(counts: &BTreeMap<(String, String), usize>) -> String {
+        let mut out = String::from(
+            "# repolint baseline: grandfathered violations, one `RULE PATH COUNT` per line.\n\
+             # Regenerate with `cargo run -p repolint -- check --update-baseline`.\n\
+             # Counts may only ratchet down; an empty baseline means fully clean.\n",
+        );
+        for ((rule, path), count) in counts {
+            if *count > 0 {
+                out.push_str(&format!("{rule} {path} {count}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut counts = BTreeMap::new();
+        counts.insert(("PANIC001".to_string(), "crates/x/src/lib.rs".to_string()), 2);
+        counts.insert(("DET003".to_string(), "crates/y/src/lib.rs".to_string()), 0);
+        let text = Baseline::render(&counts);
+        let b = Baseline::parse(&text).unwrap();
+        assert_eq!(b.allowance("PANIC001", "crates/x/src/lib.rs"), 2);
+        assert_eq!(b.allowance("DET003", "crates/y/src/lib.rs"), 0, "zero counts are dropped");
+        assert_eq!(b.allowance("DET001", "crates/x/src/lib.rs"), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Baseline::parse("PANIC001 crates/x/src/lib.rs\n").is_err());
+        assert!(Baseline::parse("PANIC001 crates/x/src/lib.rs many\n").is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! repolint: a syn-based lint engine for this workspace.
+//!
+//! The paper's evaluation (and PR 1's bit-identical parallel-vs-serial
+//! campaign promise) only means something if simulation results are
+//! reproducible. repolint turns the conventions that promise rests on
+//! into machine-checked rules:
+//!
+//! - **DET001** — no nondeterministic RNG (`thread_rng`, `from_entropy`)
+//! - **DET002** — no wall-clock reads in simulation library code
+//! - **DET003** — no `HashMap`/`HashSet` iteration feeding ordered
+//!   output or statistics aggregation
+//! - **PANIC001** — no `unwrap`/`expect`/`panic!` in library crates
+//! - **FP001** — no exact `f64` equality in checksum/verify code
+//!
+//! Violations are suppressed per site with a documented
+//! `// repolint:allow(RULE) reason` comment, configured in
+//! `repolint.toml`, and grandfathered (ratchet-only) via
+//! `repolint.baseline`. See DESIGN.md §3.12.
+
+pub mod baseline;
+pub mod config;
+pub mod diag;
+pub mod rules;
+pub mod source;
+
+use baseline::Baseline;
+use config::Config;
+use diag::{sort_diags, Diagnostic, Severity};
+use source::FileCtx;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Outcome of a workspace check.
+#[derive(Debug)]
+pub struct Report {
+    /// Non-baselined findings, in canonical order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Current per-`(rule, path)` counts (for `--update-baseline`).
+    pub counts: BTreeMap<(String, String), usize>,
+    /// How many findings the baseline absorbed.
+    pub baselined: usize,
+    /// How many `.rs` files were linted.
+    pub files: usize,
+}
+
+impl Report {
+    /// True when the check should fail CI.
+    pub fn failed(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Render the whole report as one JSON document.
+    pub fn to_json(&self) -> String {
+        let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
+        for d in &self.diagnostics {
+            *per_rule.entry(d.rule).or_default() += 1;
+        }
+        let diags: Vec<String> = self.diagnostics.iter().map(Diagnostic::to_json).collect();
+        let counts: Vec<String> =
+            per_rule.iter().map(|(rule, n)| format!("\"{rule}\":{n}")).collect();
+        format!(
+            "{{\"diagnostics\":[{}],\"counts\":{{{}}},\"total\":{},\"baselined\":{},\"files\":{}}}",
+            diags.join(","),
+            counts.join(","),
+            self.diagnostics.len(),
+            self.baselined,
+            self.files
+        )
+    }
+}
+
+/// Lint one file's source text. This is the engine's core entry point;
+/// the workspace walk and the unit-test fixtures both go through it.
+pub fn lint_source(
+    rel_path: &str,
+    crate_name: &str,
+    src: &str,
+    cfg: &Config,
+) -> Result<Vec<Diagnostic>, String> {
+    let file = syn::parse_file(src).map_err(|e| format!("{rel_path}:{e}"))?;
+    let ctx = FileCtx::new(rel_path, crate_name, &file);
+    let mut out = Vec::new();
+    rules::run_all(&ctx, cfg, &mut out);
+    sort_diags(&mut out);
+    Ok(out)
+}
+
+/// Walk the workspace under `root` and lint every `.rs` file outside the
+/// configured excludes, applying the baseline.
+pub fn check_workspace(root: &Path, cfg: &Config, base: &Baseline) -> Result<Report, String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &cfg.excludes, &mut files)?;
+    files.sort();
+
+    let mut crate_names: BTreeMap<String, String> = BTreeMap::new();
+    let mut all = Vec::new();
+    for path in &files {
+        let rel = rel_path(root, path);
+        let crate_name = crate_name_for(root, &rel, &mut crate_names)?;
+        let src = fs::read_to_string(path).map_err(|e| format!("{rel}: {e}"))?;
+        all.extend(lint_source(&rel, &crate_name, &src, cfg)?);
+    }
+    sort_diags(&mut all);
+
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for d in &all {
+        *counts.entry((d.rule.to_string(), d.path.clone())).or_default() += 1;
+    }
+
+    // Baseline: the first `allowance` findings of each (rule, path) pair
+    // are absorbed; anything beyond that is reported.
+    let mut absorbed: BTreeMap<(String, String), usize> = BTreeMap::new();
+    let mut diagnostics = Vec::new();
+    let mut baselined = 0usize;
+    for d in all {
+        let key = (d.rule.to_string(), d.path.clone());
+        let used = absorbed.entry(key).or_default();
+        if *used < base.allowance(d.rule, &d.path) {
+            *used += 1;
+            baselined += 1;
+        } else {
+            diagnostics.push(d);
+        }
+    }
+
+    Ok(Report { diagnostics, counts, baselined, files: files.len() })
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    excludes: &[String],
+    out: &mut Vec<PathBuf>,
+) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        let rel = rel_path(root, &path);
+        if rel.starts_with('.')
+            || excludes.iter().any(|x| rel == *x || rel.starts_with(&format!("{x}/")))
+        {
+            continue;
+        }
+        let ty = entry.file_type().map_err(|e| format!("{rel}: {e}"))?;
+        if ty.is_dir() {
+            collect_rs_files(root, &path, excludes, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Resolve the Cargo package name owning a repo-relative file, caching
+/// per manifest directory.
+fn crate_name_for(
+    root: &Path,
+    rel: &str,
+    cache: &mut BTreeMap<String, String>,
+) -> Result<String, String> {
+    let manifest_dir = if let Some(rest) = rel.strip_prefix("crates/") {
+        let dir = rest.split('/').next().unwrap_or("");
+        format!("crates/{dir}")
+    } else {
+        String::new()
+    };
+    if let Some(name) = cache.get(&manifest_dir) {
+        return Ok(name.clone());
+    }
+    let manifest = root.join(&manifest_dir).join("Cargo.toml");
+    let text = fs::read_to_string(&manifest).map_err(|e| format!("{}: {e}", manifest.display()))?;
+    let mut name = None;
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+        } else if in_package {
+            if let Some(v) = line.strip_prefix("name") {
+                if let Some(v) = v.trim().strip_prefix('=') {
+                    name = Some(v.trim().trim_matches('"').to_string());
+                    break;
+                }
+            }
+        }
+    }
+    let name = name.ok_or_else(|| format!("{}: no [package] name found", manifest.display()))?;
+    cache.insert(manifest_dir, name.clone());
+    Ok(name)
+}
+
+/// Unit-test support: lint a source string with the default config.
+#[cfg(test)]
+pub(crate) mod engine_tests {
+    use super::*;
+
+    pub fn lint_str(rel_path: &str, crate_name: &str, src: &str) -> Vec<Diagnostic> {
+        lint_source(rel_path, crate_name, src, &Config::default()).expect("fixture parses")
+    }
+
+    #[test]
+    fn json_report_snapshot() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let diagnostics = lint_str("crates/memsim/src/x.rs", "abft-memsim", src);
+        let mut counts = BTreeMap::new();
+        for d in &diagnostics {
+            *counts.entry((d.rule.to_string(), d.path.clone())).or_default() += 1;
+        }
+        let report = Report { diagnostics, counts, baselined: 0, files: 1 };
+        assert_eq!(
+            report.to_json(),
+            "{\"diagnostics\":[{\"rule\":\"PANIC001\",\"severity\":\"error\",\
+             \"path\":\"crates/memsim/src/x.rs\",\"line\":2,\"message\":\"`.unwrap()` in library \
+             code can abort a whole campaign; return a typed error (or use assert! for a \
+             documented invariant)\"}],\"counts\":{\"PANIC001\":1},\"total\":1,\"baselined\":0,\
+             \"files\":1}"
+        );
+        assert!(report.failed());
+    }
+
+    #[test]
+    fn severity_allow_disables_and_warn_does_not_fail() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let mut cfg = Config::default();
+        cfg.rules.get_mut("PANIC001").unwrap().severity = Severity::Allow;
+        assert!(lint_source("crates/m/src/x.rs", "m", src, &cfg).unwrap().is_empty());
+
+        cfg.rules.get_mut("PANIC001").unwrap().severity = Severity::Warn;
+        let diags = lint_source("crates/m/src/x.rs", "m", src, &cfg).unwrap();
+        assert_eq!(diags.len(), 1);
+        let report = Report { diagnostics: diags, counts: BTreeMap::new(), baselined: 0, files: 1 };
+        assert!(!report.failed(), "warn severity must not fail the check");
+    }
+
+    #[test]
+    fn crate_scoping_limits_rules() {
+        let src = "pub fn roll() -> u64 {\n    thread_rng().next_u64()\n}\n";
+        let mut cfg = Config::default();
+        cfg.rules.get_mut("DET001").unwrap().crates = Some(vec!["abft-memsim".to_string()]);
+        assert!(!lint_source("crates/memsim/src/x.rs", "abft-memsim", src, &cfg)
+            .unwrap()
+            .is_empty());
+        assert!(lint_source("crates/analysis/src/x.rs", "abft-analysis", src, &cfg)
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! repolint CLI: `cargo run -p repolint -- check [--json] [--update-baseline]`.
+
+use repolint::baseline::Baseline;
+use repolint::config::Config;
+use repolint::{check_workspace, Report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: repolint check [--json] [--update-baseline] \
+                     [--root DIR] [--config FILE] [--baseline FILE]";
+
+struct Args {
+    json: bool,
+    update_baseline: bool,
+    root: PathBuf,
+    config: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    if argv.next().as_deref() != Some("check") {
+        return Err(USAGE.to_string());
+    }
+    let mut args = Args {
+        json: false,
+        update_baseline: false,
+        root: PathBuf::from("."),
+        config: None,
+        baseline: None,
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--root" => args.root = next_value(&mut argv, "--root")?.into(),
+            "--config" => args.config = Some(next_value(&mut argv, "--config")?.into()),
+            "--baseline" => args.baseline = Some(next_value(&mut argv, "--baseline")?.into()),
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn next_value(argv: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    argv.next().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+
+    let config_path = args.config.clone().unwrap_or_else(|| args.root.join("repolint.toml"));
+    let cfg = if config_path.exists() {
+        let text = std::fs::read_to_string(&config_path)
+            .map_err(|e| format!("{}: {e}", config_path.display()))?;
+        Config::parse(&text).map_err(|e| format!("{}: {e}", config_path.display()))?
+    } else {
+        Config::default()
+    };
+
+    let baseline_path =
+        args.baseline.clone().unwrap_or_else(|| args.root.join("repolint.baseline"));
+    let base = if baseline_path.exists() {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        Baseline::parse(&text)?
+    } else {
+        Baseline::default()
+    };
+
+    let report = check_workspace(&args.root, &cfg, &base)?;
+
+    if args.update_baseline {
+        std::fs::write(&baseline_path, Baseline::render(&report.counts))
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        eprintln!("repolint: baseline rewritten at {}", baseline_path.display());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        print_human(&report);
+    }
+    Ok(if report.failed() { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+}
+
+fn print_human(report: &Report) {
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    let verdict = if report.failed() { "FAIL" } else { "ok" };
+    println!(
+        "repolint: {} — {} file(s), {} finding(s), {} baselined",
+        verdict,
+        report.files,
+        report.diagnostics.len(),
+        report.baselined
+    );
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("repolint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! DET001: nondeterministic RNG construction.
+//!
+//! Fault-injection campaigns must be replayable from a seed, so
+//! `thread_rng()`, `from_entropy()` and `rand::random` are banned in the
+//! simulation and kernel crates — including their tests, because the
+//! determinism suites compare bit-identical results.
+
+use crate::config::RuleCfg;
+use crate::diag::Diagnostic;
+use crate::rules::diag;
+use crate::source::{ident_at, punct_at, FileCtx};
+
+const BANNED: &[(&str, &str)] = &[
+    ("thread_rng", "seed an explicit RNG (e.g. ChaCha8Rng::seed_from_u64) instead"),
+    ("from_entropy", "use seed_from_u64/from_seed with a campaign-provided seed"),
+];
+
+/// Run the rule over one file.
+pub fn check(ctx: &FileCtx<'_>, _cfg: &RuleCfg, out: &mut Vec<Diagnostic>) {
+    let toks = &ctx.file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        for (name, fix) in BANNED {
+            if t.is_ident(name) {
+                out.push(diag(
+                    ctx,
+                    "DET001",
+                    t.line,
+                    format!(
+                        "nondeterministic RNG `{name}` breaks replayable fault injection; {fix}"
+                    ),
+                ));
+            }
+        }
+        // `rand::random()` / `rand::random::<T>()`.
+        if t.is_ident("rand") && punct_at(toks, i + 1, "::") && ident_at(toks, i + 2, "random") {
+            out.push(diag(
+                ctx,
+                "DET001",
+                t.line,
+                "nondeterministic `rand::random` breaks replayable fault injection; \
+                 draw from a seeded RNG instead"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine_tests::lint_str;
+
+    #[test]
+    fn fires_on_thread_rng_and_from_entropy() {
+        let src = "use rand::thread_rng;\n\
+                   pub fn roll() -> u64 {\n    let mut rng = thread_rng();\n    rng.next_u64()\n}\n\
+                   pub fn seed() -> Rng {\n    Rng::from_entropy()\n}\n\
+                   pub fn quick() -> f64 {\n    rand::random()\n}\n";
+        let diags = lint_str("crates/memsim/src/x.rs", "abft-memsim", src);
+        let det: Vec<_> = diags.iter().filter(|d| d.rule == "DET001").collect();
+        assert_eq!(det.len(), 4, "use + call + from_entropy + rand::random: {det:?}");
+        assert!(det.iter().any(|d| d.line == 3));
+        assert!(det.iter().any(|d| d.line == 7));
+        assert!(det.iter().any(|d| d.line == 10));
+    }
+
+    #[test]
+    fn quiet_on_seeded_rng_even_in_tests() {
+        let src = "use rand_chacha::ChaCha8Rng;\n\
+                   pub fn make(seed: u64) -> ChaCha8Rng {\n    ChaCha8Rng::seed_from_u64(seed)\n}\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let _ = super::make(7);\n    }\n}\n";
+        let diags = lint_str("crates/memsim/src/x.rs", "abft-memsim", src);
+        assert!(diags.iter().all(|d| d.rule != "DET001"), "{diags:?}");
+    }
+
+    #[test]
+    fn fires_inside_test_code_too() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let mut rng = thread_rng();\n        let _ = rng;\n    }\n}\n";
+        let diags = lint_str("crates/memsim/src/x.rs", "abft-memsim", src);
+        assert!(diags.iter().any(|d| d.rule == "DET001" && d.line == 5), "{diags:?}");
+    }
+}

@@ -1,0 +1,207 @@
+//! DET003: iteration over hash-ordered collections.
+//!
+//! `HashMap`/`HashSet` iteration order varies run to run (and the repo's
+//! vendored `rand` feeds `RandomState` differently across processes), so
+//! any iteration that reaches ordered output or statistics aggregation
+//! is a reproducibility bug. The rule tracks which bindings/fields in a
+//! file are hash collections (from `name: HashMap<..>` annotations and
+//! `let name = HashMap::new()` initialisers) and flags iteration over
+//! them, unless the enclosing statement visibly re-orders (`sort*`,
+//! collect into a `BTree*`) or reduces to an order-free count.
+
+use crate::config::RuleCfg;
+use crate::diag::Diagnostic;
+use crate::rules::diag;
+use crate::source::{ident_at, punct_at, statement_window, FileCtx, FileKind};
+use std::collections::BTreeSet;
+use syn::TokenKind;
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Run the rule over one file.
+pub fn check(ctx: &FileCtx<'_>, _cfg: &RuleCfg, out: &mut Vec<Diagnostic>) {
+    if !matches!(ctx.kind, FileKind::Lib | FileKind::Bin) {
+        return;
+    }
+    let toks = &ctx.file.tokens;
+    let names = hash_bindings(toks);
+    if names.is_empty() {
+        return;
+    }
+
+    for i in 0..toks.len() {
+        if ctx.in_test(toks[i].line) {
+            continue;
+        }
+        // `name.iter()` / `self.name.keys()` / ...
+        if toks[i].is_punct(".")
+            && i > 0
+            && toks[i - 1].kind == TokenKind::Ident
+            && names.contains(toks[i - 1].text.as_str())
+            && punct_at(toks, i + 2, "(")
+        {
+            if let Some(m) = toks.get(i + 1) {
+                if ITER_METHODS.contains(&m.text.as_str()) && !reordered(toks, i) {
+                    out.push(diag(
+                        ctx,
+                        "DET003",
+                        m.line,
+                        format!(
+                            "iteration over hash-ordered `{}` via `.{}()`; use BTreeMap/BTreeSet \
+                             or sort before feeding ordered output or aggregation",
+                            toks[i - 1].text,
+                            m.text
+                        ),
+                    ));
+                }
+            }
+        }
+        // `for pat in [&][mut ][self.]name { ... }`
+        if toks[i].is_ident("for") {
+            if let Some(j) = find_in_keyword(toks, i) {
+                let mut k = j + 1;
+                while punct_at(toks, k, "&") || ident_at(toks, k, "mut") {
+                    k += 1;
+                }
+                if ident_at(toks, k, "self") && punct_at(toks, k + 1, ".") {
+                    k += 2;
+                }
+                if let Some(t) = toks.get(k) {
+                    if t.kind == TokenKind::Ident
+                        && names.contains(t.text.as_str())
+                        && !punct_at(toks, k + 1, ".")
+                        && !reordered(toks, k)
+                    {
+                        out.push(diag(
+                            ctx,
+                            "DET003",
+                            t.line,
+                            format!(
+                                "`for` loop over hash-ordered `{}`; use BTreeMap/BTreeSet or \
+                                 sort before feeding ordered output or aggregation",
+                                t.text
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Names bound or typed as `HashMap`/`HashSet` anywhere in the file
+/// (locals, fn params, struct fields).
+fn hash_bindings(toks: &[syn::Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("HashMap") || toks[i].is_ident("HashSet")) {
+            continue;
+        }
+        // Step back over a `std::collections::` path prefix.
+        let mut j = i;
+        while j >= 2 && toks[j - 1].is_punct("::") && toks[j - 2].kind == TokenKind::Ident {
+            j -= 2;
+        }
+        if j == 0 {
+            continue;
+        }
+        // `name: [&][mut ]HashMap<..>` (field, param, annotated let).
+        let mut k = j - 1;
+        while k > 0
+            && (toks[k].is_punct("&")
+                || toks[k].is_ident("mut")
+                || toks[k].kind == TokenKind::Lifetime)
+        {
+            k -= 1;
+        }
+        if toks[k].is_punct(":") && k > 0 && toks[k - 1].kind == TokenKind::Ident {
+            names.insert(toks[k - 1].text.clone());
+            continue;
+        }
+        // `let [mut ]name = HashMap::new()`.
+        if toks[j - 1].is_punct("=") && j >= 2 && toks[j - 2].kind == TokenKind::Ident {
+            names.insert(toks[j - 2].text.clone());
+        }
+    }
+    names
+}
+
+/// Locate the `in` of a `for` loop header, bounded by the loop body `{`.
+fn find_in_keyword(toks: &[syn::Token], for_idx: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (off, t) in toks.iter().enumerate().skip(for_idx + 1).take(64) {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                "{" if depth == 0 => return None,
+                _ => {}
+            }
+        } else if depth == 0 && t.is_ident("in") {
+            return Some(off);
+        }
+    }
+    None
+}
+
+/// True when the enclosing statement — or the one right after it, for
+/// the collect-then-sort idiom — visibly restores a deterministic order
+/// (sorts, collects into a BTree) or reduces to a plain count.
+fn reordered(toks: &[syn::Token], i: usize) -> bool {
+    let (lo, mut hi) = statement_window(toks, i);
+    if hi < toks.len() && !toks[hi].is_punct("}") {
+        hi = statement_window(toks, hi).1;
+    }
+    toks[lo..hi].iter().enumerate().any(|(off, t)| {
+        let at = lo + off;
+        (t.kind == TokenKind::Ident && t.text.contains("sort"))
+            || t.is_ident("BTreeMap")
+            || t.is_ident("BTreeSet")
+            || ((t.is_ident("count") || t.is_ident("len"))
+                && at > lo
+                && toks[at - 1].is_punct(".")
+                && punct_at(toks, at + 1, "("))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine_tests::lint_str;
+
+    #[test]
+    fn fires_on_field_and_local_iteration() {
+        let src = "use std::collections::HashMap;\n\
+                   pub struct S {\n    store: HashMap<u64, u32>,\n}\n\
+                   impl S {\n    pub fn dump(&self) -> Vec<u64> {\n        self.store.keys().copied().collect()\n    }\n\
+                   \n    pub fn walk(&self) {\n        for (k, v) in &self.store {\n            let _ = (k, v);\n        }\n    }\n}\n\
+                   pub fn local() -> u64 {\n    let m = HashMap::new();\n    m.values().sum()\n}\n";
+        let diags = lint_str("crates/memsim/src/x.rs", "abft-memsim", src);
+        let det: Vec<_> = diags.iter().filter(|d| d.rule == "DET003").collect();
+        assert_eq!(det.len(), 3, "{det:?}");
+        assert!(det.iter().any(|d| d.line == 7 && d.message.contains("`store`")));
+        assert!(det.iter().any(|d| d.line == 11));
+        assert!(det.iter().any(|d| d.line == 18 && d.message.contains("`m`")));
+    }
+
+    #[test]
+    fn quiet_on_btree_sorted_and_counts() {
+        let src = "use std::collections::{BTreeMap, HashMap};\n\
+                   pub struct S {\n    store: BTreeMap<u64, u32>,\n    scratch: HashMap<u64, u32>,\n}\n\
+                   impl S {\n    pub fn dump(&self) -> Vec<u64> {\n        self.store.keys().copied().collect()\n    }\n\
+                   \n    pub fn sorted(&self) -> Vec<u64> {\n        let mut v: Vec<u64> = self.scratch.keys().copied().collect();\n        v.sort_unstable();\n        v\n    }\n\
+                   \n    pub fn occupancy(&self) -> usize {\n        self.scratch.len()\n    }\n\
+                   \n    pub fn live(&self) -> usize {\n        self.scratch.values().filter(|v| **v > 0).count()\n    }\n}\n";
+        let diags = lint_str("crates/memsim/src/x.rs", "abft-memsim", src);
+        assert!(diags.iter().all(|d| d.rule != "DET003"), "{diags:?}");
+    }
+}

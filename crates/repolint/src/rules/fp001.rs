@@ -1,0 +1,126 @@
+//! FP001: exact float equality in checksum/verification code.
+//!
+//! ABFT verification compares recomputed checksums against stored ones;
+//! `a == b` on `f64` silently turns rounding noise into "fault
+//! detected". Verification must use a tolerance (the paper's detection
+//! threshold). The rule is scoped to checksum/verify code — by file path
+//! substring or enclosing function name — and flags `==`/`!=` where
+//! either operand is visibly floating-point (a float literal, or an
+//! identifier annotated/bound as `f32`/`f64` in the same file).
+
+use crate::config::RuleCfg;
+use crate::diag::Diagnostic;
+use crate::rules::diag;
+use crate::source::{punct_at, FileCtx, FileKind};
+use std::collections::BTreeSet;
+use syn::{LitKind, TokenKind};
+
+/// Run the rule over one file.
+pub fn check(ctx: &FileCtx<'_>, cfg: &RuleCfg, out: &mut Vec<Diagnostic>) {
+    if !matches!(ctx.kind, FileKind::Lib | FileKind::Bin) {
+        return;
+    }
+    let path_scoped = cfg.path_contains.iter().any(|p| ctx.path.contains(p.as_str()));
+    let toks = &ctx.file.tokens;
+    let floats = float_bindings(toks);
+
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_punct("==") || t.is_punct("!=")) || ctx.in_test(t.line) {
+            continue;
+        }
+        let in_scope = path_scoped
+            || ctx
+                .enclosing_fn(i)
+                .map(|f| cfg.fn_contains.iter().any(|p| f.contains(p.as_str())))
+                .unwrap_or(false);
+        if !in_scope {
+            continue;
+        }
+        let lhs_float = i > 0 && is_float_operand(toks, i - 1, &floats);
+        let rhs_float = is_float_operand(toks, i + 1, &floats);
+        if lhs_float || rhs_float {
+            out.push(diag(
+                ctx,
+                "FP001",
+                t.line,
+                format!(
+                    "exact `{}` on floating point in checksum/verify code; compare against \
+                     a detection tolerance instead",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Identifiers annotated or bound as `f32`/`f64` in this file.
+fn float_bindings(toks: &[syn::Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        // `name: [&][mut ]f64`.
+        if toks[i].is_ident("f64") || toks[i].is_ident("f32") {
+            let mut k = i;
+            while k > 0
+                && (toks[k - 1].is_punct("&")
+                    || toks[k - 1].is_ident("mut")
+                    || toks[k - 1].kind == TokenKind::Lifetime)
+            {
+                k -= 1;
+            }
+            if k > 1 && toks[k - 1].is_punct(":") && toks[k - 2].kind == TokenKind::Ident {
+                names.insert(toks[k - 2].text.clone());
+            }
+        }
+        // `let [mut ]name = <float literal>`.
+        if toks[i].kind == TokenKind::Literal(LitKind::Float)
+            && i >= 2
+            && toks[i - 1].is_punct("=")
+            && toks[i - 2].kind == TokenKind::Ident
+        {
+            names.insert(toks[i - 2].text.clone());
+        }
+    }
+    names
+}
+
+/// True when the token at `i` starts/ends a visibly-float operand.
+fn is_float_operand(toks: &[syn::Token], i: usize, floats: &BTreeSet<String>) -> bool {
+    let Some(t) = toks.get(i) else { return false };
+    match t.kind {
+        TokenKind::Literal(LitKind::Float) => true,
+        TokenKind::Ident => {
+            // Exclude method/field access on the ident (`x.abs() == y` is
+            // judged by the neighbouring tokens only — stay conservative).
+            floats.contains(t.text.as_str()) && !punct_at(toks, i + 1, ".")
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine_tests::lint_str;
+
+    #[test]
+    fn fires_in_scoped_paths_and_fn_names() {
+        let by_path = "pub fn detect(sum: f64, stored: f64) -> bool {\n    sum == stored\n}\n";
+        let diags = lint_str("crates/linalg/src/checksum.rs", "abft-linalg", by_path);
+        assert!(diags.iter().any(|d| d.rule == "FP001" && d.line == 2), "{diags:?}");
+
+        let by_fn = "pub fn verify_solution(residual: f64) -> bool {\n    residual == 0.0\n}\n";
+        let diags = lint_str("crates/abft/src/x.rs", "abft-kernels", by_fn);
+        assert!(diags.iter().any(|d| d.rule == "FP001" && d.line == 2), "{diags:?}");
+    }
+
+    #[test]
+    fn quiet_on_tolerance_ints_and_unscoped_code() {
+        let tol = "pub fn verify_solution(sum: f64, stored: f64, tol: f64) -> bool {\n    (sum - stored).abs() <= tol\n}\n";
+        assert!(lint_str("crates/linalg/src/checksum.rs", "abft-linalg", tol).is_empty());
+
+        let ints = "pub fn verify_count(n: usize, want: usize) -> bool {\n    n == want\n}\n";
+        assert!(lint_str("crates/linalg/src/checksum.rs", "abft-linalg", ints).is_empty());
+
+        let unscoped = "pub fn lerp(a: f64, b: f64) -> bool {\n    a == b\n}\n";
+        assert!(lint_str("crates/linalg/src/blend.rs", "abft-linalg", unscoped).is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! The rule set. Each rule is a function over a [`FileCtx`] that pushes
+//! [`Diagnostic`]s; severity and crate scoping are applied here so the
+//! rules themselves stay focused on pattern matching.
+
+use crate::config::Config;
+use crate::diag::{Diagnostic, Severity};
+use crate::source::FileCtx;
+
+pub mod det001;
+pub mod det002;
+pub mod det003;
+pub mod fp001;
+pub mod panic001;
+
+type RuleFn = fn(&FileCtx<'_>, &crate::config::RuleCfg, &mut Vec<Diagnostic>);
+
+/// Rule codes in reporting order, paired with their check functions.
+pub const ALL: &[(&str, RuleFn)] = &[
+    ("DET001", det001::check),
+    ("DET002", det002::check),
+    ("DET003", det003::check),
+    ("PANIC001", panic001::check),
+    ("FP001", fp001::check),
+];
+
+/// Run every enabled rule over one file; suppressions are applied here.
+pub fn run_all(ctx: &FileCtx<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    for (code, check) in ALL {
+        let rule_cfg = cfg.rule(code);
+        if rule_cfg.severity == Severity::Allow {
+            continue;
+        }
+        if let Some(crates) = &rule_cfg.crates {
+            if !crates.iter().any(|c| c == ctx.crate_name) {
+                continue;
+            }
+        }
+        let mut found = Vec::new();
+        check(ctx, rule_cfg, &mut found);
+        for mut d in found {
+            if ctx.suppressed(d.rule, d.line) {
+                continue;
+            }
+            d.severity = rule_cfg.severity;
+            out.push(d);
+        }
+    }
+}
+
+/// Shared constructor so every rule emits the same shape.
+pub(crate) fn diag(
+    ctx: &FileCtx<'_>,
+    rule: &'static str,
+    line: usize,
+    message: String,
+) -> Diagnostic {
+    Diagnostic { rule, severity: Severity::Error, path: ctx.path.to_string(), line, message }
+}

@@ -1,0 +1,98 @@
+//! PANIC001: panicking calls in library code.
+//!
+//! A fault-injection campaign that dies on an `unwrap()` loses the whole
+//! batch, so library crates must return typed errors on fallible paths.
+//! Flagged: `.unwrap()`, `.expect(...)`, `panic!`, `todo!`,
+//! `unimplemented!`. Deliberately allowed: the `assert!` family and
+//! `unreachable!`, which the repo uses as documented contract/invariant
+//! markers (DESIGN.md §3.12). Binaries, examples, benches and
+//! `#[cfg(test)]` code are exempt.
+
+use crate::config::RuleCfg;
+use crate::diag::Diagnostic;
+use crate::rules::diag;
+use crate::source::{punct_at, FileCtx, FileKind};
+
+/// Run the rule over one file.
+pub fn check(ctx: &FileCtx<'_>, _cfg: &RuleCfg, out: &mut Vec<Diagnostic>) {
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    let toks = &ctx.file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        // `.unwrap()` / `.expect(` — exact method names only, so
+        // `unwrap_or`/`expect_err` and friends stay legal.
+        if i > 0
+            && toks[i - 1].is_punct(".")
+            && (t.is_ident("unwrap") || t.is_ident("expect"))
+            && punct_at(toks, i + 1, "(")
+        {
+            out.push(diag(
+                ctx,
+                "PANIC001",
+                t.line,
+                format!(
+                    "`.{}()` in library code can abort a whole campaign; return a typed error \
+                     (or use assert! for a documented invariant)",
+                    t.text
+                ),
+            ));
+        }
+        // `panic!(` / `todo!(` / `unimplemented!(`.
+        if (t.is_ident("panic") || t.is_ident("todo") || t.is_ident("unimplemented"))
+            && punct_at(toks, i + 1, "!")
+            && (punct_at(toks, i + 2, "(")
+                || punct_at(toks, i + 2, "[")
+                || punct_at(toks, i + 2, "{"))
+        {
+            out.push(diag(
+                ctx,
+                "PANIC001",
+                t.line,
+                format!(
+                    "`{}!` in library code can abort a whole campaign; return a typed error \
+                     (or use assert!/unreachable! for a documented invariant)",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine_tests::lint_str;
+
+    #[test]
+    fn fires_on_unwrap_expect_panic() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n\
+                   pub fn g(x: Option<u32>) -> u32 {\n    x.expect(\"missing\")\n}\n\
+                   pub fn h() {\n    panic!(\"boom\");\n}\n\
+                   pub fn later() {\n    todo!()\n}\n";
+        let diags = lint_str("crates/memsim/src/x.rs", "abft-memsim", src);
+        let hits: Vec<_> = diags.iter().filter(|d| d.rule == "PANIC001").collect();
+        assert_eq!(hits.len(), 4, "{hits:?}");
+        assert_eq!(hits.iter().map(|d| d.line).collect::<Vec<_>>(), vec![2, 5, 8, 11]);
+    }
+
+    #[test]
+    fn quiet_on_asserts_unwrap_or_bins_and_tests() {
+        let lib = "pub fn f(x: Option<u32>) -> u32 {\n    assert!(true, \"contract\");\n    \
+                   debug_assert!(x.is_some());\n    x.unwrap_or(0)\n}\n\
+                   pub fn g(k: u8) -> u8 {\n    match k {\n        0 => 1,\n        _ => unreachable!(),\n    }\n}\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n    }\n}\n";
+        assert!(lint_str("crates/memsim/src/x.rs", "abft-memsim", lib).is_empty());
+
+        let bin = "fn main() {\n    std::fs::read(\"x\").unwrap();\n}\n";
+        assert!(lint_str("crates/bench/src/bin/x.rs", "abft-bench", bin).is_empty());
+    }
+
+    #[test]
+    fn doc_comments_mentioning_panics_do_not_fire() {
+        let src = "/// Does not panic!(); callers may unwrap() the result.\npub fn f() -> u32 {\n    1\n}\n";
+        assert!(lint_str("crates/memsim/src/x.rs", "abft-memsim", src).is_empty());
+    }
+}

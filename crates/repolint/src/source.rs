@@ -1,0 +1,235 @@
+//! Per-file lint context: file classification, `#[cfg(test)]` line
+//! ranges, suppression comments, and token-stream helpers shared by the
+//! rules.
+
+use syn::{Comment, File, Item, Token, TokenKind};
+
+/// What kind of target a `.rs` file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Part of a library target (`src/` outside `bin/`).
+    Lib,
+    /// A binary (`src/main.rs`, `src/bin/*`).
+    Bin,
+    /// An integration test (`tests/`).
+    Test,
+    /// An example (`examples/`).
+    Example,
+    /// A benchmark (`benches/`).
+    Bench,
+}
+
+/// Classify a repo-relative path.
+pub fn file_kind(rel: &str) -> FileKind {
+    if rel.contains("/src/bin/") || rel.ends_with("src/main.rs") {
+        FileKind::Bin
+    } else if rel.contains("/tests/") || rel.starts_with("tests/") {
+        FileKind::Test
+    } else if rel.contains("/examples/") || rel.starts_with("examples/") {
+        FileKind::Example
+    } else if rel.contains("/benches/") || rel.starts_with("benches/") {
+        FileKind::Bench
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// One parsed suppression comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule code the comment allows.
+    pub rule: String,
+    /// Source line the suppression covers.
+    pub target_line: usize,
+    /// True when a justification follows the `allow(...)`.
+    pub has_reason: bool,
+}
+
+/// Everything a rule needs to know about one file.
+pub struct FileCtx<'a> {
+    /// Repo-relative path, forward slashes.
+    pub path: &'a str,
+    /// Cargo package name the file belongs to.
+    pub crate_name: &'a str,
+    /// Target classification.
+    pub kind: FileKind,
+    /// Parsed item tree + token stream.
+    pub file: &'a File,
+    /// Line ranges of `#[cfg(test)]` / `#[test]` items.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Parsed `// repolint:allow(...)` comments.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Build the context for one parsed file.
+    pub fn new(path: &'a str, crate_name: &'a str, file: &'a File) -> FileCtx<'a> {
+        let mut test_ranges = Vec::new();
+        collect_test_ranges(&file.items, &mut test_ranges);
+        let suppressions = collect_suppressions(&file.comments, &file.tokens);
+        FileCtx { path, crate_name, kind: file_kind(path), file, test_ranges, suppressions }
+    }
+
+    /// True when the line falls inside a test-marked item.
+    pub fn in_test(&self, line: usize) -> bool {
+        self.test_ranges.iter().any(|&(lo, hi)| line >= lo && line <= hi)
+    }
+
+    /// True when a documented `repolint:allow` covers this rule + line.
+    pub fn suppressed(&self, rule: &str, line: usize) -> bool {
+        self.suppressions.iter().any(|s| s.has_reason && s.rule == rule && s.target_line == line)
+    }
+
+    /// Name of the innermost `fn` whose token range contains `tok_idx`.
+    pub fn enclosing_fn(&self, tok_idx: usize) -> Option<&str> {
+        fn walk(items: &[Item], tok_idx: usize) -> Option<&str> {
+            for item in items {
+                let (lo, hi) = item.tokens;
+                if tok_idx < lo || tok_idx >= hi {
+                    continue;
+                }
+                if let Some(name) = walk(&item.children, tok_idx) {
+                    return Some(name);
+                }
+                if item.kind == syn::ItemKind::Fn {
+                    return item.ident.as_deref();
+                }
+            }
+            None
+        }
+        walk(&self.file.items, tok_idx)
+    }
+}
+
+fn collect_test_ranges(items: &[Item], out: &mut Vec<(usize, usize)>) {
+    for item in items {
+        if item.attrs.iter().any(syn::Attribute::is_test_marker) {
+            out.push((item.line, item.end_line));
+        }
+        collect_test_ranges(&item.children, out);
+    }
+}
+
+/// Parse `// repolint:allow(RULE[,RULE]) reason` comments. A suppression
+/// covers the code on its own line (trailing comment) or, for a comment
+/// on a line of its own, the next line that has any token.
+fn collect_suppressions(comments: &[Comment], tokens: &[Token]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(at) = c.text.find("repolint:allow(") else { continue };
+        let rest = &c.text[at + "repolint:allow(".len()..];
+        let Some(close) = rest.find(')') else { continue };
+        let reason = rest[close + 1..].trim();
+        let has_reason = !reason.is_empty();
+        let target_line = if tokens.iter().any(|t| t.line == c.line) {
+            c.line
+        } else {
+            tokens.iter().map(|t| t.line).filter(|&l| l > c.line).min().unwrap_or(c.line)
+        };
+        for rule in rest[..close].split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                out.push(Suppression { rule: rule.to_string(), target_line, has_reason });
+            }
+        }
+    }
+    out
+}
+
+/// True when `tokens[i]` is an identifier with this exact text.
+pub fn ident_at(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens.get(i).map(|t| t.is_ident(text)).unwrap_or(false)
+}
+
+/// True when `tokens[i]` is punctuation with this exact text.
+pub fn punct_at(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens.get(i).map(|t| t.is_punct(text)).unwrap_or(false)
+}
+
+/// Token index range of the statement around `i`: from just after the
+/// previous `;`/`{`/`}` to the next `;` at the same delimiter depth (or
+/// the end of the enclosing group).
+pub fn statement_window(tokens: &[Token], i: usize) -> (usize, usize) {
+    let mut lo = i;
+    while lo > 0 {
+        let t = &tokens[lo - 1];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            break;
+        }
+        lo -= 1;
+    }
+    let mut hi = i;
+    let mut depth = 0usize;
+    while hi < tokens.len() {
+        let t = &tokens[hi];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                "}" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                ";" if depth == 0 => {
+                    hi += 1;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        hi += 1;
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_paths() {
+        assert_eq!(file_kind("crates/memsim/src/dram.rs"), FileKind::Lib);
+        assert_eq!(file_kind("crates/bench/src/bin/trace_stats.rs"), FileKind::Bin);
+        assert_eq!(file_kind("src/main.rs"), FileKind::Bin);
+        assert_eq!(file_kind("tests/streaming_equivalence.rs"), FileKind::Test);
+        assert_eq!(file_kind("examples/quickstart.rs"), FileKind::Example);
+        assert_eq!(file_kind("crates/linalg/benches/gemm.rs"), FileKind::Bench);
+    }
+
+    #[test]
+    fn test_ranges_cover_cfg_test_mods() {
+        let src = "pub fn a() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {}\n}\n";
+        let file = syn::parse_file(src).unwrap();
+        let ctx = FileCtx::new("crates/x/src/lib.rs", "x", &file);
+        assert!(!ctx.in_test(1));
+        assert!(ctx.in_test(4));
+        assert!(ctx.in_test(5));
+    }
+
+    #[test]
+    fn suppression_targets_own_or_next_line() {
+        let src =
+            "fn a() {\n    // repolint:allow(DET002) timing is metadata\n    let t = now();\n\
+                   \n    let u = now(); // repolint:allow(DET002) also fine\n\
+                   \n    // repolint:allow(DET002)\n    let v = now();\n}\n";
+        let file = syn::parse_file(src).unwrap();
+        let ctx = FileCtx::new("crates/x/src/lib.rs", "x", &file);
+        assert!(ctx.suppressed("DET002", 3), "standalone comment covers next code line");
+        assert!(ctx.suppressed("DET002", 5), "trailing comment covers its own line");
+        assert!(!ctx.suppressed("DET002", 8), "suppression without a reason is ignored");
+        assert!(!ctx.suppressed("DET001", 3), "other rules stay live");
+    }
+
+    #[test]
+    fn statement_window_spans_semicolons() {
+        let src = "fn f() { let a = 1; let b = g(a, h(2)); let c = 3; }";
+        let file = syn::parse_file(src).unwrap();
+        let toks = &file.tokens;
+        let b_idx = toks.iter().position(|t| t.is_ident("b")).unwrap();
+        let (lo, hi) = statement_window(toks, b_idx);
+        let text: Vec<&str> = toks[lo..hi].iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(text.join(" "), "let b = g ( a , h ( 2 ) ) ;");
+    }
+}

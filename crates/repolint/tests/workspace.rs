@@ -1,0 +1,97 @@
+//! End-to-end checks for the workspace walk, excludes, and the
+//! baseline ratchet, against a scratch mini-workspace on disk.
+
+use repolint::baseline::Baseline;
+use repolint::check_workspace;
+use repolint::config::Config;
+use std::fs;
+use std::path::PathBuf;
+
+struct Scratch {
+    root: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let root = std::env::temp_dir().join(format!("repolint-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("scratch root");
+        Scratch { root }
+    }
+
+    fn write(&self, rel: &str, text: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        fs::write(path, text).expect("write");
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+const MANIFEST: &str = "[package]\nname = \"demo\"\n";
+const DIRTY: &str = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+
+#[test]
+fn walks_excludes_and_reports() {
+    let ws = Scratch::new("walk");
+    ws.write("Cargo.toml", MANIFEST);
+    ws.write("crates/demo/Cargo.toml", MANIFEST);
+    ws.write("crates/demo/src/lib.rs", DIRTY);
+    ws.write("crates/compat/fake/src/lib.rs", "pub fn f() { None::<u32>.unwrap(); }\n");
+    ws.write("target/debug/build/gen.rs", "pub fn f() { None::<u32>.unwrap(); }\n");
+
+    let report =
+        check_workspace(&ws.root, &Config::default(), &Baseline::default()).expect("check");
+    assert_eq!(report.files, 1, "compat and target are excluded");
+    assert_eq!(report.diagnostics.len(), 1);
+    let d = &report.diagnostics[0];
+    assert_eq!((d.rule, d.path.as_str(), d.line), ("PANIC001", "crates/demo/src/lib.rs", 2));
+    assert!(report.failed());
+}
+
+#[test]
+fn baseline_absorbs_exactly_and_ratchets() {
+    let ws = Scratch::new("baseline");
+    ws.write("Cargo.toml", MANIFEST);
+    ws.write("crates/demo/Cargo.toml", MANIFEST);
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n\
+         pub fn g(x: Option<u32>) -> u32 {\n    x.expect(\"g\")\n}\n",
+    );
+
+    // A baseline covering one of the two findings: the second still fails.
+    let base = Baseline::parse("PANIC001 crates/demo/src/lib.rs 1\n").expect("baseline");
+    let report = check_workspace(&ws.root, &Config::default(), &base).expect("check");
+    assert_eq!(report.baselined, 1);
+    assert_eq!(report.diagnostics.len(), 1);
+    assert_eq!(report.diagnostics[0].line, 5, "later finding reported, earlier absorbed");
+
+    // A generous baseline absorbs both; rendering the *current* counts
+    // ratchets it back down to what is actually present.
+    let base = Baseline::parse("PANIC001 crates/demo/src/lib.rs 5\n").expect("baseline");
+    let report = check_workspace(&ws.root, &Config::default(), &base).expect("check");
+    assert!(!report.failed());
+    assert_eq!(report.baselined, 2);
+    let rendered = Baseline::render(&report.counts);
+    assert!(rendered.contains("PANIC001 crates/demo/src/lib.rs 2"), "{rendered}");
+}
+
+#[test]
+fn clean_tree_passes_with_empty_baseline() {
+    let ws = Scratch::new("clean");
+    ws.write("Cargo.toml", MANIFEST);
+    ws.write("crates/demo/Cargo.toml", MANIFEST);
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "pub fn f(x: Option<u32>) -> Result<u32, ()> {\n    x.ok_or(())\n}\n",
+    );
+    let report =
+        check_workspace(&ws.root, &Config::default(), &Baseline::default()).expect("check");
+    assert!(!report.failed());
+    assert!(report.diagnostics.is_empty());
+}

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example datacenter_policy`
 
-use abft_coop::prelude::*;
 use abft_coop::abft_faultsim::models;
+use abft_coop::prelude::*;
 
 fn main() {
     println!("== ARE vs ASE: the adaptive policy across deployment scales ==\n");

@@ -37,9 +37,8 @@ fn main() {
     //    `malloc_ecc`, relaxing its ECC because ABFT already covers it.
     let cfg = SystemConfig::default();
     let mut rt = EccRuntime::new(&cfg);
-    let (_id, vaddr) = rt
-        .malloc_ecc("matrix_c", (n * n * 8) as u64, EccScheme::None)
-        .expect("allocation");
+    let (_id, vaddr) =
+        rt.malloc_ecc("matrix_c", (n * n * 8) as u64, EccScheme::None).expect("allocation");
     println!(
         "malloc_ecc: matrix_c at {vaddr:#x}, pages relaxed to {} (MC range registers in use: {}).",
         EccScheme::None,

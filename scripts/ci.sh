@@ -1,8 +1,15 @@
 #!/usr/bin/env bash
-# The full CI gate: release build, the test suite, and a warning-free
-# clippy pass over the workspace. Usage: scripts/ci.sh
+# The full CI gate: formatting, the repolint static-analysis pass, release
+# build, the test suite (plain and with the memsim `validate` invariant
+# audits), and a warning-free clippy pass. Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "=== cargo fmt --check ==="
+cargo fmt --check
+
+echo "=== repolint (determinism / panic-freedom / fp-compare lints) ==="
+cargo run -q -p repolint -- check
 
 echo "=== cargo build --release ==="
 cargo build --release
@@ -12,6 +19,10 @@ echo "=== trace-pipeline smoke bench (writes BENCH_trace.json) ==="
 
 echo "=== cargo test -q ==="
 cargo test -q
+
+echo "=== cargo test -q --features validate (memsim invariant audits on) ==="
+cargo test -q -p abft-memsim --features validate
+cargo test -q --features validate --test campaign_determinism --test streaming_equivalence
 
 echo "=== cargo clippy --workspace -- -D warnings ==="
 cargo clippy --workspace -- -D warnings

@@ -3,8 +3,8 @@
 //! exactly once per (kernel, scale) regardless of how many jobs, runs, or
 //! threads ask for them.
 
-use abft_coop::prelude::*;
 use abft_coop::abft_memsim::workloads::{CholeskyParams, HplParams};
+use abft_coop::prelude::*;
 use std::sync::Arc;
 
 fn small_workloads() -> [KernelParams; 4] {
@@ -37,7 +37,8 @@ fn parallel_campaign_is_bit_identical_to_serial() {
         assert_eq!(a.strategy, b.strategy);
         assert_eq!(a.config_tag, b.config_tag);
         assert_eq!(
-            a.stats, b.stats,
+            a.stats,
+            b.stats,
             "{} / {} differs between 1 and 4 workers",
             a.kernel.label(),
             a.strategy.label()
@@ -49,9 +50,7 @@ fn parallel_campaign_is_bit_identical_to_serial() {
         let trace = w.build();
         for s in Strategy::ALL {
             let direct = run_strategy_job(&trace, &SystemConfig::default(), s);
-            let cell = parallel
-                .get(w.kind(), s, "default")
-                .expect("every grid cell is present");
+            let cell = parallel.get(w.kind(), s, "default").expect("every grid cell is present");
             assert_eq!(cell.stats, direct, "{} / {}", w.label(), s.label());
         }
     }

@@ -33,7 +33,12 @@ fn ft_cholesky_under_faults_factors_correctly() {
     let a = abft_coop::abft_linalg::gen::random_spd(n, 23);
     let r = ft_cholesky_with(
         &a,
-        &FtCholeskyOptions { block: 24, verify_interval: 1, mode: VerifyMode::Full , multi_error: false },
+        &FtCholeskyOptions {
+            block: 24,
+            verify_interval: 1,
+            mode: VerifyMode::Full,
+            multi_error: false,
+        },
         |kt, m| {
             if kt == 1 {
                 m[(70, 60)] += 500.0;

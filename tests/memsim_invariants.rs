@@ -12,15 +12,9 @@ fn random_trace(seed: u64, accesses: usize) -> Trace {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut rm = RegionMap::new();
     let sizes = [1u64 << 22, 1 << 20, 1 << 18, 1 << 16];
-    let ids: Vec<_> = sizes
-        .iter()
-        .enumerate()
-        .map(|(i, &s)| rm.alloc(&format!("r{i}"), s, i % 2 == 0))
-        .collect();
-    let meta: Vec<(u64, u64)> = ids
-        .iter()
-        .map(|&id| (rm.get(id).base, rm.get(id).bytes))
-        .collect();
+    let ids: Vec<_> =
+        sizes.iter().enumerate().map(|(i, &s)| rm.alloc(&format!("r{i}"), s, i % 2 == 0)).collect();
+    let meta: Vec<(u64, u64)> = ids.iter().map(|&id| (rm.get(id).base, rm.get(id).bytes)).collect();
     let mut t = Trace::new(rm);
     for _ in 0..accesses {
         let k = rng.random_range(0..ids.len());
@@ -77,10 +71,8 @@ fn scheme_classification_respects_the_assignment() {
     assert!(st.per_scheme[1] > 0);
 
     // Partial: both buckets populated, nothing else.
-    let st = m.run_trace(
-        &t,
-        &EccAssignment::relaxed(EccScheme::Chipkill, EccScheme::None, &regions),
-    );
+    let st =
+        m.run_trace(&t, &EccAssignment::relaxed(EccScheme::Chipkill, EccScheme::None, &regions));
     assert!(st.per_scheme[0] > 0, "relaxed accesses");
     assert!(st.per_scheme[2] > 0, "strong accesses");
     assert_eq!(st.per_scheme[1], 0, "no SECDED in this strategy");

@@ -2,9 +2,9 @@
 //! code guarantees, the cache model, the frame allocator, and the fault
 //! models.
 
-use abft_coop::prelude::*;
 use abft_coop::abft_ecc::{chipkill, hsiao};
 use abft_coop::abft_kernels::ColChecksums;
+use abft_coop::prelude::*;
 use proptest::prelude::*;
 
 proptest! {

@@ -1,8 +1,8 @@
 //! Cross-crate integration: the six-strategy basic test on every kernel
 //! (reduced dimensions) and the policy layer consuming measured profiles.
 
-use abft_coop::prelude::*;
 use abft_coop::abft_memsim::workloads::{CholeskyParams, HplParams};
+use abft_coop::prelude::*;
 
 fn small_cg() -> CgParams {
     CgParams { grid: 192, iterations: 4, abft: true, verify_interval: 2 }
@@ -26,14 +26,8 @@ fn strategy_ordering_invariants_hold_for_every_kernel() {
         let label = bt.kernel.label();
         // Energy ordering: No-ECC <= partials <= their whole baselines.
         for s in Strategy::PARTIAL {
-            assert!(
-                bt.mem_energy_norm(s) >= 1.0 - 1e-9,
-                "{label}/{s}: cheaper than no-ECC?"
-            );
-            assert!(
-                bt.partial_mem_saving(s) > 0.0,
-                "{label}/{s}: relaxing ECC must save energy"
-            );
+            assert!(bt.mem_energy_norm(s) >= 1.0 - 1e-9, "{label}/{s}: cheaper than no-ECC?");
+            assert!(bt.partial_mem_saving(s) > 0.0, "{label}/{s}: relaxing ECC must save energy");
         }
         // W_CK is the most expensive strategy everywhere.
         for s in Strategy::ALL {
@@ -63,10 +57,8 @@ fn strategy_ordering_invariants_hold_for_every_kernel() {
 #[test]
 fn table4_ordering_holds_at_reduced_scale() {
     let tests = small_tests();
-    let ratios: Vec<f64> = tests
-        .iter()
-        .map(|bt| bt.row(Strategy::WholeChipkill).stats.abft_ref_ratio())
-        .collect();
+    let ratios: Vec<f64> =
+        tests.iter().map(|bt| bt.row(Strategy::WholeChipkill).stats.abft_ref_ratio()).collect();
     // DGEMM has by far the largest ratio; CG by far the smallest.
     assert!(ratios[0] > 10.0 * ratios[2], "DGEMM {} vs CG {}", ratios[0], ratios[2]);
     assert!(ratios[1] > ratios[2], "Cholesky above CG");
@@ -83,11 +75,7 @@ fn measured_profiles_drive_the_policy_sensibly() {
         // Relaxing ECC cannot meaningfully slow the machine; tiny
         // inversions (<0.5%) can appear from request-interleaving noise
         // in the bank/row model.
-        assert!(
-            p.tau_ase >= p.tau_are - 5e-3,
-            "strong ECC cannot be faster than relaxed: {:?}",
-            p
-        );
+        assert!(p.tau_ase >= p.tau_are - 5e-3, "strong ECC cannot be faster than relaxed: {:?}", p);
         let inputs = PolicyInputs {
             tau_ase: p.tau_ase,
             tau_are: p.tau_are,
