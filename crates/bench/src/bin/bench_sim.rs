@@ -1,0 +1,172 @@
+//! Two-phase simulation benchmark: measures, for every kernel of the
+//! Figure 5-7 grid at default scale, what the cache-filtered miss-stream
+//! pipeline costs and saves versus full per-access simulation — the
+//! one-off filter-build time, full-path vs filtered-replay wall-clock per
+//! cell, and the end-to-end wall-clock of the Figure 7 24-job campaign
+//! grid on both paths. Every filtered result is asserted bit-identical to
+//! its full-path counterpart before timing is reported. Writes
+//! `BENCH_sim.json` (consumed by `scripts/ci.sh` as the perf smoke gate)
+//! and prints a summary table.
+
+use abft_bench::print_header;
+use abft_coop_core::report::TextTable;
+use abft_coop_core::{run_strategy_miss_stream, run_strategy_source, Campaign, Strategy};
+use abft_memsim::miss_stream::MissStream;
+use abft_memsim::workloads::{KernelKind, KernelParams};
+use abft_memsim::{SystemConfig, TraceCache};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Row {
+    kernel: &'static str,
+    accesses: u64,
+    events: u64,
+    filter_build_secs: f64,
+    full_replay_secs: f64,
+    filtered_replay_secs: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.full_replay_secs / self.filtered_replay_secs
+    }
+
+    /// Source-stream accesses retired per second of filtered replay — the
+    /// effective simulation rate a campaign cell sees once the memo is
+    /// warm.
+    fn filtered_aps(&self) -> f64 {
+        self.accesses as f64 / self.filtered_replay_secs
+    }
+}
+
+fn measure(kind: KernelKind, cache: &TraceCache) -> Row {
+    let params = KernelParams::default_for(kind);
+    let cfg = SystemConfig::default();
+    let packed = cache.get(params);
+
+    // Phase 1 (once per kernel x geometry): drive the trace through L1/L2.
+    let t0 = Instant::now();
+    let ms = Arc::new(MissStream::build(&mut packed.replay(), cfg.l1, cfg.l2, cfg.threads));
+    let filter_build_secs = t0.elapsed().as_secs_f64();
+
+    // One cell on each path, equivalence asserted before timing is
+    // trusted.
+    let strategy = Strategy::PartialChipkillSecded;
+    let t0 = Instant::now();
+    let full = run_strategy_source(&mut packed.replay(), &cfg, strategy);
+    let full_replay_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let t0 = Instant::now();
+    let filtered = run_strategy_miss_stream(&ms, &cfg, strategy);
+    let filtered_replay_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(full, filtered, "{}: filtered replay must be bit-identical", kind.label());
+
+    Row {
+        kernel: kind.label(),
+        accesses: ms.accesses(),
+        events: ms.events(),
+        filter_build_secs,
+        full_replay_secs,
+        filtered_replay_secs,
+    }
+}
+
+/// The Figure 7 grid (4 kernels x 6 strategies) end-to-end, on the given
+/// path. The filtered run reuses the pre-warmed miss-stream memo exactly
+/// as the harness binaries do after their first campaign.
+fn grid_secs(cache: &TraceCache, filtered: bool) -> f64 {
+    let cfg = SystemConfig::default();
+    let t0 = Instant::now();
+    if filtered {
+        let run = Campaign::new().kernels(KernelKind::ALL).run_with_cache(cache);
+        assert_eq!(run.metrics.jobs, 24);
+    } else {
+        use rayon::prelude::*;
+        let jobs: Vec<(KernelParams, Strategy)> = KernelKind::ALL
+            .iter()
+            .flat_map(|&k| Strategy::ALL.map(|s| (KernelParams::default_for(k), s)))
+            .collect();
+        jobs.into_par_iter().for_each(|(params, s)| {
+            let packed = cache.get(params);
+            run_strategy_source(&mut packed.replay(), &cfg, s);
+        });
+    }
+    t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    print_header("Two-phase simulation benchmark — full path vs filtered miss-stream replay");
+    let cache = TraceCache::new();
+    let rows: Vec<Row> = KernelKind::ALL.iter().map(|&k| measure(k, &cache)).collect();
+
+    let mut t = TextTable::new(&[
+        "kernel",
+        "accesses",
+        "miss events",
+        "filter s",
+        "full s",
+        "filtered s",
+        "speedup",
+        "filtered Macc/s",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.kernel.to_string(),
+            r.accesses.to_string(),
+            r.events.to_string(),
+            format!("{:.2}", r.filter_build_secs),
+            format!("{:.2}", r.full_replay_secs),
+            format!("{:.3}", r.filtered_replay_secs),
+            format!("{:.1}x", r.speedup()),
+            format!("{:.1}", r.filtered_aps() / 1e6),
+        ]);
+    }
+    print!("{}", t.render());
+
+    // End-to-end Figure 7 grid: the full path replays every access in all
+    // 24 cells; the filtered path warms 4 miss streams and replays only
+    // miss tails. Warm the memo first (the per-kernel rows above used
+    // locally built streams, not the cache's), then measure both orders.
+    let full_grid_secs = grid_secs(&cache, false);
+    let filtered_grid_secs = grid_secs(&cache, true);
+    let warm_grid_secs = grid_secs(&cache, true);
+    let grid_speedup = full_grid_secs / warm_grid_secs;
+    println!(
+        "\nfig07 grid (24 jobs): full {full_grid_secs:.2}s, filtered cold \
+         {filtered_grid_secs:.2}s, filtered warm {warm_grid_secs:.2}s ({grid_speedup:.1}x)"
+    );
+
+    let mut json = String::from("{\n  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"accesses\": {}, \"miss_events\": {}, \
+             \"filter_build_secs\": {:.4}, \"full_replay_secs\": {:.4}, \
+             \"filtered_replay_secs\": {:.4}, \"replay_speedup\": {:.2}, \
+             \"filtered_accesses_per_sec\": {:.0}}}{}",
+            r.kernel,
+            r.accesses,
+            r.events,
+            r.filter_build_secs,
+            r.full_replay_secs,
+            r.filtered_replay_secs,
+            r.speedup(),
+            r.filtered_aps(),
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"fig07_grid\": {{\"jobs\": 24, \"full_secs\": {full_grid_secs:.4}, \
+         \"filtered_cold_secs\": {filtered_grid_secs:.4}, \
+         \"filtered_warm_secs\": {warm_grid_secs:.4}, \"speedup\": {grid_speedup:.2}}}\n}}\n"
+    );
+    let path = "BENCH_sim.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -2,10 +2,10 @@
 //! flexible ECC) vs the cooperative ABFT-directed scheme, for FT-DGEMM
 //! (high spatial locality) and FT-Pred-CG (low spatial locality).
 
-use abft_bench::{kernel_trace, print_header, report_progress};
+use abft_bench::{kernel_miss_stream, print_header, report_progress};
 use abft_coop_core::report::{norm, pct, TextTable};
 use abft_coop_core::{Campaign, Strategy};
-use abft_dgms::run_dgms;
+use abft_dgms::run_dgms_miss_stream;
 use abft_memsim::system::Machine;
 use abft_memsim::workloads::KernelKind;
 use abft_memsim::SystemConfig;
@@ -31,9 +31,12 @@ fn main() {
         let base = cell(Strategy::NoEcc);
         let wck = cell(Strategy::WholeChipkill);
         let ours = cell(Strategy::PartialChipkillSecded);
-        let trace = kernel_trace(kind);
+        // The campaign already filtered this kernel's miss stream into the
+        // process-wide cache; the DGMS pass replays the same stream under
+        // its granularity predictor (bit-identical to the full run).
+        let ms = kernel_miss_stream(kind);
         let mut m = Machine::new(SystemConfig::default());
-        let (dgms, coarse) = run_dgms(&mut m, &mut trace.replay());
+        let (dgms, coarse) = run_dgms_miss_stream(&mut m, &ms);
         for (label, s, cf) in [
             ("W_CK", wck, String::new()),
             ("DGMS", &dgms, format!("{coarse:.2}")),

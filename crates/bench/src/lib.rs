@@ -25,7 +25,7 @@
 
 use abft_coop_core::{BasicTest, Campaign, Progress};
 use abft_memsim::workloads::{KernelKind, KernelParams};
-use abft_memsim::{PackedTrace, SystemConfig, TraceCache};
+use abft_memsim::{MissStream, PackedTrace, SystemConfig, TraceCache};
 use std::sync::Arc;
 
 /// Print the standard run header (the Table 3 configuration).
@@ -73,4 +73,14 @@ pub fn all_basic_tests() -> Vec<BasicTest> {
 /// genuinely required.
 pub fn kernel_trace(kind: KernelKind) -> Arc<PackedTrace> {
     TraceCache::global().get(KernelParams::default_for(kind))
+}
+
+/// The default-scale cache-filtered miss stream for one kernel under the
+/// default system config, from the process-wide [`TraceCache`] (the cache
+/// hierarchy is simulated at most once per process; every further policy
+/// run replays only the L2 miss tail). Replay it with
+/// [`abft_memsim::system::Machine::run_miss_stream`] or
+/// [`abft_coop_core::run_strategy_miss_stream`].
+pub fn kernel_miss_stream(kind: KernelKind) -> Arc<MissStream> {
+    TraceCache::global().get_filtered(KernelParams::default_for(kind), &SystemConfig::default())
 }

@@ -6,9 +6,13 @@
 //! variants, then [`Campaign::run`] expands them into independent jobs
 //! and executes the jobs on a rayon worker pool. Kernel traces — the
 //! dominant fixed cost — are generated once per process through the
-//! shared [`TraceCache`] in the packed 8-byte encoding and streamed into
-//! each job's machine as an `Arc<PackedTrace>` replay, so N concurrent
-//! jobs share one compact allocation and never materialize `Vec<Access>`.
+//! shared [`TraceCache`] in the packed 8-byte encoding, and the cache
+//! hierarchy is simulated once per (workload x cache geometry x thread
+//! count) by the second memo level ([`TraceCache::get_filtered`]): jobs
+//! replay only the `Arc<MissStream>` L2 miss tail through the memory
+//! controller and DRAM, which is bit-identical to the full path (cache
+//! outcomes are ECC-independent) at O(LLC misses) instead of
+//! O(accesses) per grid cell.
 //!
 //! Every job runs on a fresh [`Machine`], so results are bit-identical
 //! regardless of worker count or completion order (the simulator itself
@@ -29,9 +33,10 @@
 
 use crate::experiment::{BasicTest, StrategyResult};
 use crate::strategy::Strategy;
+use abft_memsim::miss_stream::MissStream;
 use abft_memsim::system::{Machine, SimStats};
 use abft_memsim::trace::Trace;
-use abft_memsim::trace_cache::TraceCache;
+use abft_memsim::trace_cache::{FilterKey, TraceCache};
 use abft_memsim::workloads::{abft_region_ids, KernelKind, KernelParams};
 use abft_memsim::{AccessSource, SystemConfig};
 use rayon::prelude::*;
@@ -58,6 +63,20 @@ pub fn run_strategy_source<S: AccessSource + ?Sized>(
 /// adapter for hand-built traces; bit-identical to streaming).
 pub fn run_strategy_job(trace: &Trace, cfg: &SystemConfig, strategy: Strategy) -> SimStats {
     run_strategy_source(&mut trace.replay(), cfg, strategy)
+}
+
+/// [`run_strategy_source`] over a cache-filtered miss stream — the fast
+/// path every campaign cell takes. Bit-identical to the full run over the
+/// stream the [`MissStream`] was filtered from; the machine config's
+/// cache geometry and thread count must match the filter's
+/// (see [`abft_memsim::trace_cache::FilterKey`]).
+pub fn run_strategy_miss_stream(
+    ms: &MissStream,
+    cfg: &SystemConfig,
+    strategy: Strategy,
+) -> SimStats {
+    let regions = abft_region_ids(ms.regions());
+    Machine::new(cfg.clone()).run_miss_stream(ms, &strategy.assignment(&regions))
 }
 
 /// One completed campaign cell.
@@ -109,6 +128,11 @@ pub struct CampaignMetrics {
     pub cache_hits: u64,
     /// Traces generated during the run.
     pub cache_builds: u64,
+    /// Miss-stream lookups served from the memo (delta over the run).
+    pub filter_hits: u64,
+    /// Miss streams filtered during the run (one cache-hierarchy
+    /// simulation each; every other cell skips the caches entirely).
+    pub filter_builds: u64,
     /// End-to-end wall-clock of [`Campaign::run`].
     pub wall: Duration,
 }
@@ -226,31 +250,39 @@ impl Campaign {
         let completed = AtomicUsize::new(0);
         let hits0 = cache.hits();
         let builds0 = cache.builds();
+        let filter_hits0 = cache.miss_hits();
+        let filter_builds0 = cache.miss_builds();
         let progress = self.progress.clone();
         let start = Instant::now(); // repolint:allow(DET002) wall time is reporting-only progress metadata
 
-        // Pre-generate every distinct trace in parallel. Without this the
-        // workload-major job order makes all workers start on the same
-        // kernel and serialize behind one cache slot's build; warming the
-        // cache first costs max(build times) instead of their sum.
-        let mut distinct: Vec<KernelParams> = Vec::new();
+        // Pre-build every distinct miss stream in parallel (each pulls its
+        // packed trace through the first memo level on demand). Without
+        // this the workload-major job order makes all workers start on the
+        // same kernel and serialize behind one memo slot's build; warming
+        // first costs max(build times) instead of their sum. Config
+        // variants sharing a cache geometry and thread count dedup to one
+        // filter pass here.
+        let mut distinct: Vec<(KernelParams, usize, FilterKey)> = Vec::new();
         for &w in &workloads {
-            if !distinct.contains(&w) {
-                distinct.push(w);
+            for (c, (_, cfg)) in configs.iter().enumerate() {
+                let key = FilterKey::new(w, cfg);
+                if !distinct.iter().any(|(_, _, k)| *k == key) {
+                    distinct.push((w, c, key));
+                }
             }
         }
 
         let execute = || -> Vec<CampaignResult> {
-            distinct.into_par_iter().for_each(|w| {
-                cache.get(w);
+            distinct.into_par_iter().for_each(|(w, c, _)| {
+                cache.get_filtered(w, &configs[c].1);
             });
             jobs.into_par_iter()
                 .map(|(workload, cfg_idx, strategy)| {
                     let (tag, cfg) = &configs[cfg_idx];
                     // repolint:allow(DET002) wall time is reporting-only progress metadata
                     let job_start = Instant::now();
-                    let trace = cache.get(workload);
-                    let stats = run_strategy_source(&mut trace.replay(), cfg, strategy);
+                    let ms = cache.get_filtered(workload, cfg);
+                    let stats = run_strategy_miss_stream(&ms, cfg, strategy);
                     let wall = job_start.elapsed();
                     let result = CampaignResult {
                         kernel: workload.kind(),
@@ -293,6 +325,8 @@ impl Campaign {
                 jobs: total,
                 cache_hits: cache.hits() - hits0,
                 cache_builds: cache.builds() - builds0,
+                filter_hits: cache.miss_hits() - filter_hits0,
+                filter_builds: cache.miss_builds() - filter_builds0,
                 wall: start.elapsed(),
             },
         }
@@ -362,10 +396,13 @@ impl CampaignRun {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"metrics\": {");
         out.push_str(&format!(
-            "\"jobs\": {}, \"cache_hits\": {}, \"cache_builds\": {}, \"wall_seconds\": {:.6}",
+            "\"jobs\": {}, \"cache_hits\": {}, \"cache_builds\": {}, \
+             \"filter_hits\": {}, \"filter_builds\": {}, \"wall_seconds\": {:.6}",
             self.metrics.jobs,
             self.metrics.cache_hits,
             self.metrics.cache_builds,
+            self.metrics.filter_hits,
+            self.metrics.filter_builds,
             self.metrics.wall.as_secs_f64()
         ));
         out.push_str("},\n  \"results\": [\n");
@@ -474,7 +511,12 @@ mod tests {
         );
         assert_eq!(run.metrics.jobs, 4);
         assert_eq!(run.metrics.cache_builds, 1, "one workload = one generation");
-        assert_eq!(run.metrics.cache_hits, 4, "the pre-warm builds; every job hits");
+        assert_eq!(run.metrics.cache_hits, 0, "only the filter pre-warm touches the trace level");
+        assert_eq!(
+            run.metrics.filter_builds, 1,
+            "both configs share the default cache geometry = one filter pass"
+        );
+        assert_eq!(run.metrics.filter_hits, 4, "the pre-warm filters; every job hits");
     }
 
     #[test]
@@ -515,6 +557,8 @@ mod tests {
         assert!(json.contains("\"kernel\": \"FT-DGEMM\""));
         assert!(json.contains("\"strategy\": \"No ECC\""));
         assert!(json.contains("\"cache_builds\": 1"));
+        assert!(json.contains("\"filter_builds\": 1"));
+        assert!(json.contains("\"filter_hits\": 1"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
     }

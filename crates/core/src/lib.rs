@@ -31,8 +31,8 @@ pub mod strategy;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveController, Stance, Transition};
 pub use campaign::{
-    run_strategy_job, run_strategy_source, Campaign, CampaignMetrics, CampaignResult, CampaignRun,
-    Progress,
+    run_strategy_job, run_strategy_miss_stream, run_strategy_source, Campaign, CampaignMetrics,
+    CampaignResult, CampaignRun, Progress,
 };
 pub use errorflow::{
     drill_chip_fault, drill_matrix, summarize_cases, CaseSummary, DetectedBy, DrillResult,

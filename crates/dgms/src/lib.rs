@@ -14,7 +14,7 @@
 use abft_ecc::EccScheme;
 use abft_memsim::dram::AccessKind;
 use abft_memsim::system::{Machine, SimStats};
-use abft_memsim::AccessSource;
+use abft_memsim::{AccessSource, MissStream};
 use std::collections::HashMap;
 
 /// Size of the spatial-pattern tracking granule (one OS page).
@@ -144,10 +144,26 @@ pub fn run_dgms<S: AccessSource + ?Sized>(machine: &mut Machine, src: &mut S) ->
     (stats, frac)
 }
 
+/// Replay a cache-filtered miss stream under DGMS prediction — the
+/// filtered counterpart of [`run_dgms`], bit-identical to it over the
+/// stream the [`MissStream`] was built from.
+///
+/// The predictor only ever observed DRAM-bound requests (the policy hook
+/// fires per memory access, not per core reference), and the filtered
+/// replay presents exactly those requests in the same order, so the
+/// stateful pattern table evolves identically.
+pub fn run_dgms_miss_stream(machine: &mut Machine, ms: &MissStream) -> (SimStats, f64) {
+    let mut predictor = SpatialPredictor::default();
+    let stats =
+        machine.run_miss_stream_with_policy(ms, true, |_, _, paddr| predictor.predict(paddr));
+    let frac = predictor.coarse_fraction();
+    (stats, frac)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use abft_memsim::workloads::{cg_trace, dgemm_trace, CgParams, DgemmParams};
+    use abft_memsim::workloads::{cg_trace, dgemm_trace, CgParams, DgemmParams, KernelParams};
     use abft_memsim::SystemConfig;
 
     #[test]
@@ -186,6 +202,22 @@ mod tests {
         // Figure 10 harness at full scale classifies >90% coarse.)
         assert!(coarse_frac > 0.8, "coarse fraction {coarse_frac}");
         assert!(stats.per_scheme[2] > 0, "chipkill accesses present");
+    }
+
+    #[test]
+    fn filtered_replay_matches_full_dgms_run() {
+        // The DGMS predictor is the hardest client of the filtered path:
+        // it is stateful and epoch-based, so any reordering or dropped
+        // request in the miss stream would desynchronize its table.
+        let params =
+            KernelParams::Cg(CgParams { grid: 96, iterations: 2, abft: true, verify_interval: 2 });
+        let cfg = SystemConfig::default();
+        let packed = std::sync::Arc::new(params.build_packed());
+        let (full, full_frac) = run_dgms(&mut Machine::new(cfg.clone()), &mut packed.replay());
+        let ms = MissStream::build(&mut packed.replay(), cfg.l1, cfg.l2, cfg.threads);
+        let (filtered, filtered_frac) = run_dgms_miss_stream(&mut Machine::new(cfg), &ms);
+        assert_eq!(full, filtered);
+        assert_eq!(full_frac.to_bits(), filtered_frac.to_bits());
     }
 
     #[test]

@@ -76,8 +76,15 @@ impl Cache {
         let base = set * self.cfg.ways;
         self.clock += 1;
 
+        // One scan serves both the hit probe and victim selection: while
+        // looking for the line, remember the first invalid way and the
+        // LRU way among the valid ones, so a miss needs no second pass.
+        let mut invalid: Option<usize> = None;
+        let mut lru = 0;
+        let mut best = u64::MAX;
         for w in 0..self.cfg.ways {
-            if self.tags[base + w] == line {
+            let tag = self.tags[base + w];
+            if tag == line {
                 self.hits += 1;
                 self.stamps[base + w] = self.clock;
                 if write {
@@ -85,22 +92,18 @@ impl Cache {
                 }
                 return CacheOutcome::Hit;
             }
+            if tag == u64::MAX {
+                if invalid.is_none() {
+                    invalid = Some(w);
+                }
+            } else if self.stamps[base + w] < best {
+                best = self.stamps[base + w];
+                lru = w;
+            }
         }
         self.misses += 1;
-        // Choose victim: invalid way first, else LRU.
-        let mut victim = 0;
-        let mut best = u64::MAX;
-        for w in 0..self.cfg.ways {
-            if self.tags[base + w] == u64::MAX {
-                victim = w;
-                break;
-            }
-            if self.stamps[base + w] < best {
-                best = self.stamps[base + w];
-                victim = w;
-            }
-        }
-        let slot = base + victim;
+        // Victim priority is unchanged: first invalid way, else LRU.
+        let slot = base + invalid.unwrap_or(lru);
         let writeback = if self.tags[slot] != u64::MAX && self.dirty[slot] {
             Some(self.tags[slot] << self.line_shift)
         } else {

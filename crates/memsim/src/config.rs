@@ -38,8 +38,9 @@ pub enum RowPolicy {
     Closed,
 }
 
-/// Cache geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Cache geometry. Totally ordered and hashable so it can key the
+/// [`crate::trace_cache::TraceCache`]'s miss-stream memo level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub capacity: usize,

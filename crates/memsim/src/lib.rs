@@ -17,6 +17,9 @@
 //!   [`stream::AccessSink`] traits every producer and consumer meet at.
 //! * [`packed`] — the 8-byte packed access encoding and the compact
 //!   [`packed::PackedTrace`] store.
+//! * [`miss_stream`] — the cache-filtered [`miss_stream::MissStream`]:
+//!   the DRAM-visible L2 miss tail of a workload, built once per cache
+//!   geometry and replayed per ECC policy.
 //! * [`workloads`] — streaming trace generators replaying the blocked
 //!   loop nests of the paper's four ABFT kernels.
 
@@ -24,6 +27,7 @@ pub mod cache;
 pub mod config;
 pub mod controller;
 pub mod dram;
+pub mod miss_stream;
 pub mod packed;
 pub mod stream;
 pub mod system;
@@ -35,10 +39,11 @@ pub mod workloads;
 pub use config::{SystemConfig, SystemConfigBuilder, SystemConfigError};
 pub use controller::{MemoryController, ERROR_REGISTERS};
 pub use dram::{AddressMap, Dram, DramLocation};
+pub use miss_stream::{MissEvent, MissEventKind, MissStream};
 pub use packed::{PackedBuilder, PackedReplay, PackedTrace};
 pub use stream::{AccessSink, AccessSource, TraceReplay, DEFAULT_CHUNK};
 pub use system::{EccAssignment, Machine, SimStats};
 pub use trace::{Access, Region, RegionId, RegionMap, Trace};
-pub use trace_cache::TraceCache;
+pub use trace_cache::{FilterKey, TraceCache};
 pub use tracefile::TraceFileSource;
 pub use workloads::{KernelKind, KernelParams, KernelStream};

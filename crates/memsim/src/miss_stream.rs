@@ -1,0 +1,585 @@
+//! Cache-filtered miss streams: the two-phase simulation pipeline.
+//!
+//! Every campaign re-simulates the L1/L2 hierarchy for each
+//! (kernel × ECC assignment) grid cell, yet cache outcomes are fully
+//! determined by the address stream and the cache geometry — the ECC
+//! policy only changes DRAM timing and energy. A [`MissStream`] is the
+//! result of driving an access stream through L1/L2 exactly once per
+//! (kernel × cache geometry × thread count): the DRAM-visible tail of the
+//! stream (demand fills and write-backs) annotated with everything the
+//! per-policy replay phase needs to be **bit-identical** to the full path
+//! ([`crate::system::Machine::run_source_with_policy`]):
+//!
+//! * the physical line serviced and whether it is a demand read or a
+//!   write-back (coupled to a demand, or a standalone L1-victim→L2
+//!   eviction),
+//! * the full triggering core access (address, region, write, work), so
+//!   protection-policy closures — including the DGMS granularity
+//!   predictor — observe exactly the inputs the full path hands them, in
+//!   exactly DRAM-access order,
+//! * the *pure core-cycle* count at the event (compute work + L1/L2 hit
+//!   latencies under the thread-compression carry, with DRAM stalls
+//!   excluded), stored as a delta since the previous event.
+//!
+//! The cycle decomposition is exact because the full simulation adds DRAM
+//! stalls directly to the machine cycle counter (`cycles += stall`)
+//! *outside* the thread-compression carry division, so
+//! `cycles_at_event = pure_core_cycles_at_event + Σ stalls_so_far` —
+//! pure core cycles are policy-independent and recordable, stalls are
+//! reproduced at replay time by running only the recorded events through
+//! the memory controller and DRAM.
+//!
+//! Like [`crate::packed::PackedTrace`], the stream is packed and
+//! run-aware: one two-word record covers up to [`MAX_MISS_RUN`]
+//! consecutive-line events with identical attributes and cycle deltas
+//! (the shape LLC-missing line sweeps produce).
+//!
+//! ```text
+//! word 0: bits 63..31 offset(33) | 30..29 kind(2) | 28..23 run-1(6)
+//!         | 22..17 region(6) | 16 write | 15..0 work(16)
+//! word 1: bits 63..31 zigzag write-back line delta(33) | 30..0 cycle delta(31)
+//! ```
+//!
+//! Word 0 reuses the [`crate::packed`] field layout with the 8 run bits
+//! split into a 2-bit event kind and a 6-bit run length; word 1 carries
+//! the write-back line as a signed line-granular delta from the trigger
+//! line (victims sit within a cache capacity of the trigger, far inside
+//! the 33-bit range) and the per-event core-cycle delta.
+
+use crate::cache::{Cache, CacheOutcome};
+use crate::config::CacheConfig;
+use crate::packed::{pack, unpack};
+use crate::stream::{AccessSource, DEFAULT_CHUNK};
+use crate::trace::{Access, RegionMap};
+
+const KIND_SHIFT: u32 = 29;
+const KIND_MASK: u64 = 0b11;
+const RUN_SHIFT: u32 = 23;
+const RUN_BITS: u32 = 6;
+const WB_SHIFT: u32 = 31;
+const DELTA_BITS: u32 = 31;
+
+const KIND_DEMAND: u64 = 0;
+const KIND_DEMAND_WB: u64 = 1;
+const KIND_WRITEBACK: u64 = 2;
+
+/// Maximum events one miss-stream record can cover.
+pub const MAX_MISS_RUN: usize = 1 << RUN_BITS;
+/// Maximum core-cycle delta between consecutive DRAM events the encoding
+/// can hold (~2.1 G cycles — over a second of core time between misses).
+pub const MAX_MISS_DELTA: u64 = (1 << DELTA_BITS) - 1;
+
+/// What a decoded miss-stream event asks of the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissEventKind {
+    /// An L2 demand miss: a DRAM line fill (read), optionally coupled
+    /// with the dirty line the fill evicted (written back at the same
+    /// timestamp, after the demand — the full path's ordering).
+    Demand {
+        /// Dirty L2 victim line evicted by this fill, if any.
+        writeback: Option<u64>,
+    },
+    /// A standalone write-back: an L1 victim installed into L2 evicted
+    /// this dirty line (no stall; issued before the triggering access's
+    /// own demand handling).
+    Writeback(u64),
+}
+
+/// One decoded DRAM-visible event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MissEvent {
+    /// The core access that triggered the event (the policy closure's
+    /// first argument, bit-identical to the full path).
+    pub trigger: Access,
+    /// Pure core cycles at the event — compute + cache-hit latencies
+    /// under thread compression, with DRAM stalls excluded.
+    pub core_cycles: u64,
+    /// What the memory system must service.
+    pub kind: MissEventKind,
+}
+
+/// Per-region tallies the filter phase pre-computes (the full path counts
+/// them per access; they are policy-independent).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionTally {
+    /// References issued by the core.
+    pub refs: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// Last-level-cache misses.
+    pub llc_misses: u64,
+}
+
+/// The cache-filtered form of an access stream: only the DRAM-visible
+/// events, plus every policy-independent aggregate the full simulation
+/// would have produced. Build once per (stream × cache geometry ×
+/// threads) with [`MissStream::build`], replay per ECC policy with
+/// [`crate::system::Machine::run_miss_stream`].
+#[derive(Debug, Clone)]
+pub struct MissStream {
+    regions: RegionMap,
+    bases: Vec<u64>,
+    /// Two words per record (see the module docs for the layout).
+    words: Box<[u64]>,
+    events: u64,
+    accesses: u64,
+    instructions: u64,
+    /// Final pure core-cycle count (the replay adds accumulated stalls).
+    pub(crate) core_cycles: u64,
+    pub(crate) l1_hits: u64,
+    pub(crate) l1_misses: u64,
+    pub(crate) l2_hits: u64,
+    pub(crate) l2_misses: u64,
+    pub(crate) tallies: Vec<RegionTally>,
+    l1_cfg: CacheConfig,
+    l2_cfg: CacheConfig,
+    threads: usize,
+}
+
+impl MissStream {
+    /// Drive `src` through L1/L2 once and record the DRAM-visible tail.
+    /// The walk mirrors [`crate::system::Machine::run_source_with_policy`]
+    /// with the DRAM calls replaced by event recording (stall = 0, so the
+    /// recorded cycle track is the pure core-cycle component).
+    pub fn build<S: AccessSource + ?Sized>(
+        src: &mut S,
+        l1_cfg: CacheConfig,
+        l2_cfg: CacheConfig,
+        threads: usize,
+    ) -> MissStream {
+        src.reset();
+        let mut l1 = Cache::new(l1_cfg);
+        let mut l2 = Cache::new(l2_cfg);
+        let regions = src.regions().clone();
+        let bases: Vec<u64> = regions.regions().iter().map(|r| r.base).collect();
+        let mut enc = Encoder::new(&bases);
+        let mut tallies = vec![RegionTally::default(); regions.regions().len()];
+
+        let threads_u = threads.max(1) as u64;
+        let mut cycles: u64 = 0;
+        let mut carry: u64 = 0;
+        let bump = |cycles: &mut u64, carry: &mut u64, thread_cycles: u64| {
+            let total = thread_cycles + *carry;
+            *cycles += total / threads_u;
+            *carry = total % threads_u;
+        };
+        let mut l1_hits = 0u64;
+        let mut l1_misses = 0u64;
+        let mut l2_hits = 0u64;
+        let mut l2_misses = 0u64;
+        let mut retired = 0u64;
+        let mut accesses = 0u64;
+
+        let mut chunk: Vec<Access> = Vec::with_capacity(DEFAULT_CHUNK);
+        while src.fill(&mut chunk, DEFAULT_CHUNK) > 0 {
+            for a in &chunk {
+                accesses += 1;
+                retired += a.work as u64 + 1;
+                bump(&mut cycles, &mut carry, a.work as u64);
+                let rt = &mut tallies[a.region as usize];
+                rt.refs += 1;
+                match l1.access(a.addr, a.write) {
+                    CacheOutcome::Hit => {
+                        bump(&mut cycles, &mut carry, l1_cfg.latency_cycles);
+                        l1_hits += 1;
+                        continue;
+                    }
+                    CacheOutcome::Miss { writeback } => {
+                        l1_misses += 1;
+                        rt.l1_misses += 1;
+                        if let Some(wb) = writeback {
+                            if let CacheOutcome::Miss { writeback: Some(wb2) } = l2.access(wb, true)
+                            {
+                                enc.push(a, cycles, KIND_WRITEBACK, Some(wb2));
+                            }
+                        }
+                    }
+                }
+                match l2.access(a.addr, a.write) {
+                    CacheOutcome::Hit => {
+                        bump(&mut cycles, &mut carry, l2_cfg.latency_cycles);
+                        l2_hits += 1;
+                    }
+                    CacheOutcome::Miss { writeback } => {
+                        l2_misses += 1;
+                        tallies[a.region as usize].llc_misses += 1;
+                        match writeback {
+                            Some(wb) => enc.push(a, cycles, KIND_DEMAND_WB, Some(wb)),
+                            None => enc.push(a, cycles, KIND_DEMAND, None),
+                        }
+                        bump(&mut cycles, &mut carry, l2_cfg.latency_cycles);
+                    }
+                }
+            }
+        }
+
+        let instructions = src.instructions_hint().unwrap_or(retired);
+        let (words, events) = enc.finish();
+        let ms = MissStream {
+            regions,
+            bases,
+            words,
+            events,
+            accesses,
+            instructions,
+            core_cycles: cycles,
+            l1_hits,
+            l1_misses,
+            l2_hits,
+            l2_misses,
+            tallies,
+            l1_cfg,
+            l2_cfg,
+            threads: threads.max(1),
+        };
+        #[cfg(feature = "validate")]
+        ms.audit_invariants();
+        ms
+    }
+
+    /// The region registry of the filtered stream.
+    pub fn regions(&self) -> &RegionMap {
+        &self.regions
+    }
+
+    /// DRAM-visible events recorded (expanded across runs).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Core accesses the filter phase consumed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Retired instructions of the underlying stream.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Final pure core-cycle count (DRAM stalls excluded).
+    pub fn core_cycles(&self) -> u64 {
+        self.core_cycles
+    }
+
+    /// Fraction of core accesses that survive the cache filter as L2
+    /// demand misses (the replay-phase work ratio).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Bytes held by the packed event records.
+    pub fn packed_bytes(&self) -> u64 {
+        self.words.len() as u64 * 8
+    }
+
+    /// The cache geometry and thread count the stream was filtered under
+    /// (replay must run on a machine with the same values).
+    pub fn filter_config(&self) -> (CacheConfig, CacheConfig, usize) {
+        (self.l1_cfg, self.l2_cfg, self.threads)
+    }
+
+    /// Whether a machine configuration matches the filter geometry.
+    pub fn matches(&self, l1: &CacheConfig, l2: &CacheConfig, threads: usize) -> bool {
+        self.l1_cfg == *l1 && self.l2_cfg == *l2 && self.threads == threads.max(1)
+    }
+
+    /// Iterate the decoded events in recorded (DRAM-access) order.
+    pub fn iter(&self) -> MissEvents<'_> {
+        MissEvents { ms: self, idx: 0, run_pos: 0, cycles: 0 }
+    }
+
+    /// Feature `validate`: audit the structural invariants of the packed
+    /// event encoding and the pre-computed aggregates (DESIGN.md §3.13) —
+    /// record shape, kinds, region ids, run lengths, cycle-delta
+    /// monotonicity against the recorded total, and the cache accounting
+    /// identities.
+    #[cfg(feature = "validate")]
+    pub fn audit_invariants(&self) {
+        debug_assert!(
+            self.words.len().is_multiple_of(2),
+            "miss stream holds {} words; records are word pairs",
+            self.words.len()
+        );
+        let mut events = 0u64;
+        let mut demands = 0u64;
+        let mut cycles = 0u64;
+        for rec in self.words.chunks_exact(2) {
+            let kind = (rec[0] >> KIND_SHIFT) & KIND_MASK;
+            debug_assert!(kind <= KIND_WRITEBACK, "unknown miss-event kind {kind}");
+            let rl = ((rec[0] >> RUN_SHIFT) & (MAX_MISS_RUN as u64 - 1)) + 1;
+            // `unpack` ignores the run bits, so the kind/run split is
+            // invisible to it.
+            let region = unpack(rec[0], &self.bases).region;
+            debug_assert!(
+                (region as usize) < self.bases.len(),
+                "miss event references region {region} of {}",
+                self.bases.len()
+            );
+            let delta = rec[1] & MAX_MISS_DELTA;
+            cycles += delta * rl;
+            debug_assert!(
+                cycles <= self.core_cycles,
+                "decoded cycle track {cycles} exceeds the recorded total {}",
+                self.core_cycles
+            );
+            events += rl;
+            if kind != KIND_WRITEBACK {
+                demands += rl;
+            }
+        }
+        debug_assert!(events == self.events, "runs cover {events} of {} events", self.events);
+        debug_assert!(
+            demands == self.l2_misses,
+            "demand events {demands} must equal LLC misses {}",
+            self.l2_misses
+        );
+        debug_assert!(
+            self.l1_hits + self.l1_misses == self.accesses,
+            "L1 accounting does not cover the stream"
+        );
+        debug_assert!(
+            self.l2_hits + self.l2_misses == self.l1_misses,
+            "L2 accounting does not cover the L1 miss stream"
+        );
+        let refs: u64 = self.tallies.iter().map(|t| t.refs).sum();
+        let llc: u64 = self.tallies.iter().map(|t| t.llc_misses).sum();
+        let l1m: u64 = self.tallies.iter().map(|t| t.l1_misses).sum();
+        debug_assert!(refs == self.accesses, "region refs {refs} != accesses {}", self.accesses);
+        debug_assert!(llc == self.l2_misses, "region LLC tallies do not sum to the miss count");
+        debug_assert!(l1m == self.l1_misses, "region L1 tallies do not sum to the miss count");
+        debug_assert!(self.instructions >= self.accesses, "each access retires an instruction");
+    }
+}
+
+/// Run-coalescing encoder for miss-stream records.
+struct Encoder<'a> {
+    bases: &'a [u64],
+    words: Vec<u64>,
+    /// Pending run: head word0 (kind included, run field zero), head
+    /// write-back line, per-event cycle delta, run length.
+    pending: Option<(u64, u64, u64, usize)>,
+    /// Head trigger of the pending run (for the +64/line extension check).
+    head: Option<Access>,
+    last_cycles: u64,
+    events: u64,
+}
+
+impl<'a> Encoder<'a> {
+    fn new(bases: &'a [u64]) -> Self {
+        Encoder { bases, words: Vec::new(), pending: None, head: None, last_cycles: 0, events: 0 }
+    }
+
+    fn push(&mut self, a: &Access, cycles: u64, kind: u64, wb: Option<u64>) {
+        self.events += 1;
+        let delta = cycles - self.last_cycles;
+        assert!(
+            delta <= MAX_MISS_DELTA,
+            "miss stream: cycle delta {delta} exceeds the {DELTA_BITS}-bit range"
+        );
+        self.last_cycles = cycles;
+        let wb_line = wb.map(|w| w >> 6).unwrap_or(0);
+        if let (Some((pw0, pwb, pdelta, run)), Some(head)) = (&mut self.pending, &self.head) {
+            let same_attrs =
+                head.region == a.region && head.write == a.write && head.work == a.work;
+            let head_kind = (*pw0 >> KIND_SHIFT) & KIND_MASK;
+            let extends = *run < MAX_MISS_RUN
+                && head_kind == kind
+                && same_attrs
+                && a.addr == head.addr + 64 * *run as u64
+                && *pdelta == delta
+                && (kind == KIND_DEMAND || wb_line == *pwb + *run as u64);
+            if extends {
+                *run += 1;
+                return;
+            }
+        }
+        self.flush();
+        let w0 = pack(a, self.bases[a.region as usize]) | (kind << KIND_SHIFT);
+        self.pending = Some((w0, wb_line, delta, 1));
+        self.head = Some(*a);
+    }
+
+    fn flush(&mut self) {
+        if let (Some((w0, wb_line, delta, run)), Some(head)) =
+            (self.pending.take(), self.head.take())
+        {
+            let kind = (w0 >> KIND_SHIFT) & KIND_MASK;
+            let wb_delta =
+                if kind == KIND_DEMAND { 0i64 } else { wb_line as i64 - (head.addr >> 6) as i64 };
+            let zz = ((wb_delta << 1) ^ (wb_delta >> 63)) as u64;
+            assert!(
+                zz < (1u64 << (64 - WB_SHIFT)),
+                "miss stream: write-back delta {wb_delta} lines exceeds the 33-bit range"
+            );
+            self.words.push(w0 | (((run - 1) as u64) << RUN_SHIFT));
+            self.words.push((zz << WB_SHIFT) | delta);
+        }
+    }
+
+    fn finish(mut self) -> (Box<[u64]>, u64) {
+        self.flush();
+        (self.words.into_boxed_slice(), self.events)
+    }
+}
+
+/// Streaming decode of a [`MissStream`]'s events (runs expanded back into
+/// individual events; the cycle track accumulates deltas).
+#[derive(Debug)]
+pub struct MissEvents<'a> {
+    ms: &'a MissStream,
+    idx: usize,
+    run_pos: usize,
+    cycles: u64,
+}
+
+impl Iterator for MissEvents<'_> {
+    type Item = MissEvent;
+
+    fn next(&mut self) -> Option<MissEvent> {
+        if self.idx + 1 >= self.ms.words.len() {
+            return None;
+        }
+        let w0 = self.ms.words[self.idx];
+        let w1 = self.ms.words[self.idx + 1];
+        // The packed 8-bit run field is split here: the kind occupies the
+        // high two bits, the 6-bit run length the low six.
+        let run = ((w0 >> RUN_SHIFT) as usize & (MAX_MISS_RUN - 1)) + 1;
+        let kind_bits = (w0 >> KIND_SHIFT) & KIND_MASK;
+        let head = unpack(w0, &self.ms.bases);
+        let delta = w1 & MAX_MISS_DELTA;
+        let zz = w1 >> WB_SHIFT;
+        let wb_delta = ((zz >> 1) as i64) ^ -((zz & 1) as i64);
+
+        let i = self.run_pos as u64;
+        self.cycles += delta;
+        let trigger = Access { addr: head.addr + 64 * i, ..head };
+        let wb_line = ((head.addr >> 6) as i64 + wb_delta) as u64 + i;
+        let kind = match kind_bits {
+            KIND_DEMAND => MissEventKind::Demand { writeback: None },
+            KIND_DEMAND_WB => MissEventKind::Demand { writeback: Some(wb_line << 6) },
+            _ => MissEventKind::Writeback(wb_line << 6),
+        };
+        self.run_pos += 1;
+        if self.run_pos == run {
+            self.idx += 2;
+            self.run_pos = 0;
+        }
+        Some(MissEvent { trigger, core_cycles: self.cycles, kind })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::trace::{RegionMap, Trace};
+
+    fn sweep_trace(lines: u64, work: u32) -> Trace {
+        let mut rm = RegionMap::new();
+        let r = rm.alloc("v", lines * 64, true);
+        let base = rm.get(r).base;
+        let mut t = Trace::new(rm);
+        for _ in 0..2 {
+            for i in 0..lines {
+                t.push(base + i * 64, r, true, work);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn filter_records_only_the_miss_tail() {
+        let cfg = SystemConfig::default();
+        // 1024 lines fit in L2 (8 MB) but not L1 (16 KB): second pass has
+        // L1 misses that hit L2, so no new demand events.
+        let t = sweep_trace(1024, 3);
+        let ms = MissStream::build(&mut t.replay(), cfg.l1, cfg.l2, cfg.threads);
+        assert_eq!(ms.accesses(), 2048);
+        assert_eq!(ms.l2_misses, 1024, "only the first pass misses L2");
+        assert_eq!(ms.instructions(), t.instructions);
+        assert!(ms.events() >= 1024);
+        assert!(ms.miss_ratio() > 0.49 && ms.miss_ratio() < 0.51);
+        assert!(ms.core_cycles() > 0);
+        assert!(ms.packed_bytes() > 0);
+    }
+
+    #[test]
+    fn sweeps_coalesce_into_runs() {
+        let cfg = SystemConfig { threads: 1, ..SystemConfig::default() };
+        let t = sweep_trace(4096, 2);
+        let ms = MissStream::build(&mut t.replay(), cfg.l1, cfg.l2, 1);
+        // A uniform single-thread sweep has constant inter-miss deltas, so
+        // runs coalesce: far fewer records than events.
+        assert!(
+            ms.packed_bytes() < ms.events() * 4,
+            "sweep must coalesce ({} bytes for {} events)",
+            ms.packed_bytes(),
+            ms.events()
+        );
+        // Decode covers every event with a monotone cycle track that
+        // stays inside the recorded total.
+        let mut last = 0u64;
+        let mut n = 0u64;
+        for ev in ms.iter() {
+            assert!(ev.core_cycles >= last, "cycle track must be monotone");
+            last = ev.core_cycles;
+            n += 1;
+        }
+        assert_eq!(n, ms.events());
+        assert!(last <= ms.core_cycles());
+    }
+
+    #[test]
+    fn decode_round_trips_events_exactly() {
+        // Compare the decoded event stream against an uncoalesced
+        // reference walk of the same caches.
+        let cfg = SystemConfig::default();
+        let t = sweep_trace(2048, 1);
+        let ms = MissStream::build(&mut t.replay(), cfg.l1, cfg.l2, cfg.threads);
+
+        let mut l1 = Cache::new(cfg.l1);
+        let mut l2 = Cache::new(cfg.l2);
+        let mut expected: Vec<(Access, u64)> = Vec::new();
+        for a in &t.accesses {
+            match l1.access(a.addr, a.write) {
+                CacheOutcome::Hit => continue,
+                CacheOutcome::Miss { writeback } => {
+                    if let Some(wb) = writeback {
+                        if let CacheOutcome::Miss { writeback: Some(wb2) } = l2.access(wb, true) {
+                            expected.push((*a, wb2));
+                        }
+                    }
+                }
+            }
+            if let CacheOutcome::Miss { writeback } = l2.access(a.addr, a.write) {
+                expected.push((*a, writeback.unwrap_or(u64::MAX)));
+            }
+        }
+        let decoded: Vec<MissEvent> = ms.iter().collect();
+        assert_eq!(decoded.len(), expected.len());
+        for (ev, (a, wb)) in decoded.iter().zip(&expected) {
+            assert_eq!(ev.trigger, *a, "trigger accesses must round-trip");
+            match ev.kind {
+                MissEventKind::Demand { writeback: Some(w) } => assert_eq!(w, *wb),
+                MissEventKind::Demand { writeback: None } => assert_eq!(*wb, u64::MAX),
+                MissEventKind::Writeback(w) => assert_eq!(w, *wb),
+            }
+        }
+    }
+
+    #[test]
+    fn filter_config_is_pinned() {
+        let cfg = SystemConfig::default();
+        let t = sweep_trace(256, 1);
+        let ms = MissStream::build(&mut t.replay(), cfg.l1, cfg.l2, 4);
+        assert!(ms.matches(&cfg.l1, &cfg.l2, 4));
+        assert!(!ms.matches(&cfg.l1, &cfg.l2, 1));
+        assert!(!ms.matches(&cfg.l2, &cfg.l2, 4));
+        assert_eq!(ms.filter_config(), (cfg.l1, cfg.l2, 4));
+    }
+}

@@ -5,6 +5,7 @@ use crate::cache::{Cache, CacheOutcome};
 use crate::config::SystemConfig;
 use crate::controller::MemoryController;
 use crate::dram::{AccessKind, AddressMap, Dram};
+use crate::miss_stream::{MissEventKind, MissStream};
 use crate::stream::{AccessSource, DEFAULT_CHUNK};
 use crate::trace::{RegionId, RegionMap, Trace};
 use abft_ecc::EccScheme;
@@ -231,7 +232,7 @@ impl Machine {
         src: &mut S,
         assign: &EccAssignment,
     ) -> SimStats {
-        self.program_ecc(&src.regions().clone(), assign);
+        self.program_ecc(src.regions(), assign);
         let ecc_powered = assign.any_ecc();
         self.run_source_with_policy(src, ecc_powered, |_, mc, paddr| {
             AccessKind::Scheme(mc.scheme_for(paddr))
@@ -353,11 +354,136 @@ impl Machine {
             }
         }
 
-        let seconds = cycles as f64 * cycle_ns * 1e-9;
         // `push` maintains the same sum, so for sources that know their
         // total this is exact, and for generators it is the identical
         // accumulation.
         let instructions = src.instructions_hint().unwrap_or(retired);
+        self.assemble_stats(AssembleInputs {
+            instructions,
+            cycles,
+            ecc_chips_powered,
+            l1_hits,
+            l1_misses,
+            l2_hits,
+            l2_misses,
+            regions,
+        })
+    }
+
+    /// Replay a cache-filtered miss stream under an ECC assignment.
+    /// Bit-identical to [`Machine::run_source`] over the stream the
+    /// [`MissStream`] was built from, at O(LLC misses) instead of
+    /// O(accesses) — the cache hierarchy was already simulated by
+    /// [`MissStream::build`] and its outcomes are ECC-independent.
+    pub fn run_miss_stream(&mut self, ms: &MissStream, assign: &EccAssignment) -> SimStats {
+        self.program_ecc(ms.regions(), assign);
+        let ecc_powered = assign.any_ecc();
+        self.run_miss_stream_with_policy(ms, ecc_powered, |_, mc, paddr| {
+            AccessKind::Scheme(mc.scheme_for(paddr))
+        })
+    }
+
+    /// Replay a cache-filtered miss stream with a custom per-request
+    /// protection policy (the filtered counterpart of
+    /// [`Machine::run_source_with_policy`]). The policy closure observes
+    /// the same triggering accesses and physical line addresses in the
+    /// same DRAM-access order as the full path, so stateful policies
+    /// (e.g. the DGMS granularity predictor) behave identically.
+    ///
+    /// The machine's cycle counter is reconstructed as the stream's
+    /// recorded pure core cycles plus the DRAM stalls accumulated during
+    /// replay — the exact decomposition the full path computes, so the
+    /// returned [`SimStats`] is bit-identical.
+    pub fn run_miss_stream_with_policy<P>(
+        &mut self,
+        ms: &MissStream,
+        ecc_chips_powered: bool,
+        mut policy: P,
+    ) -> SimStats
+    where
+        P: FnMut(&crate::trace::Access, &MemoryController, u64) -> AccessKind,
+    {
+        let (l1, l2, threads) = ms.filter_config();
+        assert!(
+            ms.matches(&self.cfg.l1, &self.cfg.l2, self.cfg.threads),
+            // repolint:allow(PANIC001) documented replay contract: the stream is keyed on geometry
+            "miss stream was filtered under {l1:?}/{l2:?}/{threads} threads, \
+             but this machine runs {:?}/{:?}/{} threads",
+            self.cfg.l1,
+            self.cfg.l2,
+            self.cfg.threads
+        );
+        self.dram.reset();
+        let cycle_ns = self.cfg.cycle_ns();
+        // Accumulated DRAM stalls: the policy-dependent half of the cycle
+        // decomposition. At each event the machine timeline reads
+        // `pure core cycles + stalls so far`, exactly as the full path's
+        // `cycles` does (stalls are added outside the thread-compression
+        // carry there, so the pure track is policy-independent).
+        let mut stall_acc: u64 = 0;
+        for ev in ms.iter() {
+            let cycles_now = ev.core_cycles + stall_acc;
+            let now = cycles_now as f64 * cycle_ns;
+            match ev.kind {
+                MissEventKind::Writeback(wb) => {
+                    let kind = policy(&ev.trigger, &self.controller, wb);
+                    self.dram.access_kind(now, wb, true, kind);
+                }
+                MissEventKind::Demand { writeback } => {
+                    let kind = policy(&ev.trigger, &self.controller, ev.trigger.addr);
+                    let res = self.dram.access_kind(now, ev.trigger.addr, false, kind);
+                    let lat_ns = res.completion_ns - now;
+                    stall_acc += (lat_ns * self.cfg.stall_factor / cycle_ns) as u64;
+                    if let Some(wb) = writeback {
+                        let kind = policy(&ev.trigger, &self.controller, wb);
+                        self.dram.access_kind(now, wb, true, kind);
+                    }
+                }
+            }
+        }
+
+        let regions: Vec<RegionStats> = ms
+            .regions()
+            .regions()
+            .iter()
+            .zip(&ms.tallies)
+            .map(|(r, t)| RegionStats {
+                name: r.name.clone(),
+                abft_protected: r.abft_protected,
+                abft_detectable: r.abft_detectable,
+                refs: t.refs,
+                l1_misses: t.l1_misses,
+                llc_misses: t.llc_misses,
+            })
+            .collect();
+        self.assemble_stats(AssembleInputs {
+            instructions: ms.instructions(),
+            cycles: ms.core_cycles + stall_acc,
+            ecc_chips_powered,
+            l1_hits: ms.l1_hits,
+            l1_misses: ms.l1_misses,
+            l2_hits: ms.l2_hits,
+            l2_misses: ms.l2_misses,
+            regions,
+        })
+    }
+
+    /// Fold the run counters and the DRAM state into a [`SimStats`] — the
+    /// single implementation both the full path and the filtered replay
+    /// use, so their derived metrics share every formula bit for bit.
+    fn assemble_stats(&self, inputs: AssembleInputs) -> SimStats {
+        let AssembleInputs {
+            instructions,
+            cycles,
+            ecc_chips_powered,
+            l1_hits,
+            l1_misses,
+            l2_hits,
+            l2_misses,
+            regions,
+        } = inputs;
+        let cycle_ns = self.cfg.cycle_ns();
+        let seconds = cycles as f64 * cycle_ns * 1e-9;
         let ipc = if cycles == 0 { 0.0 } else { instructions as f64 / cycles as f64 };
         let mem_dynamic_j = self.dram.stats.dynamic_nj * 1e-9;
         let mem_standby_j =
@@ -400,6 +526,19 @@ impl Machine {
             regions,
         }
     }
+}
+
+/// The policy-independent counters [`Machine::assemble_stats`] folds with
+/// the DRAM state (named fields keep the two call sites honest).
+struct AssembleInputs {
+    instructions: u64,
+    cycles: u64,
+    ecc_chips_powered: bool,
+    l1_hits: u64,
+    l1_misses: u64,
+    l2_hits: u64,
+    l2_misses: u64,
+    regions: Vec<RegionStats>,
 }
 
 #[cfg(test)]

@@ -18,21 +18,52 @@
 //! *different* kernels build concurrently while two workers asking for
 //! the *same* kernel serialize and share one build.
 
+use crate::config::{CacheConfig, SystemConfig};
+use crate::miss_stream::MissStream;
 use crate::packed::PackedTrace;
 use crate::workloads::KernelParams;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+/// Key of the miss-stream memo level: cache outcomes depend on the
+/// workload, the L1/L2 geometry and the thread interleaving — and on
+/// nothing else (in particular not the ECC assignment), so one filtered
+/// stream serves every policy and every DRAM/stall-factor config variant
+/// sharing these values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FilterKey {
+    /// The workload (kernel + scale).
+    pub params: KernelParams,
+    /// L1 geometry the filter ran under.
+    pub l1: CacheConfig,
+    /// L2 geometry the filter ran under.
+    pub l2: CacheConfig,
+    /// Thread count (drives the cycle-compression carry).
+    pub threads: usize,
+}
+
+impl FilterKey {
+    /// The key a workload resolves to under a system configuration.
+    pub fn new(params: KernelParams, cfg: &SystemConfig) -> Self {
+        FilterKey { params, l1: cfg.l1, l2: cfg.l2, threads: cfg.threads.max(1) }
+    }
+}
+
 /// Shared, lazily-built store of generated kernel traces in packed form,
-/// keyed by kernel + scale.
+/// keyed by kernel + scale — plus a second memo level of cache-filtered
+/// [`MissStream`]s keyed by [`FilterKey`], so campaigns replay only the
+/// DRAM-visible miss tail per (kernel × policy) grid cell.
 #[derive(Debug, Default)]
 pub struct TraceCache {
-    // Ordered map so diagnostics that walk the cache (`resident_bytes`,
+    // Ordered maps so diagnostics that walk the cache (`resident_bytes`,
     // future dump/report paths) visit workloads deterministically.
     slots: Mutex<BTreeMap<KernelParams, Arc<OnceLock<Arc<PackedTrace>>>>>,
+    miss_slots: Mutex<BTreeMap<FilterKey, Arc<OnceLock<Arc<MissStream>>>>>,
     hits: AtomicU64,
     builds: AtomicU64,
+    miss_hits: AtomicU64,
+    miss_builds: AtomicU64,
 }
 
 impl TraceCache {
@@ -75,6 +106,38 @@ impl TraceCache {
         Arc::clone(trace)
     }
 
+    /// The cache-filtered miss stream for a workload under a system
+    /// configuration's cache geometry and thread count: filtered on first
+    /// request (generating the packed trace through [`TraceCache::get`]
+    /// if needed), shared (pointer-equal `Arc`) on every subsequent one.
+    /// Replay it with [`crate::system::Machine::run_miss_stream`].
+    ///
+    /// Config variants differing only in DRAM organization, timing,
+    /// energy or `stall_factor` — everything the cache hierarchy cannot
+    /// see — resolve to the same [`FilterKey`] and share one stream.
+    pub fn get_filtered(&self, params: KernelParams, cfg: &SystemConfig) -> Arc<MissStream> {
+        let key = FilterKey::new(params, cfg);
+        let slot = {
+            let mut slots = self.miss_slots.lock().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(slots.entry(key).or_default())
+        };
+        if let Some(ms) = slot.get() {
+            self.miss_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(ms);
+        }
+        let mut built_here = false;
+        let ms = slot.get_or_init(|| {
+            built_here = true;
+            self.miss_builds.fetch_add(1, Ordering::Relaxed);
+            let packed = self.get(params);
+            Arc::new(MissStream::build(&mut packed.replay(), key.l1, key.l2, key.threads))
+        });
+        if !built_here {
+            self.miss_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(ms)
+    }
+
     /// Lookups served without generating a trace.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -95,10 +158,26 @@ impl TraceCache {
         self.len() == 0
     }
 
+    /// Miss-stream lookups served without running the cache filter.
+    pub fn miss_hits(&self) -> u64 {
+        self.miss_hits.load(Ordering::Relaxed)
+    }
+
+    /// Miss streams actually filtered.
+    pub fn miss_builds(&self) -> u64 {
+        self.miss_builds.load(Ordering::Relaxed)
+    }
+
     /// Total bytes resident in cached packed traces.
     pub fn resident_bytes(&self) -> u64 {
         let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
         slots.values().filter_map(|s| s.get()).map(|t| t.packed_bytes()).sum()
+    }
+
+    /// Total bytes resident in cached miss streams.
+    pub fn miss_resident_bytes(&self) -> u64 {
+        let slots = self.miss_slots.lock().unwrap_or_else(|e| e.into_inner());
+        slots.values().filter_map(|s| s.get()).map(|m| m.packed_bytes()).sum()
     }
 }
 
@@ -148,6 +227,40 @@ mod tests {
         assert_eq!(packed.len(), direct.len() as u64);
         assert_eq!(packed.instructions(), direct.instructions);
         assert_eq!(packed.materialize().accesses, direct.accesses);
+    }
+
+    #[test]
+    fn filtered_lookups_share_one_stream_across_policy_variants() {
+        let cache = TraceCache::new();
+        let base = SystemConfig::default();
+        // A stall-factor variant is invisible to the cache hierarchy and
+        // must resolve to the same filtered stream.
+        let variant = SystemConfig { stall_factor: base.stall_factor * 2.0, ..base.clone() };
+        let a = cache.get_filtered(tiny_dgemm(), &base);
+        let b = cache.get_filtered(tiny_dgemm(), &variant);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.miss_builds(), 1);
+        assert_eq!(cache.miss_hits(), 1);
+        // The filter generated (and memoized) the packed trace underneath.
+        assert_eq!(cache.builds(), 1);
+        assert!(cache.miss_resident_bytes() > 0);
+        assert_eq!(cache.miss_resident_bytes(), a.packed_bytes());
+        assert!(a.matches(&base.l1, &base.l2, base.threads));
+    }
+
+    #[test]
+    fn distinct_geometry_filters_separately() {
+        let cache = TraceCache::new();
+        let base = SystemConfig::default();
+        let mut half_l2 = base.clone();
+        half_l2.l2.capacity /= 2;
+        let a = cache.get_filtered(tiny_dgemm(), &base);
+        let b = cache.get_filtered(tiny_dgemm(), &half_l2);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.miss_builds(), 2);
+        // Both filters share the single underlying packed trace.
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.hits(), 1);
     }
 
     #[test]

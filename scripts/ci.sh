@@ -17,12 +17,16 @@ cargo build --release
 echo "=== trace-pipeline smoke bench (writes BENCH_trace.json) ==="
 ./target/release/bench_trace
 
+echo "=== two-phase simulation smoke bench (writes BENCH_sim.json) ==="
+./target/release/bench_sim
+
 echo "=== cargo test -q ==="
 cargo test -q
 
 echo "=== cargo test -q --features validate (memsim invariant audits on) ==="
 cargo test -q -p abft-memsim --features validate
-cargo test -q --features validate --test campaign_determinism --test streaming_equivalence
+cargo test -q --features validate --test campaign_determinism --test streaming_equivalence \
+    --test filtered_equivalence
 
 echo "=== cargo clippy --workspace -- -D warnings ==="
 cargo clippy --workspace -- -D warnings

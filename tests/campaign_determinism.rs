@@ -63,13 +63,17 @@ fn trace_cache_shares_one_generation_per_workload() {
     let first = run_with_threads(&cache, 4);
     assert_eq!(first.metrics.jobs, 24);
     assert_eq!(first.metrics.cache_builds, 4, "one generation per workload");
-    assert_eq!(first.metrics.cache_hits, 24, "the pre-warm builds; every job hits");
+    assert_eq!(first.metrics.cache_hits, 0, "only the filter pre-warm touches the trace level");
+    assert_eq!(first.metrics.filter_builds, 4, "one cache-hierarchy pass per workload");
+    assert_eq!(first.metrics.filter_hits, 24, "the pre-warm filters; every job hits");
 
-    // A second campaign over the same workloads regenerates nothing
-    // (4 pre-warm lookups + 24 job lookups, all hits).
+    // A second campaign over the same workloads regenerates and refilters
+    // nothing (4 pre-warm lookups + 24 job lookups, all filter hits).
     let second = run_with_threads(&cache, 4);
     assert_eq!(second.metrics.cache_builds, 0, "repeat run must not regenerate");
-    assert_eq!(second.metrics.cache_hits, 28);
+    assert_eq!(second.metrics.cache_hits, 0);
+    assert_eq!(second.metrics.filter_builds, 0, "repeat run must not refilter");
+    assert_eq!(second.metrics.filter_hits, 28);
 
     // Repeat lookups hand back the same allocation, not a copy.
     for w in small_workloads() {
