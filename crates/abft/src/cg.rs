@@ -361,7 +361,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use abft_faultsim::flip_f64_bit;
+    use abft_faultsim::injector::inject_vector_bit;
     use abft_linalg::poisson_2d;
 
     fn setup(g: usize) -> (CsrMatrix, Vec<f64>, Vec<f64>) {
@@ -383,6 +383,20 @@ mod tests {
     }
 
     #[test]
+    fn generic_operator_path_matches_csr_entry_point() {
+        // `ft_pcg` is sugar over `ft_pcg_operator` with the CSR diagonal;
+        // driving the generic entry point directly must be bit-identical.
+        let (a, b, x0) = setup(16);
+        let opts = FtCgOptions::default();
+        let via_csr = ft_pcg(&a, &b, &x0, &opts);
+        let via_operator = ft_pcg_operator(&a, &a.diagonal(), &b, &x0, &opts);
+        assert!(via_operator.converged);
+        assert_eq!(via_operator.iterations, via_csr.iterations);
+        assert_eq!(via_operator.residual_norm.to_bits(), via_csr.residual_norm.to_bits());
+        assert_eq!(via_operator.x, via_csr.x);
+    }
+
+    #[test]
     fn single_element_corruption_in_x_is_repaired() {
         let (a, b, x0) = setup(24);
         let r = ft_pcg_with(
@@ -392,7 +406,7 @@ mod tests {
             &FtCgOptions { verify_interval: 3, ..Default::default() },
             |it, st| {
                 if it == 6 {
-                    st.x[100] = flip_f64_bit(st.x[100], 55);
+                    inject_vector_bit(&mut st.x, 100, 55);
                 }
             },
         );

@@ -285,7 +285,7 @@ mod tests {
             other => panic!("expected double, got {other:?}"),
         }
         let (fixed, bad) = c.examine_and_correct(&mut m);
-        assert_eq!((fixed, bad), (2, 0));
+        assert_eq!((fixed, bad), (MAX_CORRECTABLE as u64, 0), "correction capacity per column");
         assert!(m.approx_eq(&m0, 1e-9, 1e-9), "exactly restored");
     }
 

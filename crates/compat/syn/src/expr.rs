@@ -1,0 +1,1238 @@
+//! Expression-level parsing over the token stream.
+//!
+//! [`parse_stmts`] turns a body token range (from [`crate::Item::body`])
+//! into a best-effort statement/expression tree. The parser is a Pratt
+//! parser with Rust's operator precedence, plus enough statement and
+//! control-flow structure for dataflow lints: `let` bindings with type
+//! annotations, assignments and compound assignments, calls with
+//! resolved path segments, method calls, field accesses, casts, struct
+//! literals, and macro invocations (whose argument tokens are re-parsed
+//! tolerantly).
+//!
+//! It is deliberately *tolerant*: any construct it does not model
+//! becomes an [`Expr::Opaque`] node and parsing continues. It never
+//! returns an error, so a lint pass always sees the parts of a function
+//! it can model. Control flow (`if`/`match`/loops/closures/blocks) is
+//! flattened into [`Expr::Block`] nodes holding the condition and body
+//! subtrees in source order — enough for reachability and taint walks,
+//! though branch structure itself is not preserved.
+
+use crate::{LitKind, Token, TokenKind};
+
+/// One parsed expression node. Token indices (`tok`) point into the
+/// owning [`crate::File::tokens`] stream.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// A literal.
+    Lit {
+        /// Literal classification.
+        kind: LitKind,
+        /// Raw source text.
+        text: String,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A (possibly `::`-qualified) path: `x`, `a::b::c`. Turbofish
+    /// generic arguments are dropped.
+    Path {
+        /// Path segments in source order.
+        segs: Vec<String>,
+        /// Token index of the first segment.
+        tok: usize,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A prefix operator (`-`, `!`, `*`, `&`, `&mut`).
+    Unary {
+        /// Operator spelling.
+        op: String,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// A binary operator.
+    Binary {
+        /// Operator spelling (`+`, `==`, `<<`, ...).
+        op: String,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// 1-based line of the operator.
+        line: usize,
+    },
+    /// An assignment: `lhs = rhs` or a compound form (`+=`, ...).
+    Assign {
+        /// Operator spelling (`=`, `+=`, ...).
+        op: String,
+        /// Assignment target.
+        lhs: Box<Expr>,
+        /// Assigned value.
+        rhs: Box<Expr>,
+        /// 1-based line of the operator.
+        line: usize,
+    },
+    /// A call `func(args)`; `func` is usually a [`Expr::Path`].
+    Call {
+        /// Callee expression.
+        func: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// 1-based line of the opening parenthesis.
+        line: usize,
+    },
+    /// A method call `recv.name(args)`.
+    MethodCall {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Token index of the method name.
+        tok: usize,
+        /// 1-based line of the method name.
+        line: usize,
+    },
+    /// A field access `base.name` (tuple indices appear as the digits).
+    Field {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Field name.
+        name: String,
+        /// 1-based line of the field name.
+        line: usize,
+    },
+    /// An index `base[index]`.
+    Index {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// A cast `expr as Type`; the type is reduced to its last path
+    /// segment (`f64`, `usize`, a newtype name, ...).
+    Cast {
+        /// Operand.
+        expr: Box<Expr>,
+        /// Last path segment of the target type.
+        ty: String,
+        /// 1-based line of the `as`.
+        line: usize,
+    },
+    /// A struct literal `Path { field: expr, ..rest }`. Shorthand
+    /// fields carry a single-segment path expression; a functional
+    /// update base is recorded under the field name `..`.
+    Struct {
+        /// Struct path segments.
+        path: Vec<String>,
+        /// `(field name, value)` pairs in source order.
+        fields: Vec<(String, Expr)>,
+        /// 1-based line of the path head.
+        line: usize,
+    },
+    /// A flattened grouping/control-flow construct: block, `if`,
+    /// `match`, loop, closure, tuple or array. Children appear in
+    /// source order.
+    Block {
+        /// Contained statements and subexpressions.
+        stmts: Vec<Stmt>,
+    },
+    /// A macro invocation `path!(...)`; the argument tokens are
+    /// re-parsed tolerantly into statements.
+    Macro {
+        /// Macro path segments (without the `!`).
+        path: Vec<String>,
+        /// Best-effort parse of the argument tokens.
+        stmts: Vec<Stmt>,
+        /// 1-based line of the path head.
+        line: usize,
+    },
+    /// A construct the parser does not model.
+    Opaque {
+        /// 1-based line of the first unmodelled token.
+        line: usize,
+    },
+}
+
+/// One parsed statement.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// A `let` binding. `name` is `None` for non-identifier patterns
+    /// (tuples, struct destructuring).
+    Let {
+        /// Bound identifier, for single-identifier patterns.
+        name: Option<String>,
+        /// Last path segment of the type annotation, when present.
+        ty: Option<String>,
+        /// Initialiser expression.
+        init: Option<Expr>,
+        /// 1-based line of the `let`.
+        line: usize,
+    },
+    /// An expression statement.
+    Expr(Expr),
+    /// A nested item (`fn`, `use`, `struct`, ... inside a body); its
+    /// contents are not modelled at this layer.
+    Item,
+}
+
+/// Parse the token range `[lo, hi)` (typically an item body) into
+/// statements. Never fails; unmodelled constructs become
+/// [`Expr::Opaque`].
+pub fn parse_stmts(tokens: &[Token], lo: usize, hi: usize) -> Vec<Stmt> {
+    let mut p = Parser { toks: tokens, pos: lo.min(hi), end: hi.min(tokens.len()), depth: 0 };
+    p.stmts()
+}
+
+/// Pre-order walk over every expression in a statement list, including
+/// macro arguments and flattened control-flow bodies.
+pub fn walk_stmts(stmts: &[Stmt], f: &mut impl FnMut(&Expr)) {
+    for s in stmts {
+        match s {
+            Stmt::Let { init: Some(e), .. } => walk_expr(e, f),
+            Stmt::Expr(e) => walk_expr(e, f),
+            _ => {}
+        }
+    }
+}
+
+/// Pre-order walk over one expression tree.
+pub fn walk_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(e);
+    match e {
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => walk_expr(expr, f),
+        Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        Expr::Call { func, args, .. } => {
+            walk_expr(func, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            walk_expr(recv, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Field { base, .. } => walk_expr(base, f),
+        Expr::Index { base, index } => {
+            walk_expr(base, f);
+            walk_expr(index, f);
+        }
+        Expr::Struct { fields, .. } => {
+            for (_, v) in fields {
+                walk_expr(v, f);
+            }
+        }
+        Expr::Block { stmts } | Expr::Macro { stmts, .. } => walk_stmts(stmts, f),
+        Expr::Lit { .. } | Expr::Path { .. } | Expr::Opaque { .. } => {}
+    }
+}
+
+/// Binding power of an infix operator; assignment forms are marked.
+fn infix_bp(op: &str) -> Option<(u8, bool)> {
+    let bp = match op {
+        "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=" | "<<=" | ">>=" => {
+            return Some((4, true));
+        }
+        ".." | "..=" => 10,
+        "||" => 14,
+        "&&" => 18,
+        "==" | "!=" | "<" | ">" | "<=" | ">=" => 30,
+        "|" => 40,
+        "^" => 44,
+        "&" => 48,
+        "<<" | ">>" => 60,
+        "+" | "-" => 70,
+        "*" | "/" | "%" => 80,
+        _ => return None,
+    };
+    Some((bp, false))
+}
+
+/// Keywords that begin a nested item inside a body.
+const ITEM_STARTS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "impl", "mod", "use", "type", "static", "macro_rules",
+    "extern", "pub",
+];
+
+struct Parser<'t> {
+    toks: &'t [Token],
+    pos: usize,
+    end: usize,
+    depth: u32,
+}
+
+impl<'t> Parser<'t> {
+    fn peek(&self) -> Option<&'t Token> {
+        if self.pos < self.end {
+            self.toks.get(self.pos)
+        } else {
+            None
+        }
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&'t Token> {
+        if self.pos + off < self.end {
+            self.toks.get(self.pos + off)
+        } else {
+            None
+        }
+    }
+
+    fn line(&self) -> usize {
+        self.peek().map(|t| t.line).unwrap_or(0)
+    }
+
+    fn eat_punct(&mut self, s: &str) -> bool {
+        if self.peek().map(|t| t.is_punct(s)).unwrap_or(false) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, s: &str) -> bool {
+        if self.peek().map(|t| t.is_ident(s)).unwrap_or(false) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Index just past the group opened at `self.pos` (which must be on
+    /// an opener); does not move the cursor.
+    fn group_end(&self, open: &str, close: &str) -> usize {
+        let mut i = self.pos;
+        let mut depth = 0usize;
+        while i < self.end {
+            let t = &self.toks[i];
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        self.end
+    }
+
+    /// Skip a balanced delimiter group starting at the cursor.
+    fn skip_group(&mut self) {
+        let Some(t) = self.peek() else { return };
+        let (open, close) = match t.text.as_str() {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            "{" => ("{", "}"),
+            "<" => {
+                self.skip_angles();
+                return;
+            }
+            _ => {
+                self.pos += 1;
+                return;
+            }
+        };
+        self.pos = self.group_end(open, close);
+    }
+
+    /// Skip a balanced `<...>` group starting on the `<`.
+    fn skip_angles(&mut self) {
+        let mut depth = 0isize;
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                "(" | "[" | "{" => {
+                    self.skip_group();
+                    continue;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+            if depth <= 0 {
+                return;
+            }
+        }
+    }
+
+    fn stmts(&mut self) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        while let Some(t) = self.peek() {
+            if t.is_punct(";") || t.is_punct(",") {
+                self.pos += 1;
+                continue;
+            }
+            if t.is_punct("#") {
+                // Attribute: `#` `[...]` (or inner `#![...]`).
+                self.pos += 1;
+                self.eat_punct("!");
+                if self.peek().map(|t| t.is_punct("[")).unwrap_or(false) {
+                    self.skip_group();
+                }
+                continue;
+            }
+            if t.kind == TokenKind::Ident && ITEM_STARTS.contains(&t.text.as_str()) {
+                self.skip_item();
+                out.push(Stmt::Item);
+                continue;
+            }
+            // `const NAME: ...` is an item; `const { ... }` is a block.
+            if t.is_ident("const")
+                && self.peek_at(1).map(|n| n.kind == TokenKind::Ident).unwrap_or(false)
+            {
+                self.skip_item();
+                out.push(Stmt::Item);
+                continue;
+            }
+            if t.is_ident("let") {
+                out.push(self.let_stmt());
+                continue;
+            }
+            let before = self.pos;
+            let e = self.expr_bp(0, true);
+            out.push(Stmt::Expr(e));
+            if self.pos == before {
+                self.pos += 1; // guarantee progress
+            }
+        }
+        out
+    }
+
+    /// Skip one nested item: seek `;` or a brace body at depth 0.
+    fn skip_item(&mut self) {
+        while let Some(t) = self.peek() {
+            if t.is_punct(";") {
+                self.pos += 1;
+                return;
+            }
+            if t.is_punct("{") {
+                self.skip_group();
+                return;
+            }
+            if t.is_punct("(") || t.is_punct("[") {
+                self.skip_group();
+                continue;
+            }
+            if t.is_punct("}") {
+                return; // fell out of the enclosing body
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn let_stmt(&mut self) -> Stmt {
+        let line = self.line();
+        self.pos += 1; // `let`
+        self.eat_ident("mut");
+        // Pattern: a single identifier is modelled; anything else is
+        // skipped up to the `:`/`=`/`;` that ends it.
+        let mut name = None;
+        if let Some(t) = self.peek() {
+            let simple_next = self
+                .peek_at(1)
+                .map(|n| n.is_punct(":") || n.is_punct("=") || n.is_punct(";"))
+                .unwrap_or(true);
+            if t.kind == TokenKind::Ident && simple_next {
+                name = Some(t.text.clone());
+                self.pos += 1;
+            } else {
+                while let Some(t) = self.peek() {
+                    if t.is_punct(":") || t.is_punct("=") || t.is_punct(";") {
+                        break;
+                    }
+                    if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                        self.skip_group();
+                    } else {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+        let ty = if self.eat_punct(":") { self.type_name() } else { None };
+        let init = if self.eat_punct("=") {
+            let e = self.expr_bp(0, true);
+            // Diverging `let ... else { ... }` block.
+            if self.eat_ident("else") && self.peek().map(|t| t.is_punct("{")).unwrap_or(false) {
+                self.skip_group();
+            }
+            Some(e)
+        } else {
+            None
+        };
+        self.eat_punct(";");
+        Stmt::Let { name, ty, init, line }
+    }
+
+    /// Consume a type position and reduce it to its last top-level path
+    /// segment (`&'a mut foo::Bar<T>` → `Bar`; `Vec<Cycles>` → `Vec`).
+    fn type_name(&mut self) -> Option<String> {
+        let mut last = None;
+        while let Some(t) = self.peek() {
+            match t.kind {
+                TokenKind::Punct => match t.text.as_str() {
+                    "&" | "::" => self.pos += 1,
+                    "<" => self.skip_angles(),
+                    "(" | "[" => self.skip_group(),
+                    _ => break, // `=`, `;`, `,` ... end the type
+                },
+                TokenKind::Ident => match t.text.as_str() {
+                    "mut" | "dyn" | "impl" => self.pos += 1,
+                    _ => {
+                        last = Some(t.text.clone());
+                        self.pos += 1;
+                    }
+                },
+                TokenKind::Lifetime => self.pos += 1,
+                _ => break,
+            }
+        }
+        last
+    }
+
+    /// Parse one expression with Pratt-style operator binding.
+    /// `allow_struct` is false in `if`/`while`/`match`/`for` heads where
+    /// `Path {` opens the body, not a struct literal.
+    fn expr_bp(&mut self, min_bp: u8, allow_struct: bool) -> Expr {
+        self.depth += 1;
+        if self.depth > 120 {
+            self.depth -= 1;
+            let line = self.line();
+            self.pos += 1;
+            return Expr::Opaque { line };
+        }
+        let mut lhs = self.primary(allow_struct);
+        lhs = self.postfix(lhs, allow_struct);
+        loop {
+            let Some(t) = self.peek() else { break };
+            if t.kind != TokenKind::Punct {
+                break;
+            }
+            let Some((bp, assign)) = infix_bp(&t.text) else { break };
+            if bp < min_bp {
+                break;
+            }
+            let op = t.text.clone();
+            let line = t.line;
+            self.pos += 1;
+            // `a .. ` with no right operand (open range) is legal.
+            let rhs = if op.starts_with("..") && !self.starts_expr() {
+                Expr::Opaque { line }
+            } else {
+                // Left-assoc: parse the right side at bp+1; right-assoc
+                // (assignments): at bp.
+                self.expr_bp(if assign { bp } else { bp + 1 }, allow_struct)
+            };
+            lhs = if assign {
+                Expr::Assign { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line }
+            } else {
+                Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line }
+            };
+        }
+        self.depth -= 1;
+        lhs
+    }
+
+    /// Does the cursor sit on something that can begin an expression?
+    fn starts_expr(&self) -> bool {
+        match self.peek() {
+            None => false,
+            Some(t) => match t.kind {
+                TokenKind::Ident => !matches!(t.text.as_str(), "else" | "in"),
+                TokenKind::Literal(_) => true,
+                TokenKind::Lifetime => true,
+                TokenKind::Punct => {
+                    matches!(t.text.as_str(), "(" | "[" | "{" | "&" | "&&" | "*" | "!" | "-" | "|" | "||")
+                }
+            },
+        }
+    }
+
+    fn primary(&mut self, allow_struct: bool) -> Expr {
+        let Some(t) = self.peek() else {
+            return Expr::Opaque { line: 0 };
+        };
+        let line = t.line;
+        match t.kind {
+            TokenKind::Literal(kind) => {
+                let text = t.text.clone();
+                self.pos += 1;
+                Expr::Lit { kind, text, line }
+            }
+            TokenKind::Lifetime => {
+                // Loop label `'l: loop { ... }` — skip label and colon.
+                self.pos += 1;
+                self.eat_punct(":");
+                self.expr_bp(90, allow_struct)
+            }
+            TokenKind::Punct => match t.text.as_str() {
+                "&" | "&&" => {
+                    let mut op = String::from("&");
+                    self.pos += 1;
+                    if t.text == "&&" {
+                        // Double reference: peel one level, re-parse the rest.
+                        self.eat_ident("mut");
+                        let inner = self.expr_bp(90, allow_struct);
+                        return Expr::Unary {
+                            op,
+                            expr: Box::new(Expr::Unary { op: "&".into(), expr: Box::new(inner) }),
+                        };
+                    }
+                    if self.eat_ident("mut") {
+                        op = "&mut".into();
+                    }
+                    Expr::Unary { op, expr: Box::new(self.expr_bp(90, allow_struct)) }
+                }
+                "*" | "!" | "-" => {
+                    let op = t.text.clone();
+                    self.pos += 1;
+                    Expr::Unary { op, expr: Box::new(self.expr_bp(90, allow_struct)) }
+                }
+                ".." | "..=" => {
+                    // Prefix range `..end` / full range `..`.
+                    self.pos += 1;
+                    if self.starts_expr() {
+                        Expr::Unary { op: "..".into(), expr: Box::new(self.expr_bp(11, allow_struct)) }
+                    } else {
+                        Expr::Opaque { line }
+                    }
+                }
+                "|" | "||" => self.closure(),
+                "(" => self.paren_group(),
+                "[" => self.bracket_group(),
+                "{" => self.brace_block(),
+                _ => {
+                    self.pos += 1;
+                    Expr::Opaque { line }
+                }
+            },
+            TokenKind::Ident => match t.text.as_str() {
+                "if" => self.if_expr(),
+                "match" => self.match_expr(),
+                "while" => self.while_expr(),
+                "for" => self.for_expr(),
+                "loop" => {
+                    self.pos += 1;
+                    self.block_or_opaque()
+                }
+                "unsafe" => {
+                    self.pos += 1;
+                    self.block_or_opaque()
+                }
+                "move" => {
+                    self.pos += 1;
+                    self.expr_bp(0, allow_struct)
+                }
+                "return" | "break" | "continue" | "yield" => {
+                    self.pos += 1;
+                    if self.starts_expr() {
+                        Expr::Block { stmts: vec![Stmt::Expr(self.expr_bp(0, allow_struct))] }
+                    } else {
+                        Expr::Opaque { line }
+                    }
+                }
+                _ => self.path_expr(allow_struct),
+            },
+        }
+    }
+
+    fn closure(&mut self) -> Expr {
+        // `|args| body` or `|| body`; parameter tokens are skipped.
+        if self.eat_punct("||") {
+            // no-op
+        } else if self.eat_punct("|") {
+            let mut depth = 0usize;
+            while let Some(t) = self.peek() {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => {
+                        self.skip_group();
+                        continue;
+                    }
+                    "<" => depth += 1,
+                    ">" => depth = depth.saturating_sub(1),
+                    "|" if depth == 0 => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                self.pos += 1;
+            }
+        }
+        // Optional `-> Type` before a braced body.
+        if self.eat_punct("->") {
+            self.type_name();
+        }
+        let body = self.expr_bp(0, true);
+        Expr::Block { stmts: vec![Stmt::Expr(body)] }
+    }
+
+    fn paren_group(&mut self) -> Expr {
+        let end = self.group_end("(", ")");
+        self.pos += 1; // `(`
+        let inner_end = end.saturating_sub(1);
+        let mut exprs = Vec::new();
+        let mut saved_end = self.end;
+        self.end = inner_end;
+        while self.pos < inner_end {
+            if self.eat_punct(",") || self.eat_punct(";") {
+                continue;
+            }
+            let before = self.pos;
+            exprs.push(self.expr_bp(0, true));
+            if self.pos == before {
+                self.pos += 1;
+            }
+        }
+        std::mem::swap(&mut self.end, &mut saved_end);
+        self.pos = end;
+        if exprs.len() == 1 {
+            exprs.pop().expect("len checked")
+        } else {
+            Expr::Block { stmts: exprs.into_iter().map(Stmt::Expr).collect() }
+        }
+    }
+
+    fn bracket_group(&mut self) -> Expr {
+        let end = self.group_end("[", "]");
+        self.pos += 1; // `[`
+        let inner_end = end.saturating_sub(1);
+        let mut exprs = Vec::new();
+        let mut saved_end = self.end;
+        self.end = inner_end;
+        while self.pos < inner_end {
+            if self.eat_punct(",") || self.eat_punct(";") {
+                continue;
+            }
+            let before = self.pos;
+            exprs.push(self.expr_bp(0, true));
+            if self.pos == before {
+                self.pos += 1;
+            }
+        }
+        std::mem::swap(&mut self.end, &mut saved_end);
+        self.pos = end;
+        Expr::Block { stmts: exprs.into_iter().map(Stmt::Expr).collect() }
+    }
+
+    fn brace_block(&mut self) -> Expr {
+        let end = self.group_end("{", "}");
+        self.pos += 1; // `{`
+        let inner_end = end.saturating_sub(1);
+        let mut saved_end = self.end;
+        self.end = inner_end;
+        let stmts = self.stmts();
+        std::mem::swap(&mut self.end, &mut saved_end);
+        self.pos = end;
+        Expr::Block { stmts }
+    }
+
+    fn block_or_opaque(&mut self) -> Expr {
+        if self.peek().map(|t| t.is_punct("{")).unwrap_or(false) {
+            self.brace_block()
+        } else {
+            let line = self.line();
+            Expr::Opaque { line }
+        }
+    }
+
+    fn if_expr(&mut self) -> Expr {
+        self.pos += 1; // `if`
+        let mut stmts = Vec::new();
+        // `if let PAT = scrutinee` — skip the pattern.
+        if self.eat_ident("let") {
+            self.skip_to_depth0_eq();
+        }
+        stmts.push(Stmt::Expr(self.expr_bp(0, false)));
+        if let Expr::Block { stmts: body } = self.block_or_opaque() {
+            stmts.extend(body);
+        }
+        if self.eat_ident("else") {
+            let e = if self.peek().map(|t| t.is_ident("if")).unwrap_or(false) {
+                self.if_expr()
+            } else {
+                self.block_or_opaque()
+            };
+            match e {
+                Expr::Block { stmts: body } => stmts.extend(body),
+                other => stmts.push(Stmt::Expr(other)),
+            }
+        }
+        Expr::Block { stmts }
+    }
+
+    fn while_expr(&mut self) -> Expr {
+        self.pos += 1; // `while`
+        let mut stmts = Vec::new();
+        if self.eat_ident("let") {
+            self.skip_to_depth0_eq();
+        }
+        stmts.push(Stmt::Expr(self.expr_bp(0, false)));
+        if let Expr::Block { stmts: body } = self.block_or_opaque() {
+            stmts.extend(body);
+        }
+        Expr::Block { stmts }
+    }
+
+    fn for_expr(&mut self) -> Expr {
+        self.pos += 1; // `for`
+        // Skip the loop pattern up to the depth-0 `in`.
+        while let Some(t) = self.peek() {
+            if t.is_ident("in") {
+                self.pos += 1;
+                break;
+            }
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                self.skip_group();
+            } else {
+                self.pos += 1;
+            }
+        }
+        let mut stmts = vec![Stmt::Expr(self.expr_bp(0, false))];
+        if let Expr::Block { stmts: body } = self.block_or_opaque() {
+            stmts.extend(body);
+        }
+        Expr::Block { stmts }
+    }
+
+    fn match_expr(&mut self) -> Expr {
+        self.pos += 1; // `match`
+        let mut stmts = vec![Stmt::Expr(self.expr_bp(0, false))];
+        if self.peek().map(|t| t.is_punct("{")).unwrap_or(false) {
+            let end = self.group_end("{", "}");
+            self.pos += 1;
+            let inner_end = end.saturating_sub(1);
+            let mut saved_end = self.end;
+            self.end = inner_end;
+            while self.pos < inner_end {
+                // Pattern (with optional `if` guard) up to `=>`.
+                let mut guard = None;
+                while let Some(t) = self.peek() {
+                    if t.is_punct("=>") {
+                        self.pos += 1;
+                        break;
+                    }
+                    if t.is_ident("if") {
+                        self.pos += 1;
+                        guard = Some(self.expr_bp(0, false));
+                        continue;
+                    }
+                    if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                        self.skip_group();
+                    } else {
+                        self.pos += 1;
+                    }
+                }
+                if let Some(g) = guard {
+                    stmts.push(Stmt::Expr(g));
+                }
+                if self.pos >= inner_end {
+                    break;
+                }
+                let before = self.pos;
+                stmts.push(Stmt::Expr(self.expr_bp(0, true)));
+                self.eat_punct(",");
+                if self.pos == before {
+                    self.pos += 1;
+                }
+            }
+            std::mem::swap(&mut self.end, &mut saved_end);
+            self.pos = end;
+        }
+        Expr::Block { stmts }
+    }
+
+    /// After `if let` / `while let`: skip the pattern through the `=`.
+    fn skip_to_depth0_eq(&mut self) {
+        while let Some(t) = self.peek() {
+            if t.is_punct("=") {
+                self.pos += 1;
+                return;
+            }
+            if t.is_punct("{") {
+                return; // malformed; let the caller see the block
+            }
+            if t.is_punct("(") || t.is_punct("[") {
+                self.skip_group();
+            } else {
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn path_expr(&mut self, allow_struct: bool) -> Expr {
+        let tok = self.pos;
+        let line = self.line();
+        let mut segs = Vec::new();
+        loop {
+            match self.peek() {
+                Some(t) if t.kind == TokenKind::Ident => {
+                    segs.push(t.text.clone());
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+            if self.peek().map(|t| t.is_punct("::")).unwrap_or(false) {
+                match self.peek_at(1) {
+                    Some(n) if n.kind == TokenKind::Ident => {
+                        self.pos += 1; // `::`
+                        continue;
+                    }
+                    Some(n) if n.is_punct("<") => {
+                        // Turbofish: `::<...>` — skip, stay on this path.
+                        self.pos += 1;
+                        self.skip_angles();
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+            break;
+        }
+        if segs.is_empty() {
+            self.pos += 1;
+            return Expr::Opaque { line };
+        }
+        // Macro invocation `path!(...)`.
+        if self.peek().map(|t| t.is_punct("!")).unwrap_or(false)
+            && self
+                .peek_at(1)
+                .map(|n| n.is_punct("(") || n.is_punct("[") || n.is_punct("{"))
+                .unwrap_or(false)
+        {
+            self.pos += 1; // `!`
+            let (open, close) = match self.peek().map(|t| t.text.as_str()) {
+                Some("(") => ("(", ")"),
+                Some("[") => ("[", "]"),
+                _ => ("{", "}"),
+            };
+            let end = self.group_end(open, close);
+            let inner = parse_stmts(self.toks, self.pos + 1, end.saturating_sub(1));
+            self.pos = end;
+            return Expr::Macro { path: segs, stmts: inner, line };
+        }
+        // Struct literal `Path { ... }`.
+        if allow_struct && self.peek().map(|t| t.is_punct("{")).unwrap_or(false) {
+            return self.struct_literal(segs, line);
+        }
+        Expr::Path { segs, tok, line }
+    }
+
+    fn struct_literal(&mut self, path: Vec<String>, line: usize) -> Expr {
+        let end = self.group_end("{", "}");
+        self.pos += 1; // `{`
+        let inner_end = end.saturating_sub(1);
+        let mut saved_end = self.end;
+        self.end = inner_end;
+        let mut fields = Vec::new();
+        while self.pos < inner_end {
+            if self.eat_punct(",") {
+                continue;
+            }
+            if self.eat_punct("..") {
+                // Functional update base.
+                let before = self.pos;
+                let base = self.expr_bp(0, true);
+                fields.push(("..".to_string(), base));
+                if self.pos == before {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            match self.peek() {
+                Some(t) if t.kind == TokenKind::Ident => {
+                    let name = t.text.clone();
+                    let fline = t.line;
+                    self.pos += 1;
+                    if self.eat_punct(":") {
+                        let before = self.pos;
+                        let value = self.expr_bp(0, true);
+                        fields.push((name, value));
+                        if self.pos == before {
+                            self.pos += 1;
+                        }
+                    } else {
+                        // Shorthand `name`.
+                        let value = Expr::Path { segs: vec![name.clone()], tok: self.pos - 1, line: fline };
+                        fields.push((name, value));
+                    }
+                }
+                _ => {
+                    self.pos += 1;
+                }
+            }
+        }
+        std::mem::swap(&mut self.end, &mut saved_end);
+        self.pos = end;
+        Expr::Struct { path, fields, line }
+    }
+
+    fn call_args(&mut self) -> Vec<Expr> {
+        let end = self.group_end("(", ")");
+        self.pos += 1; // `(`
+        let inner_end = end.saturating_sub(1);
+        let mut args = Vec::new();
+        let mut saved_end = self.end;
+        self.end = inner_end;
+        while self.pos < inner_end {
+            if self.eat_punct(",") {
+                continue;
+            }
+            let before = self.pos;
+            args.push(self.expr_bp(0, true));
+            if self.pos == before {
+                self.pos += 1;
+            }
+        }
+        std::mem::swap(&mut self.end, &mut saved_end);
+        self.pos = end;
+        args
+    }
+
+    fn postfix(&mut self, mut lhs: Expr, _allow_struct: bool) -> Expr {
+        loop {
+            let Some(t) = self.peek() else { break };
+            match t.text.as_str() {
+                "." if t.kind == TokenKind::Punct => {
+                    let Some(n) = self.peek_at(1) else {
+                        self.pos += 1;
+                        break;
+                    };
+                    match n.kind {
+                        TokenKind::Ident if n.text == "await" => {
+                            self.pos += 2;
+                        }
+                        TokenKind::Ident => {
+                            let method = n.text.clone();
+                            let mtok = self.pos + 1;
+                            let mline = n.line;
+                            self.pos += 2;
+                            // `.name::<T>(...)` turbofish.
+                            if self.peek().map(|t| t.is_punct("::")).unwrap_or(false)
+                                && self.peek_at(1).map(|t| t.is_punct("<")).unwrap_or(false)
+                            {
+                                self.pos += 1;
+                                self.skip_angles();
+                            }
+                            if self.peek().map(|t| t.is_punct("(")).unwrap_or(false) {
+                                let args = self.call_args();
+                                lhs = Expr::MethodCall {
+                                    recv: Box::new(lhs),
+                                    method,
+                                    args,
+                                    tok: mtok,
+                                    line: mline,
+                                };
+                            } else {
+                                lhs = Expr::Field { base: Box::new(lhs), name: method, line: mline };
+                            }
+                        }
+                        TokenKind::Literal(_) => {
+                            // Tuple index `.0` (possibly `.0.1` lexed as a float).
+                            let name = n.text.clone();
+                            let nline = n.line;
+                            self.pos += 2;
+                            lhs = Expr::Field { base: Box::new(lhs), name, line: nline };
+                        }
+                        _ => {
+                            self.pos += 1;
+                        }
+                    }
+                }
+                "(" if t.kind == TokenKind::Punct => {
+                    let line = t.line;
+                    let args = self.call_args();
+                    lhs = Expr::Call { func: Box::new(lhs), args, line };
+                }
+                "[" if t.kind == TokenKind::Punct => {
+                    let end = self.group_end("[", "]");
+                    self.pos += 1;
+                    let inner_end = end.saturating_sub(1);
+                    let mut saved_end = self.end;
+                    self.end = inner_end;
+                    let idx = if self.pos < inner_end {
+                        self.expr_bp(0, true)
+                    } else {
+                        Expr::Opaque { line: t.line }
+                    };
+                    std::mem::swap(&mut self.end, &mut saved_end);
+                    self.pos = end;
+                    lhs = Expr::Index { base: Box::new(lhs), index: Box::new(idx) };
+                }
+                "?" if t.kind == TokenKind::Punct => {
+                    self.pos += 1;
+                }
+                "as" if t.kind == TokenKind::Ident => {
+                    let line = t.line;
+                    self.pos += 1;
+                    let ty = self.type_name().unwrap_or_default();
+                    lhs = Expr::Cast { expr: Box::new(lhs), ty, line };
+                }
+                _ => break,
+            }
+        }
+        lhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_file;
+
+    fn body_stmts(src: &str) -> (crate::File, Vec<Stmt>) {
+        let file = parse_file(src).expect("fixture parses");
+        let f = file
+            .items
+            .iter()
+            .find(|i| i.kind == crate::ItemKind::Fn)
+            .expect("fn item");
+        let (lo, hi) = f.body.expect("body");
+        let stmts = parse_stmts(&file.tokens, lo, hi);
+        (file, stmts)
+    }
+
+    fn collect_calls(stmts: &[Stmt]) -> Vec<String> {
+        let mut out = Vec::new();
+        walk_stmts(stmts, &mut |e| match e {
+            Expr::Call { func, .. } => {
+                if let Expr::Path { segs, .. } = func.as_ref() {
+                    out.push(segs.join("::"));
+                }
+            }
+            Expr::MethodCall { method, .. } => out.push(format!(".{method}")),
+            _ => {}
+        });
+        out
+    }
+
+    #[test]
+    fn parses_calls_paths_and_methods() {
+        let (_f, stmts) = body_stmts(
+            "fn f() {\n    let x = helper(1, 2);\n    let y = a::b::c(x);\n    \
+             let z = y.method(x).chain::<u64>();\n    std::mem::drop((x, z));\n}\n",
+        );
+        let calls = collect_calls(&stmts);
+        // Pre-order: the outer `.chain` call is visited before its
+        // `.method` receiver.
+        assert_eq!(calls, vec!["helper", "a::b::c", ".chain", ".method", "std::mem::drop"]);
+    }
+
+    #[test]
+    fn parses_let_with_types_and_assignments() {
+        let (_f, stmts) = body_stmts(
+            "fn f() {\n    let total_ns: f64 = 0.0;\n    let c: Cycles = Cycles(3);\n    \
+             let mut acc = total_ns;\n    acc += 1.0;\n}\n",
+        );
+        let lets: Vec<(Option<&str>, Option<&str>)> = stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Let { name, ty, .. } => Some((name.as_deref(), ty.as_deref())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            lets,
+            vec![
+                (Some("total_ns"), Some("f64")),
+                (Some("c"), Some("Cycles")),
+                (Some("acc"), None)
+            ]
+        );
+        let assigns: Vec<&str> = stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Expr(Expr::Assign { op, .. }) => Some(op.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(assigns, vec!["+="]);
+    }
+
+    #[test]
+    fn precedence_and_casts() {
+        let (_f, stmts) = body_stmts("fn f() { let x = a_ns - b() + c as f64 * d_ns; }");
+        let Some(Stmt::Let { init: Some(e), .. }) = stmts.first() else {
+            panic!("let stmt: {stmts:?}");
+        };
+        // ((a_ns - b()) + ((c as f64) * d_ns))
+        let Expr::Binary { op, lhs, rhs, .. } = e else { panic!("top binary: {e:?}") };
+        assert_eq!(op, "+");
+        assert!(matches!(lhs.as_ref(), Expr::Binary { op, .. } if op == "-"));
+        let Expr::Binary { op: mul, lhs: ml, .. } = rhs.as_ref() else {
+            panic!("mul rhs: {rhs:?}")
+        };
+        assert_eq!(mul, "*");
+        assert!(matches!(ml.as_ref(), Expr::Cast { ty, .. } if ty == "f64"));
+    }
+
+    #[test]
+    fn control_flow_flattens_but_keeps_subtrees() {
+        let (_f, stmts) = body_stmts(
+            "fn f(v: &[u64]) {\n    for x in v.iter() {\n        if *x > limit() {\n            \
+             emit(*x);\n        } else {\n            skip();\n        }\n    }\n    \
+             match probe() {\n        Some(n) if n > guard() => act(n),\n        _ => {}\n    }\n}\n",
+        );
+        let calls = collect_calls(&stmts);
+        assert_eq!(calls, vec![".iter", "limit", "emit", "skip", "probe", "guard", "act"]);
+    }
+
+    #[test]
+    fn struct_literals_and_macros() {
+        let (_f, stmts) = body_stmts(
+            "fn f() {\n    let s = Stats { total_ns: t, hits, ..Default::default() };\n    \
+             assert_eq!(s.total_ns, probe());\n    let v = vec![mk(1), mk(2)];\n    let _ = v;\n}\n",
+        );
+        let mut struct_fields = Vec::new();
+        let mut macros = Vec::new();
+        walk_stmts(&stmts, &mut |e| match e {
+            Expr::Struct { path, fields, .. } => {
+                struct_fields = fields.iter().map(|(n, _)| n.clone()).collect();
+                assert_eq!(path, &vec!["Stats".to_string()]);
+            }
+            Expr::Macro { path, .. } => macros.push(path.join("::")),
+            _ => {}
+        });
+        assert_eq!(struct_fields, vec!["total_ns", "hits", ".."]);
+        assert_eq!(macros, vec!["assert_eq", "vec"]);
+        let calls = collect_calls(&stmts);
+        assert!(calls.contains(&"probe".to_string()), "{calls:?}");
+        assert!(calls.contains(&"mk".to_string()), "macro args re-parsed: {calls:?}");
+        assert!(calls.contains(&"Default::default".to_string()), "{calls:?}");
+    }
+
+    #[test]
+    fn closures_and_condition_position_blocks() {
+        let (_f, stmts) = body_stmts(
+            "fn f(v: Vec<u64>) -> u64 {\n    let s: u64 = v.iter().map(|x| scale(*x)).sum();\n    \
+             if s > 0 { s } else { fallback() }\n}\n",
+        );
+        let calls = collect_calls(&stmts);
+        assert!(calls.contains(&"scale".to_string()), "{calls:?}");
+        assert!(calls.contains(&"fallback".to_string()), "{calls:?}");
+        assert!(calls.contains(&".map".to_string()), "{calls:?}");
+    }
+
+    #[test]
+    fn tolerates_unmodelled_constructs() {
+        // Weird-but-legal code parses to *something* without panicking.
+        let (_f, stmts) = body_stmts(
+            "fn f() {\n    let (a, b): (u8, u8) = (1, 2);\n    let [x, y] = [a, b];\n    \
+             let r = &mut [0u8; 4][..2];\n    let _ = (a, b, x, y, r);\n    \
+             fn nested() {}\n    nested();\n}\n",
+        );
+        assert!(stmts.iter().any(|s| matches!(s, Stmt::Item)));
+        let calls = collect_calls(&stmts);
+        assert!(calls.contains(&"nested".to_string()), "{calls:?}");
+    }
+}

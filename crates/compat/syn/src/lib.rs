@@ -11,9 +11,18 @@
 //! body token ranges, which is exactly what an AST lint engine needs,
 //! without modelling expression grammar.
 //!
+//! On top of the item layer sits an *expression* layer ([`expr`]): a
+//! tolerant Pratt parser over an item's body token range that recovers
+//! paths, call sites, method calls, field accesses, operators, casts and
+//! struct literals, degrading to opaque nodes on anything it does not
+//! model. It never fails: lint passes that consume it (call-graph
+//! construction, unit-taint dataflow) see a best-effort tree.
+//!
 //! Known, accepted limitations (not exercised by this workspace):
 //! const-generic brace expressions in `impl` headers, and items nested
 //! inside function bodies are not recursed into.
+
+pub mod expr;
 
 use std::fmt;
 
@@ -515,13 +524,29 @@ pub enum ItemKind {
     Other,
 }
 
+/// Item visibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visibility {
+    /// No `pub` modifier.
+    Private,
+    /// Plain `pub`.
+    Pub,
+    /// `pub(crate)`, `pub(super)`, `pub(in ...)`.
+    Restricted,
+}
+
 /// One parsed item with its nested children (for `mod`/`impl`/`trait`).
 #[derive(Debug, Clone)]
 pub struct Item {
     /// Classification.
     pub kind: ItemKind,
-    /// Name, when the item form has one.
+    /// Name, when the item form has one. For `impl` blocks this is the
+    /// last path segment of the self type (`impl Foo<T>` → `Foo`).
     pub ident: Option<String>,
+    /// For `impl Trait for Type` blocks, the trait's last path segment.
+    pub trait_name: Option<String>,
+    /// Visibility modifier.
+    pub vis: Visibility,
     /// Outer attributes.
     pub attrs: Vec<Attribute>,
     /// 1-based line of the first token (attributes included).
@@ -635,12 +660,16 @@ fn parse_items(tokens: &[Token], idx: &mut usize, end: usize) -> Vec<Item> {
         }
 
         // Visibility and modifiers.
+        let mut vis = Visibility::Private;
         while *idx < end && tokens[*idx].kind == TokenKind::Ident {
             match tokens[*idx].text.as_str() {
                 "pub" => {
                     *idx += 1;
                     if *idx < end && tokens[*idx].is_punct("(") {
+                        vis = Visibility::Restricted;
                         skip_group(tokens, idx, end);
+                    } else {
+                        vis = Visibility::Pub;
                     }
                 }
                 "default" | "unsafe" | "async" => *idx += 1,
@@ -668,7 +697,7 @@ fn parse_items(tokens: &[Token], idx: &mut usize, end: usize) -> Vec<Item> {
                 "enum" => (ItemKind::Enum, true),
                 "trait" => (ItemKind::Trait, true),
                 "use" => (ItemKind::Use, false),
-                "static" | "const" => (ItemKind::Const, false),
+                "static" | "const" => (ItemKind::Const, true),
                 "type" => (ItemKind::Type, true),
                 "macro_rules" => (ItemKind::Macro, false),
                 "extern" => (ItemKind::Other, false),
@@ -691,12 +720,17 @@ fn parse_items(tokens: &[Token], idx: &mut usize, end: usize) -> Vec<Item> {
             continue;
         };
         *idx += 1;
+        // `static mut NAME`: the ident follows the mutability modifier.
+        if matches!(kind, ItemKind::Const) && *idx < end && tokens[*idx].is_ident("mut") {
+            *idx += 1;
+        }
 
-        let ident = if named && *idx < end && tokens[*idx].kind == TokenKind::Ident {
+        let mut ident = if named && *idx < end && tokens[*idx].kind == TokenKind::Ident {
             Some(tokens[*idx].text.clone())
         } else {
             None
         };
+        let header_start = *idx;
 
         // Find the item terminator: `;` at depth 0, or a brace body.
         let mut body = None;
@@ -711,6 +745,15 @@ fn parse_items(tokens: &[Token], idx: &mut usize, end: usize) -> Vec<Item> {
             }
         }
 
+        // `impl` headers: recover the self type (and trait, if any).
+        let mut trait_name = None;
+        if kind == ItemKind::Impl {
+            let stop = body.map(|(bs, _)| bs - 1).unwrap_or(*idx);
+            let (t, s) = impl_header(tokens, header_start, stop);
+            trait_name = t;
+            ident = s;
+        }
+
         let children = match (recurse, body) {
             (true, Some((bs, be))) => {
                 let mut ci = bs;
@@ -723,6 +766,8 @@ fn parse_items(tokens: &[Token], idx: &mut usize, end: usize) -> Vec<Item> {
         items.push(Item {
             kind,
             ident,
+            trait_name,
+            vis,
             attrs,
             line: start_line,
             end_line: tokens[last.min(tokens.len() - 1)].line,
@@ -732,6 +777,68 @@ fn parse_items(tokens: &[Token], idx: &mut usize, end: usize) -> Vec<Item> {
         });
     }
     items
+}
+
+/// Recover `(trait, self type)` from the tokens of an `impl` header
+/// (everything between the `impl` keyword and the body brace). Both are
+/// reduced to their last path segment; generic arguments, references and
+/// `where` clauses are skipped. `impl Type` yields `(None, Some(Type))`;
+/// `impl Trait for Type` yields `(Some(Trait), Some(Type))`.
+fn impl_header(
+    tokens: &[Token],
+    start: usize,
+    stop: usize,
+) -> (Option<String>, Option<String>) {
+    let mut i = start;
+    let mut angle = 0usize;
+    // Leading generic parameter list `impl<...>`.
+    if i < stop && tokens[i].is_punct("<") {
+        let mut depth = 0usize;
+        while i < stop {
+            match tokens[i].text.as_str() {
+                "<" | "<<" => depth += tokens[i].text.len(),
+                ">" | ">>" => depth = depth.saturating_sub(tokens[i].text.len()),
+                "->" | "=>" | ">=" | "<=" => {}
+                _ => {}
+            }
+            i += 1;
+            if depth == 0 {
+                break;
+            }
+        }
+    }
+    let mut first: Option<String> = None; // last depth-0 segment before `for`
+    let mut second: Option<String> = None; // last depth-0 segment after `for`
+    let mut after_for = false;
+    while i < stop {
+        let t = &tokens[i];
+        match t.kind {
+            TokenKind::Punct => match t.text.as_str() {
+                "<" | "<<" => angle += t.text.len(),
+                ">" | ">>" => angle = angle.saturating_sub(t.text.len()),
+                "(" | "[" | "{" => skip_group(tokens, &mut i, stop),
+                _ => {}
+            },
+            TokenKind::Ident if angle == 0 => match t.text.as_str() {
+                "for" => after_for = true,
+                "where" => break,
+                "dyn" | "mut" => {}
+                _ => {
+                    let slot = if after_for { &mut second } else { &mut first };
+                    *slot = Some(t.text.clone());
+                }
+            },
+            _ => {}
+        }
+        if !t.is_punct("(") && !t.is_punct("[") && !t.is_punct("{") {
+            i += 1;
+        }
+    }
+    if after_for {
+        (first, second)
+    } else {
+        (None, first)
+    }
 }
 
 #[cfg(test)]

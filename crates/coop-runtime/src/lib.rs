@@ -4,18 +4,18 @@
 //!
 //! * [`pages`] — contiguous physical frame allocation and the page table
 //!   with per-page ECC attributes.
-//! * [`runtime`] — the three ECC control APIs (`malloc_ecc`, `free_ecc`,
+//! * `runtime` — the three ECC control APIs (`malloc_ecc`, `free_ecc`,
 //!   `assign_ecc`), the MC-interrupt handler that maps fault sites back to
 //!   virtual addresses, and the panic-mode fallback for non-ABFT data.
 //! * [`sysfs`] — the kernel/user shared error-report channel the ABFT
 //!   layer polls for hardware-assisted (simplified) verification.
-//! * [`retire`] — hard-fault page retirement and data migration
+//! * `retire` — hard-fault page retirement and data migration
 //!   (Section 3.1's spare-frame remapping).
 
 pub mod pages;
-pub mod paging;
-pub mod retire;
-pub mod runtime;
+pub(crate) mod paging;
+pub(crate) mod retire;
+pub(crate) mod runtime;
 pub mod sysfs;
 
 pub use pages::{FrameAllocator, FrameRun, PageTable, PAGE_BYTES};

@@ -253,7 +253,7 @@ impl Campaign {
         let filter_hits0 = cache.miss_hits();
         let filter_builds0 = cache.miss_builds();
         let progress = self.progress.clone();
-        let start = Instant::now(); // repolint:allow(DET002) wall time is reporting-only progress metadata
+        let start = Instant::now(); // repolint:allow(DET002,DET004) wall time is reporting-only progress metadata
 
         // Pre-build every distinct miss stream in parallel (each pulls its
         // packed trace through the first memo level on demand). Without
@@ -279,7 +279,7 @@ impl Campaign {
             jobs.into_par_iter()
                 .map(|(workload, cfg_idx, strategy)| {
                     let (tag, cfg) = &configs[cfg_idx];
-                    // repolint:allow(DET002) wall time is reporting-only progress metadata
+                    // repolint:allow(DET002,DET004) wall time is reporting-only progress metadata
                     let job_start = Instant::now();
                     let ms = cache.get_filtered(workload, cfg);
                     let stats = run_strategy_miss_stream(&ms, cfg, strategy);

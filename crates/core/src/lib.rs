@@ -9,22 +9,22 @@
 //!   [`Campaign`] expands (workload x config x strategy) grids into jobs
 //!   run on a rayon pool with traces shared through the process-wide
 //!   `TraceCache`.
-//! * [`experiment`] — the Section 5.1 metrics ([`BasicTest`] and the
+//! * `experiment` — the Section 5.1 metrics ([`BasicTest`] and the
 //!   fault-adjusted projections); [`Campaign`] is the only driver.
-//! * [`errorflow`] — end-to-end Case 1-4 drills against the real stack
+//! * `errorflow` — end-to-end Case 1-4 drills against the real stack
 //!   (bit-true ECC, MC error registers, OS interrupt path, sysfs, ABFT
 //!   correction) plus ARE-vs-ASE population summaries.
 //! * [`policy`] — the adaptive ARE/ASE decision from the Equation (7)/(8)
 //!   MTTF thresholds.
-//! * [`adaptive`] — the run-time controller that watches observed error
+//! * `adaptive` — the run-time controller that watches observed error
 //!   rates and retunes ECC through `assign_ecc` (the paper's closing
 //!   "co-design and adaptive policy" claim, executable).
 //! * [`report`] — text tables for the per-figure harness binaries.
 
-pub mod adaptive;
+pub(crate) mod adaptive;
 pub mod campaign;
-pub mod errorflow;
-pub mod experiment;
+pub(crate) mod errorflow;
+pub(crate) mod experiment;
 pub mod policy;
 pub mod report;
 pub mod strategy;

@@ -1,0 +1,45 @@
+//! The module doc of `abft_ecc::gf` claims GF(2^4) is the *nominal*
+//! chipkill field and GF(2^8) the one the RS code actually uses, because
+//! a Reed-Solomon code over GF(16) spans at most 15 symbols — short of
+//! the 36 chips in a two-DIMM lock-stepped x4 code word. This test makes
+//! that sizing argument executable against the public field API.
+
+use abft_ecc::gf::{Gf16, FIELD_SIZE, GROUP_ORDER};
+
+/// Chips in a two-DIMM lock-stepped x4 chipkill code word.
+const LOCKSTEP_X4_CHIPS: usize = 36;
+
+#[test]
+// Asserting on constants is the point: the test is an executable sizing proof.
+#[allow(clippy::assertions_on_constants)]
+fn gf16_cannot_span_a_lockstep_code_word() {
+    // An RS code over GF(q) has length at most q - 1 symbols.
+    assert_eq!(GROUP_ORDER, FIELD_SIZE - 1);
+    assert!(
+        GROUP_ORDER < LOCKSTEP_X4_CHIPS,
+        "GF(16) would suffice for chipkill and the GF(256) code is pointless"
+    );
+}
+
+#[test]
+fn gf16_alpha_generates_the_multiplicative_group() {
+    // The RS length bound above *is* the order of the cyclic group alpha
+    // generates: all GROUP_ORDER nonzero elements, then back to one.
+    let mut seen = std::collections::BTreeSet::new();
+    for k in 0..GROUP_ORDER as i32 {
+        seen.insert(Gf16::alpha_pow(k).0);
+    }
+    assert_eq!(seen.len(), GROUP_ORDER);
+    assert!(!seen.contains(&0));
+    assert_eq!(Gf16::alpha_pow(GROUP_ORDER as i32), Gf16::ONE);
+}
+
+#[test]
+fn gf16_field_axioms_spot_checks() {
+    for v in 1..FIELD_SIZE as u8 {
+        let x = Gf16::new(v);
+        assert_eq!(x * x.inv(), Gf16::ONE, "v={v}");
+        assert_eq!(x + x, Gf16::ZERO, "characteristic 2, v={v}");
+        assert_eq!(x * Gf16::ONE, x, "v={v}");
+    }
+}

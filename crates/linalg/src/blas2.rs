@@ -1,5 +1,5 @@
-//! Level-2 BLAS kernels: matrix-vector products, rank-1 updates and
-//! triangular solves on vectors.
+//! Level-2 BLAS kernels: dense matrix-vector products and the packed
+//! triangular solves shared by the Cholesky, LU and QR `solve` paths.
 
 use crate::matrix::Matrix;
 
@@ -19,31 +19,6 @@ pub fn gemv(alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) {
         }
         for (yi, &aij) in y.iter_mut().zip(a.col(j)) {
             *yi += aij * axj;
-        }
-    }
-}
-
-/// `y = alpha * A^T x + beta * y`.
-pub fn gemv_t(alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) {
-    assert_eq!(x.len(), a.rows(), "gemv_t x dimension mismatch");
-    assert_eq!(y.len(), a.cols(), "gemv_t y dimension mismatch");
-    for (j, yj) in y.iter_mut().enumerate() {
-        let s: f64 = a.col(j).iter().zip(x).map(|(aij, xi)| aij * xi).sum();
-        *yj = alpha * s + beta * *yj;
-    }
-}
-
-/// Rank-1 update `A += alpha * x y^T`.
-pub fn ger(alpha: f64, x: &[f64], y: &[f64], a: &mut Matrix) {
-    assert_eq!(x.len(), a.rows(), "ger x dimension mismatch");
-    assert_eq!(y.len(), a.cols(), "ger y dimension mismatch");
-    for (j, &yj) in y.iter().enumerate() {
-        let ayj = alpha * yj;
-        if ayj == 0.0 {
-            continue;
-        }
-        for (aij, &xi) in a.col_mut(j).iter_mut().zip(x) {
-            *aij += xi * ayj;
         }
     }
 }
@@ -104,26 +79,6 @@ mod tests {
         for (i, yi) in y.iter().enumerate() {
             assert!((yi - (2.0 * reference[i] + 0.5)).abs() < 1e-14);
         }
-    }
-
-    #[test]
-    fn gemv_t_matches_matvec_t() {
-        let a = random_matrix(6, 8, 5);
-        let x = random_vector(6, 6);
-        let mut y = vec![0.0; 8];
-        gemv_t(1.0, &a, &x, 0.0, &mut y);
-        let reference = a.matvec_t(&x);
-        for (u, v) in y.iter().zip(&reference) {
-            assert!((u - v).abs() < 1e-14);
-        }
-    }
-
-    #[test]
-    fn ger_rank1() {
-        let mut a = Matrix::zeros(3, 2);
-        ger(2.0, &[1.0, 2.0, 3.0], &[10.0, 20.0], &mut a);
-        assert_eq!(a[(2, 1)], 2.0 * 3.0 * 20.0);
-        assert_eq!(a[(0, 0)], 20.0);
     }
 
     #[test]

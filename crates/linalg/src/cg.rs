@@ -24,7 +24,8 @@ impl LinearOperator for Matrix {
         self.rows()
     }
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        y.copy_from_slice(&self.matvec(x));
+        y.fill(0.0);
+        crate::blas2::gemv(1.0, self, x, 1.0, y);
     }
 }
 
@@ -241,6 +242,17 @@ mod tests {
     use super::*;
     use crate::gen::{random_spd, random_vector};
     use crate::sparse::poisson_2d;
+
+    #[test]
+    fn jacobi_from_dense_matches_explicit_diagonal() {
+        let a = random_spd(12, 31);
+        let d: Vec<f64> = (0..12).map(|i| a[(i, i)]).collect();
+        let r = random_vector(12, 32);
+        let (mut z1, mut z2) = (vec![0.0; 12], vec![0.0; 12]);
+        JacobiPrecond::from_dense(&a).solve(&r, &mut z1);
+        JacobiPrecond::new(&d).solve(&r, &mut z2);
+        assert_eq!(z1, z2);
+    }
 
     #[test]
     fn cg_solves_dense_spd() {

@@ -129,14 +129,8 @@ pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
     assert_eq!(b.len(), n, "rhs length mismatch");
     let mut y = b.to_vec();
     // L y = b
-    for i in 0..n {
-        let mut s = y[i];
-        for p in 0..i {
-            s -= l[(i, p)] * y[p];
-        }
-        y[i] = s / l[(i, i)];
-    }
-    // L^T x = y
+    crate::blas2::trsv_lower(l, &mut y, false);
+    // L^T x = y (hand-rolled: reads L column-wise so L^T is never formed)
     for i in (0..n).rev() {
         let mut s = y[i];
         for p in i + 1..n {

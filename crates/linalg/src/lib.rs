@@ -7,7 +7,7 @@
 //! multiplication, blocked Cholesky, preconditioned CG and LU with partial
 //! pivoting (HPL). This crate provides those, from scratch:
 //!
-//! * [`matrix::Matrix`] — column-major dense matrices.
+//! * [`Matrix`] — column-major dense matrices.
 //! * [`blas1`] / [`blas3`] — the BLAS subset the kernels are built from,
 //!   with a rayon-parallel GEMM.
 //! * [`cholesky`] — blocked right-looking `A = L L^T` with a per-step hook
@@ -20,13 +20,13 @@
 //! * [`gen`] — seeded workload generators.
 
 pub mod blas1;
-pub mod blas2;
+pub(crate) mod blas2;
 pub mod blas3;
 pub mod cg;
 pub mod cholesky;
 pub mod gen;
 pub mod lu;
-pub mod matrix;
+pub(crate) mod matrix;
 pub mod qr;
 pub mod sparse;
 

@@ -130,22 +130,10 @@ impl LuFactors {
         assert_eq!(b.len(), n, "rhs length mismatch");
         let mut x = b.to_vec();
         self.apply_pivots(&mut x);
-        // Forward substitution with unit L.
-        for i in 0..n {
-            let mut s = x[i];
-            for (p, &xp) in x.iter().enumerate().take(i) {
-                s -= self.lu[(i, p)] * xp;
-            }
-            x[i] = s;
-        }
-        // Back substitution with U.
-        for i in (0..n).rev() {
-            let mut s = x[i];
-            for (p, &xp) in x.iter().enumerate().skip(i + 1) {
-                s -= self.lu[(i, p)] * xp;
-            }
-            x[i] = s / self.lu[(i, i)];
-        }
+        // The packed factors solve in place: unit-L forward substitution
+        // reads the strict lower triangle, U back substitution the rest.
+        crate::blas2::trsv_lower(&self.lu, &mut x, true);
+        crate::blas2::trsv_upper(&self.lu, &mut x, false);
         x
     }
 

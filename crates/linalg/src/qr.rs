@@ -141,13 +141,8 @@ impl QrFactors {
         assert_eq!(m, n, "solve needs a square factorization");
         let mut y = b.to_vec();
         self.apply_qt(&mut y);
-        for i in (0..n).rev() {
-            let mut s = y[i];
-            for (p, &yp) in y.iter().enumerate().skip(i + 1) {
-                s -= self.qr[(i, p)] * yp;
-            }
-            y[i] = s / self.qr[(i, i)];
-        }
+        // R x = Q^T b: the packed upper triangle *is* R.
+        crate::blas2::trsv_upper(&self.qr, &mut y, false);
         y
     }
 }

@@ -464,7 +464,10 @@ mod tests {
 
     #[test]
     fn address_map_round_trips() {
-        let m = AddressMap::new(&cfg());
+        // Read the map back off a built Dram: the accessor must expose
+        // the same geometry the device was constructed with.
+        let d = Dram::new(cfg());
+        let m = d.address_map();
         for paddr in [0u64, 64, 4096, 1 << 20, (1 << 33) - 64, 0x1234_5678 & !63] {
             let loc = m.decode(paddr);
             assert_eq!(m.encode(&loc), paddr, "paddr {paddr:#x}");

@@ -584,6 +584,22 @@ mod tests {
     }
 
     #[test]
+    fn custom_policy_reproduces_uniform_assignment() {
+        // A policy that always answers chipkill is `run_trace` with the
+        // uniform chipkill assignment: same timing, energy and traffic.
+        let t = linear_trace(4 * 1024 * 1024, 2, 4, true);
+        let mut m1 = Machine::new(SystemConfig::default());
+        let uniform = m1.run_trace(&t, &EccAssignment::uniform(EccScheme::Chipkill));
+        let mut m2 = Machine::new(SystemConfig::default());
+        let custom =
+            m2.run_trace_with_policy(&t, true, |_, _, _| AccessKind::Scheme(EccScheme::Chipkill));
+        assert_eq!(uniform.cycles, custom.cycles);
+        assert_eq!(uniform.dram_reads, custom.dram_reads);
+        assert_eq!(uniform.per_scheme, custom.per_scheme);
+        assert_eq!(uniform.mem_dynamic_j.to_bits(), custom.mem_dynamic_j.to_bits());
+    }
+
+    #[test]
     fn chipkill_costs_more_energy_than_no_ecc() {
         let t = linear_trace(16 * 1024 * 1024, 2, 4, true);
         let mut m = Machine::new(SystemConfig::default());

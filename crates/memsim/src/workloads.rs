@@ -951,6 +951,24 @@ mod tests {
     }
 
     #[test]
+    fn paper_scale_params_exceed_basic_defaults() {
+        // Table 3 problems must keep each kernel's identity and dominate
+        // the quick default problems in outer-loop work.
+        for kind in [KernelKind::Dgemm, KernelKind::Cholesky, KernelKind::Cg, KernelKind::Hpl] {
+            let paper = KernelParams::paper_for(kind);
+            let basic = KernelParams::default_for(kind);
+            assert_eq!(paper.kind(), kind);
+            assert_ne!(paper, basic, "{kind:?}: Table 3 must differ from the quick default");
+            assert!(
+                paper.steps() >= basic.steps(),
+                "{kind:?}: paper {} vs default {}",
+                paper.steps(),
+                basic.steps()
+            );
+        }
+    }
+
+    #[test]
     fn dgemm_trace_structure() {
         let t = dgemm_trace(&DgemmParams { n: 256, nb: 64, abft: true, verify_interval: 2 });
         assert!(!t.is_empty());

@@ -1,0 +1,209 @@
+//! Workspace call graph over the symbol table.
+//!
+//! For every function body, the expression layer yields its call sites;
+//! each site is resolved against the symbol table:
+//!
+//! - **Paths** (`helper(..)`, `module::helper(..)`, `Type::assoc(..)`,
+//!   `abft_memsim::Machine::new(..)`) resolve through the defining
+//!   file's `use` bindings (renames included), then by crate segment,
+//!   associated-function type, and module suffix.
+//! - **Method calls** (`x.step(..)`) cannot see the receiver's type at
+//!   this layer, so they conservatively fan out to *every* workspace
+//!   method of that name (trait-method fallback); a name with no
+//!   workspace candidates becomes an **unknown-callee** edge.
+//!
+//! The graph therefore over-approximates: reachability answers "may
+//! call", never "does not call" — the right polarity for determinism
+//! proofs, where a missed edge would silently hide a violation.
+
+use crate::symbols::SymbolTable;
+use crate::Workspace;
+use syn::expr::{self, Expr};
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Resolved callee indices into [`SymbolTable::fns`] (several for
+    /// the method-name fallback).
+    pub targets: Vec<usize>,
+    /// True when no workspace definition matched (external or opaque
+    /// callee) — the conservative "unknown callee" edge.
+    pub unknown: bool,
+    /// Source spelling: `a::b::c` for paths, `.name` for method calls.
+    pub display: String,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// The workspace call graph; `calls[i]` are the call sites of
+/// `SymbolTable::fns[i]`.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Per-function call sites.
+    pub calls: Vec<Vec<CallSite>>,
+}
+
+impl CallGraph {
+    /// Build the graph for every function with a body.
+    pub fn build(ws: &Workspace, table: &SymbolTable) -> CallGraph {
+        let mut calls = Vec::with_capacity(table.fns.len());
+        for (fi, f) in table.fns.iter().enumerate() {
+            let mut sites = Vec::new();
+            if let Some((lo, hi)) = f.body {
+                let tokens = &ws.files[f.file].file.tokens;
+                let stmts = expr::parse_stmts(tokens, lo, hi);
+                expr::walk_stmts(&stmts, &mut |e| match e {
+                    Expr::Call { func, line, .. } => {
+                        if let Expr::Path { segs, .. } = func.as_ref() {
+                            sites.push(resolve_path(table, fi, segs, *line));
+                        } else {
+                            sites.push(CallSite {
+                                targets: Vec::new(),
+                                unknown: true,
+                                display: "<expr>()".to_string(),
+                                line: *line,
+                            });
+                        }
+                    }
+                    Expr::MethodCall { method, line, .. } => {
+                        sites.push(resolve_method(table, method, *line));
+                    }
+                    _ => {}
+                });
+            }
+            calls.push(sites);
+        }
+        CallGraph { calls }
+    }
+
+    /// Breadth-first reachability from `roots`; returns, for every
+    /// reached function, the `(caller, call line)` it was first reached
+    /// through (roots map to `None`). Test-marked functions are not
+    /// traversed.
+    pub fn reach(
+        &self,
+        table: &SymbolTable,
+        roots: &[usize],
+    ) -> Vec<Option<Option<(usize, usize)>>> {
+        let mut state: Vec<Option<Option<(usize, usize)>>> = vec![None; table.fns.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &r in roots {
+            if state[r].is_none() && !table.fns[r].is_test {
+                state[r] = Some(None);
+                queue.push_back(r);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            for site in &self.calls[f] {
+                for &t in &site.targets {
+                    if state[t].is_none() && !table.fns[t].is_test {
+                        state[t] = Some(Some((f, site.line)));
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        state
+    }
+}
+
+/// Resolve a path call from function `caller`.
+fn resolve_path(table: &SymbolTable, caller: usize, segs: &[String], line: usize) -> CallSite {
+    let display = segs.join("::");
+    let from = &table.fns[caller];
+
+    // Expand the head segment through the defining file's `use` bindings.
+    let mut path: Vec<String> = segs.to_vec();
+    if let Some(b) = table.uses[from.file].iter().find(|b| b.local == path[0]) {
+        let mut full = b.path.clone();
+        full.extend(path[1..].iter().cloned());
+        path = full;
+    }
+
+    // Strip crate-position markers and pin down a crate restriction.
+    let mut crate_scope: Option<String> = None;
+    while let Some(head) = path.first().cloned() {
+        match head.as_str() {
+            "crate" | "self" | "super" => {
+                crate_scope = Some(from.crate_name.clone());
+                path.remove(0);
+            }
+            "std" | "core" | "alloc" => {
+                // External standard library: never a workspace fn.
+                return CallSite { targets: Vec::new(), unknown: true, display, line };
+            }
+            _ => {
+                if path.len() > 1 {
+                    if let Some(c) = table.crate_for_seg(&head) {
+                        crate_scope = Some(c.to_string());
+                        path.remove(0);
+                        continue;
+                    }
+                }
+                break;
+            }
+        }
+    }
+
+    let Some(name) = path.last().cloned() else {
+        return CallSite { targets: Vec::new(), unknown: true, display, line };
+    };
+    let in_scope = |idx: &usize| -> bool {
+        crate_scope.as_deref().is_none_or(|c| table.fns[*idx].crate_name == c)
+    };
+    let candidates: Vec<usize> = table.fns_named(&name).iter().copied().filter(in_scope).collect();
+
+    let mut targets: Vec<usize> = Vec::new();
+    if path.len() >= 2 {
+        let owner = &path[path.len() - 2];
+        let owner = if owner == "Self" {
+            from.self_ty.clone().unwrap_or_else(|| owner.clone())
+        } else {
+            owner.clone()
+        };
+        // Associated function `Type::name`.
+        targets.extend(
+            candidates.iter().copied().filter(|&i| table.fns[i].self_ty.as_deref() == Some(&owner)),
+        );
+        if targets.is_empty() {
+            // Module-qualified free function `module::name`.
+            targets.extend(candidates.iter().copied().filter(|&i| {
+                let f = &table.fns[i];
+                f.self_ty.is_none() && f.module.last() == Some(&owner)
+            }));
+        }
+    } else {
+        // Bare name: free functions, preferring the caller's own file,
+        // then the caller's crate.
+        let free: Vec<usize> =
+            candidates.iter().copied().filter(|&i| table.fns[i].self_ty.is_none()).collect();
+        let same_file: Vec<usize> =
+            free.iter().copied().filter(|&i| table.fns[i].file == from.file).collect();
+        let same_crate: Vec<usize> =
+            free.iter().copied().filter(|&i| table.fns[i].crate_name == from.crate_name).collect();
+        targets = if !same_file.is_empty() {
+            same_file
+        } else if !same_crate.is_empty() {
+            same_crate
+        } else {
+            free
+        };
+    }
+    // Tuple-struct constructors (`Cycles(x)`) and external fns resolve to
+    // nothing; that is an unknown edge, not an error.
+    let unknown = targets.is_empty();
+    CallSite { targets, unknown, display, line }
+}
+
+/// Resolve a method call by name across every workspace method
+/// (trait-method fallback).
+fn resolve_method(table: &SymbolTable, method: &str, line: usize) -> CallSite {
+    let targets: Vec<usize> = table
+        .fns_named(method)
+        .iter()
+        .copied()
+        .filter(|&i| table.fns[i].self_ty.is_some() || table.fns[i].in_trait_decl)
+        .collect();
+    let unknown = targets.is_empty();
+    CallSite { targets, unknown, display: format!(".{method}"), line }
+}

@@ -10,7 +10,8 @@ use crate::diag::Severity;
 use std::collections::BTreeMap;
 
 /// All rule codes the engine knows about.
-pub const RULES: &[&str] = &["DET001", "DET002", "DET003", "PANIC001", "FP001"];
+pub const RULES: &[&str] =
+    &["DET001", "DET002", "DET003", "DET004", "PANIC001", "FP001", "UNIT001", "API001"];
 
 /// Per-rule configuration.
 #[derive(Debug, Clone)]
@@ -23,6 +24,9 @@ pub struct RuleCfg {
     pub path_contains: Vec<String>,
     /// FP001: function-name substrings that put a function in scope.
     pub fn_contains: Vec<String>,
+    /// DET004: reachability roots, as `Type::method` or bare function
+    /// names; binary `main`s are always added.
+    pub entry_points: Vec<String>,
 }
 
 impl RuleCfg {
@@ -38,6 +42,15 @@ impl RuleCfg {
             },
             fn_contains: if scoped {
                 vec!["checksum".to_string(), "verify".to_string(), "residual".to_string()]
+            } else {
+                Vec::new()
+            },
+            entry_points: if code == "DET004" {
+                vec![
+                    "Campaign::run".to_string(),
+                    "Machine::run_source".to_string(),
+                    "Machine::run_miss_stream".to_string(),
+                ]
             } else {
                 Vec::new()
             },
@@ -134,6 +147,7 @@ impl Config {
                         "crates" => rule.crates = Some(parse_list(value, lineno)?),
                         "path_contains" => rule.path_contains = parse_list(value, lineno)?,
                         "fn_contains" => rule.fn_contains = parse_list(value, lineno)?,
+                        "entry_points" => rule.entry_points = parse_list(value, lineno)?,
                         _ => return Err(format!("line {lineno}: unknown rule key {key}")),
                     }
                 }

@@ -98,3 +98,39 @@ impl Diagnostic {
 pub fn sort_diags(diags: &mut [Diagnostic]) {
     diags.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_covers_every_class_of_special_character() {
+        assert_eq!(
+            json_escape("quote \" slash \\ newline \n tab \t cr \r bell \u{7}"),
+            "quote \\\" slash \\\\ newline \\n tab \\t cr \\r bell \\u0007"
+        );
+        assert_eq!(
+            json_escape("plain ascii and ünïcode stay verbatim"),
+            "plain ascii and ünïcode stay verbatim"
+        );
+    }
+
+    #[test]
+    fn diagnostic_json_snapshot() {
+        // Message and path route through the shared escaper; a literal
+        // backtick-quoted rust string with quotes must survive parsing.
+        let d = Diagnostic {
+            rule: "PANIC001",
+            severity: Severity::Error,
+            path: "crates/x/src/a \"b\".rs".to_string(),
+            line: 3,
+            message: "call to `expect(\"msg\")` in library code".to_string(),
+        };
+        assert_eq!(
+            d.to_json(),
+            "{\"rule\":\"PANIC001\",\"severity\":\"error\",\
+             \"path\":\"crates/x/src/a \\\"b\\\".rs\",\"line\":3,\
+             \"message\":\"call to `expect(\\\"msg\\\")` in library code\"}"
+        );
+    }
+}

@@ -12,16 +12,31 @@
 //! - **PANIC001** — no `unwrap`/`expect`/`panic!` in library crates
 //! - **FP001** — no exact `f64` equality in checksum/verify code
 //!
+//! On top of the per-file rules sits a *semantic* layer built from a
+//! workspace-wide symbol table ([`symbols`]) and call graph
+//! ([`callgraph`]):
+//!
+//! - **DET004** — interprocedural determinism: no entropy/wall-clock
+//!   source may be reachable from a simulation entry point; the
+//!   diagnostic carries the offending call chain
+//! - **UNIT001** — unit-taint dataflow: no mixing of cycles, ns, bytes,
+//!   cache lines or pJ/nJ/mJ in arithmetic without an explicit
+//!   conversion
+//! - **API001** — no dead `pub` items (never referenced from another
+//!   crate, a binary, a test or a bench)
+//!
 //! Violations are suppressed per site with a documented
 //! `// repolint:allow(RULE) reason` comment, configured in
 //! `repolint.toml`, and grandfathered (ratchet-only) via
-//! `repolint.baseline`. See DESIGN.md §3.12.
+//! `repolint.baseline`. See DESIGN.md §3.12 and §3.14.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod config;
 pub mod diag;
 pub mod rules;
 pub mod source;
+pub mod symbols;
 
 use baseline::Baseline;
 use config::Config;
@@ -30,6 +45,75 @@ use source::FileCtx;
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+
+/// One parsed source file of the workspace.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Repo-relative path, forward slashes.
+    pub rel: String,
+    /// Cargo package name the file belongs to.
+    pub crate_name: String,
+    /// Parsed item tree + token stream.
+    pub file: syn::File,
+}
+
+/// Every parsed file of the workspace: the input to both the per-file
+/// rules and the semantic (symbol-graph) passes.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Parsed files, sorted by path.
+    pub files: Vec<ParsedFile>,
+}
+
+impl Workspace {
+    /// Build a workspace from in-memory sources (`(rel_path, crate_name,
+    /// source)`); the fixture entry point for semantic-rule tests.
+    pub fn from_sources(sources: &[(&str, &str, &str)]) -> Result<Workspace, String> {
+        let mut files = Vec::new();
+        for (rel, crate_name, src) in sources {
+            let file = syn::parse_file(src).map_err(|e| format!("{rel}:{e}"))?;
+            files.push(ParsedFile {
+                rel: (*rel).to_string(),
+                crate_name: (*crate_name).to_string(),
+                file,
+            });
+        }
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Ok(Workspace { files })
+    }
+
+    /// Walk the tree under `root` and parse every `.rs` file outside the
+    /// configured excludes.
+    pub fn load(root: &Path, cfg: &Config) -> Result<Workspace, String> {
+        let mut paths = Vec::new();
+        collect_rs_files(root, root, &cfg.excludes, &mut paths)?;
+        paths.sort();
+        let mut crate_names: BTreeMap<String, String> = BTreeMap::new();
+        let mut files = Vec::new();
+        for path in &paths {
+            let rel = rel_path(root, path);
+            let crate_name = crate_name_for(root, &rel, &mut crate_names)?;
+            let src = fs::read_to_string(path).map_err(|e| format!("{rel}: {e}"))?;
+            let file = syn::parse_file(&src).map_err(|e| format!("{rel}:{e}"))?;
+            files.push(ParsedFile { rel, crate_name, file });
+        }
+        Ok(Workspace { files })
+    }
+
+    /// Run every enabled rule (per-file and semantic) over the
+    /// workspace, in canonical order.
+    pub fn lint(&self, cfg: &Config) -> Vec<Diagnostic> {
+        let ctxs: Vec<FileCtx<'_>> =
+            self.files.iter().map(|p| FileCtx::new(&p.rel, &p.crate_name, &p.file)).collect();
+        let mut out = Vec::new();
+        for ctx in &ctxs {
+            rules::run_all(ctx, cfg, &mut out);
+        }
+        rules::run_semantic(self, &ctxs, cfg, &mut out);
+        sort_diags(&mut out);
+        out
+    }
+}
 
 /// Outcome of a workspace check.
 #[derive(Debug)]
@@ -57,8 +141,10 @@ impl Report {
             *per_rule.entry(d.rule).or_default() += 1;
         }
         let diags: Vec<String> = self.diagnostics.iter().map(Diagnostic::to_json).collect();
-        let counts: Vec<String> =
-            per_rule.iter().map(|(rule, n)| format!("\"{rule}\":{n}")).collect();
+        let counts: Vec<String> = per_rule
+            .iter()
+            .map(|(rule, n)| format!("\"{}\":{n}", diag::json_escape(rule)))
+            .collect();
         format!(
             "{{\"diagnostics\":[{}],\"counts\":{{{}}},\"total\":{},\"baselined\":{},\"files\":{}}}",
             diags.join(","),
@@ -89,20 +175,12 @@ pub fn lint_source(
 /// Walk the workspace under `root` and lint every `.rs` file outside the
 /// configured excludes, applying the baseline.
 pub fn check_workspace(root: &Path, cfg: &Config, base: &Baseline) -> Result<Report, String> {
-    let mut files = Vec::new();
-    collect_rs_files(root, root, &cfg.excludes, &mut files)?;
-    files.sort();
+    let ws = Workspace::load(root, cfg)?;
+    Ok(apply_baseline(ws.files.len(), ws.lint(cfg), base))
+}
 
-    let mut crate_names: BTreeMap<String, String> = BTreeMap::new();
-    let mut all = Vec::new();
-    for path in &files {
-        let rel = rel_path(root, path);
-        let crate_name = crate_name_for(root, &rel, &mut crate_names)?;
-        let src = fs::read_to_string(path).map_err(|e| format!("{rel}: {e}"))?;
-        all.extend(lint_source(&rel, &crate_name, &src, cfg)?);
-    }
-    sort_diags(&mut all);
-
+/// Split linted diagnostics into baselined and reported halves.
+fn apply_baseline(files: usize, all: Vec<Diagnostic>, base: &Baseline) -> Report {
     let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
     for d in &all {
         *counts.entry((d.rule.to_string(), d.path.clone())).or_default() += 1;
@@ -124,7 +202,7 @@ pub fn check_workspace(root: &Path, cfg: &Config, base: &Baseline) -> Result<Rep
         }
     }
 
-    Ok(Report { diagnostics, counts, baselined, files: files.len() })
+    Report { diagnostics, counts, baselined, files }
 }
 
 fn rel_path(root: &Path, path: &Path) -> String {

@@ -2,15 +2,21 @@
 //! [`Diagnostic`]s; severity and crate scoping are applied here so the
 //! rules themselves stay focused on pattern matching.
 
+use crate::callgraph::CallGraph;
 use crate::config::Config;
 use crate::diag::{Diagnostic, Severity};
 use crate::source::FileCtx;
+use crate::symbols::SymbolTable;
+use crate::Workspace;
 
+pub mod api001;
 pub mod det001;
 pub mod det002;
 pub mod det003;
+pub mod det004;
 pub mod fp001;
 pub mod panic001;
+pub mod unit001;
 
 type RuleFn = fn(&FileCtx<'_>, &crate::config::RuleCfg, &mut Vec<Diagnostic>);
 
@@ -21,7 +27,28 @@ pub const ALL: &[(&str, RuleFn)] = &[
     ("DET003", det003::check),
     ("PANIC001", panic001::check),
     ("FP001", fp001::check),
+    ("UNIT001", unit001::check),
 ];
+
+/// Shared input to the workspace-wide (semantic) rules: the parsed
+/// workspace plus the symbol table and call graph built over it.
+pub struct SemanticCtx<'a> {
+    /// Parsed workspace files.
+    pub ws: &'a Workspace,
+    /// Per-file lint contexts, indexed like [`Workspace::files`].
+    pub ctxs: &'a [FileCtx<'a>],
+    /// Workspace symbol table.
+    pub table: SymbolTable,
+    /// Workspace call graph.
+    pub graph: CallGraph,
+}
+
+type SemanticFn = fn(&SemanticCtx<'_>, &crate::config::RuleCfg, &mut Vec<Diagnostic>);
+
+/// Workspace-wide rules, run after the per-file passes. Crate scoping
+/// is interpreted *inside* each rule (for DET004 it scopes the sinks,
+/// not the roots), so only severity and suppressions are generic here.
+pub const SEMANTIC: &[(&str, SemanticFn)] = &[("DET004", det004::check), ("API001", api001::check)];
 
 /// Run every enabled rule over one file; suppressions are applied here.
 pub fn run_all(ctx: &FileCtx<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
@@ -47,6 +74,34 @@ pub fn run_all(ctx: &FileCtx<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Run the semantic rules over the whole workspace; the symbol table
+/// and call graph are built once and shared.
+pub fn run_semantic(ws: &Workspace, ctxs: &[FileCtx<'_>], cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if SEMANTIC.iter().all(|(code, _)| cfg.rule(code).severity == Severity::Allow) {
+        return;
+    }
+    let table = SymbolTable::build(ws);
+    let graph = CallGraph::build(ws, &table);
+    let sem = SemanticCtx { ws, ctxs, table, graph };
+    for (code, check) in SEMANTIC {
+        let rule_cfg = cfg.rule(code);
+        if rule_cfg.severity == Severity::Allow {
+            continue;
+        }
+        let mut found = Vec::new();
+        check(&sem, rule_cfg, &mut found);
+        for mut d in found {
+            if let Some(ctx) = ctxs.iter().find(|c| c.path == d.path) {
+                if ctx.suppressed(d.rule, d.line) {
+                    continue;
+                }
+            }
+            d.severity = rule_cfg.severity;
+            out.push(d);
+        }
+    }
+}
+
 /// Shared constructor so every rule emits the same shape.
 pub(crate) fn diag(
     ctx: &FileCtx<'_>,
@@ -55,4 +110,9 @@ pub(crate) fn diag(
     message: String,
 ) -> Diagnostic {
     Diagnostic { rule, severity: Severity::Error, path: ctx.path.to_string(), line, message }
+}
+
+/// Constructor for semantic rules, which address files by path.
+pub(crate) fn diag_at(rule: &'static str, path: &str, line: usize, message: String) -> Diagnostic {
+    Diagnostic { rule, severity: Severity::Error, path: path.to_string(), line, message }
 }

@@ -1,0 +1,362 @@
+//! UNIT001: unit-taint dataflow.
+//!
+//! The simulator carries several scalar quantities whose types are all
+//! `u64`/`f64` but whose *units* differ: core cycles vs wall
+//! nanoseconds, bytes vs cache lines, picojoules vs nanojoules vs
+//! millijoules. The workspace convention is that an identifier's
+//! suffix names its unit (`latency_cycles`, `burst_ns`, `line_bytes`,
+//! `dynamic_nj`); this rule infers a unit for every operand from those
+//! suffixes, propagates it through local `let` bindings, casts and
+//! parentheses, and flags additive/comparative mixes of two *different*
+//! known units — the class of bug a type checker would catch if the
+//! quantities were newtypes.
+//!
+//! Multiplication, division and remainder legitimately change
+//! dimension (`cycles * tck_ns` *is* the ns conversion), so their
+//! results carry no unit and conversion expressions pass through
+//! silently. Only `+`, `-`, comparisons, `=`/`+=`/`-=`, unit-suffixed
+//! struct-literal fields, and the add/sub/min/max method families are
+//! flag sites, and only when both sides have a known, different unit.
+
+use crate::config::RuleCfg;
+use crate::diag::Diagnostic;
+use crate::rules::diag;
+use crate::source::{FileCtx, FileKind};
+use std::collections::BTreeMap;
+use syn::expr::{self, Expr, Stmt};
+use syn::{Item, ItemKind};
+
+/// The units the workspace distinguishes, by identifier suffix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Core clock cycles.
+    Cycles,
+    /// Wall/simulated nanoseconds.
+    Ns,
+    /// Bytes.
+    Bytes,
+    /// Cache lines.
+    Lines,
+    /// Picojoules.
+    Pj,
+    /// Nanojoules.
+    Nj,
+    /// Millijoules.
+    Mj,
+}
+
+impl Unit {
+    fn name(self) -> &'static str {
+        match self {
+            Unit::Cycles => "cycles",
+            Unit::Ns => "ns",
+            Unit::Bytes => "bytes",
+            Unit::Lines => "lines",
+            Unit::Pj => "pj",
+            Unit::Nj => "nj",
+            Unit::Mj => "mj",
+        }
+    }
+}
+
+const UNITS: &[(&str, Unit)] = &[
+    ("cycles", Unit::Cycles),
+    ("ns", Unit::Ns),
+    ("bytes", Unit::Bytes),
+    ("lines", Unit::Lines),
+    ("pj", Unit::Pj),
+    ("nj", Unit::Nj),
+    ("mj", Unit::Mj),
+];
+
+/// Infer a unit from an identifier: the whole name or a `_`-separated
+/// suffix. `from_le_bytes` & friends are std byte-order methods, not
+/// byte quantities.
+pub fn unit_of_name(name: &str) -> Option<Unit> {
+    if name.ends_with("_le_bytes") || name.ends_with("_be_bytes") || name.ends_with("_ne_bytes") {
+        return None;
+    }
+    UNITS.iter().find_map(|(suffix, unit)| {
+        (name == *suffix || name.ends_with(&format!("_{suffix}"))).then_some(*unit)
+    })
+}
+
+/// Methods whose receiver and first argument must agree in unit.
+const SAME_UNIT_METHODS: &[&str] = &[
+    "saturating_add",
+    "wrapping_add",
+    "checked_add",
+    "saturating_sub",
+    "wrapping_sub",
+    "checked_sub",
+    "min",
+    "max",
+];
+
+/// Run the rule over one file.
+pub fn check(ctx: &FileCtx<'_>, _cfg: &RuleCfg, out: &mut Vec<Diagnostic>) {
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    walk_items(ctx, &ctx.file.items, out);
+}
+
+fn walk_items(ctx: &FileCtx<'_>, items: &[Item], out: &mut Vec<Diagnostic>) {
+    for item in items {
+        if item.kind == ItemKind::Fn {
+            if let Some((lo, hi)) = item.body {
+                if !ctx.in_test(item.line) {
+                    let stmts = expr::parse_stmts(&ctx.file.tokens, lo, hi);
+                    check_body(ctx, &stmts, &mut BTreeMap::new(), out);
+                }
+            }
+        }
+        walk_items(ctx, &item.children, out);
+    }
+}
+
+/// Check one statement list, propagating `let`-bound units through a
+/// (lexically scoped copy of the) environment.
+fn check_body(
+    ctx: &FileCtx<'_>,
+    stmts: &[Stmt],
+    env: &mut BTreeMap<String, Unit>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Let { name, init, line, .. } => {
+                let init_unit = init.as_ref().and_then(|e| check_expr(ctx, e, env, out));
+                if let Some(n) = name {
+                    let named = unit_of_name(n);
+                    if let (Some(a), Some(b)) = (named, init_unit) {
+                        if a != b {
+                            report(ctx, out, *line, a, b, &format!("`let {n}`"));
+                        }
+                    }
+                    if let Some(u) = named.or(init_unit) {
+                        env.insert(n.clone(), u);
+                    } else {
+                        env.remove(n);
+                    }
+                }
+            }
+            Stmt::Expr(e) => {
+                check_expr(ctx, e, env, out);
+            }
+            Stmt::Item => {}
+        }
+    }
+}
+
+/// Infer the unit of an expression, flagging mixes on the way.
+fn check_expr(
+    ctx: &FileCtx<'_>,
+    e: &Expr,
+    env: &mut BTreeMap<String, Unit>,
+    out: &mut Vec<Diagnostic>,
+) -> Option<Unit> {
+    match e {
+        Expr::Path { segs, .. } => {
+            let name = segs.last()?;
+            if segs.len() == 1 {
+                if let Some(u) = env.get(name) {
+                    return Some(*u);
+                }
+            }
+            unit_of_name(name)
+        }
+        Expr::Field { base, name, .. } => {
+            check_expr(ctx, base, env, out);
+            unit_of_name(name)
+        }
+        Expr::Unary { expr, .. } => check_expr(ctx, expr, env, out),
+        Expr::Cast { expr, .. } => check_expr(ctx, expr, env, out),
+        Expr::Index { base, index } => {
+            let u = check_expr(ctx, base, env, out);
+            check_expr(ctx, index, env, out);
+            u
+        }
+        Expr::Binary { op, lhs, rhs, line } => {
+            let lu = check_expr(ctx, lhs, env, out);
+            let ru = check_expr(ctx, rhs, env, out);
+            match op.as_str() {
+                "+" | "-" | "==" | "!=" | "<" | "<=" | ">" | ">=" => {
+                    if let (Some(a), Some(b)) = (lu, ru) {
+                        if a != b {
+                            report(ctx, out, *line, a, b, &format!("`{op}`"));
+                        }
+                    }
+                    if matches!(op.as_str(), "+" | "-") {
+                        lu.or(ru)
+                    } else {
+                        None
+                    }
+                }
+                // `*`/`/`/`%` change dimension: that *is* a conversion.
+                _ => None,
+            }
+        }
+        Expr::Assign { op, lhs, rhs, line } => {
+            let lu = check_expr(ctx, lhs, env, out);
+            let ru = check_expr(ctx, rhs, env, out);
+            if matches!(op.as_str(), "=" | "+=" | "-=") {
+                if let (Some(a), Some(b)) = (lu, ru) {
+                    if a != b {
+                        report(ctx, out, *line, a, b, &format!("`{op}`"));
+                    }
+                }
+            }
+            None
+        }
+        Expr::MethodCall { recv, method, args, line, .. } => {
+            let ru = check_expr(ctx, recv, env, out);
+            let arg_units: Vec<Option<Unit>> =
+                args.iter().map(|a| check_expr(ctx, a, env, out)).collect();
+            if SAME_UNIT_METHODS.contains(&method.as_str()) {
+                if let (Some(a), Some(&Some(b))) = (ru, arg_units.first()) {
+                    if a != b {
+                        report(ctx, out, *line, a, b, &format!("`.{method}()`"));
+                    }
+                }
+                return ru.or_else(|| arg_units.first().copied().flatten());
+            }
+            // A unit-suffixed getter (`t.burst_ns()`) yields its unit.
+            unit_of_name(method)
+        }
+        Expr::Call { func, args, .. } => {
+            for a in args {
+                check_expr(ctx, a, env, out);
+            }
+            // A unit-suffixed function or newtype constructor
+            // (`ns_to_cycles(x)`, `Cycles(x)`) names its result unit.
+            if let Expr::Path { segs, .. } = func.as_ref() {
+                return segs.last().and_then(|n| unit_of_name(&n.to_lowercase()));
+            }
+            check_expr(ctx, func, env, out);
+            None
+        }
+        Expr::Struct { fields, line, .. } => {
+            for (name, value) in fields {
+                let vu = check_expr(ctx, value, env, out);
+                if let (Some(a), Some(b)) = (unit_of_name(name), vu) {
+                    if a != b {
+                        report(ctx, out, *line, a, b, &format!("field `{name}`"));
+                    }
+                }
+            }
+            None
+        }
+        Expr::Block { stmts } | Expr::Macro { stmts, .. } => {
+            // Lexical scope: inner bindings must not leak outward.
+            let mut inner = env.clone();
+            check_body(ctx, stmts, &mut inner, out);
+            None
+        }
+        Expr::Lit { .. } | Expr::Opaque { .. } => None,
+    }
+}
+
+fn report(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>, line: usize, a: Unit, b: Unit, site: &str) {
+    out.push(diag(
+        ctx,
+        "UNIT001",
+        line,
+        format!(
+            "unit mix at {site}: `{}` combined with `{}` without an explicit conversion \
+             (multiply/divide by the conversion factor, or route through a named \
+             `<from>_to_<to>` helper)",
+            a.name(),
+            b.name()
+        ),
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine_tests::lint_str;
+
+    fn unit_diags(src: &str) -> Vec<(usize, String)> {
+        lint_str("crates/memsim/src/x.rs", "abft-memsim", src)
+            .into_iter()
+            .filter(|d| d.rule == "UNIT001")
+            .map(|d| (d.line, d.message))
+            .collect()
+    }
+
+    #[test]
+    fn flags_additive_and_comparison_mixes() {
+        let got = unit_diags(
+            "pub fn f(latency_cycles: u64, burst_ns: u64, line_bytes: u64, dirty_lines: u64) {\n\
+             \x20   let _a = latency_cycles + burst_ns;\n\
+             \x20   let _b = line_bytes < dirty_lines;\n\
+             }\n",
+        );
+        assert_eq!(got.len(), 2, "{got:?}");
+        assert!(got[0].1.contains("`cycles`") && got[0].1.contains("`ns`"), "{got:?}");
+        assert!(got[1].1.contains("`bytes`") && got[1].1.contains("`lines`"), "{got:?}");
+    }
+
+    #[test]
+    fn conversions_and_same_units_stay_quiet() {
+        let got = unit_diags(
+            "pub fn f(decode_cycles: u64, tck_ns: f64, array_ns: f64, burst_ns: f64) -> f64 {\n\
+             \x20   let extra_ns = decode_cycles as f64 * tck_ns;\n\
+             \x20   array_ns - burst_ns + extra_ns\n\
+             }\n",
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn let_bindings_propagate_units() {
+        let got = unit_diags(
+            "pub fn f(core_cycles: u64, completion_ns: u64) {\n\
+             \x20   let total = core_cycles;\n\
+             \x20   let _bad = total + completion_ns;\n\
+             }\n",
+        );
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].0, 3);
+    }
+
+    #[test]
+    fn byte_order_methods_are_not_byte_quantities() {
+        let got = unit_diags(
+            "pub fn f(word: u64, payload_bytes: u64) -> u64 {\n\
+             \x20   let raw = u64::from_le_bytes(word.to_le_bytes());\n\
+             \x20   raw + payload_bytes\n\
+             }\n",
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn method_families_and_struct_fields_are_flag_sites() {
+        let got = unit_diags(
+            "pub struct Stats { pub total_ns: u64 }\n\
+             pub fn f(core_cycles: u64, idle_ns: u64) -> Stats {\n\
+             \x20   let _m = core_cycles.saturating_add(idle_ns);\n\
+             \x20   Stats { total_ns: core_cycles }\n\
+             }\n",
+        );
+        assert_eq!(got.len(), 2, "{got:?}");
+        assert_eq!(got[0].0, 3);
+        assert_eq!(got[1].0, 4);
+    }
+
+    #[test]
+    fn energy_units_do_not_cross() {
+        let got = unit_diags(
+            "pub fn f(dynamic_nj: f64, leak_pj: f64, budget_mj: f64) {\n\
+             \x20   let _a = dynamic_nj + leak_pj / 1000.0;\n\
+             \x20   let _b = budget_mj - dynamic_nj * 1e-6;\n\
+             }\n",
+        );
+        assert!(got.is_empty(), "division/multiplication are conversions: {got:?}");
+        let bad = unit_diags(
+            "pub fn f(dynamic_nj: f64, leak_pj: f64) -> f64 {\n    dynamic_nj + leak_pj\n}\n",
+        );
+        assert_eq!(bad.len(), 1, "{bad:?}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Cross-crate call-graph resolution, checked against a three-crate
+//! fixture workspace: a `driver` binary crate calling into `engine`,
+//! which calls into `util` — through plain paths, `use` renames, and
+//! trait methods.
+
+use repolint::callgraph::CallGraph;
+use repolint::symbols::SymbolTable;
+use repolint::Workspace;
+
+/// `driver` (bin) -> `engine` -> `util`, with a `use`-renamed import and
+/// a trait whose only implementor lives in `util`.
+fn fixture() -> Workspace {
+    Workspace::from_sources(&[
+        (
+            "crates/driver/src/bin/run.rs",
+            "driver",
+            "use engine::step;\n\
+             fn main() {\n\
+             \x20   step();\n\
+             }\n",
+        ),
+        (
+            "crates/engine/src/lib.rs",
+            "engine",
+            "use util::checksum as fold;\n\
+             use util::Accumulate;\n\
+             pub fn step() {\n\
+             \x20   let _ = fold(&[1, 2]);\n\
+             \x20   helper();\n\
+             }\n\
+             fn helper() {\n\
+             \x20   let acc = util::Ring::default();\n\
+             \x20   acc.absorb(7);\n\
+             }\n",
+        ),
+        (
+            "crates/util/src/lib.rs",
+            "util",
+            "pub fn checksum(xs: &[u64]) -> u64 {\n\
+             \x20   xs.iter().sum()\n\
+             }\n\
+             pub trait Accumulate {\n\
+             \x20   fn absorb(&self, v: u64);\n\
+             }\n\
+             #[derive(Default)]\n\
+             pub struct Ring;\n\
+             impl Accumulate for Ring {\n\
+             \x20   fn absorb(&self, _v: u64) {}\n\
+             }\n",
+        ),
+    ])
+    .expect("fixture parses")
+}
+
+fn build(ws: &Workspace) -> (SymbolTable, CallGraph) {
+    let table = SymbolTable::build(ws);
+    let graph = CallGraph::build(ws, &table);
+    (table, graph)
+}
+
+fn fn_index(table: &SymbolTable, qual: &str) -> usize {
+    table
+        .fns
+        .iter()
+        .position(|f| f.qual() == qual)
+        .unwrap_or_else(|| panic!("no fn {qual} in {:?}", qual_names(table)))
+}
+
+fn qual_names(table: &SymbolTable) -> Vec<String> {
+    table.fns.iter().map(|f| f.qual()).collect()
+}
+
+#[test]
+fn cross_crate_edges_resolve_to_the_defining_crate() {
+    let ws = fixture();
+    let (table, graph) = build(&ws);
+    let main = fn_index(&table, "main");
+    let step = fn_index(&table, "step");
+    let sites = &graph.calls[main];
+    assert!(
+        sites.iter().any(|s| s.targets.contains(&step)),
+        "main must call engine::step: {sites:?}"
+    );
+    assert_eq!(table.fns[step].crate_name, "engine");
+}
+
+#[test]
+fn use_renames_resolve_to_the_original_item() {
+    let ws = fixture();
+    let (table, graph) = build(&ws);
+    let step = fn_index(&table, "step");
+    let checksum = fn_index(&table, "checksum");
+    assert_eq!(table.fns[checksum].crate_name, "util");
+    let site = graph.calls[step]
+        .iter()
+        .find(|s| s.display.contains("fold"))
+        .expect("renamed call site recorded");
+    assert!(
+        site.targets.contains(&checksum),
+        "`fold` must resolve through the rename to util::checksum: {site:?}"
+    );
+}
+
+#[test]
+fn trait_method_calls_fall_back_to_all_implementors() {
+    let ws = fixture();
+    let (table, graph) = build(&ws);
+    let helper = fn_index(&table, "helper");
+    let absorb = fn_index(&table, "Ring::absorb");
+    let site = graph.calls[helper]
+        .iter()
+        .find(|s| s.display.contains("absorb"))
+        .expect("method call site recorded");
+    assert!(
+        site.targets.contains(&absorb),
+        "method call must fan out to the trait implementor: {site:?}"
+    );
+}
+
+#[test]
+fn reachability_walks_the_whole_chain_and_records_parents() {
+    let ws = fixture();
+    let (table, graph) = build(&ws);
+    let main = fn_index(&table, "main");
+    let absorb = fn_index(&table, "Ring::absorb");
+    let checksum = fn_index(&table, "checksum");
+    let state = graph.reach(&table, &[main]);
+    // Everything on the chain is reached; the root has no parent.
+    assert_eq!(state[main], Some(None));
+    for (label, fi) in [("checksum", checksum), ("Ring::absorb", absorb)] {
+        let reached = state[fi].unwrap_or_else(|| panic!("{label} not reached"));
+        let (parent, _line) = reached.expect("non-root hop records its caller");
+        assert!(state[parent].is_some(), "{label}'s parent must itself be reached");
+    }
+}

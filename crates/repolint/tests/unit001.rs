@@ -1,0 +1,125 @@
+//! UNIT001 behavioral contract, from both directions:
+//!
+//! * a property test that arithmetic over *same-unit* operands never
+//!   fires, across every unit, operator and name shape the rule knows;
+//! * a table of known-bad cross-unit mixes that must each fire exactly
+//!   once, at the mixing expression.
+
+use proptest::prelude::*;
+use repolint::config::Config;
+use repolint::lint_source;
+
+fn unit001(src: &str) -> Vec<(usize, String)> {
+    lint_source("crates/memsim/src/lib.rs", "abft-memsim", src, &Config::default())
+        .expect("fixture parses")
+        .into_iter()
+        .filter(|d| d.rule == "UNIT001")
+        .map(|d| (d.line, d.message))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn same_unit_operands_never_fire(
+        unit in prop::sample::select(vec!["cycles", "ns", "bytes", "lines", "pj", "nj", "mj"]),
+        op in prop::sample::select(vec!["+", "-", "<", "<=", ">", ">=", "==", "!="]),
+        a in prop::sample::select(vec!["total", "dram_busy", "burst"]),
+        b in prop::sample::select(vec!["peak", "row_cycle", "queue_wait"]),
+        bare in prop::sample::select(vec![true, false]),
+    ) {
+        // Both operands carry the same unit, one optionally as the bare
+        // unit name itself (`ns`, `bytes`, ...).
+        let lhs = format!("{a}_{unit}");
+        let rhs = if bare { unit.to_string() } else { format!("{b}_{unit}") };
+        let src = format!(
+            "pub fn f({lhs}: u64, {rhs}: u64) -> bool {{\n    let x = {lhs} {op} {rhs};\n    x >= x\n}}\n"
+        );
+        let got = unit001(&src);
+        prop_assert!(got.is_empty(), "same-unit {op} flagged: {got:?}\nsource:\n{src}");
+    }
+
+    #[test]
+    fn same_unit_saturating_ops_never_fire(
+        unit in prop::sample::select(vec!["cycles", "ns", "bytes", "pj"]),
+        method in prop::sample::select(vec![
+            "saturating_add", "saturating_sub", "wrapping_add", "checked_sub", "min", "max",
+        ]),
+    ) {
+        let src = format!(
+            "pub fn f(a_{unit}: u64, b_{unit}: u64) {{\n    let _ = a_{unit}.{method}(b_{unit});\n}}\n"
+        );
+        let got = unit001(&src);
+        prop_assert!(got.is_empty(), "same-unit {method} flagged: {got:?}");
+    }
+}
+
+/// Known-bad mixes: `(label, source, line that must be flagged)`.
+const KNOWN_BAD: &[(&str, &str, usize)] = &[
+    (
+        "cycles + ns",
+        "pub fn f(busy_cycles: u64, stall_ns: u64) -> u64 {\n    busy_cycles + stall_ns\n}\n",
+        2,
+    ),
+    (
+        "bytes vs lines comparison",
+        "pub fn f(dirty_bytes: u64, dirty_lines: u64) -> bool {\n    dirty_bytes < dirty_lines\n}\n",
+        2,
+    ),
+    (
+        "pJ + mJ without conversion",
+        "pub fn f(access_pj: f64, refresh_mj: f64) -> f64 {\n    access_pj + refresh_mj\n}\n",
+        2,
+    ),
+    (
+        "nJ accumulator fed pJ",
+        "pub fn f(mut total_nj: f64, burst_pj: f64) -> f64 {\n    total_nj += burst_pj;\n    total_nj\n}\n",
+        2,
+    ),
+    (
+        "assignment across units",
+        "pub fn f(mut deadline_ns: u64, limit_cycles: u64) -> u64 {\n    deadline_ns = limit_cycles;\n    deadline_ns\n}\n",
+        2,
+    ),
+    (
+        "saturating_sub across units",
+        "pub fn f(cap_bytes: u64, used_lines: u64) -> u64 {\n    cap_bytes.saturating_sub(used_lines)\n}\n",
+        2,
+    ),
+    (
+        "unit taint through let binding",
+        "pub fn f(span_cycles: u64, wait_ns: u64) -> u64 {\n    let budget = span_cycles;\n    budget + wait_ns\n}\n",
+        3,
+    ),
+];
+
+#[test]
+fn known_bad_mixes_fire_exactly_once_at_the_mixing_line() {
+    for (label, src, line) in KNOWN_BAD {
+        let got = unit001(src);
+        assert_eq!(got.len(), 1, "{label}: {got:?}\nsource:\n{src}");
+        assert_eq!(got[0].0, *line, "{label}: flagged wrong line: {got:?}");
+    }
+}
+
+#[test]
+fn division_is_a_conversion_not_a_mix() {
+    // `bytes / bytes_per_line` changes dimension; the quotient must not
+    // keep either unit, so neither the division nor the later compare
+    // against lines fires.
+    let src = "pub fn f(total_bytes: u64, line_bytes: u64, cap_lines: u64) -> bool {\n    \
+               let used = total_bytes / line_bytes;\n    used < cap_lines\n}\n";
+    assert_eq!(unit001(src), vec![]);
+}
+
+#[test]
+fn suppression_and_byte_order_helpers_stay_quiet() {
+    // `to_le_bytes` is byte *order*, not a byte quantity; an explicit
+    // allow silences a genuine mix.
+    let src = "pub fn f(v: u64, busy_cycles: u64, stall_ns: u64) -> u64 {\n    \
+               let _ = v.to_le_bytes();\n    \
+               // repolint:allow(UNIT001) calibration constant is dimensionless here\n    \
+               busy_cycles + stall_ns\n}\n";
+    assert_eq!(unit001(src), vec![]);
+}

@@ -34,6 +34,8 @@ impl Drop for Scratch {
 
 const MANIFEST: &str = "[package]\nname = \"demo\"\n";
 const DIRTY: &str = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+/// Binary consumer so the fixtures' pub fns have a caller (API001).
+const USER: &str = "fn main() {\n    let _ = demo::f(Some(1));\n    let _ = demo::g;\n}\n";
 
 #[test]
 fn walks_excludes_and_reports() {
@@ -41,12 +43,13 @@ fn walks_excludes_and_reports() {
     ws.write("Cargo.toml", MANIFEST);
     ws.write("crates/demo/Cargo.toml", MANIFEST);
     ws.write("crates/demo/src/lib.rs", DIRTY);
+    ws.write("crates/demo/src/bin/tool.rs", USER);
     ws.write("crates/compat/fake/src/lib.rs", "pub fn f() { None::<u32>.unwrap(); }\n");
     ws.write("target/debug/build/gen.rs", "pub fn f() { None::<u32>.unwrap(); }\n");
 
     let report =
         check_workspace(&ws.root, &Config::default(), &Baseline::default()).expect("check");
-    assert_eq!(report.files, 1, "compat and target are excluded");
+    assert_eq!(report.files, 2, "compat and target are excluded");
     assert_eq!(report.diagnostics.len(), 1);
     let d = &report.diagnostics[0];
     assert_eq!((d.rule, d.path.as_str(), d.line), ("PANIC001", "crates/demo/src/lib.rs", 2));
@@ -63,6 +66,7 @@ fn baseline_absorbs_exactly_and_ratchets() {
         "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n\
          pub fn g(x: Option<u32>) -> u32 {\n    x.expect(\"g\")\n}\n",
     );
+    ws.write("crates/demo/src/bin/tool.rs", USER);
 
     // A baseline covering one of the two findings: the second still fails.
     let base = Baseline::parse("PANIC001 crates/demo/src/lib.rs 1\n").expect("baseline");
@@ -90,6 +94,7 @@ fn clean_tree_passes_with_empty_baseline() {
         "crates/demo/src/lib.rs",
         "pub fn f(x: Option<u32>) -> Result<u32, ()> {\n    x.ok_or(())\n}\n",
     );
+    ws.write("crates/demo/src/bin/tool.rs", USER);
     let report =
         check_workspace(&ws.root, &Config::default(), &Baseline::default()).expect("check");
     assert!(!report.failed());
