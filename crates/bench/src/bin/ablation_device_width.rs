@@ -3,22 +3,22 @@
 //! chips)"; Section 2.2 prices x8 chipkill at 18.75%-37.5% storage
 //! overhead. This study reruns the FT-DGEMM basic test on both widths.
 
-use abft_bench::{print_header, report_progress};
-use abft_coop_core::report::{norm, pct, TextTable};
-use abft_coop_core::{Campaign, Strategy};
+use abft_bench::{print_header, run_grid};
+use abft_coop_core::report::{norm, pct, ReportSink, StdoutSink, TextTable};
+use abft_coop_core::{CampaignSpec, Strategy};
 use abft_memsim::config::DeviceWidth;
 use abft_memsim::workloads::{DgemmParams, KernelKind};
 use abft_memsim::SystemConfig;
 
 fn main() {
     print_header("Ablation — DRAM device width (FT-DGEMM trace)");
-    let run = Campaign::new()
+    let spec = CampaignSpec::builder()
         .workload(DgemmParams { n: 768, nb: 64, abft: true, verify_interval: 4 })
         .strategies([Strategy::NoEcc, Strategy::WholeChipkill, Strategy::PartialChipkillNoEcc])
         .config("x4", SystemConfig::default().with_device_width(DeviceWidth::X4))
         .config("x8", SystemConfig::default().with_device_width(DeviceWidth::X8))
-        .on_progress(report_progress)
-        .run();
+        .build();
+    let run = run_grid(&spec);
     let mut t = TextTable::new(&["width", "strategy", "mem energy (norm)", "IPC (norm)"]);
     for label in ["x4", "x8"] {
         let cell = |s| &run.get(KernelKind::Dgemm, s, label).expect("campaign cell").stats;
@@ -36,7 +36,8 @@ fn main() {
         }
         println!("{label}: partial-chipkill memory-energy saving = {}", pct(saving));
     }
-    print!("{}", t.render());
-    println!("\nx8 chipkill overfetches relatively more (19/8 vs 36/16 chips), so");
-    println!("relaxing ECC on ABFT data saves even more energy on x8 parts.");
+    let mut sink = StdoutSink::new();
+    sink.table(&t);
+    sink.note("\nx8 chipkill overfetches relatively more (19/8 vs 36/16 chips), so");
+    sink.note("relaxing ECC on ABFT data saves even more energy on x8 parts.");
 }

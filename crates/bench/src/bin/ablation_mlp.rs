@@ -2,10 +2,10 @@
 //! the `stall_factor` knob (the fraction of DRAM latency the pipeline
 //! cannot hide) moves the Figure 7 performance gaps.
 
-use abft_bench::{print_header, report_progress};
+use abft_bench::{print_header, run_grid};
 use abft_coop_core::report::norm;
-use abft_coop_core::report::TextTable;
-use abft_coop_core::{Campaign, Strategy};
+use abft_coop_core::report::{ReportSink, StdoutSink, TextTable};
+use abft_coop_core::{CampaignSpec, Strategy};
 use abft_memsim::workloads::{CgParams, KernelKind};
 use abft_memsim::SystemConfig;
 
@@ -13,15 +13,14 @@ const STALL_FACTORS: [f64; 6] = [0.1, 0.2, 0.35, 0.5, 0.75, 1.0];
 
 fn main() {
     print_header("Ablation — MLP sensitivity (FT-CG trace, W_CK vs No-ECC IPC gap)");
-    let mut campaign = Campaign::new()
+    let mut spec = CampaignSpec::builder()
         .workload(CgParams { grid: 384, iterations: 6, abft: true, verify_interval: 4 })
-        .strategies([Strategy::NoEcc, Strategy::WholeChipkill])
-        .on_progress(report_progress);
+        .strategies([Strategy::NoEcc, Strategy::WholeChipkill]);
     for sf in STALL_FACTORS {
         let cfg = SystemConfig { stall_factor: sf, ..SystemConfig::default() };
-        campaign = campaign.config(format!("sf={sf:.2}"), cfg);
+        spec = spec.config(format!("sf={sf:.2}"), cfg);
     }
-    let run = campaign.run();
+    let run = run_grid(&spec.build());
     let mut t = TextTable::new(&["stall_factor", "IPC No-ECC", "IPC W_CK", "W_CK IPC (norm)"]);
     for sf in STALL_FACTORS {
         let tag = format!("sf={sf:.2}");
@@ -35,12 +34,13 @@ fn main() {
             norm(wck.ipc() / base.ipc()),
         ]);
     }
-    print!("{}", t.render());
-    println!("\nReading the trend: with high MLP (low stall factor) the machine runs");
-    println!("bandwidth-bound, which is precisely where chipkill's channel lock-step");
-    println!("hurts most (half the independent channels). With little MLP the");
-    println!("machine is latency-bound everywhere and the relative gap shrinks —");
-    println!("Section 5.1's observation that parallelism 'can partially hide' the");
-    println!("per-access ECC latency while the paper's Section 2.2 bandwidth cost");
-    println!("('fewer opportunities for rank-level parallelism') remains.");
+    let mut sink = StdoutSink::new();
+    sink.table(&t);
+    sink.note("\nReading the trend: with high MLP (low stall factor) the machine runs");
+    sink.note("bandwidth-bound, which is precisely where chipkill's channel lock-step");
+    sink.note("hurts most (half the independent channels). With little MLP the");
+    sink.note("machine is latency-bound everywhere and the relative gap shrinks —");
+    sink.note("Section 5.1's observation that parallelism 'can partially hide' the");
+    sink.note("per-access ECC latency while the paper's Section 2.2 bandwidth cost");
+    sink.note("('fewer opportunities for rank-level parallelism') remains.");
 }

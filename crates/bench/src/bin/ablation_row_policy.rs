@@ -3,9 +3,9 @@
 //! energy savings of partial ECC; a closed-page machine shows the
 //! counterfactual.
 
-use abft_bench::{print_header, report_progress};
-use abft_coop_core::report::{norm, TextTable};
-use abft_coop_core::{Campaign, Strategy};
+use abft_bench::{print_header, run_grid};
+use abft_coop_core::report::{norm, ReportSink, StdoutSink, TextTable};
+use abft_coop_core::{CampaignSpec, Strategy};
 use abft_memsim::config::RowPolicy;
 use abft_memsim::workloads::{DgemmParams, KernelKind};
 use abft_memsim::SystemConfig;
@@ -16,13 +16,13 @@ fn config_with_policy(policy: RowPolicy) -> SystemConfig {
 
 fn main() {
     print_header("Ablation — row-buffer policy (FT-DGEMM trace)");
-    let run = Campaign::new()
+    let spec = CampaignSpec::builder()
         .workload(DgemmParams { n: 768, nb: 64, abft: true, verify_interval: 4 })
         .strategies([Strategy::WholeChipkill, Strategy::PartialChipkillNoEcc])
         .config("open", config_with_policy(RowPolicy::Open))
         .config("closed", config_with_policy(RowPolicy::Closed))
-        .on_progress(report_progress)
-        .run();
+        .build();
+    let run = run_grid(&spec);
     let mut t = TextTable::new(&[
         "policy",
         "strategy",
@@ -47,8 +47,9 @@ fn main() {
             ]);
         }
     }
-    print!("{}", t.render());
-    println!("\nClosed-page pays an activate on every access: dynamic energy rises");
-    println!("across the board and the relative partial-ECC saving persists — the");
-    println!("row buffer only damps, never creates, the effect (Section 5.1).");
+    let mut sink = StdoutSink::new();
+    sink.table(&t);
+    sink.note("\nClosed-page pays an activate on every access: dynamic energy rises");
+    sink.note("across the board and the relative partial-ECC saving persists — the");
+    sink.note("row buffer only damps, never creates, the effect (Section 5.1).");
 }

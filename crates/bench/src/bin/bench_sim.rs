@@ -10,7 +10,9 @@
 
 use abft_bench::print_header;
 use abft_coop_core::report::TextTable;
-use abft_coop_core::{run_strategy_miss_stream, run_strategy_source, Campaign, Strategy};
+use abft_coop_core::{
+    run_strategy_miss_stream, run_strategy_source, CampaignClient, CampaignSpec, Strategy,
+};
 use abft_memsim::miss_stream::MissStream;
 use abft_memsim::workloads::{KernelKind, KernelParams};
 use abft_memsim::{SystemConfig, TraceCache};
@@ -74,11 +76,12 @@ fn measure(kind: KernelKind, cache: &TraceCache) -> Row {
 /// The Figure 7 grid (4 kernels x 6 strategies) end-to-end, on the given
 /// path. The filtered run reuses the pre-warmed miss-stream memo exactly
 /// as the harness binaries do after their first campaign.
-fn grid_secs(cache: &TraceCache, filtered: bool) -> f64 {
+fn grid_secs(cache: &Arc<TraceCache>, filtered: bool) -> f64 {
     let cfg = SystemConfig::default();
     let t0 = Instant::now();
     if filtered {
-        let run = Campaign::new().kernels(KernelKind::ALL).run_with_cache(cache);
+        let run = CampaignClient::with_cache(Arc::clone(cache))
+            .run(&CampaignSpec::basic(KernelKind::ALL));
         assert_eq!(run.metrics.jobs, 24);
     } else {
         use rayon::prelude::*;
@@ -94,9 +97,29 @@ fn grid_secs(cache: &TraceCache, filtered: bool) -> f64 {
     t0.elapsed().as_secs_f64().max(1e-9)
 }
 
+/// The Figure 7 grid against an on-disk artifact store, from a fresh
+/// in-memory cache each time (a fresh-process stand-in). The first call
+/// over an empty store generates and persists every artifact; later
+/// calls load blobs instead of generating, which is the cross-process
+/// warm-start the store exists for.
+fn disk_grid(dir: &std::path::Path, expect_warm: bool) -> f64 {
+    let cache = Arc::new(TraceCache::new());
+    let spec = CampaignSpec::builder().kernels(KernelKind::ALL).store(dir).build();
+    let t0 = Instant::now();
+    let run = CampaignClient::with_cache(cache).run(&spec);
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(run.metrics.jobs, 24);
+    if expect_warm {
+        assert_eq!(run.metrics.cache_builds, 0, "warm disk must not regenerate traces");
+        assert_eq!(run.metrics.filter_builds, 0, "warm disk must not refilter miss streams");
+        assert_eq!(run.metrics.store_misses, 0, "warm disk must hit every artifact");
+    }
+    secs
+}
+
 fn main() {
     print_header("Two-phase simulation benchmark — full path vs filtered miss-stream replay");
-    let cache = TraceCache::new();
+    let cache = Arc::new(TraceCache::new());
     let rows: Vec<Row> = KernelKind::ALL.iter().map(|&k| measure(k, &cache)).collect();
 
     let mut t = TextTable::new(&[
@@ -136,6 +159,20 @@ fn main() {
          {filtered_grid_secs:.2}s, filtered warm {warm_grid_secs:.2}s ({grid_speedup:.1}x)"
     );
 
+    // Artifact-store path: the same grid from fresh caches, once against
+    // an empty store (generate + persist) and once against the populated
+    // store (load only) — the cross-process cold/warm-disk comparison.
+    let store_dir = std::env::temp_dir().join(format!("abft-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let cold_disk_secs = disk_grid(&store_dir, false);
+    let warm_disk_secs = disk_grid(&store_dir, true);
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let disk_speedup = cold_disk_secs / warm_disk_secs.max(1e-9);
+    println!(
+        "fig07 grid via artifact store: cold disk {cold_disk_secs:.2}s, warm disk \
+         {warm_disk_secs:.2}s ({disk_speedup:.1}x; warm run regenerates nothing)"
+    );
+
     let mut json = String::from("{\n  \"kernels\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
@@ -159,7 +196,9 @@ fn main() {
         json,
         "  ],\n  \"fig07_grid\": {{\"jobs\": 24, \"full_secs\": {full_grid_secs:.4}, \
          \"filtered_cold_secs\": {filtered_grid_secs:.4}, \
-         \"filtered_warm_secs\": {warm_grid_secs:.4}, \"speedup\": {grid_speedup:.2}}}\n}}\n"
+         \"filtered_warm_secs\": {warm_grid_secs:.4}, \"speedup\": {grid_speedup:.2}}},\n  \
+         \"artifact_store\": {{\"cold_disk_secs\": {cold_disk_secs:.4}, \
+         \"warm_disk_secs\": {warm_disk_secs:.4}, \"warm_speedup\": {disk_speedup:.2}}}\n}}\n"
     );
     let path = "BENCH_sim.json";
     match std::fs::write(path, &json) {

@@ -2,7 +2,7 @@
 //! strategies, normalized to No-ECC.
 
 use abft_bench::{all_basic_tests, print_header};
-use abft_coop_core::report::{norm, pct, TextTable};
+use abft_coop_core::report::{norm, pct, ReportSink, StdoutSink, TextTable};
 use abft_coop_core::Strategy;
 
 fn main() {
@@ -27,16 +27,17 @@ fn main() {
             ]);
         }
     }
-    print!("{}", t.render());
-    println!("\nHeadlines vs paper:");
+    let mut sink = StdoutSink::new();
+    sink.table(&t);
+    sink.note("\nHeadlines vs paper:");
     for bt in &tests {
-        println!(
+        sink.note(&format!(
             "  {:12} partial-CK saves {} of W_CK memory energy (paper: DGEMM 49%, CG 38%); \
              P_CK+P_SD saves {} (paper: DGEMM 48%, CG 33%); W_SD costs {} over No-ECC (paper: ~12%)",
             bt.kernel.label(),
             pct(bt.partial_mem_saving(Strategy::PartialChipkillNoEcc)),
             pct(bt.partial_mem_saving(Strategy::PartialChipkillSecded)),
             pct(bt.mem_energy_norm(Strategy::WholeSecded) - 1.0),
-        );
+        ));
     }
 }

@@ -2,7 +2,7 @@
 //! strategies, normalized to No-ECC.
 
 use abft_bench::{all_basic_tests, print_header};
-use abft_coop_core::report::{norm, pct, TextTable};
+use abft_coop_core::report::{norm, pct, ReportSink, StdoutSink, TextTable};
 use abft_coop_core::Strategy;
 
 fn main() {
@@ -27,14 +27,15 @@ fn main() {
             ]);
         }
     }
-    print!("{}", t.render());
-    println!("\nHeadlines vs paper (partial chipkill system-energy saving vs W_CK):");
+    let mut sink = StdoutSink::new();
+    sink.table(&t);
+    sink.note("\nHeadlines vs paper (partial chipkill system-energy saving vs W_CK):");
     let paper = ["22%", "8%", "25%", "10%"];
     for (bt, p) in tests.iter().zip(paper) {
-        println!(
+        sink.note(&format!(
             "  {:12} measured {}  (paper: up to {p})",
             bt.kernel.label(),
             pct(bt.partial_system_saving(abft_coop_core::Strategy::PartialChipkillNoEcc)),
-        );
+        ));
     }
 }

@@ -2,7 +2,7 @@
 //! No-ECC.
 
 use abft_bench::{all_basic_tests, print_header};
-use abft_coop_core::report::{norm, TextTable};
+use abft_coop_core::report::{norm, ReportSink, StdoutSink, TextTable};
 use abft_coop_core::Strategy;
 
 fn main() {
@@ -19,7 +19,8 @@ fn main() {
             ]);
         }
     }
-    print!("{}", t.render());
-    println!("\nPaper: partial-ECC performance is close to No-ECC (especially FT-DGEMM");
-    println!("and FT-Cholesky); performance variance is smaller than energy variance.");
+    let mut sink = StdoutSink::new();
+    sink.table(&t);
+    sink.note("Paper: partial-ECC performance is close to No-ECC (especially FT-DGEMM");
+    sink.note("and FT-Cholesky); performance variance is smaller than energy variance.");
 }

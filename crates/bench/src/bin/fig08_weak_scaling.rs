@@ -2,19 +2,15 @@
 //! cost (FT-CG, 3000x3000-class per process, 100 -> 819,200 processes).
 
 use abft_analysis::{profiles_from_basic_test, weak_scaling, ScalingConfig};
-use abft_bench::{print_header, report_progress};
-use abft_coop_core::report::TextTable;
-use abft_coop_core::Campaign;
+use abft_bench::{print_header, run_grid};
+use abft_coop_core::report::{ReportSink, StdoutSink, TextTable};
+use abft_coop_core::CampaignSpec;
 use abft_memsim::workloads::KernelKind;
 
 fn main() {
     print_header("Figure 8 — Weak scaling: energy benefit vs ABFT recovery cost (FT-CG)");
     eprintln!("[measuring single-process FT-CG profile ...]");
-    let bt = Campaign::new()
-        .kernel(KernelKind::Cg)
-        .on_progress(report_progress)
-        .run()
-        .basic_test(KernelKind::Cg);
+    let bt = run_grid(&CampaignSpec::basic([KernelKind::Cg])).basic_test(KernelKind::Cg);
     let cfg = ScalingConfig::default();
     let mut t = TextTable::new(&[
         "Strategy",
@@ -34,8 +30,9 @@ fn main() {
             ]);
         }
     }
-    print!("{}", t.render());
-    println!("\nPaper shape: benefit and recovery both grow ~linearly with scale; the");
-    println!("benefit stays well above the recovery cost; P_CK+P_SD has much lower");
-    println!("recovery cost than the no-ECC-relaxed strategies.");
+    let mut sink = StdoutSink::new();
+    sink.table(&t);
+    sink.note("\nPaper shape: benefit and recovery both grow ~linearly with scale; the");
+    sink.note("benefit stays well above the recovery cost; P_CK+P_SD has much lower");
+    sink.note("recovery cost than the no-ECC-relaxed strategies.");
 }

@@ -3,19 +3,15 @@
 //! processes).
 
 use abft_analysis::{profiles_from_basic_test, strong_scaling, ScalingConfig};
-use abft_bench::{print_header, report_progress};
-use abft_coop_core::report::TextTable;
-use abft_coop_core::Campaign;
+use abft_bench::{print_header, run_grid};
+use abft_coop_core::report::{ReportSink, StdoutSink, TextTable};
+use abft_coop_core::CampaignSpec;
 use abft_memsim::workloads::KernelKind;
 
 fn main() {
     print_header("Figure 9 — Strong scaling: energy benefit vs ABFT recovery cost (FT-CG)");
     eprintln!("[measuring single-process FT-CG profile ...]");
-    let bt = Campaign::new()
-        .kernel(KernelKind::Cg)
-        .on_progress(report_progress)
-        .run()
-        .basic_test(KernelKind::Cg);
+    let bt = run_grid(&CampaignSpec::basic([KernelKind::Cg])).basic_test(KernelKind::Cg);
     let cfg = ScalingConfig::default();
     let mut t =
         TextTable::new(&["Strategy", "Processes", "Energy benefit (kJ)", "Recovery cost (kJ)"]);
@@ -29,8 +25,9 @@ fn main() {
             ]);
         }
     }
-    print!("{}", t.render());
-    println!("\nPaper shape: the benefit rises to a sweet point then falls (caching");
-    println!("erodes main-memory traffic as per-process problems shrink); recovery");
-    println!("cost falls monotonically; P_CK+P_SD is the most energy efficient.");
+    let mut sink = StdoutSink::new();
+    sink.table(&t);
+    sink.note("\nPaper shape: the benefit rises to a sweet point then falls (caching");
+    sink.note("erodes main-memory traffic as per-process problems shrink); recovery");
+    sink.note("cost falls monotonically; P_CK+P_SD is the most energy efficient.");
 }

@@ -2,9 +2,9 @@
 //! flexible ECC) vs the cooperative ABFT-directed scheme, for FT-DGEMM
 //! (high spatial locality) and FT-Pred-CG (low spatial locality).
 
-use abft_bench::{kernel_miss_stream, print_header, report_progress};
-use abft_coop_core::report::{norm, pct, TextTable};
-use abft_coop_core::{Campaign, Strategy};
+use abft_bench::{kernel_miss_stream, print_header, run_grid};
+use abft_coop_core::report::{norm, pct, ReportSink, StdoutSink, TextTable};
+use abft_coop_core::{CampaignSpec, Strategy};
 use abft_dgms::run_dgms_miss_stream;
 use abft_memsim::system::Machine;
 use abft_memsim::workloads::KernelKind;
@@ -13,11 +13,11 @@ use abft_memsim::SystemConfig;
 fn main() {
     print_header("Figure 10 — DGMS vs the cooperative ABFT+ECC scheme (error-free)");
     let kinds = [KernelKind::Dgemm, KernelKind::Cg];
-    let run = Campaign::new()
+    let spec = CampaignSpec::builder()
         .kernels(kinds)
         .strategies([Strategy::NoEcc, Strategy::WholeChipkill, Strategy::PartialChipkillSecded])
-        .on_progress(report_progress)
-        .run();
+        .build();
+    let run = run_grid(&spec);
     let mut t = TextTable::new(&[
         "Kernel",
         "Config",
@@ -59,5 +59,7 @@ fn main() {
             pct(energy_save)
         );
     }
-    print!("{}", t.render());
+    let mut sink = StdoutSink::new();
+    sink.table(&t);
+    sink.artifact("fig10_cells.csv", &run.to_csv());
 }

@@ -1,18 +1,16 @@
 //! Table 4: classification of last-level-cache references by ABFT
 //! protection of the accessed blocks.
 
-use abft_bench::{print_header, report_progress};
-use abft_coop_core::report::TextTable;
-use abft_coop_core::{Campaign, Strategy};
+use abft_bench::{print_header, run_grid};
+use abft_coop_core::report::{ReportSink, StdoutSink, TextTable};
+use abft_coop_core::{CampaignSpec, Strategy};
 use abft_memsim::workloads::KernelKind;
 
 fn main() {
     print_header("Table 4 — Classification of cacheline accesses by ABFT protection");
-    let run = Campaign::new()
-        .kernels(KernelKind::ALL)
-        .strategy(Strategy::WholeChipkill)
-        .on_progress(report_progress)
-        .run();
+    let spec =
+        CampaignSpec::builder().kernels(KernelKind::ALL).strategy(Strategy::WholeChipkill).build();
+    let run = run_grid(&spec);
     let mut t = TextTable::new(&["ABFT", "#Ref w/t ABFT", "#Ref w/o ABFT", "Ratio", "Paper ratio"]);
     let paper = [654.0, 14.0, 3.0, 20.0];
     for (k, p) in KernelKind::ALL.iter().zip(paper) {
@@ -25,5 +23,7 @@ fn main() {
             format!("{p:.0}"),
         ]);
     }
-    print!("{}", t.render());
+    let mut sink = StdoutSink::new();
+    sink.table(&t);
+    sink.artifact("tab04_cells.csv", &run.to_csv());
 }

@@ -17,13 +17,16 @@
 //! | `fig10_dgms_comparison` | Figure 10 — DGMS vs the cooperative scheme |
 //! | `cases_error_handling` | Section 4 — Case 1-4 end-to-end drills |
 //!
-//! All of the memory-simulation binaries drive the same
-//! [`Campaign`](abft_coop_core::Campaign) engine, so traces are generated
-//! once per process (shared through the [`TraceCache`]) and the
-//! (kernel x strategy x config) cells run on a rayon pool — set
-//! `RAYON_NUM_THREADS` to bound the workers.
+//! All of the memory-simulation binaries describe their grids as
+//! [`CampaignSpec`]s and run them through the shared
+//! [`CampaignClient`] facade (see [`run_grid`]), so traces are
+//! generated once per process (shared through the [`TraceCache`]),
+//! the (kernel x strategy x config) cells run on a rayon pool — set
+//! `RAYON_NUM_THREADS` to bound the workers — and setting
+//! `ABFT_ARTIFACT_STORE` to a directory makes every binary persist and
+//! reuse generated traces/miss-streams across processes.
 
-use abft_coop_core::{BasicTest, Campaign, Progress};
+use abft_coop_core::{BasicTest, CampaignClient, CampaignRun, CampaignSpec, Progress};
 use abft_memsim::workloads::{KernelKind, KernelParams};
 use abft_memsim::{MissStream, PackedTrace, SystemConfig, TraceCache};
 use std::sync::Arc;
@@ -53,12 +56,21 @@ pub fn report_progress(p: &Progress) {
     );
 }
 
+/// Run a grid through the shared [`CampaignClient`] facade with the
+/// standard progress line. This is the one entry point the harness
+/// binaries use: the client resolves the artifact store (spec-level
+/// `store(..)` or the `ABFT_ARTIFACT_STORE` env var) and executes on
+/// the process-wide [`TraceCache`].
+pub fn run_grid(spec: &CampaignSpec) -> CampaignRun {
+    CampaignClient::local().on_progress(report_progress).run(spec)
+}
+
 /// Run the basic tests for all four kernels at the default scale, in
 /// parallel. This is the expensive shared computation behind Figures 5-7
 /// and Table 4. The raw campaign cells are also dumped to
 /// `reproduction-output/basic_tests.json` (best-effort).
 pub fn all_basic_tests() -> Vec<BasicTest> {
-    let run = Campaign::new().kernels(KernelKind::ALL).on_progress(report_progress).run();
+    let run = run_grid(&CampaignSpec::basic(KernelKind::ALL));
     let json_path = "reproduction-output/basic_tests.json";
     match run.write_json(json_path) {
         Ok(()) => eprintln!("[campaign] wrote {json_path}"),

@@ -1,0 +1,30 @@
+//! # abft-campaign-server
+//!
+//! A long-running campaign job server over the `abft-coop-core` engine.
+//! Multiple clients submit [`CampaignSpec`](abft_coop_core::CampaignSpec)
+//! grids; the server expands them into cells, dedupes cells against both
+//! in-flight work and already-completed results, executes the remainder
+//! on a fixed worker pool over one shared `TraceCache` (plus artifact
+//! store), and streams per-cell results back incrementally as they
+//! finish.
+//!
+//! * [`server`] — the [`CampaignServer`]: worker pool, the cell dedupe
+//!   map, grid tickets/events, and the in-process [`ServerHandle`] that
+//!   implements [`GridRunner`](abft_coop_core::GridRunner) so a harness
+//!   binary flips from solo execution to the shared server by swapping
+//!   its `CampaignClient` runner.
+//! * [`protocol`] — the line-oriented wire encoding for workloads,
+//!   strategies, and streamed cell results.
+//! * [`socket`] — the Unix-domain-socket front-end (accept loop +
+//!   [`socket::SocketClient`]) speaking [`protocol`].
+//!
+//! Exactly-once execution is observable: [`CampaignServer::executed`]
+//! counts cells actually computed, so two clients submitting
+//! overlapping grids can assert each shared cell was built once.
+
+pub mod protocol;
+pub mod server;
+pub mod socket;
+
+pub use server::{CampaignServer, GridEvent, GridSummary, GridTicket, ServerConfig, ServerHandle};
+pub use socket::{SocketClient, SocketServer, StreamSink};

@@ -1,0 +1,274 @@
+//! Line-oriented wire encoding for the socket front-end.
+//!
+//! A request is a sequence of single-line commands terminated by `run`:
+//!
+//! ```text
+//! workload dgemm:256:64:1:4
+//! strategy w-ck
+//! threads 2
+//! run
+//! ```
+//!
+//! The response streams one `grid <total>` line, then one `cell` line
+//! per finished cell **in completion order** (the cell's index gives
+//! its deterministic grid position), then one `done` line:
+//!
+//! ```text
+//! grid 2
+//! cell 0 dgemm:256:64:1:4 no-ecc default cycles=123 instr=456 seconds=3fe... ipc=3ff... mem_j=40a... sys_j=40b...
+//! done jobs=2 enqueued=2 deduped=0
+//! ```
+//!
+//! Every floating-point field travels as the hex of its IEEE-754 bit
+//! pattern, so a client can assert bit-identical results across
+//! processes without parsing-induced rounding. Protocol v1 carries only
+//! the default system config; full config grids use the in-process
+//! [`ServerHandle`](crate::ServerHandle) path.
+
+use abft_coop_core::campaign::CampaignResult;
+use abft_coop_core::{CampaignSpec, Strategy};
+use abft_memsim::workloads::{CgParams, CholeskyParams, DgemmParams, HplParams, KernelParams};
+
+/// Stable wire token for a strategy (no spaces; distinct from the
+/// human-facing labels, which embed `+` and spaces).
+pub fn strategy_token(s: Strategy) -> &'static str {
+    match s {
+        Strategy::NoEcc => "no-ecc",
+        Strategy::WholeChipkill => "w-ck",
+        Strategy::PartialChipkillNoEcc => "p-ck-no-ecc",
+        Strategy::WholeSecded => "w-sd",
+        Strategy::PartialSecdedNoEcc => "p-sd-no-ecc",
+        Strategy::PartialChipkillSecded => "p-ck-p-sd",
+    }
+}
+
+/// Inverse of [`strategy_token`].
+pub fn parse_strategy(tok: &str) -> Option<Strategy> {
+    Strategy::ALL.into_iter().find(|&s| strategy_token(s) == tok)
+}
+
+fn flag(b: bool) -> &'static str {
+    if b {
+        "1"
+    } else {
+        "0"
+    }
+}
+
+/// Stable wire token for a workload: `kind:field:field:...` with ABFT
+/// flags as `0`/`1`.
+pub fn workload_token(p: KernelParams) -> String {
+    match p {
+        KernelParams::Dgemm(d) => {
+            format!("dgemm:{}:{}:{}:{}", d.n, d.nb, flag(d.abft), d.verify_interval)
+        }
+        KernelParams::Cholesky(c) => format!("cholesky:{}:{}:{}", c.n, c.nb, flag(c.abft)),
+        KernelParams::Cg(c) => {
+            format!("cg:{}:{}:{}:{}", c.grid, c.iterations, flag(c.abft), c.verify_interval)
+        }
+        KernelParams::Hpl(h) => format!("hpl:{}:{}:{}", h.n, h.nb, flag(h.abft)),
+    }
+}
+
+/// Inverse of [`workload_token`].
+pub fn parse_workload(tok: &str) -> Option<KernelParams> {
+    let mut it = tok.split(':');
+    let kind = it.next()?;
+    let mut nums = Vec::new();
+    for part in it {
+        nums.push(part.parse::<usize>().ok()?);
+    }
+    let b = |v: usize| v != 0;
+    match (kind, nums.as_slice()) {
+        ("dgemm", &[n, nb, abft, vi]) => {
+            Some(KernelParams::Dgemm(DgemmParams { n, nb, abft: b(abft), verify_interval: vi }))
+        }
+        ("cholesky", &[n, nb, abft]) => {
+            Some(KernelParams::Cholesky(CholeskyParams { n, nb, abft: b(abft) }))
+        }
+        ("cg", &[grid, iterations, abft, vi]) => Some(KernelParams::Cg(CgParams {
+            grid,
+            iterations,
+            abft: b(abft),
+            verify_interval: vi,
+        })),
+        ("hpl", &[n, nb, abft]) => Some(KernelParams::Hpl(HplParams { n, nb, abft: b(abft) })),
+        _ => None,
+    }
+}
+
+/// A request accumulated from command lines; [`Request::line`] returns
+/// `true` once `run` arrives and the spec is ready to submit.
+#[derive(Debug, Default)]
+pub struct Request {
+    workloads: Vec<KernelParams>,
+    strategies: Vec<Strategy>,
+    threads: Option<usize>,
+}
+
+impl Request {
+    /// Feed one command line. `Ok(true)` means `run` was received;
+    /// `Err` describes a malformed line (connection should report and
+    /// close).
+    pub fn line(&mut self, line: &str) -> Result<bool, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(false);
+        }
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match cmd {
+            "workload" => {
+                let w = parse_workload(rest.trim())
+                    .ok_or_else(|| format!("bad workload {:?}", rest.trim()))?;
+                self.workloads.push(w);
+                Ok(false)
+            }
+            "strategy" => {
+                let s = parse_strategy(rest.trim())
+                    .ok_or_else(|| format!("bad strategy {:?}", rest.trim()))?;
+                self.strategies.push(s);
+                Ok(false)
+            }
+            "threads" => {
+                let n = rest
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad threads {:?}", rest.trim()))?;
+                self.threads = Some(n);
+                Ok(false)
+            }
+            "run" => Ok(true),
+            other => Err(format!("unknown command {other:?}")),
+        }
+    }
+
+    /// Lower the accumulated request onto a [`CampaignSpec`] (empty
+    /// workload/strategy lists resolve to the full defaults, exactly as
+    /// the in-process builder does).
+    pub fn into_spec(self) -> CampaignSpec {
+        let mut b = CampaignSpec::builder().workloads(self.workloads).strategies(self.strategies);
+        if let Some(n) = self.threads {
+            b = b.threads(n);
+        }
+        b.build()
+    }
+}
+
+/// Render one streamed `cell` response line.
+pub fn format_cell(index: usize, r: &CampaignResult) -> String {
+    format!(
+        "cell {index} {} {} {} cycles={} instr={} seconds={:016x} ipc={:016x} mem_j={:016x} sys_j={:016x}",
+        workload_token(r.workload),
+        strategy_token(r.strategy),
+        r.config_tag,
+        r.stats.cycles,
+        r.stats.instructions,
+        r.stats.seconds.to_bits(),
+        r.stats.ipc().to_bits(),
+        r.stats.mem_total_j().to_bits(),
+        r.stats.system_j().to_bits(),
+    )
+}
+
+/// A parsed `cell` response line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReply {
+    /// Deterministic grid position of the cell.
+    pub index: usize,
+    /// The cell's workload.
+    pub workload: KernelParams,
+    /// The cell's strategy.
+    pub strategy: Strategy,
+    /// The cell's config tag.
+    pub config_tag: String,
+    /// Core cycles to completion.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Wall-clock seconds (exact bit pattern preserved).
+    pub seconds: f64,
+    /// Achieved IPC (exact bit pattern preserved).
+    pub ipc: f64,
+    /// Total memory energy, J (exact bit pattern preserved).
+    pub mem_total_j: f64,
+    /// Whole-system energy, J (exact bit pattern preserved).
+    pub system_j: f64,
+}
+
+fn field<'a>(tok: &'a str, name: &str) -> Option<&'a str> {
+    tok.strip_prefix(name)?.strip_prefix('=')
+}
+
+/// Inverse of [`format_cell`].
+pub fn parse_cell(line: &str) -> Option<CellReply> {
+    let mut it = line.split_whitespace();
+    if it.next()? != "cell" {
+        return None;
+    }
+    let index = it.next()?.parse().ok()?;
+    let workload = parse_workload(it.next()?)?;
+    let strategy = parse_strategy(it.next()?)?;
+    let config_tag = it.next()?.to_string();
+    let f64_of = |s: &str| u64::from_str_radix(s, 16).ok().map(f64::from_bits);
+    let cycles = field(it.next()?, "cycles")?.parse().ok()?;
+    let instructions = field(it.next()?, "instr")?.parse().ok()?;
+    let seconds = f64_of(field(it.next()?, "seconds")?)?;
+    let ipc = f64_of(field(it.next()?, "ipc")?)?;
+    let mem_total_j = f64_of(field(it.next()?, "mem_j")?)?;
+    let system_j = f64_of(field(it.next()?, "sys_j")?)?;
+    Some(CellReply {
+        index,
+        workload,
+        strategy,
+        config_tag,
+        cycles,
+        instructions,
+        seconds,
+        ipc,
+        mem_total_j,
+        system_j,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_memsim::workloads::KernelKind;
+
+    #[test]
+    fn workload_tokens_round_trip() {
+        for &k in &KernelKind::ALL {
+            let p = KernelParams::default_for(k);
+            assert_eq!(parse_workload(&workload_token(p)), Some(p));
+        }
+        let custom =
+            KernelParams::Dgemm(DgemmParams { n: 320, nb: 32, abft: false, verify_interval: 7 });
+        assert_eq!(parse_workload(&workload_token(custom)), Some(custom));
+        assert_eq!(parse_workload("dgemm:1:2"), None, "arity mismatch rejected");
+        assert_eq!(parse_workload("fft:1:2:3"), None, "unknown kernel rejected");
+    }
+
+    #[test]
+    fn strategy_tokens_round_trip() {
+        for s in Strategy::ALL {
+            assert_eq!(parse_strategy(strategy_token(s)), Some(s));
+        }
+        assert_eq!(parse_strategy("No ECC"), None, "labels are not wire tokens");
+    }
+
+    #[test]
+    fn request_lines_accumulate_into_a_spec() {
+        let mut req = Request::default();
+        assert_eq!(req.line("# comment"), Ok(false));
+        assert_eq!(req.line("workload dgemm:256:64:1:4"), Ok(false));
+        assert_eq!(req.line("strategy no-ecc"), Ok(false));
+        assert_eq!(req.line("strategy w-ck"), Ok(false));
+        assert_eq!(req.line("threads 2"), Ok(false));
+        assert_eq!(req.line("run"), Ok(true));
+        let spec = req.into_spec();
+        assert_eq!(spec.cells(), 2);
+        assert_eq!(spec.threads(), Some(2));
+        assert!(Request::default().line("frobnicate").is_err());
+        assert!(Request::default().line("strategy bogus").is_err());
+    }
+}

@@ -1,0 +1,477 @@
+//! The job server: a fixed worker pool draining a cell queue, a dedupe
+//! map keyed by content-addressed cell identity, and grid tickets that
+//! stream results back to submitters as cells finish.
+//!
+//! A *cell* is one (workload × config × strategy) simulation. Two grids
+//! that share a cell — whether submitted by the same client or by
+//! concurrent clients — share its execution: the first submission
+//! enqueues it, every later one registers as a waiter on the in-flight
+//! entry (or is served instantly from the completed entry). The
+//! [`CampaignServer::executed`] counter counts actual executions, so
+//! exactly-once behaviour is a testable property, not a hope.
+
+use abft_coop_core::campaign::{
+    run_strategy_miss_stream, CampaignMetrics, CampaignResult, CampaignRun, Progress, ProgressHook,
+};
+use abft_coop_core::{CampaignSpec, GridRunner, Strategy};
+use abft_memsim::workloads::KernelParams;
+use abft_memsim::{ArtifactStore, StableDigest, SystemConfig, TraceCache};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Content-addressed identity of one grid cell. The config contributes
+/// through a stable digest of its full field set (via the derived debug
+/// representation, which round-trips every `f64` exactly), so two tags
+/// naming the same parameters dedupe and two configs differing in any
+/// field do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CellKey {
+    params: KernelParams,
+    cfg: u128,
+    strategy: u8,
+}
+
+impl CellKey {
+    fn new(params: KernelParams, cfg: &SystemConfig, strategy: Strategy) -> CellKey {
+        let mut d = StableDigest::new();
+        d.str_token("campaign-cell/v1");
+        d.str_token(&format!("{cfg:?}"));
+        CellKey { params, cfg: d.finish(), strategy: strategy as u8 }
+    }
+}
+
+/// One grid submission's view of a cell it is waiting on.
+struct Waiter {
+    grid: Arc<GridState>,
+    index: usize,
+    params: KernelParams,
+    strategy: Strategy,
+    tag: String,
+}
+
+impl Waiter {
+    fn fulfill(self, stats: &abft_memsim::SimStats, wall: Duration) {
+        let result = CampaignResult {
+            kernel: self.params.kind(),
+            workload: self.params,
+            strategy: self.strategy,
+            config_tag: self.tag,
+            stats: stats.clone(),
+            wall,
+        };
+        self.grid.complete(self.index, result);
+    }
+}
+
+enum CellState {
+    InFlight(Vec<Waiter>),
+    Done { stats: abft_memsim::SimStats, wall: Duration },
+}
+
+struct CellJob {
+    key: CellKey,
+    params: KernelParams,
+    cfg: SystemConfig,
+    strategy: Strategy,
+}
+
+/// Per-grid bookkeeping: results in deterministic grid order, a live
+/// countdown, and the event channel the submitter's ticket drains.
+struct GridState {
+    results: Mutex<Vec<Option<CampaignResult>>>,
+    remaining: AtomicUsize,
+    events: Sender<GridEvent>,
+    total: usize,
+    /// Cells this grid enqueued for execution (first requester).
+    enqueued: AtomicUsize,
+    /// Cells served from in-flight or already-completed work.
+    deduped: AtomicUsize,
+    started: Instant,
+}
+
+impl GridState {
+    fn complete(&self, index: usize, result: CampaignResult) {
+        {
+            let mut results = lock(&self.results);
+            results[index] = Some(result.clone());
+        }
+        // A dropped ticket just discards events; results stay recorded.
+        let _ = self.events.send(GridEvent::Cell { index, result: Box::new(result) });
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _ = self.events.send(GridEvent::Done(self.summary()));
+        }
+    }
+
+    fn summary(&self) -> GridSummary {
+        GridSummary {
+            jobs: self.total,
+            enqueued: self.enqueued.load(Ordering::SeqCst),
+            deduped: self.deduped.load(Ordering::SeqCst),
+            wall: self.started.elapsed(),
+        }
+    }
+}
+
+/// Incremental result stream for one submitted grid.
+#[derive(Debug)]
+pub enum GridEvent {
+    /// One cell finished (cells arrive in completion order; `index` is
+    /// the cell's position in deterministic grid order).
+    Cell {
+        /// Position in workload-major, then config, then strategy order.
+        index: usize,
+        /// The finished cell (boxed: a result is ~26x the size of the
+        /// `Done` variant and events move through channels by value).
+        result: Box<CampaignResult>,
+    },
+    /// Every cell of the grid finished.
+    Done(GridSummary),
+}
+
+/// Per-grid dedupe accounting, delivered with [`GridEvent::Done`].
+#[derive(Debug, Clone)]
+pub struct GridSummary {
+    /// Total cells in the grid.
+    pub jobs: usize,
+    /// Cells this grid was first to request (it caused their execution).
+    pub enqueued: usize,
+    /// Cells shared with in-flight or completed work from earlier
+    /// submissions (including duplicates within the grid itself).
+    pub deduped: usize,
+    /// Submission-to-completion wall clock.
+    pub wall: Duration,
+}
+
+/// A handle on one submitted grid: drain [`GridEvent`]s incrementally,
+/// or block for the whole grid with [`GridTicket::wait`].
+pub struct GridTicket {
+    grid: Arc<GridState>,
+    events: Receiver<GridEvent>,
+}
+
+impl GridTicket {
+    /// Total cells in the submitted grid.
+    pub fn total(&self) -> usize {
+        self.grid.total
+    }
+
+    /// Block for the next event; `None` once `Done` has been delivered
+    /// (or the server was shut down underneath the grid).
+    pub fn next_event(&self) -> Option<GridEvent> {
+        self.events.recv().ok()
+    }
+
+    /// Drain the grid to completion, invoking `on_cell` per finished
+    /// cell, and return the grid-ordered results plus the summary.
+    pub fn wait_with(
+        self,
+        mut on_cell: impl FnMut(usize, &CampaignResult),
+    ) -> (Vec<CampaignResult>, GridSummary) {
+        let mut summary = None;
+        while let Ok(ev) = self.events.recv() {
+            match ev {
+                GridEvent::Cell { index, result } => on_cell(index, &result),
+                GridEvent::Done(s) => {
+                    summary = Some(s);
+                    break;
+                }
+            }
+        }
+        // Channel death without Done (server shut down) still reports
+        // whatever finished; missing cells are simply absent.
+        let summary = summary.unwrap_or_else(|| self.grid.summary());
+        let results = lock(&self.grid.results).iter().flatten().cloned().collect();
+        (results, summary)
+    }
+
+    /// Drain the grid to completion and return the grid-ordered results
+    /// plus the summary.
+    pub fn wait(self) -> (Vec<CampaignResult>, GridSummary) {
+        self.wait_with(|_, _| {})
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Worker threads (default: available parallelism, capped at 8).
+    pub workers: Option<usize>,
+    /// Artifact store to attach to the server's trace cache.
+    pub store_dir: Option<PathBuf>,
+}
+
+struct Shared {
+    cache: Arc<TraceCache>,
+    cells: Mutex<HashMap<CellKey, CellState>>,
+    executed: AtomicU64,
+    grids: AtomicU64,
+}
+
+impl Shared {
+    fn execute(&self, job: CellJob) {
+        // repolint:allow(DET002,DET004) wall time is reporting-only metadata
+        let start = Instant::now();
+        let ms = self.cache.get_filtered(job.params, &job.cfg);
+        let stats = run_strategy_miss_stream(&ms, &job.cfg, job.strategy);
+        let wall = start.elapsed();
+        self.executed.fetch_add(1, Ordering::SeqCst);
+        let waiters = {
+            let mut cells = lock(&self.cells);
+            match cells.insert(job.key, CellState::Done { stats: stats.clone(), wall }) {
+                Some(CellState::InFlight(waiters)) => waiters,
+                _ => Vec::new(),
+            }
+        };
+        for w in waiters {
+            w.fulfill(&stats, wall);
+        }
+    }
+}
+
+/// The long-running job server. Create with [`CampaignServer::start`],
+/// submit grids with [`CampaignServer::submit`] (or through the
+/// [`GridRunner`] facade from [`CampaignServer::handle`]), stop with
+/// [`CampaignServer::shutdown`].
+pub struct CampaignServer {
+    shared: Arc<Shared>,
+    queue: Mutex<Option<Sender<CellJob>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl CampaignServer {
+    /// Start the worker pool (over a private trace cache, with the
+    /// configured artifact store attached when one is named).
+    pub fn start(config: ServerConfig) -> std::io::Result<Arc<CampaignServer>> {
+        let cache = Arc::new(TraceCache::new());
+        if let Some(dir) = &config.store_dir {
+            let store = ArtifactStore::open(dir).map_err(std::io::Error::other)?;
+            cache.attach_store(Arc::new(store));
+        }
+        let workers = config
+            .workers
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, usize::from).min(8));
+        let shared = Arc::new(Shared {
+            cache,
+            cells: Mutex::new(HashMap::new()),
+            executed: AtomicU64::new(0),
+            grids: AtomicU64::new(0),
+        });
+        let (tx, rx) = mpsc::channel::<CellJob>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new().name(format!("campaign-worker-{i}")).spawn(move || {
+                    loop {
+                        // Take the next job without holding the queue
+                        // lock across the (long) execution.
+                        let job = lock(&rx).recv();
+                        match job {
+                            Ok(job) => shared.execute(job),
+                            Err(_) => break,
+                        }
+                    }
+                })
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(Arc::new(CampaignServer {
+            shared,
+            queue: Mutex::new(Some(tx)),
+            workers: Mutex::new(handles),
+        }))
+    }
+
+    /// The server's trace cache (shared by every grid it runs).
+    pub fn cache(&self) -> &TraceCache {
+        &self.shared.cache
+    }
+
+    /// Cells actually executed since startup — the exactly-once witness:
+    /// under any submission interleaving this equals the number of
+    /// *distinct* cells ever requested.
+    pub fn executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::SeqCst)
+    }
+
+    /// Grids submitted since startup.
+    pub fn grids(&self) -> u64 {
+        self.shared.grids.load(Ordering::SeqCst)
+    }
+
+    /// Submit a grid; returns immediately with a ticket streaming the
+    /// cells as they finish. A spec-level `threads` request is ignored —
+    /// the pool size is a server property. A spec-level store directory
+    /// is attached to the server cache if it has no store yet.
+    pub fn submit(self: &Arc<Self>, spec: &CampaignSpec) -> GridTicket {
+        if let Some(dir) = spec.store_dir() {
+            if self.shared.cache.store().is_none() {
+                match ArtifactStore::open(dir) {
+                    Ok(store) => self.shared.cache.attach_store(Arc::new(store)),
+                    Err(e) => {
+                        eprintln!("[server] artifact store {} unavailable: {e}", dir.display())
+                    }
+                }
+            }
+        }
+        self.shared.grids.fetch_add(1, Ordering::SeqCst);
+
+        let workloads = spec.workloads();
+        let strategies = spec.strategies();
+        let configs = spec.configs();
+        let total = workloads.len() * configs.len() * strategies.len();
+
+        let (tx, rx) = mpsc::channel();
+        let grid = Arc::new(GridState {
+            results: Mutex::new(vec![None; total]),
+            remaining: AtomicUsize::new(total),
+            events: tx,
+            total,
+            enqueued: AtomicUsize::new(0),
+            deduped: AtomicUsize::new(0),
+            // repolint:allow(DET002,DET004) wall time is reporting-only metadata
+            started: Instant::now(),
+        });
+        if total == 0 {
+            let _ = grid.events.send(GridEvent::Done(grid.summary()));
+            return GridTicket { grid, events: rx };
+        }
+
+        // Deterministic grid order: workload, then config, then strategy
+        // (the same order the solo engine uses).
+        let mut jobs = Vec::with_capacity(total);
+        for &w in &workloads {
+            for (tag, cfg) in &configs {
+                for &s in &strategies {
+                    jobs.push((w, tag.clone(), cfg.clone(), s));
+                }
+            }
+        }
+
+        let queue = lock(&self.queue).clone();
+        for (index, (w, tag, cfg, s)) in jobs.into_iter().enumerate() {
+            let key = CellKey::new(w, &cfg, s);
+            let waiter = Waiter { grid: Arc::clone(&grid), index, params: w, strategy: s, tag };
+            // Decide under the map lock; fulfill after releasing it.
+            let ready = {
+                let mut cells = lock(&self.shared.cells);
+                match cells.get_mut(&key) {
+                    Some(CellState::Done { stats, wall }) => {
+                        grid.deduped.fetch_add(1, Ordering::SeqCst);
+                        Some((stats.clone(), *wall))
+                    }
+                    Some(CellState::InFlight(waiters)) => {
+                        grid.deduped.fetch_add(1, Ordering::SeqCst);
+                        waiters.push(waiter);
+                        continue;
+                    }
+                    None => {
+                        cells.insert(key, CellState::InFlight(vec![waiter]));
+                        grid.enqueued.fetch_add(1, Ordering::SeqCst);
+                        if let Some(queue) = &queue {
+                            let _ = queue.send(CellJob { key, params: w, cfg, strategy: s });
+                        }
+                        continue;
+                    }
+                }
+            };
+            if let Some((stats, wall)) = ready {
+                waiter.fulfill(&stats, wall);
+            }
+        }
+        GridTicket { grid, events: rx }
+    }
+
+    /// An in-process [`GridRunner`] over this server, for
+    /// `CampaignClient::with_runner`.
+    pub fn handle(self: &Arc<Self>) -> ServerHandle {
+        ServerHandle { server: Arc::clone(self) }
+    }
+
+    /// Stop accepting work and join the workers. Already-queued cells
+    /// finish first; idempotent.
+    pub fn shutdown(&self) {
+        drop(lock(&self.queue).take());
+        let handles = std::mem::take(&mut *lock(&self.workers));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for CampaignServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Cloneable in-process client handle; implements [`GridRunner`] so a
+/// `CampaignClient` can submit against the shared server.
+#[derive(Clone)]
+pub struct ServerHandle {
+    server: Arc<CampaignServer>,
+}
+
+impl ServerHandle {
+    /// The server behind this handle.
+    pub fn server(&self) -> &Arc<CampaignServer> {
+        &self.server
+    }
+}
+
+impl GridRunner for ServerHandle {
+    fn run_grid(&self, spec: &CampaignSpec, hook: Option<ProgressHook>) -> CampaignRun {
+        let cache = &self.server.shared.cache;
+        let hits0 = cache.hits();
+        let builds0 = cache.builds();
+        let filter_hits0 = cache.miss_hits();
+        let filter_builds0 = cache.miss_builds();
+        let store0 = cache.store_metrics();
+
+        let ticket = self.server.submit(spec);
+        let total = ticket.total();
+        let completed = AtomicUsize::new(0);
+        let (results, summary) = ticket.wait_with(|_, result| {
+            if let Some(hook) = &hook {
+                let done = completed.fetch_add(1, Ordering::SeqCst) + 1;
+                hook(&Progress {
+                    completed: done,
+                    total,
+                    kernel: result.kernel,
+                    strategy: result.strategy,
+                    config_tag: result.config_tag.clone(),
+                    job_wall: result.wall,
+                    cache_hits: cache.hits(),
+                    cache_builds: cache.builds(),
+                });
+            }
+        });
+        // Counter deltas are exact when this grid runs alone and
+        // approximate (shared pool) under concurrent submissions.
+        let store = cache.store_metrics().since(&store0);
+        CampaignRun {
+            results,
+            metrics: CampaignMetrics {
+                jobs: summary.jobs,
+                cache_hits: cache.hits() - hits0,
+                cache_builds: cache.builds() - builds0,
+                filter_hits: cache.miss_hits() - filter_hits0,
+                filter_builds: cache.miss_builds() - filter_builds0,
+                store_hits: store.hits,
+                store_misses: store.misses,
+                store_writes: store.writes,
+                store_evictions: store.evictions,
+                wall: summary.wall,
+            },
+        }
+    }
+}

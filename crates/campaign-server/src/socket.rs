@@ -1,0 +1,262 @@
+//! Unix-domain-socket front-end: an accept loop that speaks
+//! [`protocol`](crate::protocol) over a [`ServerHandle`], and the
+//! matching [`SocketClient`].
+//!
+//! One connection carries one grid: the client sends command lines and
+//! `run`, the server streams `grid` / `cell` / `done` lines back as
+//! cells finish, then closes. Cells shared with other clients (or with
+//! earlier grids) are deduped inside the [`CampaignServer`]
+//! (crate::CampaignServer) exactly as for in-process submitters.
+
+use crate::protocol::{format_cell, parse_cell, CellReply, Request};
+use crate::server::{GridEvent, ServerHandle};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A listening socket front-end; accepts until [`SocketServer::shutdown`].
+pub struct SocketServer {
+    path: PathBuf,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl SocketServer {
+    /// Bind `path` and serve grids over `handle`. The socket file is
+    /// removed first if a stale one exists.
+    pub fn serve(handle: ServerHandle, path: impl AsRef<Path>) -> std::io::Result<SocketServer> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("campaign-socket-accept".to_string())
+            .spawn(move || {
+                while !stop2.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let handle = handle.clone();
+                            let _ = std::thread::Builder::new()
+                                .name("campaign-socket-conn".to_string())
+                                .spawn(move || serve_connection(handle, stream));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(SocketServer { path, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The socket path clients connect to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Stop accepting, join the accept loop, remove the socket file.
+    /// In-flight connections finish streaming their grids.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl Drop for SocketServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(handle: ServerHandle, stream: UnixStream) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut out = std::io::BufWriter::new(write_half);
+    let reader = BufReader::new(stream);
+    let mut request = Request::default();
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        match request.line(&line) {
+            Ok(false) => continue,
+            Ok(true) => break,
+            Err(msg) => {
+                let _ = writeln!(out, "error {msg}");
+                let _ = out.flush();
+                return;
+            }
+        }
+    }
+    let spec = request.into_spec();
+    let ticket = handle.server().submit(&spec);
+    if writeln!(out, "grid {}", ticket.total()).and_then(|()| out.flush()).is_err() {
+        return;
+    }
+    while let Some(event) = ticket.next_event() {
+        match event {
+            GridEvent::Cell { index, result } => {
+                // A broken pipe abandons the stream, not the grid: the
+                // server keeps the computed cells for later submitters.
+                if writeln!(out, "{}", format_cell(index, &result))
+                    .and_then(|()| out.flush())
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            GridEvent::Done(s) => {
+                let _ = writeln!(
+                    out,
+                    "done jobs={} enqueued={} deduped={}",
+                    s.jobs, s.enqueued, s.deduped
+                );
+                let _ = out.flush();
+                return;
+            }
+        }
+    }
+}
+
+/// The server-stream [`ReportSink`](abft_coop_core::ReportSink): report
+/// emission over any byte stream (a `UnixStream` to a watching client,
+/// a pipe, a captured buffer). Artifacts are framed inline as
+/// `artifact <name> <byte-len>` followed by the raw contents, since a
+/// stream has no sibling directory to drop files into.
+pub struct StreamSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> StreamSink<W> {
+    /// Wrap a byte stream.
+    pub fn new(out: W) -> StreamSink<W> {
+        StreamSink { out }
+    }
+
+    /// Unwrap the underlying stream.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    fn emit(&mut self, text: &str) {
+        // Best-effort like every sink: a torn-down watcher must not
+        // fail the run being reported.
+        let _ = writeln!(self.out, "{text}");
+        let _ = self.out.flush();
+    }
+}
+
+impl<W: Write> abft_coop_core::ReportSink for StreamSink<W> {
+    fn section(&mut self, title: &str) {
+        self.emit(&format!("section {title}"));
+    }
+
+    fn table(&mut self, table: &abft_coop_core::TextTable) {
+        self.emit(&table.render());
+    }
+
+    fn note(&mut self, text: &str) {
+        self.emit(text);
+    }
+
+    fn artifact(&mut self, name: &str, contents: &str) {
+        self.emit(&format!("artifact {name} {}", contents.len()));
+        self.emit(contents);
+    }
+}
+
+/// Everything a finished socket grid reported.
+#[derive(Debug, Clone)]
+pub struct SocketRun {
+    /// Parsed `cell` lines, re-sorted into deterministic grid order.
+    pub cells: Vec<CellReply>,
+    /// The `done` line's `jobs` field.
+    pub jobs: usize,
+    /// The `done` line's `enqueued` field (cells this grid executed).
+    pub enqueued: usize,
+    /// The `done` line's `deduped` field (cells shared with other work).
+    pub deduped: usize,
+}
+
+/// Minimal blocking client for the socket protocol.
+pub struct SocketClient {
+    path: PathBuf,
+}
+
+impl SocketClient {
+    /// A client for the server socket at `path`.
+    pub fn connect(path: impl Into<PathBuf>) -> SocketClient {
+        SocketClient { path: path.into() }
+    }
+
+    /// Submit raw request lines (without the final `run`) and collect
+    /// the streamed response.
+    pub fn run_lines(&self, lines: &[String]) -> std::io::Result<SocketRun> {
+        let mut stream = UnixStream::connect(&self.path)?;
+        for line in lines {
+            writeln!(stream, "{line}")?;
+        }
+        writeln!(stream, "run")?;
+        stream.flush()?;
+
+        let reader = BufReader::new(stream);
+        let mut cells = Vec::new();
+        let mut summary = None;
+        for line in reader.lines() {
+            let line = line?;
+            if let Some(cell) = parse_cell(&line) {
+                cells.push(cell);
+            } else if let Some(rest) = line.strip_prefix("done ") {
+                let mut jobs = 0;
+                let mut enqueued = 0;
+                let mut deduped = 0;
+                for tok in rest.split_whitespace() {
+                    if let Some((k, v)) = tok.split_once('=') {
+                        let v = v.parse().unwrap_or(0);
+                        match k {
+                            "jobs" => jobs = v,
+                            "enqueued" => enqueued = v,
+                            "deduped" => deduped = v,
+                            _ => {}
+                        }
+                    }
+                }
+                summary = Some((jobs, enqueued, deduped));
+            } else if let Some(msg) = line.strip_prefix("error ") {
+                return Err(std::io::Error::other(msg.to_string()));
+            }
+        }
+        let (jobs, enqueued, deduped) = summary
+            .ok_or_else(|| std::io::Error::other("connection closed before the done line"))?;
+        cells.sort_by_key(|c| c.index);
+        Ok(SocketRun { cells, jobs, enqueued, deduped })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_coop_core::{ReportSink, TextTable};
+
+    #[test]
+    fn stream_sink_frames_sections_and_artifacts() {
+        let mut sink = StreamSink::new(Vec::new());
+        sink.section("Figure 7");
+        let mut t = TextTable::new(&["k", "v"]);
+        t.row(&["a".into(), "1".into()]);
+        sink.table(&t);
+        sink.note("caveat");
+        sink.artifact("fig07.json", "{}");
+        let out = String::from_utf8(sink.into_inner()).expect("utf8");
+        assert!(out.contains("section Figure 7"));
+        assert!(out.contains("caveat"));
+        assert!(out.contains("artifact fig07.json 2"));
+        assert!(out.ends_with("{}\n"));
+    }
+}

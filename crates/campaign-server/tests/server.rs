@@ -1,0 +1,126 @@
+//! End-to-end server tests: exactly-once execution under concurrent
+//! overlapping submissions, completed-cell reuse across grids, and the
+//! socket front-end round trip.
+
+use abft_campaign_server::{CampaignServer, ServerConfig, SocketClient, SocketServer};
+use abft_coop_core::{run_strategy_job, CampaignClient, CampaignSpec, Strategy};
+use abft_memsim::workloads::{DgemmParams, KernelParams};
+use abft_memsim::SystemConfig;
+
+fn tiny() -> KernelParams {
+    KernelParams::Dgemm(DgemmParams { n: 128, nb: 64, abft: true, verify_interval: 2 })
+}
+
+fn tiny_chol() -> KernelParams {
+    KernelParams::Cholesky(abft_memsim::workloads::CholeskyParams { n: 128, nb: 64, abft: true })
+}
+
+#[test]
+fn concurrent_clients_dedupe_overlapping_grids() {
+    let server = CampaignServer::start(ServerConfig { workers: Some(2), store_dir: None })
+        .expect("server starts");
+
+    // Two clients, three distinct cells between them, one shared.
+    let spec_a = CampaignSpec::builder()
+        .workload(tiny())
+        .strategies([Strategy::NoEcc, Strategy::WholeChipkill])
+        .build();
+    let spec_b = CampaignSpec::builder()
+        .workload(tiny())
+        .strategies([Strategy::WholeChipkill, Strategy::WholeSecded])
+        .build();
+
+    let (run_a, run_b) = std::thread::scope(|s| {
+        let client_a = CampaignClient::with_runner(std::sync::Arc::new(server.handle()));
+        let client_b = CampaignClient::with_runner(std::sync::Arc::new(server.handle()));
+        let a = s.spawn(move || client_a.run(&spec_a));
+        let b = s.spawn(move || client_b.run(&spec_b));
+        (a.join().expect("client a"), b.join().expect("client b"))
+    });
+
+    assert_eq!(run_a.results.len(), 2);
+    assert_eq!(run_b.results.len(), 2);
+    assert_eq!(server.executed(), 3, "the shared W_CK cell must be built exactly once");
+    assert_eq!(server.grids(), 2);
+
+    // The shared cell is bit-identical in both grids and matches a
+    // direct single-cell run.
+    let shared_a = &run_a.results[1];
+    let shared_b = &run_b.results[0];
+    assert_eq!(shared_a.strategy, Strategy::WholeChipkill);
+    assert_eq!(shared_b.strategy, Strategy::WholeChipkill);
+    assert_eq!(shared_a.stats, shared_b.stats);
+    let direct =
+        run_strategy_job(&tiny().build(), &SystemConfig::default(), Strategy::WholeChipkill);
+    assert_eq!(shared_a.stats, direct);
+
+    server.shutdown();
+}
+
+#[test]
+fn completed_cells_serve_later_grids_without_reexecution() {
+    let server = CampaignServer::start(ServerConfig { workers: Some(2), store_dir: None })
+        .expect("server starts");
+    let spec = CampaignSpec::builder()
+        .workload(tiny_chol())
+        .strategies([Strategy::NoEcc, Strategy::PartialChipkillSecded])
+        .build();
+
+    let (first, s1) = server.submit(&spec).wait();
+    assert_eq!(first.len(), 2);
+    assert_eq!(s1.enqueued, 2);
+    assert_eq!(s1.deduped, 0);
+    assert_eq!(server.executed(), 2);
+
+    // Resubmission: nothing executes, everything is served from the
+    // completed-cell map, results stay bit-identical.
+    let (second, s2) = server.submit(&spec).wait();
+    assert_eq!(server.executed(), 2, "no re-execution");
+    assert_eq!(s2.enqueued, 0);
+    assert_eq!(s2.deduped, 2);
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.stats, b.stats);
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn socket_front_end_round_trips_a_grid() {
+    let server = CampaignServer::start(ServerConfig { workers: Some(2), store_dir: None })
+        .expect("server starts");
+    let path = std::env::temp_dir().join(format!("abft-campaign-{}.sock", std::process::id()));
+    let mut socket = SocketServer::serve(server.handle(), &path).expect("socket binds");
+
+    let client = SocketClient::connect(socket.path());
+    let run = client
+        .run_lines(&[
+            "workload dgemm:128:64:1:2".to_string(),
+            "strategy no-ecc".to_string(),
+            "strategy w-ck".to_string(),
+        ])
+        .expect("socket grid");
+
+    assert_eq!(run.jobs, 2);
+    assert_eq!(run.cells.len(), 2);
+    assert_eq!(run.cells[0].index, 0);
+    assert_eq!(run.cells[0].strategy, Strategy::NoEcc);
+    assert_eq!(run.cells[1].strategy, Strategy::WholeChipkill);
+
+    // Bit-exact across the wire: the hex-encoded floats reconstruct the
+    // exact stats of a direct run.
+    let direct = run_strategy_job(&tiny().build(), &SystemConfig::default(), Strategy::NoEcc);
+    assert_eq!(run.cells[0].cycles, direct.cycles);
+    assert_eq!(run.cells[0].instructions, direct.instructions);
+    assert_eq!(run.cells[0].seconds.to_bits(), direct.seconds.to_bits());
+    assert_eq!(run.cells[0].ipc.to_bits(), direct.ipc().to_bits());
+    assert_eq!(run.cells[0].mem_total_j.to_bits(), direct.mem_total_j().to_bits());
+    assert_eq!(run.cells[0].system_j.to_bits(), direct.system_j().to_bits());
+
+    // Malformed request lines are reported as protocol errors.
+    let err = client.run_lines(&["strategy bogus".to_string()]).expect_err("bad strategy");
+    assert!(err.to_string().contains("bad strategy"));
+
+    socket.shutdown();
+    server.shutdown();
+}

@@ -133,11 +133,21 @@ pub struct CampaignMetrics {
     /// Miss streams filtered during the run (one cache-hierarchy
     /// simulation each; every other cell skips the caches entirely).
     pub filter_builds: u64,
+    /// Artifact-store loads served from disk during the run (zero when
+    /// the cache has no store attached).
+    pub store_hits: u64,
+    /// Artifact-store load attempts that found no usable blob.
+    pub store_misses: u64,
+    /// Artifact blobs written during the run.
+    pub store_writes: u64,
+    /// Corrupt artifact blobs evicted during the run.
+    pub store_evictions: u64,
     /// End-to-end wall-clock of [`Campaign::run`].
     pub wall: Duration,
 }
 
-type ProgressHook = Arc<dyn Fn(&Progress) + Send + Sync>;
+/// Shared per-job progress callback (see [`Campaign::on_progress`]).
+pub type ProgressHook = Arc<dyn Fn(&Progress) + Send + Sync>;
 
 /// Builder for a (workload x config x strategy) simulation grid.
 #[derive(Default)]
@@ -215,6 +225,13 @@ impl Campaign {
         self
     }
 
+    /// [`Campaign::on_progress`] with an already-shared hook (what
+    /// [`crate::client::CampaignClient`] threads through).
+    pub fn on_progress_hook(mut self, hook: Option<ProgressHook>) -> Self {
+        self.progress = hook;
+        self
+    }
+
     /// Execute the grid against the process-wide [`TraceCache`].
     pub fn run(self) -> CampaignRun {
         self.run_with_cache(TraceCache::global())
@@ -252,6 +269,7 @@ impl Campaign {
         let builds0 = cache.builds();
         let filter_hits0 = cache.miss_hits();
         let filter_builds0 = cache.miss_builds();
+        let store0 = cache.store_metrics();
         let progress = self.progress.clone();
         let start = Instant::now(); // repolint:allow(DET002,DET004) wall time is reporting-only progress metadata
 
@@ -319,6 +337,7 @@ impl Campaign {
             None => execute(),
         };
 
+        let store = cache.store_metrics().since(&store0);
         CampaignRun {
             results,
             metrics: CampaignMetrics {
@@ -327,6 +346,10 @@ impl Campaign {
                 cache_builds: cache.builds() - builds0,
                 filter_hits: cache.miss_hits() - filter_hits0,
                 filter_builds: cache.miss_builds() - filter_builds0,
+                store_hits: store.hits,
+                store_misses: store.misses,
+                store_writes: store.writes,
+                store_evictions: store.evictions,
                 wall: start.elapsed(),
             },
         }
@@ -397,12 +420,18 @@ impl CampaignRun {
         let mut out = String::from("{\n  \"metrics\": {");
         out.push_str(&format!(
             "\"jobs\": {}, \"cache_hits\": {}, \"cache_builds\": {}, \
-             \"filter_hits\": {}, \"filter_builds\": {}, \"wall_seconds\": {:.6}",
+             \"filter_hits\": {}, \"filter_builds\": {}, \
+             \"store_hits\": {}, \"store_misses\": {}, \"store_writes\": {}, \
+             \"store_evictions\": {}, \"wall_seconds\": {:.6}",
             self.metrics.jobs,
             self.metrics.cache_hits,
             self.metrics.cache_builds,
             self.metrics.filter_hits,
             self.metrics.filter_builds,
+            self.metrics.store_hits,
+            self.metrics.store_misses,
+            self.metrics.store_writes,
+            self.metrics.store_evictions,
             self.metrics.wall.as_secs_f64()
         ));
         out.push_str("},\n  \"results\": [\n");
@@ -447,6 +476,44 @@ impl CampaignRun {
         out
     }
 
+    /// Machine-readable CSV of every cell — the spreadsheet-shaped
+    /// sibling of [`CampaignRun::to_json`], emitted through the same
+    /// [`crate::report::ReportSink`] plumbing by the harness binaries.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "kernel,workload,strategy,config,wall_seconds,instructions,cycles,seconds,ipc,\
+             mem_dynamic_j,mem_standby_j,mem_total_j,proc_j,system_j,\
+             l1_hit_rate,l2_hit_rate,row_hit_rate,dram_reads,dram_writes\n",
+        );
+        for r in &self.results {
+            let st = &r.stats;
+            out.push_str(&format!(
+                "{},{},{},{},{:.6},{},{},{:.9},{:.6},{:.9},{:.9},{:.9},{:.9},{:.9},\
+                 {:.6},{:.6},{:.6},{},{}\n",
+                csv_field(r.kernel.label()),
+                csv_field(&format!("{:?}", r.workload)),
+                csv_field(r.strategy.label()),
+                csv_field(&r.config_tag),
+                r.wall.as_secs_f64(),
+                st.instructions,
+                st.cycles,
+                st.seconds,
+                st.ipc(),
+                st.mem_dynamic_j(),
+                st.mem_standby_j(),
+                st.mem_total_j(),
+                st.proc_j(),
+                st.system_j(),
+                st.l1_hit_rate,
+                st.l2_hit_rate,
+                st.row_hit_rate,
+                st.dram_reads,
+                st.dram_writes,
+            ));
+        }
+        out
+    }
+
     /// Write [`CampaignRun::to_json`] to a file, creating parent
     /// directories (the harness binaries use `reproduction-output/`).
     pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
@@ -458,6 +525,16 @@ impl CampaignRun {
         }
         let mut f = std::fs::File::create(path)?;
         f.write_all(self.to_json().as_bytes())
+    }
+}
+
+/// Minimal CSV field quoting: fields containing separators or quotes are
+/// double-quoted with embedded quotes doubled (RFC 4180).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
     }
 }
 

@@ -1,0 +1,380 @@
+//! The unified campaign client: every harness binary's one way to run a
+//! simulation grid.
+//!
+//! [`CampaignSpec`] is the declarative description of a grid — workloads,
+//! strategies, tagged config variants, worker count, and optionally an
+//! on-disk artifact store — built with [`CampaignSpec::builder`].
+//! [`CampaignClient`] executes specs through a [`GridRunner`]:
+//!
+//! * [`CampaignClient::local`] — the in-process engine: the
+//!   [`Campaign`] builder over the process-wide `TraceCache`, with an
+//!   [`ArtifactStore`] attached when the spec names a store directory
+//!   (or the `ABFT_ARTIFACT_STORE` environment variable does).
+//! * `abft-campaign-server`'s in-process handle also implements
+//!   [`GridRunner`], so a binary flips from solo execution to submitting
+//!   against a shared warm job server by swapping the runner, not the
+//!   code around it.
+//!
+//! ```no_run
+//! use abft_coop_core::{CampaignClient, CampaignSpec, Strategy};
+//! use abft_memsim::KernelKind;
+//!
+//! let spec = CampaignSpec::builder()
+//!     .kernel(KernelKind::Dgemm)
+//!     .grid(KernelKind::ALL, Strategy::ALL)
+//!     .store("artifact-store")
+//!     .build();
+//! let run = CampaignClient::local().run(&spec);
+//! println!("{} cells, {} artifact hits", run.results.len(), run.metrics.store_hits);
+//! ```
+
+use crate::campaign::{Campaign, CampaignRun, ProgressHook};
+use crate::strategy::Strategy;
+use abft_memsim::workloads::{KernelKind, KernelParams};
+use abft_memsim::{ArtifactStore, SystemConfig, TraceCache};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Environment variable naming a store directory every local grid run
+/// should persist artifacts to (the spec's explicit
+/// [`CampaignSpecBuilder::store`] wins when both are set).
+pub const STORE_ENV: &str = "ABFT_ARTIFACT_STORE";
+
+/// A declarative (workload × config × strategy) grid: what to simulate,
+/// under which configs, with which ECC strategies, and where (if
+/// anywhere) to persist the generated artifacts.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignSpec {
+    workloads: Vec<KernelParams>,
+    strategies: Vec<Strategy>,
+    configs: Vec<(String, SystemConfig)>,
+    threads: Option<usize>,
+    store_dir: Option<PathBuf>,
+}
+
+impl CampaignSpec {
+    /// Start building a spec. An empty spec resolves to the paper's
+    /// basic-test grid: all four kernels at default scale, all six
+    /// strategies, the default system config.
+    pub fn builder() -> CampaignSpecBuilder {
+        CampaignSpecBuilder { spec: CampaignSpec::default() }
+    }
+
+    /// The basic-test grid for a set of kernels (all six strategies,
+    /// default config) — the shape Figures 5-7 and Table 4 share.
+    pub fn basic(kinds: impl IntoIterator<Item = KernelKind>) -> CampaignSpec {
+        CampaignSpec::builder().kernels(kinds).build()
+    }
+
+    /// The workloads the grid covers (defaults resolved).
+    pub fn workloads(&self) -> Vec<KernelParams> {
+        if self.workloads.is_empty() {
+            KernelKind::ALL.iter().map(|&k| KernelParams::default_for(k)).collect()
+        } else {
+            self.workloads.clone()
+        }
+    }
+
+    /// The strategies the grid covers (defaults resolved).
+    pub fn strategies(&self) -> Vec<Strategy> {
+        if self.strategies.is_empty() {
+            Strategy::ALL.to_vec()
+        } else {
+            self.strategies.clone()
+        }
+    }
+
+    /// The tagged config variants the grid covers (defaults resolved).
+    pub fn configs(&self) -> Vec<(String, SystemConfig)> {
+        if self.configs.is_empty() {
+            vec![("default".to_string(), SystemConfig::default())]
+        } else {
+            self.configs.clone()
+        }
+    }
+
+    /// The pinned worker count, if any.
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// The artifact-store directory, if the spec names one.
+    pub fn store_dir(&self) -> Option<&Path> {
+        self.store_dir.as_deref()
+    }
+
+    /// Total grid cells the spec expands to.
+    pub fn cells(&self) -> usize {
+        self.workloads().len() * self.strategies().len() * self.configs().len()
+    }
+
+    /// Lower the spec onto the imperative [`Campaign`] builder (resolved,
+    /// so the engine sees explicit lists).
+    pub fn to_campaign(&self) -> Campaign {
+        let mut c = Campaign::new().workloads(self.workloads()).strategies(self.strategies());
+        for (tag, cfg) in self.configs() {
+            c = c.config(tag, cfg);
+        }
+        if let Some(n) = self.threads {
+            c = c.threads(n);
+        }
+        c
+    }
+}
+
+/// Fluent constructor for [`CampaignSpec`].
+#[derive(Debug, Clone, Default)]
+pub struct CampaignSpecBuilder {
+    spec: CampaignSpec,
+}
+
+impl CampaignSpecBuilder {
+    /// Add one kernel at its default (Table-3-scaled) workload.
+    pub fn kernel(self, kind: KernelKind) -> Self {
+        self.workload(KernelParams::default_for(kind))
+    }
+
+    /// Add several kernels at their default workloads.
+    pub fn kernels(mut self, kinds: impl IntoIterator<Item = KernelKind>) -> Self {
+        self.spec.workloads.extend(kinds.into_iter().map(KernelParams::default_for));
+        self
+    }
+
+    /// Add one fully-specified workload (kernel + scale).
+    pub fn workload(mut self, params: impl Into<KernelParams>) -> Self {
+        self.spec.workloads.push(params.into());
+        self
+    }
+
+    /// Add several fully-specified workloads.
+    pub fn workloads(mut self, params: impl IntoIterator<Item = KernelParams>) -> Self {
+        self.spec.workloads.extend(params);
+        self
+    }
+
+    /// Add one strategy (default when none are added: all six).
+    pub fn strategy(mut self, s: Strategy) -> Self {
+        self.spec.strategies.push(s);
+        self
+    }
+
+    /// Add several strategies.
+    pub fn strategies(mut self, ss: impl IntoIterator<Item = Strategy>) -> Self {
+        self.spec.strategies.extend(ss);
+        self
+    }
+
+    /// Add a whole (kernels × strategies) block in one call.
+    pub fn grid(
+        self,
+        kinds: impl IntoIterator<Item = KernelKind>,
+        ss: impl IntoIterator<Item = Strategy>,
+    ) -> Self {
+        self.kernels(kinds).strategies(ss)
+    }
+
+    /// Add a tagged system-config variant (default when none are added:
+    /// `("default", SystemConfig::default())`).
+    pub fn config(mut self, tag: impl Into<String>, cfg: SystemConfig) -> Self {
+        self.spec.configs.push((tag.into(), cfg));
+        self
+    }
+
+    /// Pin the worker count (`threads(1)` is the serial path).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.spec.threads = Some(n.max(1));
+        self
+    }
+
+    /// Persist (and load) generated artifacts under this directory.
+    pub fn store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spec.store_dir = Some(dir.into());
+        self
+    }
+
+    /// Seal the spec.
+    pub fn build(self) -> CampaignSpec {
+        self.spec
+    }
+}
+
+/// Something that can execute a [`CampaignSpec`]: the in-process engine
+/// ([`LocalRunner`]), or a handle to a shared campaign-server instance.
+pub trait GridRunner: Send + Sync {
+    /// Execute the grid, delivering per-job progress through `hook`.
+    /// Results arrive in the deterministic grid order (workload-major,
+    /// then config, then strategy) regardless of execution order.
+    fn run_grid(&self, spec: &CampaignSpec, hook: Option<ProgressHook>) -> CampaignRun;
+}
+
+/// The in-process [`GridRunner`]: the [`Campaign`] engine over the
+/// process-wide trace cache (or a private one), with the artifact store
+/// attached when the spec or [`STORE_ENV`] names a directory.
+#[derive(Default)]
+pub struct LocalRunner {
+    cache: Option<Arc<TraceCache>>,
+}
+
+impl LocalRunner {
+    /// Run against the process-wide [`TraceCache::global`].
+    pub fn new() -> Self {
+        LocalRunner::default()
+    }
+
+    /// Run against a private cache (isolated counters; what the gate
+    /// binaries and tests use to observe cold/warm behaviour cleanly).
+    pub fn with_cache(cache: Arc<TraceCache>) -> Self {
+        LocalRunner { cache: Some(cache) }
+    }
+
+    fn cache(&self) -> &TraceCache {
+        match &self.cache {
+            Some(cache) => cache,
+            None => TraceCache::global(),
+        }
+    }
+}
+
+impl GridRunner for LocalRunner {
+    fn run_grid(&self, spec: &CampaignSpec, hook: Option<ProgressHook>) -> CampaignRun {
+        let cache = self.cache();
+        let dir = spec
+            .store_dir()
+            .map(PathBuf::from)
+            .or_else(|| std::env::var_os(STORE_ENV).map(PathBuf::from));
+        if let Some(dir) = dir {
+            match ArtifactStore::open(&dir) {
+                Ok(store) => cache.attach_store(Arc::new(store)),
+                // Degrade to memory-only: a missing or unwritable store
+                // directory must never fail the simulation itself.
+                Err(e) => {
+                    eprintln!("[campaign] artifact store {} unavailable: {e}", dir.display())
+                }
+            }
+        }
+        spec.to_campaign().on_progress_hook(hook).run_with_cache(cache)
+    }
+}
+
+/// The facade every harness binary runs grids through. Wraps a
+/// [`GridRunner`] plus an optional progress hook.
+#[derive(Clone)]
+pub struct CampaignClient {
+    runner: Arc<dyn GridRunner>,
+    progress: Option<ProgressHook>,
+}
+
+impl CampaignClient {
+    /// A client over the in-process engine and the process-wide cache.
+    pub fn local() -> CampaignClient {
+        CampaignClient::with_runner(Arc::new(LocalRunner::new()))
+    }
+
+    /// A client over the in-process engine and a private cache.
+    pub fn with_cache(cache: Arc<TraceCache>) -> CampaignClient {
+        CampaignClient::with_runner(Arc::new(LocalRunner::with_cache(cache)))
+    }
+
+    /// A client over any [`GridRunner`] (e.g. a campaign-server handle).
+    pub fn with_runner(runner: Arc<dyn GridRunner>) -> CampaignClient {
+        CampaignClient { runner, progress: None }
+    }
+
+    /// Install a per-job progress hook for every grid this client runs.
+    pub fn on_progress(
+        mut self,
+        hook: impl Fn(&crate::campaign::Progress) + Send + Sync + 'static,
+    ) -> Self {
+        self.progress = Some(Arc::new(hook));
+        self
+    }
+
+    /// Execute a spec and collect the full run.
+    pub fn run(&self, spec: &CampaignSpec) -> CampaignRun {
+        self.runner.run_grid(spec, self.progress.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abft_memsim::workloads::DgemmParams;
+
+    fn tiny() -> KernelParams {
+        KernelParams::Dgemm(DgemmParams { n: 128, nb: 64, abft: true, verify_interval: 2 })
+    }
+
+    #[test]
+    fn empty_spec_resolves_to_the_basic_grid() {
+        let spec = CampaignSpec::builder().build();
+        assert_eq!(spec.workloads().len(), 4);
+        assert_eq!(spec.strategies().len(), 6);
+        assert_eq!(spec.configs().len(), 1);
+        assert_eq!(spec.cells(), 24);
+        assert!(spec.store_dir().is_none());
+    }
+
+    #[test]
+    fn builder_composes_grid_blocks() {
+        let spec = CampaignSpec::builder()
+            .workload(tiny())
+            .strategies([Strategy::NoEcc, Strategy::WholeChipkill])
+            .config("a", SystemConfig::default())
+            .config("b", SystemConfig::default())
+            .threads(2)
+            .store("/tmp/unused")
+            .build();
+        assert_eq!(spec.cells(), 4);
+        assert_eq!(spec.threads(), Some(2));
+        assert_eq!(spec.store_dir(), Some(Path::new("/tmp/unused")));
+    }
+
+    #[test]
+    fn local_client_runs_a_spec_through_the_engine() {
+        let cache = Arc::new(TraceCache::new());
+        let spec =
+            CampaignSpec::builder().workload(tiny()).strategy(Strategy::NoEcc).threads(1).build();
+        let run = CampaignClient::with_cache(Arc::clone(&cache)).run(&spec);
+        assert_eq!(run.results.len(), 1);
+        assert_eq!(run.metrics.cache_builds, 1);
+        assert_eq!(run.metrics.store_hits, 0, "no store attached");
+        // The facade and the raw engine agree bit-for-bit.
+        let direct = crate::campaign::run_strategy_job(
+            &tiny().build(),
+            &SystemConfig::default(),
+            Strategy::NoEcc,
+        );
+        assert_eq!(run.results[0].stats, direct);
+    }
+
+    #[test]
+    fn warm_store_run_skips_generation_in_a_fresh_cache() {
+        let dir = std::env::temp_dir().join(format!("abft-client-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = CampaignSpec::builder()
+            .workload(tiny())
+            .strategies([Strategy::NoEcc, Strategy::WholeChipkill])
+            .threads(1)
+            .store(&dir)
+            .build();
+
+        let cold_cache = Arc::new(TraceCache::new());
+        let cold = CampaignClient::with_cache(cold_cache).run(&spec);
+        assert_eq!(cold.metrics.cache_builds, 1);
+        assert_eq!(cold.metrics.filter_builds, 1);
+        assert_eq!(cold.metrics.store_writes, 2, "trace + miss blobs persisted");
+
+        // A fresh cache (fresh-process stand-in) over the warm store:
+        // zero regenerations, bit-identical stats.
+        let warm_cache = Arc::new(TraceCache::new());
+        let warm = CampaignClient::with_cache(warm_cache).run(&spec);
+        assert_eq!(warm.metrics.cache_builds, 0, "trace loaded, not regenerated");
+        assert_eq!(warm.metrics.filter_builds, 0, "miss stream loaded, not refiltered");
+        assert!(warm.metrics.store_hits >= 1);
+        assert_eq!(warm.metrics.store_misses, 0);
+        for (a, b) in cold.results.iter().zip(&warm.results) {
+            assert_eq!(a.stats, b.stats, "warm-disk results must be bit-identical");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -19,10 +19,16 @@
 //! * `adaptive` — the run-time controller that watches observed error
 //!   rates and retunes ECC through `assign_ecc` (the paper's closing
 //!   "co-design and adaptive policy" claim, executable).
-//! * [`report`] — text tables for the per-figure harness binaries.
+//! * [`client`] — the [`CampaignClient`] facade: harness binaries
+//!   describe grids declaratively with [`CampaignSpec`] and execute
+//!   them through a [`GridRunner`] (in-process engine + artifact store,
+//!   or a shared campaign-server handle).
+//! * [`report`] — text tables and the [`ReportSink`] emission trait for
+//!   the per-figure harness binaries.
 
 pub(crate) mod adaptive;
 pub mod campaign;
+pub mod client;
 pub(crate) mod errorflow;
 pub(crate) mod experiment;
 pub mod policy;
@@ -32,11 +38,15 @@ pub mod strategy;
 pub use adaptive::{AdaptiveConfig, AdaptiveController, Stance, Transition};
 pub use campaign::{
     run_strategy_job, run_strategy_miss_stream, run_strategy_source, Campaign, CampaignMetrics,
-    CampaignResult, CampaignRun, Progress,
+    CampaignResult, CampaignRun, Progress, ProgressHook,
+};
+pub use client::{
+    CampaignClient, CampaignSpec, CampaignSpecBuilder, GridRunner, LocalRunner, STORE_ENV,
 };
 pub use errorflow::{
     drill_chip_fault, drill_matrix, summarize_cases, CaseSummary, DetectedBy, DrillResult,
 };
 pub use experiment::{fault_adjusted, BasicTest, FaultAdjusted, StrategyResult};
 pub use policy::{decide, PolicyDecision, PolicyInputs};
+pub use report::{FileSink, ReportSink, StdoutSink, TextTable};
 pub use strategy::Strategy;

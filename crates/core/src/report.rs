@@ -1,5 +1,10 @@
-//! Plain-text table rendering for the harness binaries (one per paper
-//! table/figure).
+//! Report emission for the harness binaries (one per paper
+//! table/figure): plain-text table rendering plus the [`ReportSink`]
+//! trait every binary routes its sections, tables, and JSON/CSV
+//! artifacts through.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
 
 /// A rendered table: header plus rows of equal arity.
 #[derive(Debug, Clone, Default)]
@@ -73,6 +78,134 @@ pub fn joules(x: f64) -> String {
     }
 }
 
+/// Where a harness binary's output goes: headed sections, rendered
+/// tables, free-form notes, and named machine-readable artifacts
+/// (`*.json` / `*.csv`). Implementations decide the medium — the
+/// terminal ([`StdoutSink`]), a report file ([`FileSink`]), or a
+/// campaign-server result stream.
+///
+/// Emission is best-effort by design: a full disk or closed pipe must
+/// never fail the simulation whose results are being reported, so
+/// implementations log I/O failures instead of propagating them.
+pub trait ReportSink {
+    /// Start a titled section of the report.
+    fn section(&mut self, title: &str);
+
+    /// Emit a rendered table into the current section.
+    fn table(&mut self, table: &TextTable);
+
+    /// Emit a free-form line (caveats, totals, provenance).
+    fn note(&mut self, text: &str);
+
+    /// Emit a named machine-readable artifact. `name` is a relative
+    /// file name whose extension declares the format (`.json`, `.csv`);
+    /// file-backed sinks write it under their artifact directory.
+    fn artifact(&mut self, name: &str, contents: &str);
+}
+
+fn write_artifact_under(dir: &Path, name: &str, contents: &str) -> std::io::Result<PathBuf> {
+    let path = dir.join(name);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+/// The default sink: sections/tables/notes to stdout, artifacts to an
+/// artifact directory (`reproduction-output/` unless overridden).
+#[derive(Debug, Clone)]
+pub struct StdoutSink {
+    artifact_dir: PathBuf,
+}
+
+impl Default for StdoutSink {
+    fn default() -> Self {
+        StdoutSink { artifact_dir: PathBuf::from("reproduction-output") }
+    }
+}
+
+impl StdoutSink {
+    /// Sink with the conventional `reproduction-output/` artifact dir.
+    pub fn new() -> Self {
+        StdoutSink::default()
+    }
+
+    /// Sink writing artifacts under `dir` instead.
+    pub fn with_artifact_dir(dir: impl Into<PathBuf>) -> Self {
+        StdoutSink { artifact_dir: dir.into() }
+    }
+}
+
+impl ReportSink for StdoutSink {
+    fn section(&mut self, title: &str) {
+        println!("\n=== {title} ===\n");
+    }
+
+    fn table(&mut self, table: &TextTable) {
+        println!("{}", table.render());
+    }
+
+    fn note(&mut self, text: &str) {
+        println!("{text}");
+    }
+
+    fn artifact(&mut self, name: &str, contents: &str) {
+        match write_artifact_under(&self.artifact_dir, name, contents) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {name}: {e}"),
+        }
+    }
+}
+
+/// A sink writing the rendered report to one file and artifacts as
+/// siblings next to it. Buffered; flushed on drop.
+#[derive(Debug)]
+pub struct FileSink {
+    out: std::io::BufWriter<std::fs::File>,
+    artifact_dir: PathBuf,
+}
+
+impl FileSink {
+    /// Create (truncate) `path` for the report text; artifacts land in
+    /// its parent directory.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<FileSink> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        let artifact_dir = path.parent().map_or_else(|| PathBuf::from("."), Path::to_path_buf);
+        Ok(FileSink { out: std::io::BufWriter::new(std::fs::File::create(path)?), artifact_dir })
+    }
+
+    fn emit(&mut self, text: &str) {
+        if let Err(e) = writeln!(self.out, "{text}") {
+            eprintln!("warning: report write failed: {e}");
+        }
+    }
+}
+
+impl ReportSink for FileSink {
+    fn section(&mut self, title: &str) {
+        self.emit(&format!("\n=== {title} ===\n"));
+    }
+
+    fn table(&mut self, table: &TextTable) {
+        self.emit(&table.render());
+    }
+
+    fn note(&mut self, text: &str) {
+        self.emit(text);
+    }
+
+    fn artifact(&mut self, name: &str, contents: &str) {
+        match write_artifact_under(&self.artifact_dir.clone(), name, contents) {
+            Ok(path) => self.emit(&format!("wrote {}", path.display())),
+            Err(e) => eprintln!("warning: could not write {name}: {e}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,6 +227,39 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut t = TextTable::new(&["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn file_sink_writes_report_and_sibling_artifacts() {
+        let dir = std::env::temp_dir().join(format!("abft-report-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = dir.join("report.txt");
+        {
+            let mut sink = FileSink::create(&report).expect("create sink");
+            sink.section("Figure X");
+            let mut t = TextTable::new(&["k", "v"]);
+            t.row(&["a".into(), "1".into()]);
+            sink.table(&t);
+            sink.note("caveat");
+            sink.artifact("figx.json", "{\"ok\": true}");
+        }
+        let text = std::fs::read_to_string(&report).expect("report exists");
+        assert!(text.contains("=== Figure X ==="));
+        assert!(text.contains("caveat"));
+        let art = std::fs::read_to_string(dir.join("figx.json")).expect("artifact exists");
+        assert_eq!(art, "{\"ok\": true}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stdout_sink_writes_artifacts_under_its_directory() {
+        let dir = std::env::temp_dir().join(format!("abft-stdout-art-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sink = StdoutSink::with_artifact_dir(&dir);
+        sink.artifact("cells.csv", "a,b\n1,2\n");
+        let art = std::fs::read_to_string(dir.join("cells.csv")).expect("artifact exists");
+        assert_eq!(art, "a,b\n1,2\n");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -260,55 +260,61 @@ impl Default for SystemConfig {
     }
 }
 
-/// A rejected [`SystemConfig`]: which parameter is impossible and why.
+/// A rejected [`SystemConfig`]: which parameter is impossible, the value
+/// it held, and why it was rejected.
 ///
 /// Produced by [`SystemConfig::validate`] / [`SystemConfigBuilder::build`]
 /// so that impossible cache or DRAM geometry is reported at construction
 /// instead of panicking deep inside [`crate::cache::Cache::new`] or the
 /// address decoder mid-simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SystemConfigError {
-    /// The offending parameter ("l2.capacity", "row_bytes", ...).
+pub struct ConfigError {
+    /// The offending parameter ("l2", "row_bytes", ...).
     pub field: &'static str,
+    /// The rejected value, rendered (so error reports never lose which
+    /// input triggered the failure).
+    pub value: String,
     /// Human-readable explanation of the constraint that failed.
     pub reason: String,
 }
 
-impl std::fmt::Display for SystemConfigError {
+impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid SystemConfig: {}: {}", self.field, self.reason)
+        write!(f, "invalid SystemConfig: {} = {}: {}", self.field, self.value, self.reason)
     }
 }
 
-impl std::error::Error for SystemConfigError {}
+impl std::error::Error for ConfigError {}
 
-fn err(field: &'static str, reason: String) -> SystemConfigError {
-    SystemConfigError { field, reason }
+fn err(
+    field: &'static str,
+    value: impl std::fmt::Display,
+    reason: impl Into<String>,
+) -> ConfigError {
+    ConfigError { field, value: value.to_string(), reason: reason.into() }
 }
 
-fn validate_cache(prefix: &'static str, c: &CacheConfig) -> Result<(), SystemConfigError> {
+fn validate_cache(prefix: &'static str, c: &CacheConfig) -> Result<(), ConfigError> {
     let field = match prefix {
         "l1" => "l1",
         _ => "l2",
     };
     if c.line_bytes == 0 || !c.line_bytes.is_power_of_two() {
-        return Err(err(field, format!("line size {} is not a power of two", c.line_bytes)));
+        return Err(err(field, c.line_bytes, "line size is not a power of two"));
     }
     if c.ways == 0 {
-        return Err(err(field, "associativity must be at least 1".into()));
+        return Err(err(field, c.ways, "associativity must be at least 1"));
     }
     if c.capacity == 0 || !c.capacity.is_multiple_of(c.ways * c.line_bytes) {
         return Err(err(
             field,
-            format!(
-                "capacity {} is not a multiple of ways x line ({} x {})",
-                c.capacity, c.ways, c.line_bytes
-            ),
+            c.capacity,
+            format!("capacity is not a multiple of ways x line ({} x {})", c.ways, c.line_bytes),
         ));
     }
     let sets = c.sets();
     if !sets.is_power_of_two() {
-        return Err(err(field, format!("set count {sets} is not a power of two")));
+        return Err(err(field, sets, "set count is not a power of two"));
     }
     Ok(())
 }
@@ -323,21 +329,22 @@ impl SystemConfig {
     /// on. [`crate::system::Machine::new`] calls this, so an impossible
     /// configuration fails fast with a named parameter instead of an
     /// assert deep in the cache or DRAM model.
-    pub fn validate(&self) -> Result<(), SystemConfigError> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !(self.clock_ghz.is_finite() && self.clock_ghz > 0.0) {
-            return Err(err("clock_ghz", format!("{} is not a positive clock", self.clock_ghz)));
+            return Err(err("clock_ghz", self.clock_ghz, "not a positive clock"));
         }
         if self.cores == 0 {
-            return Err(err("cores", "at least one core is required".into()));
+            return Err(err("cores", self.cores, "at least one core is required"));
         }
         if self.threads == 0 {
-            return Err(err("threads", "at least one worker thread is required".into()));
+            return Err(err("threads", self.threads, "at least one worker thread is required"));
         }
         validate_cache("l1", &self.l1)?;
         validate_cache("l2", &self.l2)?;
         if self.l1.line_bytes != self.l2.line_bytes {
             return Err(err(
                 "l2",
+                self.l2.line_bytes,
                 format!(
                     "L1/L2 line sizes differ ({} vs {}); the write-back path assumes one line size",
                     self.l1.line_bytes, self.l2.line_bytes
@@ -351,39 +358,31 @@ impl SystemConfig {
             ("banks_per_rank", self.banks_per_rank),
         ] {
             if v == 0 {
-                return Err(err(field, "must be at least 1".into()));
+                return Err(err(field, v, "must be at least 1"));
             }
         }
         if self.row_bytes == 0 || !self.row_bytes.is_power_of_two() {
-            return Err(err(
-                "row_bytes",
-                format!("row buffer size {} is not a power of two", self.row_bytes),
-            ));
+            return Err(err("row_bytes", self.row_bytes, "row buffer size is not a power of two"));
         }
         if self.row_bytes < self.l2.line_bytes {
             return Err(err(
                 "row_bytes",
-                format!(
-                    "row buffer ({} B) is smaller than a cache line ({} B)",
-                    self.row_bytes, self.l2.line_bytes
-                ),
+                self.row_bytes,
+                format!("row buffer is smaller than a cache line ({} B)", self.l2.line_bytes),
             ));
         }
         if self.capacity_bytes == 0 {
-            return Err(err("capacity_bytes", "capacity must be nonzero".into()));
+            return Err(err("capacity_bytes", self.capacity_bytes, "capacity must be nonzero"));
         }
         if !(0.0..=1.0).contains(&self.stall_factor) || !self.stall_factor.is_finite() {
-            return Err(err(
-                "stall_factor",
-                format!("{} is not a fraction in [0, 1]", self.stall_factor),
-            ));
+            return Err(err("stall_factor", self.stall_factor, "not a fraction in [0, 1]"));
         }
         if self.data_chips_per_rank != self.device_width.data_chips_per_rank() {
             return Err(err(
                 "data_chips_per_rank",
+                self.data_chips_per_rank,
                 format!(
-                    "{} does not match the {:?} device width ({} expected; use with_device_width)",
-                    self.data_chips_per_rank,
+                    "does not match the {:?} device width ({} expected; use with_device_width)",
                     self.device_width,
                     self.device_width.data_chips_per_rank()
                 ),
@@ -392,16 +391,16 @@ impl SystemConfig {
         if self.ecc_chips_per_rank != self.device_width.ecc_chips_per_rank() {
             return Err(err(
                 "ecc_chips_per_rank",
+                self.ecc_chips_per_rank,
                 format!(
-                    "{} does not match the {:?} device width ({} expected; use with_device_width)",
-                    self.ecc_chips_per_rank,
+                    "does not match the {:?} device width ({} expected; use with_device_width)",
                     self.device_width,
                     self.device_width.ecc_chips_per_rank()
                 ),
             ));
         }
         if !(self.timing.tck_ns.is_finite() && self.timing.tck_ns > 0.0) {
-            return Err(err("timing", format!("tCK {} ns is not positive", self.timing.tck_ns)));
+            return Err(err("timing", self.timing.tck_ns, "tCK (ns) is not positive"));
         }
         Ok(())
     }
@@ -483,7 +482,7 @@ impl SystemConfig {
 ///
 /// Starts from the Table 3 defaults; every setter overrides one knob and
 /// [`SystemConfigBuilder::build`] rejects impossible geometry with a
-/// [`SystemConfigError`] naming the offending field.
+/// [`ConfigError`] naming the offending field and the rejected value.
 ///
 /// ```
 /// use abft_memsim::SystemConfig;
@@ -600,7 +599,7 @@ impl SystemConfigBuilder {
     }
 
     /// Validate and produce the configuration.
-    pub fn build(self) -> Result<SystemConfig, SystemConfigError> {
+    pub fn build(self) -> Result<SystemConfig, ConfigError> {
         self.cfg.validate()?;
         Ok(self.cfg)
     }
@@ -702,7 +701,8 @@ mod tests {
         assert_eq!(e.field, "l2");
 
         // Row buffer must be a power of two and hold a line.
-        assert_eq!(SystemConfig::builder().row_bytes(100).build().unwrap_err().field, "row_bytes");
+        let e = SystemConfig::builder().row_bytes(100).build().unwrap_err();
+        assert_eq!((e.field, e.value.as_str()), ("row_bytes", "100"));
         assert_eq!(SystemConfig::builder().row_bytes(32).build().unwrap_err().field, "row_bytes");
 
         // Degenerate organization and physics.
@@ -716,10 +716,16 @@ mod tests {
 
         // Chip counts must track the device width.
         let cfg = SystemConfig { data_chips_per_rank: 8, ..Default::default() };
-        assert_eq!(cfg.validate().unwrap_err().field, "data_chips_per_rank");
+        let e = cfg.validate().unwrap_err();
+        assert_eq!((e.field, e.value.as_str()), ("data_chips_per_rank", "8"));
 
+        // The rendered error names the field AND the rejected value.
         let err = SystemConfig::builder().row_bytes(100).build().unwrap_err();
         assert!(err.to_string().contains("row_bytes"));
+        assert!(err.to_string().contains("100"), "the offending value must not be lost: {err}");
+
+        let err = SystemConfig::builder().stall_factor(1.5).build().unwrap_err();
+        assert_eq!(err.value, "1.5");
     }
 
     #[test]

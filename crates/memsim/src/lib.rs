@@ -20,6 +20,10 @@
 //! * [`miss_stream`] — the cache-filtered [`miss_stream::MissStream`]:
 //!   the DRAM-visible L2 miss tail of a workload, built once per cache
 //!   geometry and replayed per ECC policy.
+//! * [`store`] — the content-addressed on-disk [`store::ArtifactStore`]:
+//!   compressed packed-trace and miss-stream blobs with integrity
+//!   footers, layered under the [`trace_cache`] so warm-disk processes
+//!   skip generation entirely.
 //! * [`workloads`] — streaming trace generators replaying the blocked
 //!   loop nests of the paper's four ABFT kernels.
 
@@ -29,6 +33,7 @@ pub mod controller;
 pub mod dram;
 pub mod miss_stream;
 pub mod packed;
+pub mod store;
 pub mod stream;
 pub mod system;
 pub mod trace;
@@ -36,11 +41,12 @@ pub mod trace_cache;
 pub mod tracefile;
 pub mod workloads;
 
-pub use config::{SystemConfig, SystemConfigBuilder, SystemConfigError};
+pub use config::{ConfigError, SystemConfig, SystemConfigBuilder};
 pub use controller::{MemoryController, ERROR_REGISTERS};
 pub use dram::{AddressMap, Dram, DramLocation};
 pub use miss_stream::{MissEvent, MissEventKind, MissStream};
 pub use packed::{PackedBuilder, PackedReplay, PackedTrace};
+pub use store::{ArtifactStore, StableDigest, StoreError, StoreMetrics};
 pub use stream::{AccessSink, AccessSource, TraceReplay, DEFAULT_CHUNK};
 pub use system::{EccAssignment, Machine, SimStats};
 pub use trace::{Access, Region, RegionId, RegionMap, Trace};

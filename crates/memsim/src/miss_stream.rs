@@ -293,6 +293,46 @@ impl MissStream {
         MissEvents { ms: self, idx: 0, run_pos: 0, cycles: 0 }
     }
 
+    /// Crate-internal: the raw two-word event records (store-blob
+    /// serialization writes them verbatim).
+    pub(crate) fn raw_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Crate-internal: the per-region tallies in region-id order.
+    pub(crate) fn raw_tallies(&self) -> &[RegionTally] {
+        &self.tallies
+    }
+
+    /// Crate-internal: rebuild a stream from store-blob raw parts. The
+    /// base table is re-derived from the registry; under the `validate`
+    /// feature the reconstructed stream is audited, so a corrupted blob
+    /// that survived the integrity footer still cannot materialize an
+    /// inconsistent stream silently in validating builds.
+    pub(crate) fn from_raw_parts(parts: MissStreamParts) -> MissStream {
+        let bases: Vec<u64> = parts.regions.regions().iter().map(|r| r.base).collect();
+        let ms = MissStream {
+            regions: parts.regions,
+            bases,
+            words: parts.words.into_boxed_slice(),
+            events: parts.events,
+            accesses: parts.accesses,
+            instructions: parts.instructions,
+            core_cycles: parts.core_cycles,
+            l1_hits: parts.l1_hits,
+            l1_misses: parts.l1_misses,
+            l2_hits: parts.l2_hits,
+            l2_misses: parts.l2_misses,
+            tallies: parts.tallies,
+            l1_cfg: parts.l1_cfg,
+            l2_cfg: parts.l2_cfg,
+            threads: parts.threads,
+        };
+        #[cfg(feature = "validate")]
+        ms.audit_invariants();
+        ms
+    }
+
     /// Feature `validate`: audit the structural invariants of the packed
     /// event encoding and the pre-computed aggregates (DESIGN.md §3.13) —
     /// record shape, kinds, region ids, run lengths, cycle-delta
@@ -354,6 +394,26 @@ impl MissStream {
         debug_assert!(l1m == self.l1_misses, "region L1 tallies do not sum to the miss count");
         debug_assert!(self.instructions >= self.accesses, "each access retires an instruction");
     }
+}
+
+/// Crate-internal bundle of everything a [`MissStream`] is made of, in
+/// serializable form — the unit the artifact store persists and restores
+/// ([`MissStream::from_raw_parts`]).
+pub(crate) struct MissStreamParts {
+    pub regions: RegionMap,
+    pub words: Vec<u64>,
+    pub events: u64,
+    pub accesses: u64,
+    pub instructions: u64,
+    pub core_cycles: u64,
+    pub l1_hits: u64,
+    pub l1_misses: u64,
+    pub l2_hits: u64,
+    pub l2_misses: u64,
+    pub tallies: Vec<RegionTally>,
+    pub l1_cfg: CacheConfig,
+    pub l2_cfg: CacheConfig,
+    pub threads: usize,
 }
 
 /// Run-coalescing encoder for miss-stream records.

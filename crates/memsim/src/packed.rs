@@ -193,6 +193,45 @@ impl PackedTrace {
         Trace::from_source(&mut self.replay())
     }
 
+    /// Crate-internal: number of packed words across all segments (the
+    /// store-blob payload size).
+    pub(crate) fn word_count(&self) -> u64 {
+        self.segs.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Crate-internal: the packed words in stream order (store-blob
+    /// serialization walks them without expanding runs).
+    pub(crate) fn words(&self) -> impl Iterator<Item = u64> + '_ {
+        self.segs.iter().flat_map(|s| s.iter().copied())
+    }
+
+    /// Crate-internal: rebuild a trace from store-blob raw parts. The
+    /// per-region base table is re-derived from the registry and the flat
+    /// word stream is re-segmented exactly as [`PackedBuilder`] lays it
+    /// out, so a round-tripped trace is structurally identical to the
+    /// generated original.
+    pub(crate) fn from_raw_parts(
+        regions: RegionMap,
+        words: Vec<u64>,
+        len: u64,
+        instructions: u64,
+    ) -> PackedTrace {
+        let bases: Vec<u64> = regions.regions().iter().map(|r| r.base).collect();
+        let mut segs: Vec<Box<[u64]>> = Vec::with_capacity(words.len().div_ceil(SEG_WORDS));
+        let mut words = words;
+        while words.len() > SEG_WORDS {
+            let rest = words.split_off(SEG_WORDS);
+            segs.push(std::mem::replace(&mut words, rest).into_boxed_slice());
+        }
+        if !words.is_empty() {
+            segs.push(words.into_boxed_slice());
+        }
+        let trace = PackedTrace { regions, bases, segs, len, instructions };
+        #[cfg(feature = "validate")]
+        trace.audit_invariants();
+        trace
+    }
+
     /// Feature `validate`: audit the packed encoding's structural
     /// invariants (DESIGN.md §3.12) — segment shape, run lengths, offset
     /// ranges, and the access/instruction accounting.

@@ -21,6 +21,7 @@
 use crate::config::{CacheConfig, SystemConfig};
 use crate::miss_stream::MissStream;
 use crate::packed::PackedTrace;
+use crate::store::{ArtifactStore, StoreMetrics};
 use crate::workloads::KernelParams;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -64,6 +65,9 @@ pub struct TraceCache {
     builds: AtomicU64,
     miss_hits: AtomicU64,
     miss_builds: AtomicU64,
+    /// Optional on-disk artifact tier: memo misses try the store before
+    /// generating, and generated artifacts are persisted best-effort.
+    store: Mutex<Option<Arc<ArtifactStore>>>,
 }
 
 impl TraceCache {
@@ -76,6 +80,32 @@ impl TraceCache {
     pub fn global() -> &'static TraceCache {
         static GLOBAL: OnceLock<TraceCache> = OnceLock::new();
         GLOBAL.get_or_init(TraceCache::new)
+    }
+
+    /// An empty cache whose misses fall through to (and populate) an
+    /// on-disk [`ArtifactStore`]: a warm store makes a fresh process
+    /// skip trace generation and cache filtering entirely.
+    pub fn with_store(store: Arc<ArtifactStore>) -> Self {
+        let cache = TraceCache::new();
+        cache.attach_store(store);
+        cache
+    }
+
+    /// Attach (or replace) the on-disk artifact tier. Entries already
+    /// memoized in memory are unaffected; future memo misses consult the
+    /// store first.
+    pub fn attach_store(&self, store: Arc<ArtifactStore>) {
+        *self.store.lock().unwrap_or_else(|e| e.into_inner()) = Some(store);
+    }
+
+    /// The attached artifact store, if any.
+    pub fn store(&self) -> Option<Arc<ArtifactStore>> {
+        self.store.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Counter snapshot of the attached store (zeros when none is).
+    pub fn store_metrics(&self) -> StoreMetrics {
+        self.store().map(|s| s.metrics()).unwrap_or_default()
     }
 
     /// The packed trace for a workload: generated on first request, shared
@@ -95,8 +125,22 @@ impl TraceCache {
         let mut built_here = false;
         let trace = slot.get_or_init(|| {
             built_here = true;
+            if let Some(store) = self.store() {
+                if let Some(t) = store.load_trace(params) {
+                    // Disk hit: no generation happened, so the build
+                    // counter stays put (the store counts its own hits).
+                    return Arc::new(t);
+                }
+            }
             self.builds.fetch_add(1, Ordering::Relaxed);
-            Arc::new(params.build_packed())
+            let t = Arc::new(params.build_packed());
+            if let Some(store) = self.store() {
+                // Best-effort persist: the in-memory artifact serves the
+                // process either way, and the store counts write errors
+                // as absent blobs on the next cold start.
+                let _ = store.save_trace(params, &t);
+            }
+            t
         });
         if !built_here {
             // Lost the build race (or arrived between the fast-path check
@@ -128,9 +172,20 @@ impl TraceCache {
         let mut built_here = false;
         let ms = slot.get_or_init(|| {
             built_here = true;
+            if let Some(store) = self.store() {
+                if let Some(ms) = store.load_miss(&key) {
+                    // Disk hit on the filtered tier: neither the cache
+                    // filter nor the underlying trace generation runs.
+                    return Arc::new(ms);
+                }
+            }
             self.miss_builds.fetch_add(1, Ordering::Relaxed);
             let packed = self.get(params);
-            Arc::new(MissStream::build(&mut packed.replay(), key.l1, key.l2, key.threads))
+            let ms = Arc::new(MissStream::build(&mut packed.replay(), key.l1, key.l2, key.threads));
+            if let Some(store) = self.store() {
+                let _ = store.save_miss(&key, &ms);
+            }
+            ms
         });
         if !built_here {
             self.miss_hits.fetch_add(1, Ordering::Relaxed);

@@ -20,8 +20,11 @@ else
     exit 1
 fi
 
-echo "=== cargo build --release ==="
-cargo build --release
+echo "=== cargo build --release --workspace ==="
+# --workspace matters: the root manifest is both a package and a workspace,
+# so a bare `cargo build` only covers the root package and never produces
+# the bench binaries the stages below execute.
+cargo build --release --workspace
 
 echo "=== trace-pipeline smoke bench (writes BENCH_trace.json) ==="
 ./target/release/bench_trace
@@ -29,8 +32,19 @@ echo "=== trace-pipeline smoke bench (writes BENCH_trace.json) ==="
 echo "=== two-phase simulation smoke bench (writes BENCH_sim.json) ==="
 ./target/release/bench_sim
 
-echo "=== cargo test -q ==="
-cargo test -q
+echo "=== artifact-store gate (fig07 grid, cold then warm disk, separate processes) ==="
+# Two fresh processes over one store directory: the first populates it,
+# the second must complete with zero regenerations, >=90% artifact hits,
+# and byte-identical cell output (bit-identical SimStats across
+# processes).
+STORE_GATE_DIR="$(mktemp -d)"
+trap 'rm -rf "$STORE_GATE_DIR"' EXIT
+./target/release/store_gate "$STORE_GATE_DIR/store" "$STORE_GATE_DIR/cold.txt"
+./target/release/store_gate "$STORE_GATE_DIR/store" "$STORE_GATE_DIR/warm.txt" \
+    --expect "$STORE_GATE_DIR/cold.txt"
+
+echo "=== cargo test -q --workspace ==="
+cargo test -q --workspace
 
 echo "=== cargo test -q --features validate (memsim invariant audits on) ==="
 cargo test -q -p abft-memsim --features validate
