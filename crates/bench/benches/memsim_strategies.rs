@@ -5,7 +5,7 @@ use abft_coop_core::Strategy;
 use abft_dgms::run_dgms;
 use abft_memsim::system::Machine;
 use abft_memsim::workloads::{abft_regions, dgemm_trace, DgemmParams};
-use abft_memsim::SystemConfig;
+use abft_memsim::{SimRequest, SystemConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_strategies(c: &mut Criterion) {
@@ -17,7 +17,7 @@ fn bench_strategies(c: &mut Criterion) {
         let assign = s.assignment(&regions);
         g.bench_function(s.label().replace(' ', "_"), |b| {
             let mut m = Machine::new(SystemConfig::default());
-            b.iter(|| m.run_trace(&trace, &assign));
+            b.iter(|| m.simulate(SimRequest::trace(&trace, assign.clone())));
         });
     }
     g.bench_function("DGMS_predicted", |b| {

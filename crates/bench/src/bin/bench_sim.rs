@@ -11,11 +11,12 @@
 use abft_bench::print_header;
 use abft_coop_core::report::TextTable;
 use abft_coop_core::{
-    run_strategy_miss_stream, run_strategy_source, CampaignClient, CampaignSpec, Strategy,
+    run_strategy_miss_stream, run_strategy_sampled, run_strategy_source, CampaignClient,
+    CampaignSpec, Strategy,
 };
 use abft_memsim::miss_stream::MissStream;
 use abft_memsim::workloads::{KernelKind, KernelParams};
-use abft_memsim::{SystemConfig, TraceCache};
+use abft_memsim::{SimPointConfig, SimPointSelection, SystemConfig, TraceCache};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -117,6 +118,86 @@ fn disk_grid(dir: &std::path::Path, expect_warm: bool) -> f64 {
     secs
 }
 
+fn rel_err(sampled: f64, exact: f64) -> f64 {
+    if exact == 0.0 {
+        sampled.abs()
+    } else {
+        (sampled - exact).abs() / exact.abs()
+    }
+}
+
+struct SimPointBench {
+    accesses: u64,
+    events: u64,
+    slices: u64,
+    phases: usize,
+    select_secs: f64,
+    exact_replay_secs: f64,
+    sampled_replay_secs: f64,
+    err_cycles: f64,
+    err_energy: f64,
+}
+
+impl SimPointBench {
+    fn speedup(&self) -> f64 {
+        self.exact_replay_secs / self.sampled_replay_secs
+    }
+}
+
+/// Phase sampling at paper scale: FT-CG on the full Table 3 problem
+/// (grid 1024 → n = 1,048,576), one strategy, exact vs sampled replay of
+/// the same miss stream. The exact replay is what the speedup gate is
+/// measured against; it also yields the paper-scale error directly.
+fn simpoint_paper_scale(cache: &TraceCache) -> SimPointBench {
+    let params = KernelParams::paper_for(KernelKind::Cg);
+    let cfg = SystemConfig::default();
+    let ms = cache.get_filtered(params, &cfg);
+
+    let t0 = Instant::now();
+    let sel = SimPointSelection::build(&ms, SimPointConfig::default());
+    let select_secs = t0.elapsed().as_secs_f64();
+
+    let strategy = Strategy::PartialChipkillSecded;
+    let t0 = Instant::now();
+    let exact = run_strategy_miss_stream(&ms, &cfg, strategy);
+    let exact_replay_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let t0 = Instant::now();
+    let sampled = run_strategy_sampled(&ms, &sel, &cfg, strategy);
+    let sampled_replay_secs = t0.elapsed().as_secs_f64().max(1e-9);
+
+    SimPointBench {
+        accesses: ms.accesses(),
+        events: ms.events(),
+        slices: sel.slices(),
+        phases: sel.phases().len(),
+        select_secs,
+        exact_replay_secs,
+        sampled_replay_secs,
+        err_cycles: rel_err(sampled.cycles as f64, exact.cycles as f64),
+        err_energy: rel_err(sampled.mem_total_j(), exact.mem_total_j()),
+    }
+}
+
+/// Small-n cross-check: the same sampling config over every default-scale
+/// kernel and every strategy, exact-vs-sampled. Returns the worst
+/// relative error seen on cycles and on total memory energy.
+fn simpoint_crosscheck(cache: &TraceCache) -> (f64, f64) {
+    let cfg = SystemConfig::default();
+    let (mut worst_cycles, mut worst_energy) = (0.0f64, 0.0f64);
+    for &kind in KernelKind::ALL.iter() {
+        let params = KernelParams::default_for(kind);
+        let ms = cache.get_filtered(params, &cfg);
+        let sel = SimPointSelection::build(&ms, SimPointConfig::default());
+        for s in Strategy::ALL {
+            let exact = run_strategy_miss_stream(&ms, &cfg, s);
+            let sampled = run_strategy_sampled(&ms, &sel, &cfg, s);
+            worst_cycles = worst_cycles.max(rel_err(sampled.cycles as f64, exact.cycles as f64));
+            worst_energy = worst_energy.max(rel_err(sampled.mem_total_j(), exact.mem_total_j()));
+        }
+    }
+    (worst_cycles, worst_energy)
+}
+
 fn main() {
     print_header("Two-phase simulation benchmark — full path vs filtered miss-stream replay");
     let cache = Arc::new(TraceCache::new());
@@ -173,6 +254,42 @@ fn main() {
          {warm_disk_secs:.2}s ({disk_speedup:.1}x; warm run regenerates nothing)"
     );
 
+    // SimPoint phase sampling: paper-scale FT-CG exact vs sampled, plus
+    // the small-n error cross-check over the whole default grid. Both
+    // gates (≤2% worst error, ≥5x sampled-replay speedup) are enforced
+    // here, so a regression fails the bench rather than shipping skewed
+    // numbers.
+    let sp = simpoint_paper_scale(&cache);
+    let (cross_err_cycles, cross_err_energy) = simpoint_crosscheck(&cache);
+    println!(
+        "simpoint paper-scale FT-CG ({} events, {} slices -> {} phases): exact \
+         {:.2}s, sampled {:.3}s ({:.0}x; select {:.2}s), err cycles {:.3}% energy {:.3}%",
+        sp.events,
+        sp.slices,
+        sp.phases,
+        sp.exact_replay_secs,
+        sp.sampled_replay_secs,
+        sp.speedup(),
+        sp.select_secs,
+        sp.err_cycles * 100.0,
+        sp.err_energy * 100.0,
+    );
+    println!(
+        "simpoint small-n cross-check (4 kernels x 6 strategies): worst err cycles \
+         {:.3}%, worst err energy {:.3}%",
+        cross_err_cycles * 100.0,
+        cross_err_energy * 100.0,
+    );
+    let worst_err = sp.err_cycles.max(sp.err_energy).max(cross_err_cycles).max(cross_err_energy);
+    if worst_err > 0.02 {
+        eprintln!("bench_sim: sampling error {:.3}% exceeds the 2% gate", worst_err * 100.0);
+        std::process::exit(1);
+    }
+    if sp.speedup() < 5.0 {
+        eprintln!("bench_sim: sampled-replay speedup {:.1}x below the 5x gate", sp.speedup());
+        std::process::exit(1);
+    }
+
     let mut json = String::from("{\n  \"kernels\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
@@ -198,7 +315,25 @@ fn main() {
          \"filtered_cold_secs\": {filtered_grid_secs:.4}, \
          \"filtered_warm_secs\": {warm_grid_secs:.4}, \"speedup\": {grid_speedup:.2}}},\n  \
          \"artifact_store\": {{\"cold_disk_secs\": {cold_disk_secs:.4}, \
-         \"warm_disk_secs\": {warm_disk_secs:.4}, \"warm_speedup\": {disk_speedup:.2}}}\n}}\n"
+         \"warm_disk_secs\": {warm_disk_secs:.4}, \"warm_speedup\": {disk_speedup:.2}}},\n  \
+         \"simpoint\": {{\"paper_kernel\": \"FT-CG\", \"accesses\": {}, \
+         \"miss_events\": {}, \"slices\": {}, \"phases\": {}, \"select_secs\": {:.4}, \
+         \"exact_replay_secs\": {:.4}, \"sampled_replay_secs\": {:.4}, \
+         \"replay_speedup\": {:.2}, \"paper_err_cycles\": {:.6}, \
+         \"paper_err_energy\": {:.6}, \"crosscheck_err_cycles\": {:.6}, \
+         \"crosscheck_err_energy\": {:.6}}}\n}}\n",
+        sp.accesses,
+        sp.events,
+        sp.slices,
+        sp.phases,
+        sp.select_secs,
+        sp.exact_replay_secs,
+        sp.sampled_replay_secs,
+        sp.speedup(),
+        sp.err_cycles,
+        sp.err_energy,
+        cross_err_cycles,
+        cross_err_energy,
     );
     let path = "BENCH_sim.json";
     match std::fs::write(path, &json) {

@@ -7,13 +7,16 @@
 //!
 //! * the output files are byte-identical (bit-identical `SimStats`
 //!   across processes),
-//! * nothing was regenerated (zero trace builds, zero filter builds),
+//! * nothing was regenerated (zero trace builds, zero filter builds,
+//!   zero SimPoint cluster rebuilds — the grid runs with phase sampling
+//!   on, so selections are persisted and reloaded too),
 //! * the artifact hit rate is >= 90%.
 //!
 //! Usage: `store_gate <store-dir> <out-file> [--expect <cold-file>]`
 
 use abft_campaign_server::protocol::format_cell;
 use abft_coop_core::{CampaignClient, CampaignSpec};
+use abft_memsim::simpoint::SimPointConfig;
 use abft_memsim::workloads::KernelKind;
 use abft_memsim::TraceCache;
 use std::fmt::Write as _;
@@ -39,7 +42,13 @@ fn main() {
     // A fresh cache makes every memo miss go to the store, exactly like
     // a fresh process would.
     let cache = Arc::new(TraceCache::new());
-    let spec = CampaignSpec::builder().kernels(KernelKind::ALL).store(&store_dir).build();
+    // Sampling on: the gate then also covers the SimPoint selection
+    // blobs (built cold, loaded warm, zero rebuilds).
+    let spec = CampaignSpec::builder()
+        .kernels(KernelKind::ALL)
+        .store(&store_dir)
+        .sampling(SimPointConfig::default())
+        .build();
     let run = CampaignClient::with_cache(cache).run(&spec);
     if run.results.len() != spec.cells() {
         fail(&format!("expected {} cells, got {}", spec.cells(), run.results.len()));
@@ -55,11 +64,13 @@ fn main() {
 
     let m = &run.metrics;
     eprintln!(
-        "store_gate: jobs={} cache_builds={} filter_builds={} store_hits={} \
-         store_misses={} store_writes={} store_evictions={}",
+        "store_gate: jobs={} cache_builds={} filter_builds={} simpoint_builds={} \
+         sampled_cells={} store_hits={} store_misses={} store_writes={} store_evictions={}",
         m.jobs,
         m.cache_builds,
         m.filter_builds,
+        m.simpoint_builds,
+        m.sampled_cells,
         m.store_hits,
         m.store_misses,
         m.store_writes,
@@ -74,10 +85,11 @@ fn main() {
         if cold != out {
             fail("warm-disk results differ from the cold run (SimStats not bit-identical)");
         }
-        if m.cache_builds != 0 || m.filter_builds != 0 {
+        if m.cache_builds != 0 || m.filter_builds != 0 || m.simpoint_builds != 0 {
             fail(&format!(
-                "warm-disk run regenerated artifacts: {} trace builds, {} filter builds",
-                m.cache_builds, m.filter_builds
+                "warm-disk run regenerated artifacts: {} trace builds, {} filter builds, \
+                 {} simpoint cluster rebuilds",
+                m.cache_builds, m.filter_builds, m.simpoint_builds
             ));
         }
         let lookups = m.store_hits + m.store_misses;

@@ -91,7 +91,7 @@ pub fn kernel_trace(kind: KernelKind) -> Arc<PackedTrace> {
 /// default system config, from the process-wide [`TraceCache`] (the cache
 /// hierarchy is simulated at most once per process; every further policy
 /// run replays only the L2 miss tail). Replay it with
-/// [`abft_memsim::system::Machine::run_miss_stream`] or
+/// [`abft_memsim::system::Machine::simulate`] or
 /// [`abft_coop_core::run_strategy_miss_stream`].
 pub fn kernel_miss_stream(kind: KernelKind) -> Arc<MissStream> {
     TraceCache::global().get_filtered(KernelParams::default_for(kind), &SystemConfig::default())

@@ -11,9 +11,11 @@
 //! exactly-once behaviour is a testable property, not a hope.
 
 use abft_coop_core::campaign::{
-    run_strategy_miss_stream, CampaignMetrics, CampaignResult, CampaignRun, Progress, ProgressHook,
+    run_strategy_miss_stream, run_strategy_sampled, CampaignMetrics, CampaignResult, CampaignRun,
+    Progress, ProgressHook,
 };
 use abft_coop_core::{CampaignSpec, GridRunner, Strategy};
+use abft_memsim::simpoint::SimPointConfig;
 use abft_memsim::workloads::KernelParams;
 use abft_memsim::{ArtifactStore, StableDigest, SystemConfig, TraceCache};
 use std::collections::HashMap;
@@ -41,10 +43,19 @@ struct CellKey {
 }
 
 impl CellKey {
-    fn new(params: KernelParams, cfg: &SystemConfig, strategy: Strategy) -> CellKey {
+    fn new(
+        params: KernelParams,
+        cfg: &SystemConfig,
+        strategy: Strategy,
+        sampling: Option<SimPointConfig>,
+    ) -> CellKey {
         let mut d = StableDigest::new();
         d.str_token("campaign-cell/v1");
         d.str_token(&format!("{cfg:?}"));
+        // Sampled and exact replays of the same cell are different
+        // results; a sampled grid must never be served an exact cell
+        // (or vice versa) from the dedupe map.
+        d.str_token(&format!("{sampling:?}"));
         CellKey { params, cfg: d.finish(), strategy: strategy as u8 }
     }
 }
@@ -82,6 +93,7 @@ struct CellJob {
     params: KernelParams,
     cfg: SystemConfig,
     strategy: Strategy,
+    sampling: Option<SimPointConfig>,
 }
 
 /// Per-grid bookkeeping: results in deterministic grid order, a live
@@ -221,7 +233,13 @@ impl Shared {
         // repolint:allow(DET002,DET004) wall time is reporting-only metadata
         let start = Instant::now();
         let ms = self.cache.get_filtered(job.params, &job.cfg);
-        let stats = run_strategy_miss_stream(&ms, &job.cfg, job.strategy);
+        let stats = match &job.sampling {
+            Some(sp) => {
+                let sel = self.cache.get_simpoints(job.params, &job.cfg, sp);
+                run_strategy_sampled(&ms, &sel, &job.cfg, job.strategy)
+            }
+            None => run_strategy_miss_stream(&ms, &job.cfg, job.strategy),
+        };
         let wall = start.elapsed();
         self.executed.fetch_add(1, Ordering::SeqCst);
         let waiters = {
@@ -357,9 +375,10 @@ impl CampaignServer {
             }
         }
 
+        let sampling = spec.sampling();
         let queue = lock(&self.queue).clone();
         for (index, (w, tag, cfg, s)) in jobs.into_iter().enumerate() {
-            let key = CellKey::new(w, &cfg, s);
+            let key = CellKey::new(w, &cfg, s, sampling);
             let waiter = Waiter { grid: Arc::clone(&grid), index, params: w, strategy: s, tag };
             // Decide under the map lock; fulfill after releasing it.
             let ready = {
@@ -378,7 +397,8 @@ impl CampaignServer {
                         cells.insert(key, CellState::InFlight(vec![waiter]));
                         grid.enqueued.fetch_add(1, Ordering::SeqCst);
                         if let Some(queue) = &queue {
-                            let _ = queue.send(CellJob { key, params: w, cfg, strategy: s });
+                            let _ =
+                                queue.send(CellJob { key, params: w, cfg, strategy: s, sampling });
                         }
                         continue;
                     }
@@ -435,6 +455,8 @@ impl GridRunner for ServerHandle {
         let builds0 = cache.builds();
         let filter_hits0 = cache.miss_hits();
         let filter_builds0 = cache.miss_builds();
+        let simpoint_hits0 = cache.simpoint_hits();
+        let simpoint_builds0 = cache.simpoint_builds();
         let store0 = cache.store_metrics();
 
         let ticket = self.server.submit(spec);
@@ -457,7 +479,27 @@ impl GridRunner for ServerHandle {
         });
         // Counter deltas are exact when this grid runs alone and
         // approximate (shared pool) under concurrent submissions.
+        // Snapshot them before the sampling-accounting pass below, whose
+        // memoized selection lookups would otherwise inflate the hits.
+        let simpoint_hits = cache.simpoint_hits() - simpoint_hits0;
+        let simpoint_builds = cache.simpoint_builds() - simpoint_builds0;
         let store = cache.store_metrics().since(&store0);
+
+        let mut sampled_cells = 0;
+        let mut slices_replayed = 0;
+        let mut est_error_budget = 0.0f64;
+        if let Some(sp) = spec.sampling() {
+            let strategies = spec.strategies().len() as u64;
+            for w in spec.workloads() {
+                for (_, cfg) in spec.configs() {
+                    let sel = cache.get_simpoints(w, &cfg, &sp);
+                    sampled_cells += spec.strategies().len();
+                    slices_replayed += sel.phases().len() as u64 * strategies;
+                    est_error_budget = est_error_budget.max(sel.est_error());
+                }
+            }
+        }
+
         CampaignRun {
             results,
             metrics: CampaignMetrics {
@@ -466,6 +508,11 @@ impl GridRunner for ServerHandle {
                 cache_builds: cache.builds() - builds0,
                 filter_hits: cache.miss_hits() - filter_hits0,
                 filter_builds: cache.miss_builds() - filter_builds0,
+                simpoint_hits,
+                simpoint_builds,
+                sampled_cells,
+                slices_replayed,
+                est_error_budget,
                 store_hits: store.hits,
                 store_misses: store.misses,
                 store_writes: store.writes,

@@ -34,7 +34,8 @@
 use crate::experiment::{BasicTest, StrategyResult};
 use crate::strategy::Strategy;
 use abft_memsim::miss_stream::MissStream;
-use abft_memsim::system::{Machine, SimStats};
+use abft_memsim::simpoint::{SimPointConfig, SimPointSelection};
+use abft_memsim::system::{Machine, SimRequest, SimStats};
 use abft_memsim::trace::Trace;
 use abft_memsim::trace_cache::{FilterKey, TraceCache};
 use abft_memsim::workloads::{abft_region_ids, KernelKind, KernelParams};
@@ -51,12 +52,13 @@ use std::time::{Duration, Instant};
 /// pull-based: a packed-cache replay, a live kernel generator, or a trace
 /// file; the simulator drains it in bounded-memory chunks.
 pub fn run_strategy_source<S: AccessSource + ?Sized>(
-    src: &mut S,
+    mut src: &mut S,
     cfg: &SystemConfig,
     strategy: Strategy,
 ) -> SimStats {
     let regions = abft_region_ids(src.regions());
-    Machine::new(cfg.clone()).run_source(src, &strategy.assignment(&regions))
+    let assign = strategy.assignment(&regions);
+    Machine::new(cfg.clone()).simulate(SimRequest::source(&mut src, assign))
 }
 
 /// [`run_strategy_source`] over a materialized trace (the compatibility
@@ -76,7 +78,25 @@ pub fn run_strategy_miss_stream(
     strategy: Strategy,
 ) -> SimStats {
     let regions = abft_region_ids(ms.regions());
-    Machine::new(cfg.clone()).run_miss_stream(ms, &strategy.assignment(&regions))
+    let assign = strategy.assignment(&regions);
+    Machine::new(cfg.clone()).simulate(SimRequest::miss_stream(ms, assign))
+}
+
+/// [`run_strategy_miss_stream`] through SimPoint-style phase sampling:
+/// replays only the selection's weighted representative slices and scales
+/// the accumulated DRAM statistics by cluster weights. An estimate (error
+/// bounded empirically in `tests/simpoint_equivalence.rs` and gated in
+/// `bench_sim`), not bit-identical — use it when the exact replay's
+/// O(LLC misses) is still too slow, e.g. paper-scale matrices.
+pub fn run_strategy_sampled(
+    ms: &MissStream,
+    sel: &SimPointSelection,
+    cfg: &SystemConfig,
+    strategy: Strategy,
+) -> SimStats {
+    let regions = abft_region_ids(ms.regions());
+    let assign = strategy.assignment(&regions);
+    Machine::new(cfg.clone()).simulate(SimRequest::sampled(ms, sel, assign))
 }
 
 /// One completed campaign cell.
@@ -142,6 +162,19 @@ pub struct CampaignMetrics {
     pub store_writes: u64,
     /// Corrupt artifact blobs evicted during the run.
     pub store_evictions: u64,
+    /// Phase-selection lookups served from the memo or the store.
+    pub simpoint_hits: u64,
+    /// Phase selections actually built (sliced + clustered) during the
+    /// run — zero in a warm-store process.
+    pub simpoint_builds: u64,
+    /// Cells executed through sampled replay (zero when sampling is off).
+    pub sampled_cells: usize,
+    /// Representative slices replayed across all sampled cells.
+    pub slices_replayed: u64,
+    /// Worst a-priori heterogeneity error budget across the selections
+    /// used (see [`SimPointSelection::est_error`]); 0 when sampling is
+    /// off.
+    pub est_error_budget: f64,
     /// End-to-end wall-clock of [`Campaign::run`].
     pub wall: Duration,
 }
@@ -157,6 +190,7 @@ pub struct Campaign {
     configs: Vec<(String, SystemConfig)>,
     threads: Option<usize>,
     progress: Option<ProgressHook>,
+    sampling: Option<SimPointConfig>,
 }
 
 impl Campaign {
@@ -218,6 +252,23 @@ impl Campaign {
         self
     }
 
+    /// Enable SimPoint-style phase sampling for every cell: each job
+    /// replays only the weighted representative slices of its miss
+    /// stream instead of the whole DRAM tail. Results become estimates
+    /// (error budget surfaced in [`CampaignMetrics::est_error_budget`]);
+    /// leave sampling off when bit-exact statistics are required.
+    pub fn sampling(mut self, cfg: SimPointConfig) -> Self {
+        self.sampling = Some(cfg);
+        self
+    }
+
+    /// [`Campaign::sampling`] with an optional config (what the client
+    /// facade threads through).
+    pub fn sampling_opt(mut self, cfg: Option<SimPointConfig>) -> Self {
+        self.sampling = cfg;
+        self
+    }
+
     /// Install a hook called after every completed job (liveness
     /// reporting for long campaigns). May be called from worker threads.
     pub fn on_progress(mut self, hook: impl Fn(&Progress) + Send + Sync + 'static) -> Self {
@@ -269,7 +320,10 @@ impl Campaign {
         let builds0 = cache.builds();
         let filter_hits0 = cache.miss_hits();
         let filter_builds0 = cache.miss_builds();
+        let simpoint_hits0 = cache.simpoint_hits();
+        let simpoint_builds0 = cache.simpoint_builds();
         let store0 = cache.store_metrics();
+        let sampling = self.sampling;
         let progress = self.progress.clone();
         let start = Instant::now(); // repolint:allow(DET002,DET004) wall time is reporting-only progress metadata
 
@@ -290,9 +344,16 @@ impl Campaign {
             }
         }
 
+        // For the sampling accounting pass below: the (workload, config)
+        // pair of every job, before `jobs` moves into the executor.
+        let job_cells: Vec<(KernelParams, usize)> = jobs.iter().map(|&(w, c, _)| (w, c)).collect();
+
         let execute = || -> Vec<CampaignResult> {
             distinct.into_par_iter().for_each(|(w, c, _)| {
                 cache.get_filtered(w, &configs[c].1);
+                if let Some(sp) = &sampling {
+                    cache.get_simpoints(w, &configs[c].1, sp);
+                }
             });
             jobs.into_par_iter()
                 .map(|(workload, cfg_idx, strategy)| {
@@ -300,7 +361,13 @@ impl Campaign {
                     // repolint:allow(DET002,DET004) wall time is reporting-only progress metadata
                     let job_start = Instant::now();
                     let ms = cache.get_filtered(workload, cfg);
-                    let stats = run_strategy_miss_stream(&ms, cfg, strategy);
+                    let stats = match &sampling {
+                        Some(sp) => {
+                            let sel = cache.get_simpoints(workload, cfg, sp);
+                            run_strategy_sampled(&ms, &sel, cfg, strategy)
+                        }
+                        None => run_strategy_miss_stream(&ms, cfg, strategy),
+                    };
                     let wall = job_start.elapsed();
                     let result = CampaignResult {
                         kernel: workload.kind(),
@@ -338,6 +405,21 @@ impl Campaign {
         };
 
         let store = cache.store_metrics().since(&store0);
+        // Snapshot the simpoint counters before the accounting pass below,
+        // whose memo lookups would otherwise inflate the hit delta.
+        let simpoint_hits = cache.simpoint_hits() - simpoint_hits0;
+        let simpoint_builds = cache.simpoint_builds() - simpoint_builds0;
+        let mut sampled_cells = 0usize;
+        let mut slices_replayed = 0u64;
+        let mut est_error_budget = 0.0f64;
+        if let Some(sp) = &sampling {
+            for (w, c) in job_cells {
+                let sel = cache.get_simpoints(w, &configs[c].1, sp);
+                sampled_cells += 1;
+                slices_replayed += sel.phases().len() as u64;
+                est_error_budget = est_error_budget.max(sel.est_error());
+            }
+        }
         CampaignRun {
             results,
             metrics: CampaignMetrics {
@@ -350,6 +432,11 @@ impl Campaign {
                 store_misses: store.misses,
                 store_writes: store.writes,
                 store_evictions: store.evictions,
+                simpoint_hits,
+                simpoint_builds,
+                sampled_cells,
+                slices_replayed,
+                est_error_budget,
                 wall: start.elapsed(),
             },
         }
@@ -422,7 +509,10 @@ impl CampaignRun {
             "\"jobs\": {}, \"cache_hits\": {}, \"cache_builds\": {}, \
              \"filter_hits\": {}, \"filter_builds\": {}, \
              \"store_hits\": {}, \"store_misses\": {}, \"store_writes\": {}, \
-             \"store_evictions\": {}, \"wall_seconds\": {:.6}",
+             \"store_evictions\": {}, \
+             \"simpoint_hits\": {}, \"simpoint_builds\": {}, \
+             \"sampled_cells\": {}, \"slices_replayed\": {}, \
+             \"est_error_budget\": {:.6}, \"wall_seconds\": {:.6}",
             self.metrics.jobs,
             self.metrics.cache_hits,
             self.metrics.cache_builds,
@@ -432,6 +522,11 @@ impl CampaignRun {
             self.metrics.store_misses,
             self.metrics.store_writes,
             self.metrics.store_evictions,
+            self.metrics.simpoint_hits,
+            self.metrics.simpoint_builds,
+            self.metrics.sampled_cells,
+            self.metrics.slices_replayed,
+            self.metrics.est_error_budget,
             self.metrics.wall.as_secs_f64()
         ));
         out.push_str("},\n  \"results\": [\n");
@@ -624,6 +719,33 @@ mod tests {
         let trace = tiny().build();
         let direct = run_strategy_job(&trace, &SystemConfig::default(), Strategy::WholeChipkill);
         assert_eq!(bt.row(Strategy::WholeChipkill).stats, direct);
+    }
+
+    #[test]
+    fn sampled_campaign_reports_sampling_metrics() {
+        let cache = TraceCache::new();
+        let sp = SimPointConfig { interval: 2048, max_phases: 4, ..Default::default() };
+        let run = Campaign::new()
+            .workload(tiny())
+            .strategies([Strategy::NoEcc, Strategy::WholeChipkill])
+            .sampling(sp)
+            .threads(2)
+            .run_with_cache(&cache);
+        assert_eq!(run.metrics.jobs, 2);
+        assert_eq!(run.metrics.sampled_cells, 2);
+        assert_eq!(run.metrics.simpoint_builds, 1, "one selection per distinct filter key");
+        assert!(run.metrics.slices_replayed >= 2, "each cell replays at least one slice");
+        assert!((0.0..=1.0).contains(&run.metrics.est_error_budget));
+        let json = run.to_json();
+        assert!(json.contains("\"sampled_cells\": 2"));
+        assert!(json.contains("\"simpoint_builds\": 1"));
+        assert!(json.contains("\"est_error_budget\""));
+        // An unsampled campaign reports sampling as off.
+        let exact =
+            Campaign::new().workload(tiny()).strategy(Strategy::NoEcc).run_with_cache(&cache);
+        assert_eq!(exact.metrics.sampled_cells, 0);
+        assert_eq!(exact.metrics.slices_replayed, 0);
+        assert_eq!(exact.metrics.est_error_budget, 0.0);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 
 use crate::campaign::{Campaign, CampaignRun, ProgressHook};
 use crate::strategy::Strategy;
+use abft_memsim::simpoint::SimPointConfig;
 use abft_memsim::workloads::{KernelKind, KernelParams};
 use abft_memsim::{ArtifactStore, SystemConfig, TraceCache};
 use std::path::{Path, PathBuf};
@@ -39,6 +40,42 @@ use std::sync::Arc;
 /// should persist artifacts to (the spec's explicit
 /// [`CampaignSpecBuilder::store`] wins when both are set).
 pub const STORE_ENV: &str = "ABFT_ARTIFACT_STORE";
+
+/// Environment variable enabling SimPoint phase sampling for every local
+/// grid run (the spec's explicit [`CampaignSpecBuilder::sampling`] wins
+/// when both are set). `1` or `default` selects
+/// [`SimPointConfig::default`]; otherwise the value is parsed as
+/// `interval,max_phases,seed,iterations[,strata]`. Malformed values
+/// degrade to exact replay with a warning — sampling is an accelerator,
+/// never a correctness dependency.
+pub const SIMPOINT_ENV: &str = "ABFT_SIMPOINT";
+
+/// Parse a [`SIMPOINT_ENV`]-style value: `1`/`default` for the default
+/// config, or `interval,max_phases,seed,iterations[,strata]` CSV
+/// (`strata` falls back to the default when omitted).
+pub fn parse_simpoint_env(value: &str) -> Option<SimPointConfig> {
+    let v = value.trim();
+    if v.is_empty() {
+        return None;
+    }
+    if v == "1" || v.eq_ignore_ascii_case("default") {
+        return Some(SimPointConfig::default());
+    }
+    let parts: Vec<&str> = v.split(',').map(str::trim).collect();
+    if parts.len() != 4 && parts.len() != 5 {
+        return None;
+    }
+    Some(SimPointConfig {
+        interval: parts[0].parse().ok()?,
+        max_phases: parts[1].parse().ok()?,
+        seed: parts[2].parse().ok()?,
+        iterations: parts[3].parse().ok()?,
+        strata: match parts.get(4) {
+            Some(p) => p.parse().ok()?,
+            None => SimPointConfig::default().strata,
+        },
+    })
+}
 
 /// A declarative (workload × config × strategy) grid: what to simulate,
 /// under which configs, with which ECC strategies, and where (if
@@ -50,6 +87,7 @@ pub struct CampaignSpec {
     configs: Vec<(String, SystemConfig)>,
     threads: Option<usize>,
     store_dir: Option<PathBuf>,
+    sampling: Option<SimPointConfig>,
 }
 
 impl CampaignSpec {
@@ -103,6 +141,11 @@ impl CampaignSpec {
         self.store_dir.as_deref()
     }
 
+    /// The SimPoint sampling config, if the spec enables phase sampling.
+    pub fn sampling(&self) -> Option<SimPointConfig> {
+        self.sampling
+    }
+
     /// Total grid cells the spec expands to.
     pub fn cells(&self) -> usize {
         self.workloads().len() * self.strategies().len() * self.configs().len()
@@ -118,7 +161,7 @@ impl CampaignSpec {
         if let Some(n) = self.threads {
             c = c.threads(n);
         }
-        c
+        c.sampling_opt(self.sampling)
     }
 }
 
@@ -192,6 +235,13 @@ impl CampaignSpecBuilder {
         self
     }
 
+    /// Replay only weighted representative slices (SimPoint phase
+    /// sampling) instead of the full miss stream for every cell.
+    pub fn sampling(mut self, cfg: SimPointConfig) -> Self {
+        self.spec.sampling = Some(cfg);
+        self
+    }
+
     /// Seal the spec.
     pub fn build(self) -> CampaignSpec {
         self.spec
@@ -252,7 +302,22 @@ impl GridRunner for LocalRunner {
                 }
             }
         }
-        spec.to_campaign().on_progress_hook(hook).run_with_cache(cache)
+        let mut campaign = spec.to_campaign();
+        if spec.sampling().is_none() {
+            if let Some(raw) = std::env::var_os(SIMPOINT_ENV) {
+                let raw = raw.to_string_lossy();
+                match parse_simpoint_env(&raw) {
+                    Some(sp) => campaign = campaign.sampling(sp),
+                    // Degrade to exact replay: a malformed sampling knob
+                    // must never fail (or silently skew) the simulation.
+                    None => eprintln!(
+                        "[campaign] ignoring {SIMPOINT_ENV}={raw:?}: expected \
+                         \"1\", \"default\", or \"interval,max_phases,seed,iterations\""
+                    ),
+                }
+            }
+        }
+        campaign.on_progress_hook(hook).run_with_cache(cache)
     }
 }
 
@@ -302,6 +367,44 @@ mod tests {
 
     fn tiny() -> KernelParams {
         KernelParams::Dgemm(DgemmParams { n: 128, nb: 64, abft: true, verify_interval: 2 })
+    }
+
+    #[test]
+    fn simpoint_env_values_parse_or_degrade() {
+        assert_eq!(parse_simpoint_env("1"), Some(SimPointConfig::default()));
+        assert_eq!(parse_simpoint_env("default"), Some(SimPointConfig::default()));
+        assert_eq!(
+            parse_simpoint_env("4096, 8, 7, 12"),
+            Some(SimPointConfig {
+                interval: 4096,
+                max_phases: 8,
+                seed: 7,
+                iterations: 12,
+                strata: SimPointConfig::default().strata,
+            })
+        );
+        assert_eq!(
+            parse_simpoint_env("4096,8,7,12,2"),
+            Some(SimPointConfig {
+                interval: 4096,
+                max_phases: 8,
+                seed: 7,
+                iterations: 12,
+                strata: 2
+            })
+        );
+        assert_eq!(parse_simpoint_env(""), None);
+        assert_eq!(parse_simpoint_env("4096,8"), None);
+        assert_eq!(parse_simpoint_env("4096,8,x,12"), None);
+        assert_eq!(parse_simpoint_env("4096,8,7,12,x"), None);
+    }
+
+    #[test]
+    fn builder_threads_sampling_through_the_spec() {
+        let sp = SimPointConfig { interval: 2048, max_phases: 4, ..SimPointConfig::default() };
+        let spec = CampaignSpec::builder().workload(tiny()).sampling(sp).build();
+        assert_eq!(spec.sampling(), Some(sp));
+        assert!(CampaignSpec::builder().build().sampling().is_none());
     }
 
     #[test]

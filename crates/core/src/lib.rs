@@ -37,11 +37,12 @@ pub mod strategy;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveController, Stance, Transition};
 pub use campaign::{
-    run_strategy_job, run_strategy_miss_stream, run_strategy_source, Campaign, CampaignMetrics,
-    CampaignResult, CampaignRun, Progress, ProgressHook,
+    run_strategy_job, run_strategy_miss_stream, run_strategy_sampled, run_strategy_source,
+    Campaign, CampaignMetrics, CampaignResult, CampaignRun, Progress, ProgressHook,
 };
 pub use client::{
-    CampaignClient, CampaignSpec, CampaignSpecBuilder, GridRunner, LocalRunner, STORE_ENV,
+    parse_simpoint_env, CampaignClient, CampaignSpec, CampaignSpecBuilder, GridRunner, LocalRunner,
+    SIMPOINT_ENV, STORE_ENV,
 };
 pub use errorflow::{
     drill_chip_fault, drill_matrix, summarize_cases, CaseSummary, DetectedBy, DrillResult,

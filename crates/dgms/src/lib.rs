@@ -14,7 +14,7 @@
 use abft_ecc::EccScheme;
 use abft_memsim::dram::AccessKind;
 use abft_memsim::system::{Machine, SimStats};
-use abft_memsim::{AccessSource, MissStream};
+use abft_memsim::{Access, AccessSource, EccAssignment, MemoryController, MissStream, SimRequest};
 use std::collections::HashMap;
 
 /// Size of the spatial-pattern tracking granule (one OS page).
@@ -137,9 +137,18 @@ impl SpatialPredictor {
 /// Note the hardware-only view: the predictor sees physical addresses and
 /// nothing else; ABFT-protected and unprotected data are indistinguishable
 /// to it. The ECC chips are always powered (every access carries ECC).
-pub fn run_dgms<S: AccessSource + ?Sized>(machine: &mut Machine, src: &mut S) -> (SimStats, f64) {
+pub fn run_dgms<S: AccessSource + ?Sized>(
+    machine: &mut Machine,
+    mut src: &mut S,
+) -> (SimStats, f64) {
     let mut predictor = SpatialPredictor::default();
-    let stats = machine.run_source_with_policy(src, true, |_, _, paddr| predictor.predict(paddr));
+    let mut policy =
+        |_: &Access, _: &MemoryController, paddr: u64| -> AccessKind { predictor.predict(paddr) };
+    let stats = machine.simulate(
+        SimRequest::source(&mut src, EccAssignment::uniform(EccScheme::None))
+            .with_policy(&mut policy)
+            .ecc_chips_powered(true),
+    );
     let frac = predictor.coarse_fraction();
     (stats, frac)
 }
@@ -154,8 +163,13 @@ pub fn run_dgms<S: AccessSource + ?Sized>(machine: &mut Machine, src: &mut S) ->
 /// stateful pattern table evolves identically.
 pub fn run_dgms_miss_stream(machine: &mut Machine, ms: &MissStream) -> (SimStats, f64) {
     let mut predictor = SpatialPredictor::default();
-    let stats =
-        machine.run_miss_stream_with_policy(ms, true, |_, _, paddr| predictor.predict(paddr));
+    let mut policy =
+        |_: &Access, _: &MemoryController, paddr: u64| -> AccessKind { predictor.predict(paddr) };
+    let stats = machine.simulate(
+        SimRequest::miss_stream(ms, EccAssignment::uniform(EccScheme::None))
+            .with_policy(&mut policy)
+            .ecc_chips_powered(true),
+    );
     let frac = predictor.coarse_fraction();
     (stats, frac)
 }
@@ -225,7 +239,7 @@ mod tests {
         let t = dgemm_trace(&DgemmParams { n: 384, nb: 64, abft: true, verify_interval: 4 });
         let mut m = Machine::new(SystemConfig::default());
         let (dgms, _) = run_dgms(&mut m, &mut t.replay());
-        let wck = m.run_trace(&t, &abft_memsim::EccAssignment::uniform(EccScheme::Chipkill));
+        let wck = m.simulate(SimRequest::trace(&t, EccAssignment::uniform(EccScheme::Chipkill)));
         let ratio = dgms.mem_dynamic_j() / wck.mem_dynamic_j();
         assert!(ratio > 0.85 && ratio < 1.1, "DGMS ~ W_CK for DGEMM, ratio {ratio}");
     }

@@ -430,6 +430,23 @@ impl Dram {
         mw * elapsed_ns / 1000.0
     }
 
+    /// Crate-internal: copy of the per-rank busy-time track. The sampled
+    /// replay ([`crate::system::Machine::simulate`]) snapshots it around
+    /// each phase so busy time can be weight-scaled exactly like the
+    /// [`DramStats`] deltas — [`Dram::standby_nj`] divides it by the
+    /// *scaled* wall time, so leaving it unscaled would park mostly-idle
+    /// ranks in power-down and bias the standby account low.
+    pub(crate) fn rank_busy_snapshot(&self) -> Vec<f64> {
+        self.rank_busy_ns.clone()
+    }
+
+    /// Crate-internal: replace the per-rank busy-time track with a scaled
+    /// reconstruction (see [`Dram::rank_busy_snapshot`]).
+    pub(crate) fn set_rank_busy(&mut self, busy: Vec<f64>) {
+        assert_eq!(busy.len(), self.rank_busy_ns.len());
+        self.rank_busy_ns = busy;
+    }
+
     /// Mean rank busy fraction over an interval (diagnostic).
     pub fn mean_rank_utilization(&self, elapsed_ns: f64) -> f64 {
         if elapsed_ns <= 0.0 {

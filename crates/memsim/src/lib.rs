@@ -20,10 +20,13 @@
 //! * [`miss_stream`] — the cache-filtered [`miss_stream::MissStream`]:
 //!   the DRAM-visible L2 miss tail of a workload, built once per cache
 //!   geometry and replayed per ECC policy.
+//! * [`simpoint`] — SimPoint-style phase sampling over miss streams:
+//!   slice, fingerprint, seeded k-means, and the weighted
+//!   representative-phase selection the sampled replay path consumes.
 //! * [`store`] — the content-addressed on-disk [`store::ArtifactStore`]:
-//!   compressed packed-trace and miss-stream blobs with integrity
-//!   footers, layered under the [`trace_cache`] so warm-disk processes
-//!   skip generation entirely.
+//!   compressed packed-trace, miss-stream, and phase-selection blobs
+//!   with integrity footers, layered under the [`trace_cache`] so
+//!   warm-disk processes skip generation entirely.
 //! * [`workloads`] — streaming trace generators replaying the blocked
 //!   loop nests of the paper's four ABFT kernels.
 
@@ -33,6 +36,7 @@ pub mod controller;
 pub mod dram;
 pub mod miss_stream;
 pub mod packed;
+pub mod simpoint;
 pub mod store;
 pub mod stream;
 pub mod system;
@@ -44,11 +48,12 @@ pub mod workloads;
 pub use config::{ConfigError, SystemConfig, SystemConfigBuilder};
 pub use controller::{MemoryController, ERROR_REGISTERS};
 pub use dram::{AddressMap, Dram, DramLocation};
-pub use miss_stream::{MissEvent, MissEventKind, MissStream};
+pub use miss_stream::{MissEvent, MissEventKind, MissStream, SliceCursor};
 pub use packed::{PackedBuilder, PackedReplay, PackedTrace};
+pub use simpoint::{SimPointConfig, SimPointPhase, SimPointSelection};
 pub use store::{ArtifactStore, StableDigest, StoreError, StoreMetrics};
 pub use stream::{AccessSink, AccessSource, TraceReplay, DEFAULT_CHUNK};
-pub use system::{EccAssignment, Machine, SimStats};
+pub use system::{EccAssignment, Machine, RowPolicy, SimInput, SimRequest, SimStats};
 pub use trace::{Access, Region, RegionId, RegionMap, Trace};
 pub use trace_cache::{FilterKey, TraceCache};
 pub use tracefile::TraceFileSource;

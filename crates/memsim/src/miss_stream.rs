@@ -8,7 +8,7 @@
 //! (kernel × cache geometry × thread count): the DRAM-visible tail of the
 //! stream (demand fills and write-backs) annotated with everything the
 //! per-policy replay phase needs to be **bit-identical** to the full path
-//! ([`crate::system::Machine::run_source_with_policy`]):
+//! (a source-input [`crate::system::Machine::simulate`]):
 //!
 //! * the physical line serviced and whether it is a demand read or a
 //!   write-back (coupled to a demand, or a standalone L1-victim→L2
@@ -52,16 +52,16 @@ use crate::packed::{pack, unpack};
 use crate::stream::{AccessSource, DEFAULT_CHUNK};
 use crate::trace::{Access, RegionMap};
 
-const KIND_SHIFT: u32 = 29;
-const KIND_MASK: u64 = 0b11;
-const RUN_SHIFT: u32 = 23;
+pub(crate) const KIND_SHIFT: u32 = 29;
+pub(crate) const KIND_MASK: u64 = 0b11;
+pub(crate) const RUN_SHIFT: u32 = 23;
 const RUN_BITS: u32 = 6;
-const WB_SHIFT: u32 = 31;
+pub(crate) const WB_SHIFT: u32 = 31;
 const DELTA_BITS: u32 = 31;
 
-const KIND_DEMAND: u64 = 0;
-const KIND_DEMAND_WB: u64 = 1;
-const KIND_WRITEBACK: u64 = 2;
+pub(crate) const KIND_DEMAND: u64 = 0;
+pub(crate) const KIND_DEMAND_WB: u64 = 1;
+pub(crate) const KIND_WRITEBACK: u64 = 2;
 
 /// Maximum events one miss-stream record can cover.
 pub const MAX_MISS_RUN: usize = 1 << RUN_BITS;
@@ -114,7 +114,7 @@ pub struct RegionTally {
 /// events, plus every policy-independent aggregate the full simulation
 /// would have produced. Build once per (stream × cache geometry ×
 /// threads) with [`MissStream::build`], replay per ECC policy with
-/// [`crate::system::Machine::run_miss_stream`].
+/// [`crate::system::Machine::simulate`].
 #[derive(Debug, Clone)]
 pub struct MissStream {
     regions: RegionMap,
@@ -138,7 +138,8 @@ pub struct MissStream {
 
 impl MissStream {
     /// Drive `src` through L1/L2 once and record the DRAM-visible tail.
-    /// The walk mirrors [`crate::system::Machine::run_source_with_policy`]
+    /// The walk mirrors the full source-replay path of
+    /// [`crate::system::Machine::simulate`]
     /// with the DRAM calls replaced by event recording (stall = 0, so the
     /// recorded cycle track is the pure core-cycle component).
     pub fn build<S: AccessSource + ?Sized>(
@@ -293,6 +294,19 @@ impl MissStream {
         MissEvents { ms: self, idx: 0, run_pos: 0, cycles: 0 }
     }
 
+    /// Resume decoding mid-stream from a saved [`SliceCursor`] — the
+    /// slice-replay entry point the SimPoint sampler uses. Because
+    /// records are run-coalesced with delta-encoded cycle tracks, an
+    /// event offset alone cannot seek; the cursor carries the decoder
+    /// state (record index, position within the run, accumulated cycle
+    /// track) captured when the slice boundary was scanned, so resuming
+    /// is O(1) and the decoded events are bit-identical to the same
+    /// positions of a full [`MissStream::iter`] walk.
+    pub fn events_from(&self, cursor: SliceCursor) -> MissEvents<'_> {
+        debug_assert!(cursor.idx.is_multiple_of(2), "cursor must point at a record head");
+        MissEvents { ms: self, idx: cursor.idx, run_pos: cursor.run_pos, cycles: cursor.cycles }
+    }
+
     /// Crate-internal: the raw two-word event records (store-blob
     /// serialization writes them verbatim).
     pub(crate) fn raw_words(&self) -> &[u64] {
@@ -302,6 +316,11 @@ impl MissStream {
     /// Crate-internal: the per-region tallies in region-id order.
     pub(crate) fn raw_tallies(&self) -> &[RegionTally] {
         &self.tallies
+    }
+
+    /// Crate-internal: the region base table `unpack` decodes against.
+    pub(crate) fn raw_bases(&self) -> &[u64] {
+        &self.bases
     }
 
     /// Crate-internal: rebuild a stream from store-blob raw parts. The
@@ -484,6 +503,36 @@ impl<'a> Encoder<'a> {
     fn finish(mut self) -> (Box<[u64]>, u64) {
         self.flush();
         (self.words.into_boxed_slice(), self.events)
+    }
+}
+
+/// Saved decoder state at an event boundary of a [`MissStream`]: the
+/// record index, the position inside the record's run, and the cycle
+/// track accumulated through the *previous* event. Captured once per
+/// slice by the SimPoint fingerprint scan
+/// ([`crate::simpoint::SimPointSelection::build`]) and handed back to
+/// [`MissStream::events_from`] for O(1) mid-stream resumption.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SliceCursor {
+    /// Word index of the record the next event decodes from.
+    pub(crate) idx: usize,
+    /// Events of that record's run already consumed.
+    pub(crate) run_pos: usize,
+    /// Pure core-cycle track accumulated through the previous event.
+    pub(crate) cycles: u64,
+}
+
+impl SliceCursor {
+    /// The cursor at the head of the stream (equivalent to
+    /// [`MissStream::iter`]).
+    pub fn start() -> SliceCursor {
+        SliceCursor::default()
+    }
+
+    /// Crate-internal constructor for the fingerprint scan and the
+    /// artifact-store decoder.
+    pub(crate) fn at(idx: usize, run_pos: usize, cycles: u64) -> SliceCursor {
+        SliceCursor { idx, run_pos, cycles }
     }
 }
 

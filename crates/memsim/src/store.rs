@@ -9,9 +9,13 @@
 //! * packed traces — the [`KernelParams`] (kernel + scale), which fully
 //!   determine the generated reference stream;
 //! * miss streams — the [`FilterKey`] (workload × L1/L2 geometry ×
-//!   thread count), which fully determines the DRAM-visible tail.
+//!   thread count), which fully determines the DRAM-visible tail;
+//! * phase selections — the [`FilterKey`] extended with the
+//!   [`SimPointConfig`], which fully determines the deterministic
+//!   slicing, fingerprinting, and clustering result.
 //!
-//! Blob layout (`<digest>.trace` / `<digest>.miss` under the store root):
+//! Blob layout (`<digest>.trace` / `<digest>.miss` / `<digest>.simpoint`
+//! under the store root):
 //!
 //! ```text
 //! header:  magic "ABFTART1" | u32 kind | u32 version | u128 key digest
@@ -32,8 +36,9 @@
 //! [`crate::trace_cache::TraceCache`] into the campaign layer's metrics.
 
 use crate::config::CacheConfig;
-use crate::miss_stream::{MissStream, MissStreamParts, RegionTally};
+use crate::miss_stream::{MissStream, MissStreamParts, RegionTally, SliceCursor};
 use crate::packed::PackedTrace;
+use crate::simpoint::{SimPointConfig, SimPointParts, SimPointPhase, SimPointSelection};
 use crate::trace::{Region, RegionMap};
 use crate::trace_cache::FilterKey;
 use crate::workloads::KernelParams;
@@ -45,6 +50,7 @@ const END_MAGIC: &[u8; 8] = b"ABFTEND1";
 const FORMAT_VERSION: u32 = 1;
 const KIND_TRACE: u32 = 1;
 const KIND_MISS: u32 = 2;
+const KIND_SIMPOINT: u32 = 3;
 const HEADER_BYTES: usize = 8 + 4 + 4 + 16;
 const FOOTER_BYTES: usize = 8 + 8 + 8;
 
@@ -208,6 +214,24 @@ pub fn miss_key(key: &FilterKey) -> u128 {
     digest_cache(&mut d, &key.l1);
     digest_cache(&mut d, &key.l2);
     d.u64(key.threads as u64);
+    d.finish()
+}
+
+/// Content address of a phase-selection artifact: the miss-stream key
+/// extended with every [`SimPointConfig`] field, so any change to the
+/// sampling parameters addresses a different blob.
+pub fn simpoint_key(key: &FilterKey, cfg: &SimPointConfig) -> u128 {
+    let mut d = StableDigest::new();
+    d.str_token("simpoint/v1");
+    digest_params(&mut d, key.params);
+    digest_cache(&mut d, &key.l1);
+    digest_cache(&mut d, &key.l2);
+    d.u64(key.threads as u64);
+    d.u64(cfg.interval);
+    d.u64(cfg.max_phases as u64);
+    d.u64(cfg.seed);
+    d.u64(cfg.iterations as u64);
+    d.u64(cfg.strata as u64);
     d.finish()
 }
 
@@ -432,6 +456,106 @@ fn decode_miss(mut cur: &[u8]) -> Result<MissStream, StoreError> {
     }))
 }
 
+fn encode_simpoint(sel: &SimPointSelection) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let cfg = sel.config();
+    put_varint(&mut buf, cfg.interval);
+    put_varint(&mut buf, cfg.max_phases as u64);
+    put_varint(&mut buf, cfg.seed);
+    put_varint(&mut buf, cfg.iterations as u64);
+    put_varint(&mut buf, cfg.strata as u64);
+    put_varint(&mut buf, sel.events());
+    put_varint(&mut buf, sel.slices());
+    put_varint(&mut buf, sel.dim() as u64);
+    put_varint(&mut buf, sel.est_error().to_bits());
+    for &v in sel.raw_fingerprints() {
+        put_varint(&mut buf, v.to_bits());
+    }
+    for &a in sel.assignments() {
+        put_varint(&mut buf, a as u64);
+    }
+    put_varint(&mut buf, sel.phases().len() as u64);
+    for p in sel.phases() {
+        put_varint(&mut buf, p.weight.to_bits());
+        put_varint(&mut buf, p.start);
+        put_varint(&mut buf, p.end);
+        put_varint(&mut buf, p.scale.to_bits());
+        put_varint(&mut buf, p.cursor.idx as u64);
+        put_varint(&mut buf, p.cursor.run_pos as u64);
+        put_varint(&mut buf, p.cursor.cycles);
+    }
+    buf
+}
+
+fn decode_simpoint(mut cur: &[u8]) -> Result<SimPointSelection, StoreError> {
+    let config = SimPointConfig {
+        interval: get_varint(&mut cur)?,
+        max_phases: get_varint(&mut cur)? as usize,
+        seed: get_varint(&mut cur)?,
+        iterations: get_varint(&mut cur)? as usize,
+        strata: get_varint(&mut cur)? as usize,
+    };
+    let events = get_varint(&mut cur)?;
+    let slices = get_varint(&mut cur)?;
+    let dim = get_varint(&mut cur)? as usize;
+    let est_error = f64::from_bits(get_varint(&mut cur)?);
+    // Each fingerprint/assignment entry costs at least one payload byte;
+    // reject counts the remaining payload cannot possibly hold.
+    let fp_count = slices.checked_mul(dim as u64).ok_or(StoreError::Malformed("fp count"))?;
+    if fp_count > cur.len() as u64 || slices > cur.len() as u64 {
+        return Err(StoreError::Malformed("fp count"));
+    }
+    let mut fingerprints = Vec::with_capacity(fp_count as usize);
+    for _ in 0..fp_count {
+        fingerprints.push(f64::from_bits(get_varint(&mut cur)?));
+    }
+    let mut assignments = Vec::with_capacity(slices as usize);
+    for _ in 0..slices {
+        let a = get_varint(&mut cur)?;
+        if a > u32::MAX as u64 {
+            return Err(StoreError::Malformed("cluster id"));
+        }
+        assignments.push(a as u32);
+    }
+    let phase_count = get_varint(&mut cur)?;
+    if phase_count > slices {
+        return Err(StoreError::Malformed("phase count"));
+    }
+    let mut phases = Vec::with_capacity(phase_count as usize);
+    for _ in 0..phase_count {
+        let weight = f64::from_bits(get_varint(&mut cur)?);
+        let start = get_varint(&mut cur)?;
+        let end = get_varint(&mut cur)?;
+        let scale = f64::from_bits(get_varint(&mut cur)?);
+        let idx = get_varint(&mut cur)? as usize;
+        let run_pos = get_varint(&mut cur)? as usize;
+        let cycles = get_varint(&mut cur)?;
+        if end <= start || end > events {
+            return Err(StoreError::Malformed("phase range"));
+        }
+        phases.push(SimPointPhase {
+            weight,
+            start,
+            end,
+            scale,
+            cursor: SliceCursor::at(idx, run_pos, cycles),
+        });
+    }
+    if !cur.is_empty() {
+        return Err(StoreError::Malformed("trailing simpoint payload"));
+    }
+    Ok(SimPointSelection::from_raw_parts(SimPointParts {
+        config,
+        events,
+        slices,
+        dim,
+        fingerprints,
+        assignments,
+        phases,
+        est_error,
+    }))
+}
+
 // ---------------------------------------------------------------------
 
 /// Load/miss/evict counter snapshot for one [`ArtifactStore`].
@@ -512,6 +636,11 @@ impl ArtifactStore {
         self.root.join(format!("{:032x}.miss", miss_key(key)))
     }
 
+    /// On-disk path of a phase-selection artifact.
+    pub fn simpoint_path(&self, key: &FilterKey, cfg: &SimPointConfig) -> PathBuf {
+        self.root.join(format!("{:032x}.simpoint", simpoint_key(key, cfg)))
+    }
+
     /// Counter snapshot.
     pub fn metrics(&self) -> StoreMetrics {
         StoreMetrics {
@@ -541,6 +670,36 @@ impl ArtifactStore {
     /// Persist a miss stream.
     pub fn save_miss(&self, key: &FilterKey, ms: &MissStream) -> Result<(), StoreError> {
         self.save_blob(&self.miss_path(key), KIND_MISS, miss_key(key), encode_miss(ms))
+    }
+
+    /// Load a phase selection, or `None` when absent or evicted as
+    /// corrupt. Warm processes then skip slicing and clustering entirely.
+    pub fn load_simpoint(
+        &self,
+        key: &FilterKey,
+        cfg: &SimPointConfig,
+    ) -> Option<SimPointSelection> {
+        self.load_blob(
+            &self.simpoint_path(key, cfg),
+            KIND_SIMPOINT,
+            simpoint_key(key, cfg),
+            decode_simpoint,
+        )
+    }
+
+    /// Persist a phase selection.
+    pub fn save_simpoint(
+        &self,
+        key: &FilterKey,
+        cfg: &SimPointConfig,
+        sel: &SimPointSelection,
+    ) -> Result<(), StoreError> {
+        self.save_blob(
+            &self.simpoint_path(key, cfg),
+            KIND_SIMPOINT,
+            simpoint_key(key, cfg),
+            encode_simpoint(sel),
+        )
     }
 
     fn save_blob(
@@ -722,6 +881,24 @@ mod tests {
         let evs: Vec<_> = loaded.iter().collect();
         let expect: Vec<_> = ms.iter().collect();
         assert_eq!(evs, expect);
+    }
+
+    #[test]
+    fn simpoint_blob_round_trips_bit_identically() {
+        let store = temp_store("simpoint-rt");
+        let cfg = SystemConfig::default();
+        let key = FilterKey::new(tiny(), &cfg);
+        let packed = Arc::new(tiny().build_packed());
+        let ms = MissStream::build(&mut packed.replay(), key.l1, key.l2, key.threads);
+        let sp = SimPointConfig { interval: 2048, max_phases: 6, ..Default::default() };
+        let sel = SimPointSelection::build(&ms, sp);
+        store.save_simpoint(&key, &sp, &sel).unwrap();
+        let loaded = store.load_simpoint(&key, &sp).expect("intact blob loads");
+        assert_eq!(loaded, sel, "selection must round-trip bit-identically");
+        // A different sampling config addresses a different blob.
+        let other = SimPointConfig { interval: 4096, ..sp };
+        assert_ne!(simpoint_key(&key, &sp), simpoint_key(&key, &other));
+        assert!(store.load_simpoint(&key, &other).is_none());
     }
 
     #[test]

@@ -59,6 +59,31 @@ pub trait AccessSource {
     }
 }
 
+/// Forwarding impl so a `&mut S` is itself a source — lets callers hand
+/// generic `S: AccessSource + ?Sized` borrows to APIs that take
+/// `&mut dyn AccessSource` (e.g. [`crate::system::SimRequest::source`]).
+impl<S: AccessSource + ?Sized> AccessSource for &mut S {
+    fn regions(&self) -> &RegionMap {
+        (**self).regions()
+    }
+
+    fn fill(&mut self, buf: &mut Vec<Access>, max: usize) -> usize {
+        (**self).fill(buf, max)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        (**self).len_hint()
+    }
+
+    fn instructions_hint(&self) -> Option<u64> {
+        (**self).instructions_hint()
+    }
+}
+
 /// A consumer of emitted accesses — the generator-facing dual of
 /// [`AccessSource`]. [`Trace`] implements it (append), as does the packed
 /// builder and the plain `Vec<Access>` chunk buffer.

@@ -4,10 +4,11 @@
 use crate::cache::{Cache, CacheOutcome};
 use crate::config::SystemConfig;
 use crate::controller::MemoryController;
-use crate::dram::{AccessKind, AddressMap, Dram};
-use crate::miss_stream::{MissEventKind, MissStream};
+use crate::dram::{AccessKind, AddressMap, Dram, DramStats};
+use crate::miss_stream::{MissEvent, MissEventKind, MissStream};
+use crate::simpoint::SimPointSelection;
 use crate::stream::{AccessSource, DEFAULT_CHUNK};
-use crate::trace::{RegionId, RegionMap, Trace};
+use crate::trace::{Access, RegionId, RegionMap, Trace};
 use abft_ecc::EccScheme;
 
 /// Per-region access statistics (feeds Table 4).
@@ -145,6 +146,121 @@ impl EccAssignment {
     }
 }
 
+/// A per-request protection policy: chooses the DRAM access kind for
+/// every line the memory system services. The default policy (when a
+/// [`SimRequest`] carries none) consults the MC's programmed range
+/// registers; the DGMS comparator plugs its granularity predictor in
+/// here. Any `FnMut(&Access, &MemoryController, u64) -> AccessKind`
+/// closure is a policy via the blanket impl.
+pub trait RowPolicy {
+    /// Pick the protection for one DRAM request. `trigger` is the core
+    /// access that caused it; `paddr` is the physical line being
+    /// serviced (the demand line or a write-back victim).
+    fn choose(&mut self, trigger: &Access, mc: &MemoryController, paddr: u64) -> AccessKind;
+}
+
+impl<F> RowPolicy for F
+where
+    F: FnMut(&Access, &MemoryController, u64) -> AccessKind,
+{
+    fn choose(&mut self, trigger: &Access, mc: &MemoryController, paddr: u64) -> AccessKind {
+        self(trigger, mc, paddr)
+    }
+}
+
+/// What a [`SimRequest`] replays: the four input forms every simulation
+/// funnels through.
+pub enum SimInput<'a> {
+    /// A materialized trace (replayed through the full cache hierarchy).
+    Trace(&'a Trace),
+    /// A pull-based access stream (full cache hierarchy, bounded memory).
+    Source(&'a mut dyn AccessSource),
+    /// A cache-filtered miss stream (exact DRAM-tail replay).
+    MissStream(&'a MissStream),
+    /// A miss stream replayed only at its selected representative
+    /// phases, statistics scaled by cluster weights.
+    SampledMissStream {
+        /// The filtered stream the selection was built from.
+        stream: &'a MissStream,
+        /// The phase selection ([`SimPointSelection::build`]).
+        selection: &'a SimPointSelection,
+    },
+}
+
+/// One simulation request: an input, an ECC assignment, and optionally a
+/// custom protection policy — the single argument of
+/// [`Machine::simulate`], replacing the former seven `run_*` entry
+/// points.
+///
+/// Semantics: with `policy == None` the machine programs its MC range
+/// registers from `assign` and protects every request by the programmed
+/// scheme (the classic path). With a custom policy the range registers
+/// are left untouched and the policy decides per request; `assign` then
+/// only informs the ECC-chip standby-power default. `ecc_chips_powered`
+/// overrides that default when set (a whole-node No-ECC configuration
+/// parks the chips).
+pub struct SimRequest<'a> {
+    /// What to replay.
+    pub input: SimInput<'a>,
+    /// ECC assignment (programmed when no custom policy is given).
+    pub assign: EccAssignment,
+    /// Optional custom per-request protection policy.
+    pub policy: Option<&'a mut dyn RowPolicy>,
+    /// Override for the ECC-chip standby power state; defaults to
+    /// [`EccAssignment::any_ecc`].
+    pub ecc_chips_powered: Option<bool>,
+}
+
+impl<'a> SimRequest<'a> {
+    /// Replay a materialized trace under `assign`.
+    pub fn trace(trace: &'a Trace, assign: EccAssignment) -> SimRequest<'a> {
+        SimRequest { input: SimInput::Trace(trace), assign, policy: None, ecc_chips_powered: None }
+    }
+
+    /// Replay a pull-based access stream under `assign`.
+    pub fn source(src: &'a mut dyn AccessSource, assign: EccAssignment) -> SimRequest<'a> {
+        SimRequest { input: SimInput::Source(src), assign, policy: None, ecc_chips_powered: None }
+    }
+
+    /// Replay a cache-filtered miss stream under `assign`.
+    pub fn miss_stream(ms: &'a MissStream, assign: EccAssignment) -> SimRequest<'a> {
+        SimRequest {
+            input: SimInput::MissStream(ms),
+            assign,
+            policy: None,
+            ecc_chips_powered: None,
+        }
+    }
+
+    /// Replay only the selected representative phases of a miss stream,
+    /// scaling the accumulated statistics by cluster weights.
+    pub fn sampled(
+        ms: &'a MissStream,
+        selection: &'a SimPointSelection,
+        assign: EccAssignment,
+    ) -> SimRequest<'a> {
+        SimRequest {
+            input: SimInput::SampledMissStream { stream: ms, selection },
+            assign,
+            policy: None,
+            ecc_chips_powered: None,
+        }
+    }
+
+    /// Attach a custom protection policy (suppresses range-register
+    /// programming; see the type-level semantics).
+    pub fn with_policy(mut self, policy: &'a mut dyn RowPolicy) -> SimRequest<'a> {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Override the ECC-chip standby power state.
+    pub fn ecc_chips_powered(mut self, powered: bool) -> SimRequest<'a> {
+        self.ecc_chips_powered = Some(powered);
+        self
+    }
+}
+
 /// The simulated node.
 pub struct Machine {
     cfg: SystemConfig,
@@ -199,52 +315,82 @@ impl Machine {
         }
     }
 
-    /// Run a materialized trace to completion (adapter over
-    /// [`Machine::run_source`]; bit-identical to streaming the same
-    /// sequence).
-    pub fn run_trace(&mut self, trace: &Trace, assign: &EccAssignment) -> SimStats {
-        self.run_source(&mut trace.replay(), assign)
+    /// Run one simulation request — the single entry point every input
+    /// form (trace, stream, miss stream, sampled miss stream) and every
+    /// protection mode (programmed assignment or custom [`RowPolicy`])
+    /// funnels through. Replaces the former `run_*` family; each
+    /// deprecated wrapper is a thin delegation, so `simulate` is
+    /// bit-identical to the entry point it superseded.
+    ///
+    /// Sources are consumed in bounded-memory chunks ([`DEFAULT_CHUNK`]
+    /// accesses at a time), so the peak footprint is independent of the
+    /// stream length. Virtual addresses are mapped to physical
+    /// identically (the runtime crate provides real paging when needed —
+    /// for timing/energy the identity map is exact because regions are
+    /// page aligned and disjoint).
+    pub fn simulate(&mut self, req: SimRequest<'_>) -> SimStats {
+        let SimRequest { input, assign, policy, ecc_chips_powered } = req;
+        let powered = ecc_chips_powered.unwrap_or_else(|| assign.any_ecc());
+        if policy.is_none() {
+            let regions = match &input {
+                SimInput::Trace(t) => &t.regions,
+                SimInput::Source(s) => s.regions(),
+                SimInput::MissStream(ms) => ms.regions(),
+                SimInput::SampledMissStream { stream, .. } => stream.regions(),
+            };
+            let regions = regions.clone();
+            self.program_ecc(&regions, &assign);
+        }
+        let mut fallback = |_: &Access, mc: &MemoryController, paddr: u64| {
+            AccessKind::Scheme(mc.scheme_for(paddr))
+        };
+        let policy: &mut dyn RowPolicy = match policy {
+            Some(p) => p,
+            None => &mut fallback,
+        };
+        match input {
+            SimInput::Trace(t) => self.drive_source(&mut t.replay(), powered, policy),
+            SimInput::Source(s) => self.drive_source(s, powered, policy),
+            SimInput::MissStream(ms) => self.drive_miss(ms, powered, policy),
+            SimInput::SampledMissStream { stream, selection } => {
+                self.drive_sampled(stream, selection, powered, policy)
+            }
+        }
     }
 
-    /// Run a materialized trace with a custom protection policy (see
-    /// [`Machine::run_source_with_policy`]).
+    /// Run a materialized trace to completion (bit-identical to
+    /// streaming the same sequence).
+    #[deprecated(note = "build a SimRequest::trace and call Machine::simulate")]
+    pub fn run_trace(&mut self, trace: &Trace, assign: &EccAssignment) -> SimStats {
+        self.simulate(SimRequest::trace(trace, assign.clone()))
+    }
+
+    /// Run a materialized trace with a custom protection policy.
+    #[deprecated(note = "SimRequest::trace(..).with_policy(..) + Machine::simulate")]
     pub fn run_trace_with_policy<P>(
         &mut self,
         trace: &Trace,
         ecc_chips_powered: bool,
-        policy: P,
+        mut policy: P,
     ) -> SimStats
     where
-        P: FnMut(&crate::trace::Access, &MemoryController, u64) -> AccessKind,
+        P: FnMut(&Access, &MemoryController, u64) -> AccessKind,
     {
-        self.run_source_with_policy(&mut trace.replay(), ecc_chips_powered, policy)
+        self.drive_source(&mut trace.replay(), ecc_chips_powered, &mut policy)
     }
 
-    /// Run an access stream to completion and report statistics. The
-    /// source is consumed in bounded-memory chunks ([`DEFAULT_CHUNK`]
-    /// accesses at a time), so the peak footprint is independent of the
-    /// stream length. Virtual addresses are mapped to physical identically
-    /// (the runtime crate provides real paging when needed — for
-    /// timing/energy the identity map is exact because regions are page
-    /// aligned and disjoint).
+    /// Run an access stream to completion and report statistics.
+    #[deprecated(note = "build a SimRequest::source and call Machine::simulate")]
     pub fn run_source<S: AccessSource + ?Sized>(
         &mut self,
-        src: &mut S,
+        mut src: &mut S,
         assign: &EccAssignment,
     ) -> SimStats {
-        self.program_ecc(src.regions(), assign);
-        let ecc_powered = assign.any_ecc();
-        self.run_source_with_policy(src, ecc_powered, |_, mc, paddr| {
-            AccessKind::Scheme(mc.scheme_for(paddr))
-        })
+        self.simulate(SimRequest::source(&mut src, assign.clone()))
     }
 
-    /// Run an access stream with a custom per-request protection policy
-    /// (the DGMS comparator plugs its granularity predictor in here). The
-    /// policy receives the triggering core access, the memory controller,
-    /// and the physical line address being serviced (demand line or
-    /// write-back). The source is rewound before the run, so a freshly
-    /// created or an already-drained stream behave identically.
+    /// Run an access stream with a custom per-request protection policy.
+    #[deprecated(note = "SimRequest::source(..).with_policy(..) + Machine::simulate")]
     pub fn run_source_with_policy<S, P>(
         &mut self,
         src: &mut S,
@@ -253,8 +399,20 @@ impl Machine {
     ) -> SimStats
     where
         S: AccessSource + ?Sized,
-        P: FnMut(&crate::trace::Access, &MemoryController, u64) -> AccessKind,
+        P: FnMut(&Access, &MemoryController, u64) -> AccessKind,
     {
+        self.drive_source(src, ecc_chips_powered, &mut policy)
+    }
+
+    /// The full-hierarchy engine: streams `src` through L1/L2/MC/DRAM
+    /// under `policy`. The source is rewound before the run, so a freshly
+    /// created or an already-drained stream behave identically.
+    fn drive_source<S: AccessSource + ?Sized>(
+        &mut self,
+        src: &mut S,
+        ecc_chips_powered: bool,
+        policy: &mut dyn RowPolicy,
+    ) -> SimStats {
         src.reset();
         self.l1 = Cache::new(self.cfg.l1);
         self.l2 = Cache::new(self.cfg.l2);
@@ -319,7 +477,7 @@ impl Machine {
                                 self.l2.access(wb, true)
                             {
                                 let now = cycles as f64 * cycle_ns;
-                                let kind = policy(a, &self.controller, wb2);
+                                let kind = policy.choose(a, &self.controller, wb2);
                                 self.dram.access_kind(now, wb2, true, kind);
                             }
                         }
@@ -334,7 +492,7 @@ impl Machine {
                         l2_misses += 1;
                         rs.llc_misses += 1;
                         let now = cycles as f64 * cycle_ns;
-                        let kind = policy(a, &self.controller, a.addr);
+                        let kind = policy.choose(a, &self.controller, a.addr);
                         // Demand miss: the line fill is a DRAM *read* even
                         // for stores (write-allocate); the dirty data
                         // leaves the cache later as a write-back.
@@ -346,7 +504,7 @@ impl Machine {
                         bump(&mut cycles, &mut thread_cycle_carry, self.cfg.l2.latency_cycles);
                         cycles += stall;
                         if let Some(wb) = writeback {
-                            let kind = policy(a, &self.controller, wb);
+                            let kind = policy.choose(a, &self.controller, wb);
                             self.dram.access_kind(now, wb, true, kind);
                         }
                     }
@@ -371,29 +529,14 @@ impl Machine {
     }
 
     /// Replay a cache-filtered miss stream under an ECC assignment.
-    /// Bit-identical to [`Machine::run_source`] over the stream the
-    /// [`MissStream`] was built from, at O(LLC misses) instead of
-    /// O(accesses) — the cache hierarchy was already simulated by
-    /// [`MissStream::build`] and its outcomes are ECC-independent.
+    #[deprecated(note = "build a SimRequest::miss_stream and call Machine::simulate")]
     pub fn run_miss_stream(&mut self, ms: &MissStream, assign: &EccAssignment) -> SimStats {
-        self.program_ecc(ms.regions(), assign);
-        let ecc_powered = assign.any_ecc();
-        self.run_miss_stream_with_policy(ms, ecc_powered, |_, mc, paddr| {
-            AccessKind::Scheme(mc.scheme_for(paddr))
-        })
+        self.simulate(SimRequest::miss_stream(ms, assign.clone()))
     }
 
     /// Replay a cache-filtered miss stream with a custom per-request
-    /// protection policy (the filtered counterpart of
-    /// [`Machine::run_source_with_policy`]). The policy closure observes
-    /// the same triggering accesses and physical line addresses in the
-    /// same DRAM-access order as the full path, so stateful policies
-    /// (e.g. the DGMS granularity predictor) behave identically.
-    ///
-    /// The machine's cycle counter is reconstructed as the stream's
-    /// recorded pure core cycles plus the DRAM stalls accumulated during
-    /// replay — the exact decomposition the full path computes, so the
-    /// returned [`SimStats`] is bit-identical.
+    /// protection policy.
+    #[deprecated(note = "SimRequest::miss_stream(..).with_policy(..) + Machine::simulate")]
     pub fn run_miss_stream_with_policy<P>(
         &mut self,
         ms: &MissStream,
@@ -401,8 +544,14 @@ impl Machine {
         mut policy: P,
     ) -> SimStats
     where
-        P: FnMut(&crate::trace::Access, &MemoryController, u64) -> AccessKind,
+        P: FnMut(&Access, &MemoryController, u64) -> AccessKind,
     {
+        self.drive_miss(ms, ecc_chips_powered, &mut policy)
+    }
+
+    /// Panic unless `ms` was filtered under this machine's geometry (the
+    /// replay contract: the stream is keyed on cache configuration).
+    fn assert_geometry(&self, ms: &MissStream) {
         let (l1, l2, threads) = ms.filter_config();
         assert!(
             ms.matches(&self.cfg.l1, &self.cfg.l2, self.cfg.threads),
@@ -413,8 +562,32 @@ impl Machine {
             self.cfg.l2,
             self.cfg.threads
         );
+    }
+
+    /// The exact filtered-replay engine: drives every event of the miss
+    /// stream through MC + DRAM. Bit-identical to [`Machine::simulate`]
+    /// over the stream the [`MissStream`] was built from, at
+    /// O(LLC misses) instead of O(accesses) — the cache hierarchy was
+    /// already simulated by [`MissStream::build`] and its outcomes are
+    /// ECC-independent. The policy observes the same triggering accesses
+    /// and physical line addresses in the same DRAM-access order as the
+    /// full path, so stateful policies (e.g. the DGMS granularity
+    /// predictor) behave identically.
+    ///
+    /// The machine's cycle counter is reconstructed as the stream's
+    /// recorded pure core cycles plus the DRAM stalls accumulated during
+    /// replay — the exact decomposition the full path computes, so the
+    /// returned [`SimStats`] is bit-identical.
+    fn drive_miss(
+        &mut self,
+        ms: &MissStream,
+        ecc_chips_powered: bool,
+        policy: &mut dyn RowPolicy,
+    ) -> SimStats {
+        self.assert_geometry(ms);
         self.dram.reset();
         let cycle_ns = self.cfg.cycle_ns();
+        let stall_factor = self.cfg.stall_factor;
         // Accumulated DRAM stalls: the policy-dependent half of the cycle
         // decomposition. At each event the machine timeline reads
         // `pure core cycles + stalls so far`, exactly as the full path's
@@ -422,40 +595,17 @@ impl Machine {
         // carry there, so the pure track is policy-independent).
         let mut stall_acc: u64 = 0;
         for ev in ms.iter() {
-            let cycles_now = ev.core_cycles + stall_acc;
-            let now = cycles_now as f64 * cycle_ns;
-            match ev.kind {
-                MissEventKind::Writeback(wb) => {
-                    let kind = policy(&ev.trigger, &self.controller, wb);
-                    self.dram.access_kind(now, wb, true, kind);
-                }
-                MissEventKind::Demand { writeback } => {
-                    let kind = policy(&ev.trigger, &self.controller, ev.trigger.addr);
-                    let res = self.dram.access_kind(now, ev.trigger.addr, false, kind);
-                    let lat_ns = res.completion_ns - now;
-                    stall_acc += (lat_ns * self.cfg.stall_factor / cycle_ns) as u64;
-                    if let Some(wb) = writeback {
-                        let kind = policy(&ev.trigger, &self.controller, wb);
-                        self.dram.access_kind(now, wb, true, kind);
-                    }
-                }
-            }
+            replay_one(
+                &mut self.dram,
+                &self.controller,
+                &ev,
+                &mut stall_acc,
+                cycle_ns,
+                stall_factor,
+                policy,
+            );
         }
 
-        let regions: Vec<RegionStats> = ms
-            .regions()
-            .regions()
-            .iter()
-            .zip(&ms.tallies)
-            .map(|(r, t)| RegionStats {
-                name: r.name.clone(),
-                abft_protected: r.abft_protected,
-                abft_detectable: r.abft_detectable,
-                refs: t.refs,
-                l1_misses: t.l1_misses,
-                llc_misses: t.llc_misses,
-            })
-            .collect();
         self.assemble_stats(AssembleInputs {
             instructions: ms.instructions(),
             cycles: ms.core_cycles + stall_acc,
@@ -464,7 +614,79 @@ impl Machine {
             l1_misses: ms.l1_misses,
             l2_hits: ms.l2_hits,
             l2_misses: ms.l2_misses,
-            regions,
+            regions: tally_regions(ms),
+        })
+    }
+
+    /// The sampled-replay engine: drives only the representative slice of
+    /// each selected phase through MC + DRAM, scales every phase's DRAM
+    /// statistic deltas and stall cycles by its cluster weight, and folds
+    /// the scaled totals through the same [`Machine::assemble_stats`] the
+    /// exact paths use. Reference counters (instructions, cache tallies,
+    /// region stats, pure core cycles) stay exact — they were recorded at
+    /// filter time; only the DRAM-derived quantities are estimates. With
+    /// `max_phases >= slices` every slice is its own phase at scale 1 and
+    /// the estimate coincides with exact replay (modulo the f64
+    /// delta-summation of the energy account).
+    fn drive_sampled(
+        &mut self,
+        ms: &MissStream,
+        sel: &SimPointSelection,
+        ecc_chips_powered: bool,
+        policy: &mut dyn RowPolicy,
+    ) -> SimStats {
+        self.assert_geometry(ms);
+        assert!(
+            sel.matches(ms),
+            // repolint:allow(PANIC001) documented replay contract: the selection is keyed on the stream
+            "phase selection was built for a {}-event stream, but this stream has {} events",
+            sel.events(),
+            ms.events()
+        );
+        self.dram.reset();
+        let cycle_ns = self.cfg.cycle_ns();
+        let stall_factor = self.cfg.stall_factor;
+        let mut stall_acc: u64 = 0;
+        let mut est = ScaledDram::default();
+        let mut busy_est = vec![0.0f64; self.dram.rank_busy_snapshot().len()];
+        for ph in sel.phases() {
+            let before = self.dram.stats.clone();
+            let busy_before = self.dram.rank_busy_snapshot();
+            let stalls_before = stall_acc;
+            for ev in ms.events_from(ph.cursor()).take(ph.events() as usize) {
+                replay_one(
+                    &mut self.dram,
+                    &self.controller,
+                    &ev,
+                    &mut stall_acc,
+                    cycle_ns,
+                    stall_factor,
+                    policy,
+                );
+            }
+            est.add_delta(&before, &self.dram.stats, ph.scale());
+            // Rank busy time feeds the standby-energy activity fraction
+            // against the *scaled* wall time, so it must be scaled like
+            // every other per-phase delta.
+            for (acc, (a, b)) in
+                busy_est.iter_mut().zip(self.dram.rank_busy_snapshot().iter().zip(&busy_before))
+            {
+                *acc += (a - b) * ph.scale();
+            }
+            est.stalls += (stall_acc - stalls_before) as f64 * ph.scale();
+        }
+        let stalls = est.stalls.round() as u64;
+        self.dram.stats = est.into_stats();
+        self.dram.set_rank_busy(busy_est);
+        self.assemble_stats(AssembleInputs {
+            instructions: ms.instructions(),
+            cycles: ms.core_cycles + stalls,
+            ecc_chips_powered,
+            l1_hits: ms.l1_hits,
+            l1_misses: ms.l1_misses,
+            l2_hits: ms.l2_hits,
+            l2_misses: ms.l2_misses,
+            regions: tally_regions(ms),
         })
     }
 
@@ -528,6 +750,107 @@ impl Machine {
     }
 }
 
+/// Replay one miss-stream event through MC + DRAM — the shared inner
+/// loop of the exact and the sampled filtered-replay engines, so the two
+/// paths cannot drift.
+#[inline]
+fn replay_one(
+    dram: &mut Dram,
+    mc: &MemoryController,
+    ev: &MissEvent,
+    stall_acc: &mut u64,
+    cycle_ns: f64,
+    stall_factor: f64,
+    policy: &mut dyn RowPolicy,
+) {
+    let cycles_now = ev.core_cycles + *stall_acc;
+    let now = cycles_now as f64 * cycle_ns;
+    match ev.kind {
+        MissEventKind::Writeback(wb) => {
+            let kind = policy.choose(&ev.trigger, mc, wb);
+            dram.access_kind(now, wb, true, kind);
+        }
+        MissEventKind::Demand { writeback } => {
+            let kind = policy.choose(&ev.trigger, mc, ev.trigger.addr);
+            let res = dram.access_kind(now, ev.trigger.addr, false, kind);
+            let lat_ns = res.completion_ns - now;
+            *stall_acc += (lat_ns * stall_factor / cycle_ns) as u64;
+            if let Some(wb) = writeback {
+                let kind = policy.choose(&ev.trigger, mc, wb);
+                dram.access_kind(now, wb, true, kind);
+            }
+        }
+    }
+}
+
+/// Per-region stats from the tallies the filter recorded — exact and
+/// policy-independent, shared by the exact and sampled replay paths.
+fn tally_regions(ms: &MissStream) -> Vec<RegionStats> {
+    ms.regions()
+        .regions()
+        .iter()
+        .zip(&ms.tallies)
+        .map(|(r, t)| RegionStats {
+            name: r.name.clone(),
+            abft_protected: r.abft_protected,
+            abft_detectable: r.abft_detectable,
+            refs: t.refs,
+            l1_misses: t.l1_misses,
+            llc_misses: t.llc_misses,
+        })
+        .collect()
+}
+
+/// Weight-scaled DRAM statistic accumulator for sampled replay: per-phase
+/// deltas of every [`DramStats`] field (and the stall cycles) are summed
+/// in f64 under the phase's cluster scale, then rounded back into a
+/// synthetic [`DramStats`] for [`Machine::assemble_stats`].
+#[derive(Default)]
+struct ScaledDram {
+    reads: f64,
+    writes: f64,
+    row_hits: f64,
+    activations: f64,
+    dynamic_nj: f64,
+    per_scheme: [f64; 3],
+    refresh_stalls: f64,
+    queue_ns_total: f64,
+    latency_ns_total: f64,
+    stalls: f64,
+}
+
+impl ScaledDram {
+    fn add_delta(&mut self, before: &DramStats, after: &DramStats, scale: f64) {
+        self.reads += (after.reads - before.reads) as f64 * scale;
+        self.writes += (after.writes - before.writes) as f64 * scale;
+        self.row_hits += (after.row_hits - before.row_hits) as f64 * scale;
+        self.activations += (after.activations - before.activations) as f64 * scale;
+        self.dynamic_nj += (after.dynamic_nj - before.dynamic_nj) * scale;
+        for (acc, (a, b)) in
+            self.per_scheme.iter_mut().zip(after.per_scheme.iter().zip(&before.per_scheme))
+        {
+            *acc += (a - b) as f64 * scale;
+        }
+        self.refresh_stalls += (after.refresh_stalls - before.refresh_stalls) as f64 * scale;
+        self.queue_ns_total += (after.queue_ns_total - before.queue_ns_total) * scale;
+        self.latency_ns_total += (after.latency_ns_total - before.latency_ns_total) * scale;
+    }
+
+    fn into_stats(self) -> DramStats {
+        DramStats {
+            reads: self.reads.round() as u64,
+            writes: self.writes.round() as u64,
+            row_hits: self.row_hits.round() as u64,
+            activations: self.activations.round() as u64,
+            dynamic_nj: self.dynamic_nj,
+            per_scheme: self.per_scheme.map(|v| v.round() as u64),
+            refresh_stalls: self.refresh_stalls.round() as u64,
+            queue_ns_total: self.queue_ns_total,
+            latency_ns_total: self.latency_ns_total,
+        }
+    }
+}
+
 /// The policy-independent counters [`Machine::assemble_stats`] folds with
 /// the DRAM state (named fields keep the two call sites honest).
 struct AssembleInputs {
@@ -567,7 +890,7 @@ mod tests {
         // 8 KB fits in the 16 KB L1 after the first pass; with compute
         // work between accesses the in-order core stays near IPC 1.
         let t = linear_trace(8 * 1024, 50, 10, true);
-        let s = m.run_trace(&t, &EccAssignment::uniform(EccScheme::None));
+        let s = m.simulate(SimRequest::trace(&t, EccAssignment::uniform(EccScheme::None)));
         assert!(s.l1_hit_rate > 0.85, "l1 hit rate {}", s.l1_hit_rate);
         assert!(s.ipc > 0.85, "ipc {}", s.ipc);
     }
@@ -577,7 +900,7 @@ mod tests {
         let mut m = Machine::new(SystemConfig::default());
         // 32 MB streamed twice: far beyond the 8MB L2.
         let t = linear_trace(32 * 1024 * 1024, 2, 2, true);
-        let s = m.run_trace(&t, &EccAssignment::uniform(EccScheme::None));
+        let s = m.simulate(SimRequest::trace(&t, EccAssignment::uniform(EccScheme::None)));
         assert!(s.l2_hit_rate < 0.1, "l2 hit rate {}", s.l2_hit_rate);
         assert!(s.ipc < 1.0);
         assert!(s.dram_reads > 900_000);
@@ -589,10 +912,17 @@ mod tests {
         // uniform chipkill assignment: same timing, energy and traffic.
         let t = linear_trace(4 * 1024 * 1024, 2, 4, true);
         let mut m1 = Machine::new(SystemConfig::default());
-        let uniform = m1.run_trace(&t, &EccAssignment::uniform(EccScheme::Chipkill));
+        let uniform =
+            m1.simulate(SimRequest::trace(&t, EccAssignment::uniform(EccScheme::Chipkill)));
         let mut m2 = Machine::new(SystemConfig::default());
-        let custom =
-            m2.run_trace_with_policy(&t, true, |_, _, _| AccessKind::Scheme(EccScheme::Chipkill));
+        let mut policy = |_: &Access, _: &MemoryController, _: u64| -> AccessKind {
+            AccessKind::Scheme(EccScheme::Chipkill)
+        };
+        let custom = m2.simulate(
+            SimRequest::trace(&t, EccAssignment::uniform(EccScheme::Chipkill))
+                .with_policy(&mut policy)
+                .ecc_chips_powered(true),
+        );
         assert_eq!(uniform.cycles, custom.cycles);
         assert_eq!(uniform.dram_reads, custom.dram_reads);
         assert_eq!(uniform.per_scheme, custom.per_scheme);
@@ -603,8 +933,8 @@ mod tests {
     fn chipkill_costs_more_energy_than_no_ecc() {
         let t = linear_trace(16 * 1024 * 1024, 2, 4, true);
         let mut m = Machine::new(SystemConfig::default());
-        let none = m.run_trace(&t, &EccAssignment::uniform(EccScheme::None));
-        let ck = m.run_trace(&t, &EccAssignment::uniform(EccScheme::Chipkill));
+        let none = m.simulate(SimRequest::trace(&t, EccAssignment::uniform(EccScheme::None)));
+        let ck = m.simulate(SimRequest::trace(&t, EccAssignment::uniform(EccScheme::Chipkill)));
         assert!(ck.mem_dynamic_j > 2.0 * none.mem_dynamic_j);
         assert!(ck.mem_dynamic_j < 2.5 * none.mem_dynamic_j);
         assert!(ck.ipc <= none.ipc, "lock-step cannot be faster");
@@ -632,10 +962,13 @@ mod tests {
             }
         }
         let mut m = Machine::new(SystemConfig::default());
-        let whole_ck = m.run_trace(&t, &EccAssignment::uniform(EccScheme::Chipkill));
-        let part =
-            m.run_trace(&t, &EccAssignment::relaxed(EccScheme::Chipkill, EccScheme::None, &[big]));
-        let none = m.run_trace(&t, &EccAssignment::uniform(EccScheme::None));
+        let whole_ck =
+            m.simulate(SimRequest::trace(&t, EccAssignment::uniform(EccScheme::Chipkill)));
+        let part = m.simulate(SimRequest::trace(
+            &t,
+            EccAssignment::relaxed(EccScheme::Chipkill, EccScheme::None, &[big]),
+        ));
+        let none = m.simulate(SimRequest::trace(&t, EccAssignment::uniform(EccScheme::None)));
         assert!(part.mem_dynamic_j < whole_ck.mem_dynamic_j);
         assert!(part.mem_dynamic_j > none.mem_dynamic_j);
         // Most accesses hit the relaxed region.
@@ -661,7 +994,7 @@ mod tests {
             addr += 64;
         }
         let mut m = Machine::new(SystemConfig::default());
-        let s = m.run_trace(&t, &EccAssignment::uniform(EccScheme::Secded));
+        let s = m.simulate(SimRequest::trace(&t, EccAssignment::uniform(EccScheme::Secded)));
         assert!(s.llc_misses_abft() > 0);
         assert!(s.llc_misses_other() > 0);
         let ratio = s.abft_ref_ratio();

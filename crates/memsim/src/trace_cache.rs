@@ -21,6 +21,7 @@
 use crate::config::{CacheConfig, SystemConfig};
 use crate::miss_stream::MissStream;
 use crate::packed::PackedTrace;
+use crate::simpoint::{SimPointConfig, SimPointSelection};
 use crate::store::{ArtifactStore, StoreMetrics};
 use crate::workloads::KernelParams;
 use std::collections::BTreeMap;
@@ -51,6 +52,10 @@ impl FilterKey {
     }
 }
 
+/// Memo slot table: each key owns a `OnceLock` so concurrent requesters
+/// block on the same in-flight build instead of duplicating it.
+type SlotMap<K, V> = Mutex<BTreeMap<K, Arc<OnceLock<Arc<V>>>>>;
+
 /// Shared, lazily-built store of generated kernel traces in packed form,
 /// keyed by kernel + scale — plus a second memo level of cache-filtered
 /// [`MissStream`]s keyed by [`FilterKey`], so campaigns replay only the
@@ -59,12 +64,15 @@ impl FilterKey {
 pub struct TraceCache {
     // Ordered maps so diagnostics that walk the cache (`resident_bytes`,
     // future dump/report paths) visit workloads deterministically.
-    slots: Mutex<BTreeMap<KernelParams, Arc<OnceLock<Arc<PackedTrace>>>>>,
-    miss_slots: Mutex<BTreeMap<FilterKey, Arc<OnceLock<Arc<MissStream>>>>>,
+    slots: SlotMap<KernelParams, PackedTrace>,
+    miss_slots: SlotMap<FilterKey, MissStream>,
+    simpoint_slots: SlotMap<(FilterKey, SimPointConfig), SimPointSelection>,
     hits: AtomicU64,
     builds: AtomicU64,
     miss_hits: AtomicU64,
     miss_builds: AtomicU64,
+    simpoint_hits: AtomicU64,
+    simpoint_builds: AtomicU64,
     /// Optional on-disk artifact tier: memo misses try the store before
     /// generating, and generated artifacts are persisted best-effort.
     store: Mutex<Option<Arc<ArtifactStore>>>,
@@ -154,7 +162,7 @@ impl TraceCache {
     /// configuration's cache geometry and thread count: filtered on first
     /// request (generating the packed trace through [`TraceCache::get`]
     /// if needed), shared (pointer-equal `Arc`) on every subsequent one.
-    /// Replay it with [`crate::system::Machine::run_miss_stream`].
+    /// Replay it with [`crate::system::Machine::simulate`].
     ///
     /// Config variants differing only in DRAM organization, timing,
     /// energy or `stall_factor` — everything the cache hierarchy cannot
@@ -193,6 +201,51 @@ impl TraceCache {
         Arc::clone(ms)
     }
 
+    /// The phase selection for a workload under a system configuration's
+    /// filter geometry and a sampling configuration: sliced, fingerprinted
+    /// and clustered on first request (building the miss stream through
+    /// [`TraceCache::get_filtered`] if needed), shared (pointer-equal
+    /// `Arc`) on every subsequent one. Replay it with
+    /// [`crate::system::SimRequest::sampled`].
+    pub fn get_simpoints(
+        &self,
+        params: KernelParams,
+        cfg: &SystemConfig,
+        sp: &SimPointConfig,
+    ) -> Arc<SimPointSelection> {
+        let key = FilterKey::new(params, cfg);
+        let slot = {
+            let mut slots = self.simpoint_slots.lock().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(slots.entry((key, *sp)).or_default())
+        };
+        if let Some(sel) = slot.get() {
+            self.simpoint_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(sel);
+        }
+        let mut built_here = false;
+        let sel = slot.get_or_init(|| {
+            built_here = true;
+            if let Some(store) = self.store() {
+                if let Some(sel) = store.load_simpoint(&key, sp) {
+                    // Disk hit: slicing and clustering never run (and
+                    // neither does anything beneath them).
+                    return Arc::new(sel);
+                }
+            }
+            self.simpoint_builds.fetch_add(1, Ordering::Relaxed);
+            let ms = self.get_filtered(params, cfg);
+            let sel = Arc::new(SimPointSelection::build(&ms, *sp));
+            if let Some(store) = self.store() {
+                let _ = store.save_simpoint(&key, sp, &sel);
+            }
+            sel
+        });
+        if !built_here {
+            self.simpoint_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(sel)
+    }
+
     /// Lookups served without generating a trace.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -221,6 +274,16 @@ impl TraceCache {
     /// Miss streams actually filtered.
     pub fn miss_builds(&self) -> u64 {
         self.miss_builds.load(Ordering::Relaxed)
+    }
+
+    /// Phase-selection lookups served without slicing or clustering.
+    pub fn simpoint_hits(&self) -> u64 {
+        self.simpoint_hits.load(Ordering::Relaxed)
+    }
+
+    /// Phase selections actually built (sliced + clustered).
+    pub fn simpoint_builds(&self) -> u64 {
+        self.simpoint_builds.load(Ordering::Relaxed)
     }
 
     /// Total bytes resident in cached packed traces.
@@ -316,6 +379,34 @@ mod tests {
         // Both filters share the single underlying packed trace.
         assert_eq!(cache.builds(), 1);
         assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn simpoint_selections_memoize_and_persist() {
+        let dir =
+            std::env::temp_dir().join(format!("abft-simpoint-cache-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+        let cache = TraceCache::with_store(Arc::clone(&store));
+        let cfg = SystemConfig::default();
+        let sp = SimPointConfig { interval: 2048, max_phases: 4, ..Default::default() };
+        let a = cache.get_simpoints(tiny_dgemm(), &cfg, &sp);
+        let b = cache.get_simpoints(tiny_dgemm(), &cfg, &sp);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.simpoint_builds(), 1);
+        assert_eq!(cache.simpoint_hits(), 1);
+        // A second sampling config is a distinct memo entry.
+        let sp2 = SimPointConfig { interval: 4096, ..sp };
+        let c = cache.get_simpoints(tiny_dgemm(), &cfg, &sp2);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.simpoint_builds(), 2);
+        // A fresh cache over the same warm store loads the selection from
+        // disk without slicing or clustering.
+        let warm = TraceCache::with_store(Arc::clone(&store));
+        let d = warm.get_simpoints(tiny_dgemm(), &cfg, &sp);
+        assert_eq!(warm.simpoint_builds(), 0);
+        assert_eq!(*d, *a);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

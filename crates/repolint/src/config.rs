@@ -48,6 +48,7 @@ impl RuleCfg {
             entry_points: if code == "DET004" {
                 vec![
                     "Campaign::run".to_string(),
+                    "Machine::simulate".to_string(),
                     "Machine::run_source".to_string(),
                     "Machine::run_miss_stream".to_string(),
                 ]

@@ -51,8 +51,10 @@ fn main() {
     let trace = dgemm_trace(&DgemmParams { n: 768, nb: 64, abft: true, verify_interval: 4 });
     let regions = abft_regions(&trace);
     let mut machine = Machine::new(cfg);
-    let wck = machine.run_trace(&trace, &Strategy::WholeChipkill.assignment(&regions));
-    let ours = machine.run_trace(&trace, &Strategy::PartialChipkillSecded.assignment(&regions));
+    let wck =
+        machine.simulate(SimRequest::trace(&trace, Strategy::WholeChipkill.assignment(&regions)));
+    let ours = machine
+        .simulate(SimRequest::trace(&trace, Strategy::PartialChipkillSecded.assignment(&regions)));
     println!("  whole chipkill : {:.3} J memory, IPC {:.2}", wck.mem_total_j(), wck.ipc());
     println!(
         "  cooperative    : {:.3} J memory, IPC {:.2}  ({:.0}% memory energy saved)",

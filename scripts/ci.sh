@@ -49,7 +49,7 @@ cargo test -q --workspace
 echo "=== cargo test -q --features validate (memsim invariant audits on) ==="
 cargo test -q -p abft-memsim --features validate
 cargo test -q --features validate --test campaign_determinism --test streaming_equivalence \
-    --test filtered_equivalence
+    --test filtered_equivalence --test simpoint_equivalence
 
 echo "=== cargo clippy --workspace -- -D warnings ==="
 cargo clippy --workspace -- -D warnings

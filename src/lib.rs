@@ -36,9 +36,9 @@ pub mod prelude {
     };
     pub use abft_coop_core::{
         decide, drill_chip_fault, drill_matrix, fault_adjusted, run_strategy_job,
-        run_strategy_miss_stream, run_strategy_source, summarize_cases, AdaptiveConfig,
-        AdaptiveController, BasicTest, Campaign, CampaignMetrics, CampaignResult, CampaignRun,
-        PolicyInputs, Progress, Stance, Strategy, StrategyResult,
+        run_strategy_miss_stream, run_strategy_sampled, run_strategy_source, summarize_cases,
+        AdaptiveConfig, AdaptiveController, BasicTest, Campaign, CampaignMetrics, CampaignResult,
+        CampaignRun, PolicyInputs, Progress, Stance, Strategy, StrategyResult,
     };
     pub use abft_coop_runtime::{EccRuntime, RetirePolicy, SwapSpace, SysfsChannel};
     pub use abft_ecc::{EccOutcome, EccScheme, ProtectedLine};
@@ -58,7 +58,7 @@ pub mod prelude {
         KernelParams,
     };
     pub use abft_memsim::{
-        AccessSink, AccessSource, MissStream, PackedTrace, SystemConfig, SystemConfigBuilder,
-        TraceCache,
+        AccessSink, AccessSource, MissStream, PackedTrace, SimPointConfig, SimPointSelection,
+        SimRequest, SystemConfig, SystemConfigBuilder, TraceCache,
     };
 }

@@ -3,7 +3,7 @@
 
 use abft_coop::abft_memsim::system::{EccAssignment, Machine};
 use abft_coop::abft_memsim::trace::{RegionMap, Trace};
-use abft_coop::abft_memsim::SystemConfig;
+use abft_coop::abft_memsim::{SimRequest, SystemConfig};
 use abft_coop::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -31,7 +31,7 @@ fn accounting_identities_hold_across_strategies() {
     let regions = abft_regions(&t);
     let mut m = Machine::new(SystemConfig::default());
     for s in Strategy::ALL {
-        let st = m.run_trace(&t, &s.assignment(&regions));
+        let st = m.simulate(SimRequest::trace(&t, s.assignment(&regions)));
         // Reference conservation.
         let refs: u64 = st.regions.iter().map(|r| r.refs).sum();
         assert_eq!(refs, t.accesses.len() as u64, "{s}");
@@ -65,14 +65,16 @@ fn scheme_classification_respects_the_assignment() {
     let mut m = Machine::new(SystemConfig::default());
 
     // Uniform strategies: single scheme bucket.
-    let st = m.run_trace(&t, &EccAssignment::uniform(EccScheme::Secded));
+    let st = m.simulate(SimRequest::trace(&t, EccAssignment::uniform(EccScheme::Secded)));
     assert_eq!(st.per_scheme[0], 0);
     assert_eq!(st.per_scheme[2], 0);
     assert!(st.per_scheme[1] > 0);
 
     // Partial: both buckets populated, nothing else.
-    let st =
-        m.run_trace(&t, &EccAssignment::relaxed(EccScheme::Chipkill, EccScheme::None, &regions));
+    let st = m.simulate(SimRequest::trace(
+        &t,
+        EccAssignment::relaxed(EccScheme::Chipkill, EccScheme::None, &regions),
+    ));
     assert!(st.per_scheme[0] > 0, "relaxed accesses");
     assert!(st.per_scheme[2] > 0, "strong accesses");
     assert_eq!(st.per_scheme[1], 0, "no SECDED in this strategy");
@@ -85,11 +87,11 @@ fn identical_traces_produce_identical_results() {
     let assign = Strategy::PartialChipkillSecded.assignment(&regions);
     let mut m1 = Machine::new(SystemConfig::default());
     let mut m2 = Machine::new(SystemConfig::default());
-    let a = m1.run_trace(&t, &assign);
-    let b = m2.run_trace(&t, &assign);
+    let a = m1.simulate(SimRequest::trace(&t, assign.clone()));
+    let b = m2.simulate(SimRequest::trace(&t, assign.clone()));
     assert_eq!(a, b, "the simulator is deterministic");
     // And re-running on the same machine resets state fully.
-    let c = m1.run_trace(&t, &assign);
+    let c = m1.simulate(SimRequest::trace(&t, assign));
     assert_eq!(a, c, "machine state resets between runs");
 }
 
@@ -104,8 +106,10 @@ fn more_threads_never_slow_the_machine_down_on_compute_bound_work() {
     }
     let c1 = SystemConfig { threads: 1, ..Default::default() };
     let c4 = SystemConfig { threads: 4, ..Default::default() };
-    let s1 = Machine::new(c1).run_trace(&t, &EccAssignment::uniform(EccScheme::None));
-    let s4 = Machine::new(c4).run_trace(&t, &EccAssignment::uniform(EccScheme::None));
+    let s1 =
+        Machine::new(c1).simulate(SimRequest::trace(&t, EccAssignment::uniform(EccScheme::None)));
+    let s4 =
+        Machine::new(c4).simulate(SimRequest::trace(&t, EccAssignment::uniform(EccScheme::None)));
     assert!(s4.cycles < s1.cycles, "4 threads must compress compute-bound wall clock");
     assert!(s4.ipc() > 2.0 * s1.ipc());
 }

@@ -1,0 +1,321 @@
+//! The phase-sampling contract: replaying only the weighted
+//! representative slices of a miss stream (SimPoint-style) must land
+//! within a small, stated error of the exact filtered replay — for every
+//! kernel and every ECC strategy — while the unified `SimRequest` entry
+//! point stays bit-identical to the legacy `run_*` methods it replaces
+//! on the exact paths.
+
+use abft_coop::abft_ecc::EccScheme;
+use abft_coop::abft_memsim::dram::AccessKind;
+use abft_coop::abft_memsim::system::Machine;
+use abft_coop::abft_memsim::workloads::{CholeskyParams, HplParams};
+use abft_coop::abft_memsim::{
+    Access, EccAssignment, MemoryController, MissStream, SimPointSelection,
+};
+use abft_coop::prelude::Strategy;
+use abft_coop::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn small_grid() -> Vec<KernelParams> {
+    vec![
+        KernelParams::Dgemm(DgemmParams { n: 256, nb: 64, abft: true, verify_interval: 2 }),
+        KernelParams::Cholesky(CholeskyParams { n: 256, nb: 64, abft: true }),
+        KernelParams::Cg(CgParams { grid: 96, iterations: 3, abft: true, verify_interval: 2 }),
+        KernelParams::Hpl(HplParams { n: 256, nb: 64, abft: true }),
+    ]
+}
+
+fn filter(packed: &Arc<PackedTrace>, cfg: &SystemConfig) -> MissStream {
+    MissStream::build(&mut packed.replay(), cfg.l1, cfg.l2, cfg.threads)
+}
+
+/// Small-n sampling config: slices short enough that every kernel in the
+/// grid yields a meaningful number of them, phase budget small enough
+/// that clustering actually compresses.
+fn sampling() -> SimPointConfig {
+    SimPointConfig { interval: 4096, max_phases: 8, ..SimPointConfig::default() }
+}
+
+fn rel_err(sampled: f64, exact: f64) -> f64 {
+    if exact == 0.0 {
+        sampled.abs()
+    } else {
+        (sampled - exact).abs() / exact.abs()
+    }
+}
+
+#[test]
+fn sampled_replay_tracks_exact_replay_for_every_kernel_and_strategy() {
+    let cfg = SystemConfig::default();
+    for params in small_grid() {
+        let packed = Arc::new(params.build_packed());
+        let ms = filter(&packed, &cfg);
+        let sel = SimPointSelection::build(&ms, sampling());
+        assert!(
+            (sel.clusters() as u64) < sel.slices() || sel.slices() <= sampling().max_phases as u64,
+            "{}: clustering must compress ({} phases / {} slices)",
+            params.label(),
+            sel.clusters(),
+            sel.slices()
+        );
+        for s in Strategy::ALL {
+            let exact = run_strategy_miss_stream(&ms, &cfg, s);
+            let sampled = run_strategy_sampled(&ms, &sel, &cfg, s);
+            let tag = format!("{} / {}", params.label(), s.label());
+
+            // The paper-facing quantities: time and energy, within 2%.
+            assert!(
+                rel_err(sampled.cycles as f64, exact.cycles as f64) <= 0.02,
+                "{tag}: cycles {} vs {}",
+                sampled.cycles,
+                exact.cycles
+            );
+            assert!(
+                rel_err(sampled.mem_dynamic_j(), exact.mem_dynamic_j()) <= 0.02,
+                "{tag}: dynamic J {} vs {}",
+                sampled.mem_dynamic_j(),
+                exact.mem_dynamic_j()
+            );
+            assert!(
+                rel_err(sampled.mem_total_j(), exact.mem_total_j()) <= 0.02,
+                "{tag}: total J {} vs {}",
+                sampled.mem_total_j(),
+                exact.mem_total_j()
+            );
+
+            // DRAM traffic estimates, within 2%.
+            assert!(
+                rel_err(sampled.dram_reads as f64, exact.dram_reads as f64) <= 0.02,
+                "{tag}: reads {} vs {}",
+                sampled.dram_reads,
+                exact.dram_reads
+            );
+            assert!(
+                rel_err(sampled.dram_writes as f64, exact.dram_writes as f64) <= 0.02,
+                "{tag}: writes {} vs {}",
+                sampled.dram_writes,
+                exact.dram_writes
+            );
+            let scheme_sum: u64 = sampled.per_scheme.iter().sum();
+            assert!(
+                rel_err(scheme_sum as f64, (exact.dram_reads + exact.dram_writes) as f64) <= 0.02,
+                "{tag}: per-scheme sum {scheme_sum}"
+            );
+
+            // Stream-derived counters are exact, not estimated.
+            assert_eq!(sampled.instructions, exact.instructions, "{tag}");
+            assert_eq!(sampled.l1_hit_rate.to_bits(), exact.l1_hit_rate.to_bits(), "{tag}");
+            assert_eq!(sampled.l2_hit_rate.to_bits(), exact.l2_hit_rate.to_bits(), "{tag}");
+
+            // The selection's own error estimate is an honest budget.
+            assert!(sel.est_error() >= 0.0 && sel.est_error() <= 1.0, "{tag}");
+        }
+    }
+}
+
+#[test]
+fn saturated_phase_budget_reproduces_exact_dram_counts() {
+    // One phase per slice (k == slices): every event replays with scale
+    // 1, so integer DRAM counters must come out exact and the error
+    // estimate must be zero.
+    let cfg = SystemConfig::default();
+    let params =
+        KernelParams::Dgemm(DgemmParams { n: 256, nb: 64, abft: true, verify_interval: 2 });
+    let packed = Arc::new(params.build_packed());
+    let ms = filter(&packed, &cfg);
+    let sp = SimPointConfig { interval: 4096, max_phases: usize::MAX, ..SimPointConfig::default() };
+    let sel = SimPointSelection::build(&ms, sp);
+    assert_eq!(sel.clusters() as u64, sel.slices());
+    assert_eq!(sel.replayed_events(), ms.events());
+    assert_eq!(sel.est_error(), 0.0);
+    let exact = run_strategy_miss_stream(&ms, &cfg, Strategy::PartialChipkillSecded);
+    let sampled = run_strategy_sampled(&ms, &sel, &cfg, Strategy::PartialChipkillSecded);
+    assert_eq!(sampled.dram_reads, exact.dram_reads);
+    assert_eq!(sampled.dram_writes, exact.dram_writes);
+    assert_eq!(sampled.per_scheme, exact.per_scheme);
+    assert_eq!(sampled.cycles, exact.cycles);
+}
+
+#[test]
+fn selection_and_sampled_replay_are_deterministic() {
+    let cfg = SystemConfig::default();
+    let params =
+        KernelParams::Cg(CgParams { grid: 96, iterations: 3, abft: true, verify_interval: 2 });
+    let packed = Arc::new(params.build_packed());
+    let ms = filter(&packed, &cfg);
+    let a = SimPointSelection::build(&ms, sampling());
+    let b = SimPointSelection::build(&ms, sampling());
+    assert_eq!(a, b, "same stream + same config must cluster identically");
+    let s1 = run_strategy_sampled(&ms, &a, &cfg, Strategy::WholeChipkill);
+    let s2 = run_strategy_sampled(&ms, &b, &cfg, Strategy::WholeChipkill);
+    assert_eq!(s1, s2, "sampled replay is deterministic");
+    // A different seed may pick different representatives...
+    let other = SimPointSelection::build(&ms, SimPointConfig { seed: 1234, ..sampling() });
+    // ...but still a valid selection over the same stream.
+    assert!(other.matches(&ms));
+    assert_eq!(other.slices(), a.slices());
+}
+
+// ----- SimRequest vs the legacy entry points -------------------------
+//
+// The deprecated `run_*` methods are thin shims over `Machine::simulate`;
+// these proofs pin the shims (and thus any out-of-tree caller's migration)
+// to bit-identical behaviour on the exact paths.
+
+#[test]
+#[allow(deprecated)]
+fn simulate_is_bit_identical_to_the_deprecated_trace_and_source_paths() {
+    let cfg = SystemConfig::default();
+    let params =
+        KernelParams::Dgemm(DgemmParams { n: 192, nb: 64, abft: true, verify_interval: 2 });
+    let trace = params.build();
+    let regions = abft_regions(&trace);
+    for s in [Strategy::WholeChipkill, Strategy::PartialChipkillSecded, Strategy::NoEcc] {
+        let assign = s.assignment(&regions);
+        let old = Machine::new(cfg.clone()).run_trace(&trace, &assign);
+        let new = Machine::new(cfg.clone()).simulate(SimRequest::trace(&trace, assign.clone()));
+        assert_eq!(old, new, "trace path / {}", s.label());
+
+        let old_src = Machine::new(cfg.clone()).run_source(&mut params.stream(), &assign);
+        let new_src = Machine::new(cfg.clone())
+            .simulate(SimRequest::source(&mut params.stream(), assign.clone()));
+        assert_eq!(old_src, new_src, "source path / {}", s.label());
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn simulate_is_bit_identical_to_the_deprecated_miss_stream_path() {
+    let cfg = SystemConfig::default();
+    let params =
+        KernelParams::Cg(CgParams { grid: 96, iterations: 2, abft: true, verify_interval: 2 });
+    let packed = Arc::new(params.build_packed());
+    let ms = filter(&packed, &cfg);
+    let assign = EccAssignment::uniform(abft_coop::abft_ecc::EccScheme::Chipkill);
+    let old = Machine::new(cfg.clone()).run_miss_stream(&ms, &assign);
+    let new = Machine::new(cfg.clone()).simulate(SimRequest::miss_stream(&ms, assign));
+    assert_eq!(old, new);
+}
+
+/// An address-keyed stateless policy: deterministic, and distinct from
+/// anything the range registers could express, so the custom-policy code
+/// path is genuinely exercised.
+fn page_parity_policy(_: &Access, _: &MemoryController, paddr: u64) -> AccessKind {
+    if (paddr >> 12) & 1 == 0 {
+        AccessKind::Scheme(EccScheme::Chipkill)
+    } else {
+        AccessKind::FineSecded
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn simulate_is_bit_identical_to_the_deprecated_policy_paths() {
+    let cfg = SystemConfig::default();
+    let params =
+        KernelParams::Dgemm(DgemmParams { n: 192, nb: 64, abft: true, verify_interval: 2 });
+    let trace = params.build();
+    let assign = EccAssignment::uniform(EccScheme::None);
+
+    let old = Machine::new(cfg.clone()).run_trace_with_policy(&trace, true, page_parity_policy);
+    let mut p = page_parity_policy;
+    let new = Machine::new(cfg.clone()).simulate(
+        SimRequest::trace(&trace, assign.clone()).with_policy(&mut p).ecc_chips_powered(true),
+    );
+    assert_eq!(old, new, "trace policy path");
+
+    let old_src = Machine::new(cfg.clone()).run_source_with_policy(
+        &mut params.stream(),
+        true,
+        page_parity_policy,
+    );
+    let mut p = page_parity_policy;
+    let new_src = Machine::new(cfg.clone()).simulate(
+        SimRequest::source(&mut params.stream(), assign.clone())
+            .with_policy(&mut p)
+            .ecc_chips_powered(true),
+    );
+    assert_eq!(old_src, new_src, "source policy path");
+
+    let packed = Arc::new(params.build_packed());
+    let ms = filter(&packed, &cfg);
+    let old_ms =
+        Machine::new(cfg.clone()).run_miss_stream_with_policy(&ms, true, page_parity_policy);
+    let mut p = page_parity_policy;
+    let new_ms = Machine::new(cfg.clone())
+        .simulate(SimRequest::miss_stream(&ms, assign).with_policy(&mut p).ecc_chips_powered(true));
+    assert_eq!(old_ms, new_ms, "miss-stream policy path");
+}
+
+// ----- structural properties of the selection ------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn slices_tile_the_stream_and_weights_sum_to_one(
+        interval_pow in 8u32..14,
+        max_phases in 1usize..32,
+        seed: u64,
+    ) {
+        let cfg = SystemConfig::default();
+        let params = KernelParams::Dgemm(DgemmParams {
+            n: 128, nb: 64, abft: true, verify_interval: 2,
+        });
+        let packed = Arc::new(params.build_packed());
+        let ms = MissStream::build(&mut packed.replay(), cfg.l1, cfg.l2, cfg.threads);
+        let interval = 1u64 << interval_pow;
+        let sel = SimPointSelection::build(&ms, SimPointConfig {
+            interval, max_phases, seed, ..SimPointConfig::default()
+        });
+
+        // Slice arithmetic tiles the stream exactly.
+        prop_assert_eq!(sel.events(), ms.events());
+        prop_assert_eq!(sel.slices(), ms.events().div_ceil(interval));
+        prop_assert_eq!(sel.assignments().len() as u64, sel.slices());
+
+        // Every phase is one whole slice (the last may be short).
+        let mut replayed = 0u64;
+        for ph in sel.phases() {
+            prop_assert_eq!(ph.start % interval, 0);
+            prop_assert!(ph.end > ph.start);
+            prop_assert!(ph.end <= sel.events());
+            prop_assert!(ph.end - ph.start <= interval);
+            prop_assert!(ph.weight > 0.0);
+            replayed += ph.end - ph.start;
+        }
+        prop_assert_eq!(replayed, sel.replayed_events());
+
+        // Cluster weights partition the event mass.
+        let total: f64 = sel.phases().iter().map(|p| p.weight).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "weights sum to {}", total);
+        prop_assert!(sel.clusters() as u64 <= (max_phases as u64).min(sel.slices()));
+
+        // Per-slice fingerprints: equal dimensionality, event-rate
+        // normalized (finite, non-negative).
+        let dim = sel.fingerprint(0).len();
+        for s in 0..sel.slices() as usize {
+            let fp = sel.fingerprint(s);
+            prop_assert_eq!(fp.len(), dim);
+            prop_assert!(fp.iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+    }
+}
+
+#[cfg(feature = "validate")]
+#[test]
+fn selections_audit_clean_under_validate() {
+    let cfg = SystemConfig::default();
+    for params in small_grid() {
+        let packed = Arc::new(params.build_packed());
+        let ms = filter(&packed, &cfg);
+        for sp in [
+            sampling(),
+            SimPointConfig::default(),
+            SimPointConfig { interval: 1024, max_phases: 3, ..SimPointConfig::default() },
+        ] {
+            SimPointSelection::build(&ms, sp).audit_invariants();
+        }
+    }
+}

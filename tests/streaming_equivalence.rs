@@ -9,7 +9,7 @@ use abft_coop::abft_memsim::trace::Access;
 use abft_coop::abft_memsim::workloads::{
     abft_region_ids, CgParams, CholeskyParams, DgemmParams, HplParams, KernelParams,
 };
-use abft_coop::abft_memsim::SystemConfig;
+use abft_coop::abft_memsim::{SimRequest, SystemConfig};
 use abft_coop::prelude::Strategy;
 use std::sync::Arc;
 
@@ -28,12 +28,13 @@ fn streaming_replay_is_bit_identical_to_materialized_for_every_kernel() {
         let trace = params.build();
         let assign = Strategy::PartialChipkillSecded.assignment(&abft_region_ids(&trace.regions));
 
-        let materialized = Machine::new(SystemConfig::default()).run_trace(&trace, &assign);
-        let generator =
-            Machine::new(SystemConfig::default()).run_source(&mut params.stream(), &assign);
+        let materialized = Machine::new(SystemConfig::default())
+            .simulate(SimRequest::trace(&trace, assign.clone()));
+        let generator = Machine::new(SystemConfig::default())
+            .simulate(SimRequest::source(&mut params.stream(), assign.clone()));
         let packed = Arc::new(params.build_packed());
-        let replayed =
-            Machine::new(SystemConfig::default()).run_source(&mut packed.replay(), &assign);
+        let replayed = Machine::new(SystemConfig::default())
+            .simulate(SimRequest::source(&mut packed.replay(), assign.clone()));
 
         assert_eq!(
             materialized,
@@ -60,9 +61,10 @@ fn every_strategy_agrees_between_trace_and_stream() {
     let regions = abft_region_ids(&trace.regions);
     for s in Strategy::ALL {
         let assign = s.assignment(&regions);
-        let from_trace = Machine::new(SystemConfig::default()).run_trace(&trace, &assign);
-        let from_stream =
-            Machine::new(SystemConfig::default()).run_source(&mut params.stream(), &assign);
+        let from_trace = Machine::new(SystemConfig::default())
+            .simulate(SimRequest::trace(&trace, assign.clone()));
+        let from_stream = Machine::new(SystemConfig::default())
+            .simulate(SimRequest::source(&mut params.stream(), assign.clone()));
         assert_eq!(from_trace, from_stream, "{s}");
     }
 }
