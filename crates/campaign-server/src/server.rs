@@ -292,7 +292,12 @@ impl CampaignServer {
                 std::thread::Builder::new().name(format!("campaign-worker-{i}")).spawn(move || {
                     loop {
                         // Take the next job without holding the queue
-                        // lock across the (long) execution.
+                        // lock across the (long) execution. The guard
+                        // does cover the `recv` itself: that is the
+                        // mpsc receiver-sharing idiom — the lock *is*
+                        // the take-turns-waiting protocol, and no other
+                        // lock is ever taken while it is held.
+                        // repolint:allow(CONC001) shared-receiver idiom: the queue lock exists only to serialize recv
                         let job = lock(&rx).recv();
                         match job {
                             Ok(job) => shared.execute(job),
@@ -377,35 +382,44 @@ impl CampaignServer {
 
         let sampling = spec.sampling();
         let queue = lock(&self.queue).clone();
+        // Decide under the map lock; fulfill and enqueue after releasing
+        // it — `queue.send` wakes a worker that may immediately need the
+        // cells map, so sending while holding it invites a stall.
+        enum Decision {
+            Ready(Waiter, Box<abft_memsim::SimStats>, Duration),
+            Enqueue,
+            Waiting,
+        }
         for (index, (w, tag, cfg, s)) in jobs.into_iter().enumerate() {
             let key = CellKey::new(w, &cfg, s, sampling);
             let waiter = Waiter { grid: Arc::clone(&grid), index, params: w, strategy: s, tag };
-            // Decide under the map lock; fulfill after releasing it.
-            let ready = {
+            let decision = {
                 let mut cells = lock(&self.shared.cells);
                 match cells.get_mut(&key) {
                     Some(CellState::Done { stats, wall }) => {
                         grid.deduped.fetch_add(1, Ordering::SeqCst);
-                        Some((stats.clone(), *wall))
+                        Decision::Ready(waiter, Box::new(stats.clone()), *wall)
                     }
                     Some(CellState::InFlight(waiters)) => {
                         grid.deduped.fetch_add(1, Ordering::SeqCst);
                         waiters.push(waiter);
-                        continue;
+                        Decision::Waiting
                     }
                     None => {
                         cells.insert(key, CellState::InFlight(vec![waiter]));
                         grid.enqueued.fetch_add(1, Ordering::SeqCst);
-                        if let Some(queue) = &queue {
-                            let _ =
-                                queue.send(CellJob { key, params: w, cfg, strategy: s, sampling });
-                        }
-                        continue;
+                        Decision::Enqueue
                     }
                 }
             };
-            if let Some((stats, wall)) = ready {
-                waiter.fulfill(&stats, wall);
+            match decision {
+                Decision::Ready(waiter, stats, wall) => waiter.fulfill(&stats, wall),
+                Decision::Enqueue => {
+                    if let Some(queue) = &queue {
+                        let _ = queue.send(CellJob { key, params: w, cfg, strategy: s, sampling });
+                    }
+                }
+                Decision::Waiting => {}
             }
         }
         GridTicket { grid, events: rx }

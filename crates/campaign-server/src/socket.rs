@@ -41,8 +41,12 @@ impl SocketServer {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             let handle = handle.clone();
+                            // Deliberately detached: a connection thread
+                            // owns nothing but its stream, and a broken
+                            // pipe abandons the stream, not the grid.
                             let _ = std::thread::Builder::new()
                                 .name("campaign-socket-conn".to_string())
+                                // repolint:allow(CONC004) per-connection threads hold no shared state; grid results outlive the stream
                                 .spawn(move || serve_connection(handle, stream));
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {

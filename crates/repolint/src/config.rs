@@ -10,8 +10,10 @@ use crate::diag::Severity;
 use std::collections::BTreeMap;
 
 /// All rule codes the engine knows about.
-pub const RULES: &[&str] =
-    &["DET001", "DET002", "DET003", "DET004", "PANIC001", "FP001", "UNIT001", "API001"];
+pub const RULES: &[&str] = &[
+    "DET001", "DET002", "DET003", "DET004", "PANIC001", "FP001", "UNIT001", "API001", "CONC001",
+    "CONC002", "CONC003", "CONC004",
+];
 
 /// Per-rule configuration.
 #[derive(Debug, Clone)]

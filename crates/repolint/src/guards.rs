@@ -1,0 +1,407 @@
+//! Guard-liveness analysis over the expression layer.
+//!
+//! The concurrency rules (CONC001–CONC004) need to know, for every call
+//! site in a function body, which `Mutex`/`RwLock` guards are live at
+//! that point. This module walks a parsed body in **evaluation order**
+//! (receiver before method, arguments before call — unlike the
+//! pre-order [`syn::expr::walk_stmts`]) and tracks guard regions:
+//!
+//! - **Acquisition** — `x.lock()` / `x.read()` / `x.write()` with *no*
+//!   arguments (std and the vendored `compat/parking_lot` facade share
+//!   this shape; the zero-argument requirement keeps `io::Read::read`
+//!   and `io::Write::write`, which take a buffer, out), plus the
+//!   free-function wrapper idiom `lock(&x)` (one argument, callee path
+//!   ending in `lock`).
+//! - **Lifetime** — a guard bound by `let g = <acquisition>` (through
+//!   `.unwrap()` / `.expect(..)` / `.unwrap_or_else(..)` / `.ok()`
+//!   wrappers) lives to the end of its enclosing block, an explicit
+//!   `drop(g)`, or the end of the function. `let _ = <acquisition>` and
+//!   unbound acquisitions are temporaries: they die at the end of their
+//!   statement. A shadowing rebind does **not** kill the old guard —
+//!   in Rust the shadowed value lives to the end of the scope.
+//! - **Recording** — every call evaluated while a guard is live is
+//!   recorded in that guard's region (`uses`), and every lock acquired
+//!   while another guard is live is recorded as a lock-order edge
+//!   (`acquires`). Thread spawns (`thread::spawn`, `Builder::spawn`)
+//!   are recorded with a discarded-handle flag (`let _ = ...spawn...`).
+//!
+//! Known approximations (see DESIGN.md §3.17): control flow is
+//! flattened, so a guard acquired in one `match` arm appears live in
+//! later arms of the same `match` (over-approximation, sound for
+//! "may hold"); a guard bound via `if let`/`while let` or a
+//! destructuring pattern is treated as a temporary (under-approximation);
+//! lock identity is `{crate}/{field-or-binding name}`, so two same-named
+//! fields in one crate alias.
+
+use syn::expr::{self, Expr, Stmt};
+use syn::Token;
+
+/// One call site, as the guard walker saw it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConcCall {
+    /// Source spelling, matching [`crate::callgraph::CallSite::display`]:
+    /// `a::b::c` for path calls, `.name` for method calls.
+    pub display: String,
+    /// 1-based line of the call.
+    pub line: usize,
+    /// Argument count at the call site.
+    pub args: usize,
+}
+
+/// One guard's live region within a function body.
+#[derive(Debug, Clone)]
+pub struct GuardRegion {
+    /// Qualified lock identity: `{crate}/{name}`.
+    pub lock: String,
+    /// 1-based line of the acquisition.
+    pub line: usize,
+    /// `let` binding holding the guard (`None` for temporaries).
+    pub binding: Option<String>,
+    /// Calls evaluated while this guard was live.
+    pub uses: Vec<ConcCall>,
+    /// Locks acquired while this guard was live: `(lock id, line)`.
+    pub acquires: Vec<(String, usize)>,
+}
+
+/// One `thread::spawn` / `Builder::spawn` call site.
+#[derive(Debug, Clone)]
+pub struct SpawnSite {
+    /// 1-based line of the spawn call.
+    pub line: usize,
+    /// True when the returned `JoinHandle` is discarded (`let _ = ...`).
+    pub discarded: bool,
+}
+
+/// Everything the concurrency rules need about one function body.
+#[derive(Debug, Clone, Default)]
+pub struct FnConc {
+    /// Guard regions, in acquisition order.
+    pub regions: Vec<GuardRegion>,
+    /// Thread-spawn sites.
+    pub spawns: Vec<SpawnSite>,
+    /// Every (non-acquisition) call in the body, in evaluation order.
+    pub calls: Vec<ConcCall>,
+}
+
+/// Analyze one function body token range.
+pub fn analyze_body(crate_name: &str, tokens: &[Token], lo: usize, hi: usize) -> FnConc {
+    let stmts = expr::parse_stmts(tokens, lo, hi);
+    analyze_stmts(crate_name, &stmts)
+}
+
+/// Analyze an already-parsed statement list (fixture entry point).
+pub fn analyze_stmts(crate_name: &str, stmts: &[Stmt]) -> FnConc {
+    let mut t = Tracker { crate_name, out: FnConc::default(), live: Vec::new() };
+    t.block(stmts);
+    t.out
+}
+
+/// Wrapper methods peeled when deciding whether a `let` initialiser is a
+/// guard acquisition (`m.lock().unwrap()` binds the guard, not a Result).
+const PEEL: &[&str] = &["unwrap", "expect", "unwrap_or_else", "ok"];
+
+fn peel(mut e: &Expr) -> &Expr {
+    while let Expr::MethodCall { recv, method, .. } = e {
+        if PEEL.contains(&method.as_str()) {
+            e = recv;
+        } else {
+            break;
+        }
+    }
+    e
+}
+
+/// Is this expression node itself a guard acquisition?
+fn is_acquisition(e: &Expr) -> bool {
+    match e {
+        Expr::MethodCall { method, args, .. } => {
+            matches!(method.as_str(), "lock" | "read" | "write") && args.is_empty()
+        }
+        Expr::Call { func, args, .. } => {
+            matches!(func.as_ref(), Expr::Path { segs, .. }
+                if segs.last().map(String::as_str) == Some("lock"))
+                && args.len() == 1
+        }
+        _ => false,
+    }
+}
+
+/// Reduce a lock-holder expression to a short name: the last field or
+/// path segment (`self.shared.cells` → `cells`, `&rx` → `rx`).
+fn lock_name(e: &Expr) -> String {
+    match e {
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => lock_name(expr),
+        Expr::Index { base, .. } => lock_name(base),
+        Expr::Field { name, .. } => name.clone(),
+        Expr::Path { segs, .. } => segs.last().cloned().unwrap_or_else(|| "<lock>".to_string()),
+        Expr::MethodCall { method, .. } => format!("<{method}()>"),
+        _ => "<lock>".to_string(),
+    }
+}
+
+/// Is this a `thread::spawn`-shaped path (`spawn`, `thread::spawn`, ...)?
+fn is_spawn_path(segs: &[String]) -> bool {
+    segs.last().map(String::as_str) == Some("spawn")
+}
+
+struct Tracker<'a> {
+    crate_name: &'a str,
+    out: FnConc,
+    /// Indices into `out.regions` of currently-live guards, oldest first.
+    live: Vec<usize>,
+}
+
+impl Tracker<'_> {
+    fn block(&mut self, stmts: &[Stmt]) {
+        let scope_base = self.live.len();
+        for s in stmts {
+            match s {
+                Stmt::Let { name, init: Some(e), .. } => {
+                    let stmt_base = self.live.len();
+                    let spawn_base = self.out.spawns.len();
+                    self.expr(e);
+                    let promote =
+                        matches!(name.as_deref(), Some(n) if n != "_") && is_acquisition(peel(e));
+                    // The core acquisition is the most recent one still
+                    // live (wrapper receivers are walked first,
+                    // closure-argument scopes already closed).
+                    let top =
+                        if promote && self.live.len() > stmt_base { self.live.pop() } else { None };
+                    self.live.truncate(stmt_base);
+                    if let Some(top) = top {
+                        self.out.regions[top].binding = name.clone();
+                        self.live.push(top);
+                    }
+                    if name.as_deref() == Some("_") {
+                        for sp in &mut self.out.spawns[spawn_base..] {
+                            sp.discarded = true;
+                        }
+                    }
+                }
+                Stmt::Expr(e) => {
+                    let stmt_base = self.live.len();
+                    self.expr(e);
+                    self.live.truncate(stmt_base);
+                }
+                _ => {}
+            }
+        }
+        self.live.truncate(scope_base);
+    }
+
+    /// Evaluation-order walk: receivers and arguments before the call
+    /// node itself, so `lock(&rx).recv()` records the acquisition before
+    /// the `.recv` use.
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => self.expr(expr),
+            Expr::Binary { lhs, rhs, .. } | Expr::Assign { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            Expr::Field { base, .. } => self.expr(base),
+            Expr::Index { base, index } => {
+                self.expr(base);
+                self.expr(index);
+            }
+            Expr::Struct { fields, .. } => {
+                for (_, v) in fields {
+                    self.expr(v);
+                }
+            }
+            Expr::Block { stmts } | Expr::Macro { stmts, .. } => self.block(stmts),
+            Expr::Call { func, args, line } => {
+                // `drop(g)` on a plain binding kills the guard it holds.
+                if let Expr::Path { segs, .. } = func.as_ref() {
+                    if segs.last().map(String::as_str) == Some("drop") && args.len() == 1 {
+                        if let Expr::Path { segs: arg, .. } = &args[0] {
+                            if arg.len() == 1 {
+                                self.kill_binding(&arg[0]);
+                                return;
+                            }
+                        }
+                    }
+                }
+                for a in args {
+                    self.expr(a);
+                }
+                match func.as_ref() {
+                    Expr::Path { segs, .. } => {
+                        if segs.last().map(String::as_str) == Some("lock") && args.len() == 1 {
+                            let name = lock_name(&args[0]);
+                            self.acquire(name, *line);
+                        } else {
+                            if is_spawn_path(segs) {
+                                self.out.spawns.push(SpawnSite { line: *line, discarded: false });
+                            }
+                            self.record_call(segs.join("::"), *line, args.len());
+                        }
+                    }
+                    other => {
+                        self.expr(other);
+                        self.record_call("<expr>()".to_string(), *line, args.len());
+                    }
+                }
+            }
+            Expr::MethodCall { recv, method, args, line, .. } => {
+                self.expr(recv);
+                for a in args {
+                    self.expr(a);
+                }
+                if matches!(method.as_str(), "lock" | "read" | "write") && args.is_empty() {
+                    let name = lock_name(recv);
+                    self.acquire(name, *line);
+                } else {
+                    if method == "spawn" {
+                        self.out.spawns.push(SpawnSite { line: *line, discarded: false });
+                    }
+                    self.record_call(format!(".{method}"), *line, args.len());
+                }
+            }
+            Expr::Lit { .. } | Expr::Path { .. } | Expr::Opaque { .. } => {}
+        }
+    }
+
+    fn acquire(&mut self, name: String, line: usize) {
+        let lock = format!("{}/{}", self.crate_name, name);
+        for &r in &self.live {
+            self.out.regions[r].acquires.push((lock.clone(), line));
+        }
+        let idx = self.out.regions.len();
+        self.out.regions.push(GuardRegion {
+            lock,
+            line,
+            binding: None,
+            uses: Vec::new(),
+            acquires: Vec::new(),
+        });
+        self.live.push(idx);
+    }
+
+    fn record_call(&mut self, display: String, line: usize, args: usize) {
+        let call = ConcCall { display, line, args };
+        for &r in &self.live {
+            self.out.regions[r].uses.push(call.clone());
+        }
+        self.out.calls.push(call);
+    }
+
+    /// `drop(name)`: kill the most recently bound live guard with this
+    /// binding (shadowed older bindings stay live, like Rust itself).
+    fn kill_binding(&mut self, name: &str) {
+        if let Some(pos) =
+            self.live.iter().rposition(|&r| self.out.regions[r].binding.as_deref() == Some(name))
+        {
+            self.live.remove(pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conc(body: &str) -> FnConc {
+        let src = format!("fn f() {{\n{body}\n}}\n");
+        let file = syn::parse_file(&src).expect("fixture parses");
+        let item = file.items.iter().find(|i| i.kind == syn::ItemKind::Fn).expect("fn");
+        let (lo, hi) = item.body.expect("body");
+        analyze_body("demo", &file.tokens, lo, hi)
+    }
+
+    fn uses_of(fc: &FnConc, lock: &str) -> Vec<String> {
+        fc.regions
+            .iter()
+            .filter(|r| r.lock == lock)
+            .flat_map(|r| r.uses.iter().map(|u| u.display.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let fc = conc("m.lock().push(1);\nch.recv();");
+        assert_eq!(uses_of(&fc, "demo/m"), vec![".push"], "recv is outside the temp region");
+    }
+
+    #[test]
+    fn let_bound_guard_lives_to_block_end() {
+        let fc = conc("let g = m.lock();\nch.recv();");
+        assert_eq!(uses_of(&fc, "demo/m"), vec![".recv"]);
+        assert_eq!(fc.regions[0].binding.as_deref(), Some("g"));
+    }
+
+    #[test]
+    fn inner_block_scopes_the_guard() {
+        let fc = conc("{\n    let g = m.lock();\n    g.push(1);\n}\nch.recv();");
+        assert_eq!(uses_of(&fc, "demo/m"), vec![".push"], "recv is outside the block");
+    }
+
+    #[test]
+    fn explicit_drop_ends_the_region() {
+        let fc = conc("let g = m.lock();\ng.push(1);\ndrop(g);\nch.recv();");
+        assert_eq!(uses_of(&fc, "demo/m"), vec![".push"]);
+    }
+
+    #[test]
+    fn let_underscore_is_a_temporary() {
+        let fc = conc("let _ = m.lock();\nch.recv();");
+        assert!(uses_of(&fc, "demo/m").is_empty(), "`let _` drops the guard immediately");
+    }
+
+    #[test]
+    fn wrapper_methods_are_peeled() {
+        let fc = conc("let g = m.lock().unwrap_or_else(|e| e.into_inner());\nch.recv();");
+        let uses = uses_of(&fc, "demo/m");
+        assert!(uses.contains(&".recv".to_string()), "{uses:?}");
+        assert_eq!(fc.regions[0].binding.as_deref(), Some("g"));
+    }
+
+    #[test]
+    fn shadowing_keeps_the_old_guard_live() {
+        let fc = conc("let g = a.lock();\nlet g = b.lock();\nch.recv();");
+        assert_eq!(uses_of(&fc, "demo/a"), vec![".recv"], "shadowed guard drops at scope end");
+        assert_eq!(uses_of(&fc, "demo/b"), vec![".recv"]);
+    }
+
+    #[test]
+    fn chained_acquisition_covers_the_chained_call() {
+        let fc = conc("let job = lock(&rx).recv();");
+        assert_eq!(uses_of(&fc, "demo/rx"), vec![".recv"]);
+    }
+
+    #[test]
+    fn nested_acquire_records_lock_order_edge() {
+        let fc = conc("let g = a.lock();\nlet h = b.write();\nh.touch();");
+        let a = fc.regions.iter().find(|r| r.lock == "demo/a").expect("region a");
+        assert_eq!(a.acquires, vec![("demo/b".to_string(), 3)]);
+        let b = fc.regions.iter().find(|r| r.lock == "demo/b").expect("region b");
+        assert!(b.acquires.is_empty());
+    }
+
+    #[test]
+    fn read_write_with_args_are_not_acquisitions() {
+        let fc = conc("file.read(&mut buf);\nfile.write(&buf);");
+        assert!(fc.regions.is_empty(), "io read/write take a buffer: {:?}", fc.regions);
+    }
+
+    #[test]
+    fn spawn_sites_and_discarded_handles() {
+        let fc = conc(
+            "let h = std::thread::spawn(|| work());\n\
+             let _ = std::thread::Builder::new().name(n).spawn(|| work());\n\
+             h.join();",
+        );
+        assert_eq!(fc.spawns.len(), 2);
+        assert!(!fc.spawns[0].discarded, "bound handle");
+        assert!(fc.spawns[1].discarded, "`let _` handle");
+    }
+
+    #[test]
+    fn calls_record_argument_counts() {
+        let fc = conc("ch.send(1);\nh.join();");
+        let send = fc.calls.iter().find(|c| c.display == ".send").expect("send");
+        assert_eq!(send.args, 1);
+        let join = fc.calls.iter().find(|c| c.display == ".join").expect("join");
+        assert_eq!(join.args, 0);
+    }
+}

@@ -24,6 +24,10 @@
 //!   conversion
 //! - **API001** — no dead `pub` items (never referenced from another
 //!   crate, a binary, a test or a bench)
+//! - **CONC001–CONC004** — concurrency safety: no guard held across a
+//!   (possibly transitive) blocking call, no lock-order cycles, no
+//!   non-`Send`-pattern state reachable from spawned threads, no
+//!   detached threads in library code
 //!
 //! Violations are suppressed per site with a documented
 //! `// repolint:allow(RULE) reason` comment, configured in
@@ -34,6 +38,7 @@ pub mod baseline;
 pub mod callgraph;
 pub mod config;
 pub mod diag;
+pub mod guards;
 pub mod rules;
 pub mod source;
 pub mod symbols;
@@ -122,10 +127,15 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Current per-`(rule, path)` counts (for `--update-baseline`).
     pub counts: BTreeMap<(String, String), usize>,
+    /// Pre-baseline finding totals per rule (the ratchet input: a later
+    /// run may not regress any rule above these).
+    pub rule_totals: BTreeMap<String, usize>,
     /// How many findings the baseline absorbed.
     pub baselined: usize,
     /// How many `.rs` files were linted.
     pub files: usize,
+    /// Analysis wall-time (load + parse + all passes), milliseconds.
+    pub analysis_ms: u128,
 }
 
 impl Report {
@@ -145,13 +155,21 @@ impl Report {
             .iter()
             .map(|(rule, n)| format!("\"{}\":{n}", diag::json_escape(rule)))
             .collect();
+        let totals: Vec<String> = self
+            .rule_totals
+            .iter()
+            .map(|(rule, n)| format!("\"{}\":{n}", diag::json_escape(rule)))
+            .collect();
         format!(
-            "{{\"diagnostics\":[{}],\"counts\":{{{}}},\"total\":{},\"baselined\":{},\"files\":{}}}",
+            "{{\"diagnostics\":[{}],\"counts\":{{{}}},\"rule_totals\":{{{}}},\"total\":{},\
+             \"baselined\":{},\"files\":{},\"analysis_ms\":{}}}",
             diags.join(","),
             counts.join(","),
+            totals.join(","),
             self.diagnostics.len(),
             self.baselined,
-            self.files
+            self.files,
+            self.analysis_ms
         )
     }
 }
@@ -175,15 +193,22 @@ pub fn lint_source(
 /// Walk the workspace under `root` and lint every `.rs` file outside the
 /// configured excludes, applying the baseline.
 pub fn check_workspace(root: &Path, cfg: &Config, base: &Baseline) -> Result<Report, String> {
+    // repolint:allow(DET002,DET004) analysis wall-time is reporting-only metadata
+    let started = std::time::Instant::now();
     let ws = Workspace::load(root, cfg)?;
-    Ok(apply_baseline(ws.files.len(), ws.lint(cfg), base))
+    let mut report = apply_baseline(ws.files.len(), ws.lint(cfg), base);
+    report.analysis_ms = started.elapsed().as_millis();
+    Ok(report)
 }
 
 /// Split linted diagnostics into baselined and reported halves.
 fn apply_baseline(files: usize, all: Vec<Diagnostic>, base: &Baseline) -> Report {
     let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    let mut rule_totals: BTreeMap<String, usize> =
+        config::RULES.iter().map(|r| ((*r).to_string(), 0)).collect();
     for d in &all {
         *counts.entry((d.rule.to_string(), d.path.clone())).or_default() += 1;
+        *rule_totals.entry(d.rule.to_string()).or_default() += 1;
     }
 
     // Baseline: the first `allowance` findings of each (rule, path) pair
@@ -202,7 +227,7 @@ fn apply_baseline(files: usize, all: Vec<Diagnostic>, base: &Baseline) -> Report
         }
     }
 
-    Report { diagnostics, counts, baselined, files }
+    Report { diagnostics, counts, rule_totals, baselined, files, analysis_ms: 0 }
 }
 
 fn rel_path(root: &Path, path: &Path) -> String {
@@ -292,17 +317,21 @@ pub(crate) mod engine_tests {
         let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
         let diagnostics = lint_str("crates/memsim/src/x.rs", "abft-memsim", src);
         let mut counts = BTreeMap::new();
+        let mut rule_totals = BTreeMap::new();
         for d in &diagnostics {
             *counts.entry((d.rule.to_string(), d.path.clone())).or_default() += 1;
+            *rule_totals.entry(d.rule.to_string()).or_default() += 1;
         }
-        let report = Report { diagnostics, counts, baselined: 0, files: 1 };
+        let report =
+            Report { diagnostics, counts, rule_totals, baselined: 0, files: 1, analysis_ms: 7 };
         assert_eq!(
             report.to_json(),
             "{\"diagnostics\":[{\"rule\":\"PANIC001\",\"severity\":\"error\",\
              \"path\":\"crates/memsim/src/x.rs\",\"line\":2,\"message\":\"`.unwrap()` in library \
              code can abort a whole campaign; return a typed error (or use assert! for a \
-             documented invariant)\"}],\"counts\":{\"PANIC001\":1},\"total\":1,\"baselined\":0,\
-             \"files\":1}"
+             documented invariant)\"}],\"counts\":{\"PANIC001\":1},\
+             \"rule_totals\":{\"PANIC001\":1},\"total\":1,\"baselined\":0,\
+             \"files\":1,\"analysis_ms\":7}"
         );
         assert!(report.failed());
     }
@@ -317,7 +346,14 @@ pub(crate) mod engine_tests {
         cfg.rules.get_mut("PANIC001").unwrap().severity = Severity::Warn;
         let diags = lint_source("crates/m/src/x.rs", "m", src, &cfg).unwrap();
         assert_eq!(diags.len(), 1);
-        let report = Report { diagnostics: diags, counts: BTreeMap::new(), baselined: 0, files: 1 };
+        let report = Report {
+            diagnostics: diags,
+            counts: BTreeMap::new(),
+            rule_totals: BTreeMap::new(),
+            baselined: 0,
+            files: 1,
+            analysis_ms: 0,
+        };
         assert!(!report.failed(), "warn severity must not fail the check");
     }
 

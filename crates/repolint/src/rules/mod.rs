@@ -5,11 +5,13 @@
 use crate::callgraph::CallGraph;
 use crate::config::Config;
 use crate::diag::{Diagnostic, Severity};
+use crate::guards::{self, FnConc};
 use crate::source::FileCtx;
 use crate::symbols::SymbolTable;
 use crate::Workspace;
 
 pub mod api001;
+pub mod conc;
 pub mod det001;
 pub mod det002;
 pub mod det003;
@@ -41,6 +43,9 @@ pub struct SemanticCtx<'a> {
     pub table: SymbolTable,
     /// Workspace call graph.
     pub graph: CallGraph,
+    /// Guard-liveness analysis per function, indexed like
+    /// [`SymbolTable::fns`].
+    pub conc: Vec<FnConc>,
 }
 
 type SemanticFn = fn(&SemanticCtx<'_>, &crate::config::RuleCfg, &mut Vec<Diagnostic>);
@@ -48,7 +53,14 @@ type SemanticFn = fn(&SemanticCtx<'_>, &crate::config::RuleCfg, &mut Vec<Diagnos
 /// Workspace-wide rules, run after the per-file passes. Crate scoping
 /// is interpreted *inside* each rule (for DET004 it scopes the sinks,
 /// not the roots), so only severity and suppressions are generic here.
-pub const SEMANTIC: &[(&str, SemanticFn)] = &[("DET004", det004::check), ("API001", api001::check)];
+pub const SEMANTIC: &[(&str, SemanticFn)] = &[
+    ("DET004", det004::check),
+    ("API001", api001::check),
+    ("CONC001", conc::check001),
+    ("CONC002", conc::check002),
+    ("CONC003", conc::check003),
+    ("CONC004", conc::check004),
+];
 
 /// Run every enabled rule over one file; suppressions are applied here.
 pub fn run_all(ctx: &FileCtx<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
@@ -82,7 +94,17 @@ pub fn run_semantic(ws: &Workspace, ctxs: &[FileCtx<'_>], cfg: &Config, out: &mu
     }
     let table = SymbolTable::build(ws);
     let graph = CallGraph::build(ws, &table);
-    let sem = SemanticCtx { ws, ctxs, table, graph };
+    let conc = table
+        .fns
+        .iter()
+        .map(|f| match f.body {
+            Some((lo, hi)) => {
+                guards::analyze_body(&f.crate_name, &ws.files[f.file].file.tokens, lo, hi)
+            }
+            None => FnConc::default(),
+        })
+        .collect();
+    let sem = SemanticCtx { ws, ctxs, table, graph, conc };
     for (code, check) in SEMANTIC {
         let rule_cfg = cfg.rule(code);
         if rule_cfg.severity == Severity::Allow {
@@ -115,4 +137,96 @@ pub(crate) fn diag(
 /// Constructor for semantic rules, which address files by path.
 pub(crate) fn diag_at(rule: &'static str, path: &str, line: usize, message: String) -> Diagnostic {
     Diagnostic { rule, severity: Severity::Error, path: path.to_string(), line, message }
+}
+
+/// Human-readable rationale and fix pattern per rule, for
+/// `repolint explain RULEID`.
+pub fn explain(code: &str) -> Option<&'static str> {
+    Some(match code {
+        "DET001" => {
+            "DET001 — nondeterministic RNG.\n\
+             Why: `thread_rng()`/`from_entropy()` seed from OS entropy, so two runs of the\n\
+             same campaign diverge and the parallel-equals-serial witness is void.\n\
+             Fix: thread an explicit `SmallRng::seed_from_u64(seed)` (or the workspace\n\
+             SplitMix stream) down from the campaign config."
+        }
+        "DET002" => {
+            "DET002 — wall-clock reads in simulation library code.\n\
+             Why: `Instant::now()`/`SystemTime::now()` make simulated results depend on\n\
+             host scheduling; timing belongs in binaries and reporting layers.\n\
+             Fix: model time in cycles inside the simulator; if a read is genuinely\n\
+             reporting-only, annotate it `// repolint:allow(DET002) reason`."
+        }
+        "DET003" => {
+            "DET003 — unordered hash iteration feeding ordered output.\n\
+             Why: `HashMap`/`HashSet` iteration order is randomized per process, so any\n\
+             aggregate built from it is run-dependent.\n\
+             Fix: use `BTreeMap`/`BTreeSet`, or collect and sort before aggregating."
+        }
+        "DET004" => {
+            "DET004 — entropy/wall-clock source reachable from a simulation entry point.\n\
+             Why: per-site checks (DET001/DET002) cannot see a source hidden behind three\n\
+             calls; the campaign's bit-identical guarantee needs the whole call tree clean.\n\
+             The diagnostic prints the offending call chain.\n\
+             Fix: break the chain — inject time/seed at the entry point and pass values down."
+        }
+        "PANIC001" => {
+            "PANIC001 — `unwrap`/`expect`/`panic!` in library crates.\n\
+             Why: one poisoned cell aborts a whole multi-hour campaign instead of failing\n\
+             that cell.\n\
+             Fix: return a typed error; use `assert!` only for documented invariants."
+        }
+        "FP001" => {
+            "FP001 — exact `f64` equality in checksum/verify code.\n\
+             Why: ABFT residual checks compare recomputed sums; `==` on floats makes the\n\
+             detector threshold-free and platform-dependent.\n\
+             Fix: compare against an explicit tolerance derived from the error model."
+        }
+        "UNIT001" => {
+            "UNIT001 — mixed units in arithmetic.\n\
+             Why: cycles + nanoseconds, or bytes + cache lines, silently corrupt derived\n\
+             statistics; the unit-taint pass tracks value provenance across calls.\n\
+             Fix: convert explicitly (named conversion fns) before mixing."
+        }
+        "API001" => {
+            "API001 — dead `pub` items.\n\
+             Why: an exported item no binary, test, bench or other crate references is\n\
+             untested surface area that still constrains refactoring.\n\
+             Fix: make it private, delete it, or reference it from a test."
+        }
+        "CONC001" => {
+            "CONC001 — Mutex/RwLock guard held across a blocking call.\n\
+             Why: blocking (channel send/recv, Condvar::wait, JoinHandle::join, file or\n\
+             socket I/O — possibly behind several calls) while holding a lock stalls every\n\
+             other thread needing that lock, and with channels in both directions it\n\
+             deadlocks. The diagnostic prints the call chain to the blocking sink.\n\
+             Fix: shrink the guard scope — copy what you need out of the guarded region in\n\
+             an inner block, drop the guard, then block. A receiver shared by design (a\n\
+             worker pool's `lock(&rx).recv()`) is annotated, with the reason, at the site."
+        }
+        "CONC002" => {
+            "CONC002 — lock-order cycle.\n\
+             Why: if one code path takes A then B and another takes B then A (directly or\n\
+             through callees), two threads can each hold one lock and wait forever on the\n\
+             other. A self-loop means re-acquiring a non-reentrant lock: instant deadlock.\n\
+             Fix: pick one global acquisition order and restructure the path that violates\n\
+             it; or merge the two locks if they always travel together."
+        }
+        "CONC003" => {
+            "CONC003 — non-Send-pattern state reachable from spawned code.\n\
+             Why: `static mut`, `Rc`, `RefCell`/`Cell`/`UnsafeCell` reached from a\n\
+             `thread::spawn` closure (or anything it calls) is a data race or an\n\
+             unsynchronized-aliasing bug waiting for the right interleaving.\n\
+             Fix: use `Arc` + `Mutex`/`RwLock`, atomics, or pass owned data into the\n\
+             closure."
+        }
+        "CONC004" => {
+            "CONC004 — detached thread (discarded JoinHandle) in library code.\n\
+             Why: `let _ = thread::spawn(..)` leaks a thread that outlives shutdown; it can\n\
+             race teardown, hold resources past drop, and hides panics.\n\
+             Fix: keep the handle and join it on the shutdown path; if detaching is the\n\
+             design (per-connection servers), annotate the site with the reason."
+        }
+        _ => return None,
+    })
 }
