@@ -6,7 +6,9 @@
 //! grid on both paths. Every filtered result is asserted bit-identical to
 //! its full-path counterpart before timing is reported. Writes
 //! `BENCH_sim.json` (consumed by `scripts/ci.sh` as the perf smoke gate)
-//! and prints a summary table.
+//! and prints a summary table. The committed report carries per-kernel
+//! `perf_floors` on the filtered-replay access rate; a run below a floor
+//! fails, so replay-path slowdowns are caught like lint regressions.
 
 use abft_bench::print_header;
 use abft_coop_core::report::TextTable;
@@ -116,6 +118,26 @@ fn disk_grid(dir: &std::path::Path, expect_warm: bool) -> f64 {
         assert_eq!(run.metrics.store_misses, 0, "warm disk must hit every artifact");
     }
     secs
+}
+
+/// Pull the `"perf_floors":{"KERNEL":N,..}` object out of the committed
+/// `BENCH_sim.json` with plain string ops (the workspace vendors no JSON
+/// parser). Reports from before the floors existed yield an empty map.
+fn parse_floors(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let Some(start) = text.find("\"perf_floors\":") else { return out };
+    let body = &text[start + "\"perf_floors\":".len()..];
+    let Some(open) = body.find('{') else { return out };
+    let body = &body[open + 1..];
+    let Some(end) = body.find('}') else { return out };
+    for pair in body[..end].split(',') {
+        let Some((k, v)) = pair.split_once(':') else { continue };
+        let k = k.trim().trim_matches('"');
+        if let Ok(n) = v.trim().parse::<f64>() {
+            out.push((k.to_string(), n));
+        }
+    }
+    out
 }
 
 fn rel_err(sampled: f64, exact: f64) -> f64 {
@@ -290,6 +312,37 @@ fn main() {
         std::process::exit(1);
     }
 
+    // Per-kernel throughput floors: seeded at ~0.9x the measured rate the
+    // first time they are written, then preserved verbatim, so every later
+    // run gates its filtered-replay Macc/s against the committed floor —
+    // the performance counterpart of REPOLINT.json's rule_totals ratchet.
+    // A regression (e.g. re-virtualizing the default replay path) fails
+    // the bench instead of silently shipping slower numbers.
+    let prior = std::fs::read_to_string("BENCH_sim.json").unwrap_or_default();
+    let mut floors = parse_floors(&prior);
+    if floors.is_empty() {
+        floors =
+            rows.iter().map(|r| (r.kernel.to_string(), (r.filtered_aps() * 0.9).round())).collect();
+        println!("seeding perf floors at 0.9x measured filtered-replay rates");
+    }
+    let mut floor_fail = false;
+    for r in &rows {
+        if let Some((_, floor)) = floors.iter().find(|(k, _)| k == r.kernel) {
+            if r.filtered_aps() < *floor {
+                eprintln!(
+                    "bench_sim: {} filtered replay {:.1} Macc/s below the {:.1} Macc/s floor",
+                    r.kernel,
+                    r.filtered_aps() / 1e6,
+                    floor / 1e6,
+                );
+                floor_fail = true;
+            }
+        }
+    }
+    if floor_fail {
+        std::process::exit(1);
+    }
+
     let mut json = String::from("{\n  \"kernels\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
@@ -309,9 +362,11 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" },
         );
     }
+    let floors_json: Vec<String> = floors.iter().map(|(k, f)| format!("\"{k}\": {f:.0}")).collect();
+    let _ = writeln!(json, "  ],\n  \"perf_floors\": {{{}}},", floors_json.join(", "));
     let _ = write!(
         json,
-        "  ],\n  \"fig07_grid\": {{\"jobs\": 24, \"full_secs\": {full_grid_secs:.4}, \
+        "  \"fig07_grid\": {{\"jobs\": 24, \"full_secs\": {full_grid_secs:.4}, \
          \"filtered_cold_secs\": {filtered_grid_secs:.4}, \
          \"filtered_warm_secs\": {warm_grid_secs:.4}, \"speedup\": {grid_speedup:.2}}},\n  \
          \"artifact_store\": {{\"cold_disk_secs\": {cold_disk_secs:.4}, \

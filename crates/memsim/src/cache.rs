@@ -117,7 +117,7 @@ impl Cache {
 
     /// Invalidate everything (keeps statistics).
     pub fn flush(&mut self) -> Vec<u64> {
-        let mut dirty_lines = Vec::new();
+        let mut dirty_lines = Vec::new(); // repolint:allow(PERF001) one writeback list per flush, not per access
         for i in 0..self.tags.len() {
             if self.tags[i] != u64::MAX && self.dirty[i] {
                 dirty_lines.push(self.tags[i] << self.line_shift);

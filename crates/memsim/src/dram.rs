@@ -130,8 +130,10 @@ pub struct ServiceResult {
     pub row: RowOutcome,
 }
 
-/// Aggregated DRAM statistics and energy.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// Aggregated DRAM statistics and energy. Plain numbers throughout, and
+/// `Copy` on purpose: the sampled replay snapshots it once per phase,
+/// which must not cost an allocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DramStats {
     /// Read accesses serviced.
     pub reads: u64,
@@ -430,18 +432,21 @@ impl Dram {
         mw * elapsed_ns / 1000.0
     }
 
-    /// Crate-internal: copy of the per-rank busy-time track. The sampled
-    /// replay ([`crate::system::Machine::simulate`]) snapshots it around
-    /// each phase so busy time can be weight-scaled exactly like the
-    /// [`DramStats`] deltas — [`Dram::standby_nj`] divides it by the
-    /// *scaled* wall time, so leaving it unscaled would park mostly-idle
-    /// ranks in power-down and bias the standby account low.
-    pub(crate) fn rank_busy_snapshot(&self) -> Vec<f64> {
-        self.rank_busy_ns.clone()
+    /// Crate-internal: the per-rank busy-time track, borrowed. The
+    /// sampled replay ([`crate::system::Machine::simulate`]) snapshots
+    /// it around each phase so busy time can be weight-scaled exactly
+    /// like the [`DramStats`] deltas — [`Dram::standby_nj`] divides it
+    /// by the *scaled* wall time, so leaving it unscaled would park
+    /// mostly-idle ranks in power-down and bias the standby account
+    /// low. Callers that need a copy take one into a reused buffer; the
+    /// accessor itself must not allocate (it used to clone, once per
+    /// replayed phase).
+    pub(crate) fn rank_busy(&self) -> &[f64] {
+        &self.rank_busy_ns
     }
 
     /// Crate-internal: replace the per-rank busy-time track with a scaled
-    /// reconstruction (see [`Dram::rank_busy_snapshot`]).
+    /// reconstruction (see [`Dram::rank_busy`]).
     pub(crate) fn set_rank_busy(&mut self, busy: Vec<f64>) {
         assert_eq!(busy.len(), self.rank_busy_ns.len());
         self.rank_busy_ns = busy;

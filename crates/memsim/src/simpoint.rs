@@ -199,11 +199,12 @@ impl SimPointSelection {
         let strata = config.strata.max(1);
         let mut rep_of: Vec<usize> = vec![0; slices];
         let mut reps: Vec<(usize, u64)> = Vec::new(); // (rep slice, segment events)
+        let mut mean = vec![0f64; dim];
         for m in members.iter().filter(|m| !m.is_empty()) {
             let parts = strata.min(m.len());
             for t in 0..parts {
                 let seg = &m[m.len() * t / parts..m.len() * (t + 1) / parts];
-                let mean = mean_of(&normalized, seg, dim);
+                mean_into(&normalized, seg, dim, &mut mean);
                 let rep = *seg
                     .iter()
                     .min_by(|&&a, &&b| {
@@ -560,17 +561,19 @@ fn dist2(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
-fn mean_of(fp: &[f64], members: &[usize], dim: usize) -> Vec<f64> {
-    let mut mean = vec![0f64; dim];
+/// Mean of the member rows, written into the caller's reused `mean`
+/// buffer (this runs once per stratum per cluster — it must not
+/// allocate).
+fn mean_into(fp: &[f64], members: &[usize], dim: usize, mean: &mut [f64]) {
+    mean.fill(0.0);
     for &s in members {
         for d in 0..dim {
             mean[d] += fp[s * dim + d];
         }
     }
-    for v in &mut mean {
+    for v in mean {
         *v /= members.len() as f64;
     }
-    mean
 }
 
 /// The splitmix64 step: a tiny, seeded, portable PRNG — deterministic by
@@ -632,6 +635,10 @@ fn kmeans(
     }
 
     let mut assignments = vec![0u32; slices];
+    // Update-step accumulators, hoisted: the Lloyd iterations zero and
+    // refill them rather than reallocating per round.
+    let mut counts = vec![0u64; k];
+    let mut sums = vec![0f64; k * dim];
     for _ in 0..iterations.max(1) {
         // Assignment step (ties to the lowest cluster index).
         let mut changed = false;
@@ -651,8 +658,8 @@ fn kmeans(
             }
         }
         // Update step.
-        let mut counts = vec![0u64; k];
-        let mut sums = vec![0f64; k * dim];
+        counts.fill(0);
+        sums.fill(0.0);
         for s in 0..slices {
             let c = assignments[s] as usize;
             counts[c] += 1;

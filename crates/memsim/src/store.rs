@@ -349,7 +349,7 @@ fn get_words(cur: &mut &[u8], stride: usize) -> Result<Vec<u64>, StoreError> {
 }
 
 fn encode_trace(t: &PackedTrace) -> Vec<u8> {
-    let mut buf = Vec::new();
+    let mut buf = Vec::new(); // repolint:allow(PERF001) one buffer per artifact encode
     put_regions(&mut buf, t.regions());
     put_varint(&mut buf, t.len());
     put_varint(&mut buf, t.instructions());
@@ -628,7 +628,7 @@ impl ArtifactStore {
 
     /// On-disk path of a packed-trace artifact.
     pub fn trace_path(&self, params: KernelParams) -> PathBuf {
-        self.root.join(format!("{:032x}.trace", trace_key(params)))
+        self.root.join(format!("{:032x}.trace", trace_key(params))) // repolint:allow(PERF001) one path string per store lookup
     }
 
     /// On-disk path of a miss-stream artifact.
@@ -709,7 +709,7 @@ impl ArtifactStore {
         key: u128,
         payload: Vec<u8>,
     ) -> Result<(), StoreError> {
-        let mut blob = Vec::with_capacity(HEADER_BYTES + payload.len() + FOOTER_BYTES);
+        let mut blob = Vec::with_capacity(HEADER_BYTES + payload.len() + FOOTER_BYTES); // repolint:allow(PERF001) one blob per artifact write
         blob.extend_from_slice(BLOB_MAGIC);
         blob.extend_from_slice(&kind.to_le_bytes());
         blob.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -721,7 +721,7 @@ impl ArtifactStore {
         // Temp file + rename: a crash mid-write never leaves a partial
         // blob under an addressable name, and the rename is atomic on
         // the same filesystem.
-        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        let tmp = path.with_extension(format!("tmp{}", std::process::id())); // repolint:allow(PERF001) one temp-file name per artifact write
         std::fs::write(&tmp, &blob)?;
         if let Err(e) = std::fs::rename(&tmp, path) {
             let _ = std::fs::remove_file(&tmp);

@@ -318,9 +318,8 @@ impl Machine {
     /// Run one simulation request — the single entry point every input
     /// form (trace, stream, miss stream, sampled miss stream) and every
     /// protection mode (programmed assignment or custom [`RowPolicy`])
-    /// funnels through. Replaces the former `run_*` family; each
-    /// deprecated wrapper is a thin delegation, so `simulate` is
-    /// bit-identical to the entry point it superseded.
+    /// funnels through; the former `run_*` wrappers delegated here until
+    /// their removal.
     ///
     /// Sources are consumed in bounded-memory chunks ([`DEFAULT_CHUNK`]
     /// accesses at a time), so the peak footprint is independent of the
@@ -328,26 +327,43 @@ impl Machine {
     /// identically (the runtime crate provides real paging when needed —
     /// for timing/energy the identity map is exact because regions are
     /// page aligned and disjoint).
+    ///
+    /// The `dyn RowPolicy` boundary stops here: the drive loops below
+    /// are generic over the policy, so the default (range-register
+    /// lookup) policy monomorphizes straight into the per-event replay
+    /// loop instead of paying an indirect call per DRAM request. A
+    /// custom policy keeps exactly one `dyn` layer — the one the caller
+    /// handed in.
     pub fn simulate(&mut self, req: SimRequest<'_>) -> SimStats {
         let SimRequest { input, assign, policy, ecc_chips_powered } = req;
         let powered = ecc_chips_powered.unwrap_or_else(|| assign.any_ecc());
-        if policy.is_none() {
-            let regions = match &input {
-                SimInput::Trace(t) => &t.regions,
-                SimInput::Source(s) => s.regions(),
-                SimInput::MissStream(ms) => ms.regions(),
-                SimInput::SampledMissStream { stream, .. } => stream.regions(),
-            };
-            let regions = regions.clone();
-            self.program_ecc(&regions, &assign);
+        match policy {
+            Some(p) => self.dispatch(input, powered, p),
+            None => {
+                let regions = match &input {
+                    SimInput::Trace(t) => &t.regions,
+                    SimInput::Source(s) => s.regions(),
+                    SimInput::MissStream(ms) => ms.regions(),
+                    SimInput::SampledMissStream { stream, .. } => stream.regions(),
+                };
+                let regions = regions.clone();
+                self.program_ecc(&regions, &assign);
+                let mut fallback = |_: &Access, mc: &MemoryController, paddr: u64| {
+                    AccessKind::Scheme(mc.scheme_for(paddr))
+                };
+                self.dispatch(input, powered, &mut fallback)
+            }
         }
-        let mut fallback = |_: &Access, mc: &MemoryController, paddr: u64| {
-            AccessKind::Scheme(mc.scheme_for(paddr))
-        };
-        let policy: &mut dyn RowPolicy = match policy {
-            Some(p) => p,
-            None => &mut fallback,
-        };
+    }
+
+    /// Route one input form to its drive loop, monomorphized per policy
+    /// type (see [`Machine::simulate`] on why this is generic).
+    fn dispatch<P: RowPolicy + ?Sized>(
+        &mut self,
+        input: SimInput<'_>,
+        powered: bool,
+        policy: &mut P,
+    ) -> SimStats {
         match input {
             SimInput::Trace(t) => self.drive_source(&mut t.replay(), powered, policy),
             SimInput::Source(s) => self.drive_source(s, powered, policy),
@@ -358,60 +374,14 @@ impl Machine {
         }
     }
 
-    /// Run a materialized trace to completion (bit-identical to
-    /// streaming the same sequence).
-    #[deprecated(note = "build a SimRequest::trace and call Machine::simulate")]
-    pub fn run_trace(&mut self, trace: &Trace, assign: &EccAssignment) -> SimStats {
-        self.simulate(SimRequest::trace(trace, assign.clone()))
-    }
-
-    /// Run a materialized trace with a custom protection policy.
-    #[deprecated(note = "SimRequest::trace(..).with_policy(..) + Machine::simulate")]
-    pub fn run_trace_with_policy<P>(
-        &mut self,
-        trace: &Trace,
-        ecc_chips_powered: bool,
-        mut policy: P,
-    ) -> SimStats
-    where
-        P: FnMut(&Access, &MemoryController, u64) -> AccessKind,
-    {
-        self.drive_source(&mut trace.replay(), ecc_chips_powered, &mut policy)
-    }
-
-    /// Run an access stream to completion and report statistics.
-    #[deprecated(note = "build a SimRequest::source and call Machine::simulate")]
-    pub fn run_source<S: AccessSource + ?Sized>(
-        &mut self,
-        mut src: &mut S,
-        assign: &EccAssignment,
-    ) -> SimStats {
-        self.simulate(SimRequest::source(&mut src, assign.clone()))
-    }
-
-    /// Run an access stream with a custom per-request protection policy.
-    #[deprecated(note = "SimRequest::source(..).with_policy(..) + Machine::simulate")]
-    pub fn run_source_with_policy<S, P>(
-        &mut self,
-        src: &mut S,
-        ecc_chips_powered: bool,
-        mut policy: P,
-    ) -> SimStats
-    where
-        S: AccessSource + ?Sized,
-        P: FnMut(&Access, &MemoryController, u64) -> AccessKind,
-    {
-        self.drive_source(src, ecc_chips_powered, &mut policy)
-    }
-
     /// The full-hierarchy engine: streams `src` through L1/L2/MC/DRAM
     /// under `policy`. The source is rewound before the run, so a freshly
     /// created or an already-drained stream behave identically.
-    fn drive_source<S: AccessSource + ?Sized>(
+    fn drive_source<S: AccessSource + ?Sized, P: RowPolicy + ?Sized>(
         &mut self,
         src: &mut S,
         ecc_chips_powered: bool,
-        policy: &mut dyn RowPolicy,
+        policy: &mut P,
     ) -> SimStats {
         src.reset();
         self.l1 = Cache::new(self.cfg.l1);
@@ -424,7 +394,7 @@ impl Machine {
             .regions()
             .iter()
             .map(|r| RegionStats {
-                name: r.name.clone(),
+                name: r.name.clone(), // repolint:allow(PERF002) once per region per replay, not per access
                 abft_protected: r.abft_protected,
                 abft_detectable: r.abft_detectable,
                 ..Default::default()
@@ -528,27 +498,6 @@ impl Machine {
         })
     }
 
-    /// Replay a cache-filtered miss stream under an ECC assignment.
-    #[deprecated(note = "build a SimRequest::miss_stream and call Machine::simulate")]
-    pub fn run_miss_stream(&mut self, ms: &MissStream, assign: &EccAssignment) -> SimStats {
-        self.simulate(SimRequest::miss_stream(ms, assign.clone()))
-    }
-
-    /// Replay a cache-filtered miss stream with a custom per-request
-    /// protection policy.
-    #[deprecated(note = "SimRequest::miss_stream(..).with_policy(..) + Machine::simulate")]
-    pub fn run_miss_stream_with_policy<P>(
-        &mut self,
-        ms: &MissStream,
-        ecc_chips_powered: bool,
-        mut policy: P,
-    ) -> SimStats
-    where
-        P: FnMut(&Access, &MemoryController, u64) -> AccessKind,
-    {
-        self.drive_miss(ms, ecc_chips_powered, &mut policy)
-    }
-
     /// Panic unless `ms` was filtered under this machine's geometry (the
     /// replay contract: the stream is keyed on cache configuration).
     fn assert_geometry(&self, ms: &MissStream) {
@@ -578,11 +527,11 @@ impl Machine {
     /// recorded pure core cycles plus the DRAM stalls accumulated during
     /// replay — the exact decomposition the full path computes, so the
     /// returned [`SimStats`] is bit-identical.
-    fn drive_miss(
+    fn drive_miss<P: RowPolicy + ?Sized>(
         &mut self,
         ms: &MissStream,
         ecc_chips_powered: bool,
-        policy: &mut dyn RowPolicy,
+        policy: &mut P,
     ) -> SimStats {
         self.assert_geometry(ms);
         self.dram.reset();
@@ -628,12 +577,12 @@ impl Machine {
     /// `max_phases >= slices` every slice is its own phase at scale 1 and
     /// the estimate coincides with exact replay (modulo the f64
     /// delta-summation of the energy account).
-    fn drive_sampled(
+    fn drive_sampled<P: RowPolicy + ?Sized>(
         &mut self,
         ms: &MissStream,
         sel: &SimPointSelection,
         ecc_chips_powered: bool,
-        policy: &mut dyn RowPolicy,
+        policy: &mut P,
     ) -> SimStats {
         self.assert_geometry(ms);
         assert!(
@@ -648,10 +597,14 @@ impl Machine {
         let stall_factor = self.cfg.stall_factor;
         let mut stall_acc: u64 = 0;
         let mut est = ScaledDram::default();
-        let mut busy_est = vec![0.0f64; self.dram.rank_busy_snapshot().len()];
+        let ranks = self.dram.rank_busy().len();
+        let mut busy_est = vec![0.0f64; ranks];
+        // Reused per-phase snapshot buffer: the phase loop must not
+        // allocate (PERF001) — only `copy_from_slice` into this.
+        let mut busy_before = vec![0.0f64; ranks];
         for ph in sel.phases() {
-            let before = self.dram.stats.clone();
-            let busy_before = self.dram.rank_busy_snapshot();
+            let before = self.dram.stats;
+            busy_before.copy_from_slice(self.dram.rank_busy());
             let stalls_before = stall_acc;
             for ev in ms.events_from(ph.cursor()).take(ph.events() as usize) {
                 replay_one(
@@ -669,7 +622,7 @@ impl Machine {
             // against the *scaled* wall time, so it must be scaled like
             // every other per-phase delta.
             for (acc, (a, b)) in
-                busy_est.iter_mut().zip(self.dram.rank_busy_snapshot().iter().zip(&busy_before))
+                busy_est.iter_mut().zip(self.dram.rank_busy().iter().zip(&busy_before))
             {
                 *acc += (a - b) * ph.scale();
             }
@@ -754,14 +707,14 @@ impl Machine {
 /// loop of the exact and the sampled filtered-replay engines, so the two
 /// paths cannot drift.
 #[inline]
-fn replay_one(
+fn replay_one<P: RowPolicy + ?Sized>(
     dram: &mut Dram,
     mc: &MemoryController,
     ev: &MissEvent,
     stall_acc: &mut u64,
     cycle_ns: f64,
     stall_factor: f64,
-    policy: &mut dyn RowPolicy,
+    policy: &mut P,
 ) {
     let cycles_now = ev.core_cycles + *stall_acc;
     let now = cycles_now as f64 * cycle_ns;
@@ -791,7 +744,7 @@ fn tally_regions(ms: &MissStream) -> Vec<RegionStats> {
         .iter()
         .zip(&ms.tallies)
         .map(|(r, t)| RegionStats {
-            name: r.name.clone(),
+            name: r.name.clone(), // repolint:allow(PERF002) once per region per replay, not per access
             abft_protected: r.abft_protected,
             abft_detectable: r.abft_detectable,
             refs: t.refs,
@@ -908,8 +861,8 @@ mod tests {
 
     #[test]
     fn custom_policy_reproduces_uniform_assignment() {
-        // A policy that always answers chipkill is `run_trace` with the
-        // uniform chipkill assignment: same timing, energy and traffic.
+        // A policy that always answers chipkill is the default path with
+        // the uniform chipkill assignment: same timing, energy, traffic.
         let t = linear_trace(4 * 1024 * 1024, 2, 4, true);
         let mut m1 = Machine::new(SystemConfig::default());
         let uniform =

@@ -799,7 +799,7 @@ impl KernelParams {
     /// [`crate::trace_cache::TraceCache`] memoizes.
     pub fn build_packed(self) -> PackedTrace {
         let layout = KernelLayout::new(self);
-        let mut b = PackedBuilder::new(layout.regions().clone());
+        let mut b = PackedBuilder::new(layout.regions().clone()); // repolint:allow(PERF002) one region-table copy per trace build
         for step in 0..self.steps() {
             emit_kernel_step(&self, &layout, step, &mut b);
         }

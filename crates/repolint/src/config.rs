@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 /// All rule codes the engine knows about.
 pub const RULES: &[&str] = &[
     "DET001", "DET002", "DET003", "DET004", "PANIC001", "FP001", "UNIT001", "API001", "CONC001",
-    "CONC002", "CONC003", "CONC004",
+    "CONC002", "CONC003", "CONC004", "PERF001", "PERF002", "PERF003", "PERF004",
 ];
 
 /// Per-rule configuration.
@@ -26,8 +26,10 @@ pub struct RuleCfg {
     pub path_contains: Vec<String>,
     /// FP001: function-name substrings that put a function in scope.
     pub fn_contains: Vec<String>,
-    /// DET004: reachability roots, as `Type::method` or bare function
-    /// names; binary `main`s are always added.
+    /// DET004 / PERF00x: reachability roots, as `Type::method` or bare
+    /// function names. DET004 always adds binary `main`s on top; the
+    /// PERF rules deliberately do not (binaries print and allocate as
+    /// their job — only the replay entry points define hotness).
     pub entry_points: Vec<String>,
 }
 
@@ -47,12 +49,12 @@ impl RuleCfg {
             } else {
                 Vec::new()
             },
-            entry_points: if code == "DET004" {
+            entry_points: if code == "DET004" || code.starts_with("PERF") {
                 vec![
                     "Campaign::run".to_string(),
                     "Machine::simulate".to_string(),
-                    "Machine::run_source".to_string(),
-                    "Machine::run_miss_stream".to_string(),
+                    "MissStream::build".to_string(),
+                    "MissStream::events_from".to_string(),
                 ]
             } else {
                 Vec::new()

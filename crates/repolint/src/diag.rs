@@ -34,6 +34,21 @@ impl Severity {
     }
 }
 
+/// A secondary location attached to a finding — one hop of a
+/// reconstructed call chain. The human and JSON renderings inline the
+/// chain into the message; the SARIF rendering emits these as
+/// `relatedLocations` so viewers can step through the chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Related {
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// What this location contributes (e.g. "calls `replay_one` inside
+    /// a loop (x1)").
+    pub message: String,
+}
+
 /// One finding at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -47,6 +62,9 @@ pub struct Diagnostic {
     pub line: usize,
     /// Human-readable description of the violation.
     pub message: String,
+    /// Call-chain hops behind the finding, root first (empty for
+    /// per-site rules).
+    pub related: Vec<Related>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -125,6 +143,7 @@ mod tests {
             path: "crates/x/src/a \"b\".rs".to_string(),
             line: 3,
             message: "call to `expect(\"msg\")` in library code".to_string(),
+            related: Vec::new(),
         };
         assert_eq!(
             d.to_json(),

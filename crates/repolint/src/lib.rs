@@ -39,6 +39,7 @@ pub mod callgraph;
 pub mod config;
 pub mod diag;
 pub mod guards;
+pub mod hotness;
 pub mod rules;
 pub mod source;
 pub mod symbols;
@@ -172,6 +173,78 @@ impl Report {
             self.analysis_ms
         )
     }
+
+    /// Render the findings as a SARIF 2.1.0 log: one run, every known
+    /// rule declared in the driver (short description = first line of
+    /// its `explain` text), and call-chain hops emitted as
+    /// `relatedLocations` so SARIF viewers can step through the chain
+    /// that the text rendering inlines into the message.
+    pub fn to_sarif(&self) -> String {
+        let rules: Vec<String> = config::RULES
+            .iter()
+            .map(|code| {
+                let short =
+                    rules::explain(code).and_then(|t| t.lines().next()).unwrap_or(code).trim();
+                format!(
+                    "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+                    diag::json_escape(code),
+                    diag::json_escape(short)
+                )
+            })
+            .collect();
+        let results: Vec<String> = self.diagnostics.iter().map(sarif_result).collect();
+        format!(
+            "{{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+             \"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\"name\":\"repolint\",\
+             \"rules\":[{}]}}}},\"results\":[{}]}}]}}",
+            rules.join(","),
+            results.join(",")
+        )
+    }
+}
+
+/// The `physicalLocation` member shared by `locations` and
+/// `relatedLocations` entries.
+fn sarif_phys(path: &str, line: usize) -> String {
+    format!(
+        "\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+         \"region\":{{\"startLine\":{}}}}}",
+        diag::json_escape(path),
+        line
+    )
+}
+
+/// One SARIF `result` object for a diagnostic.
+fn sarif_result(d: &Diagnostic) -> String {
+    // SARIF has no "allow" level and repolint never reports allowed
+    // findings, so only error/warn reach this point.
+    let level = match d.severity {
+        Severity::Error => "error",
+        _ => "warning",
+    };
+    let mut out = format!(
+        "{{\"ruleId\":\"{}\",\"level\":\"{level}\",\"message\":{{\"text\":\"{}\"}},\
+         \"locations\":[{{{}}}]",
+        d.rule,
+        diag::json_escape(&d.message),
+        sarif_phys(&d.path, d.line)
+    );
+    if !d.related.is_empty() {
+        let rel: Vec<String> = d
+            .related
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{{},\"message\":{{\"text\":\"{}\"}}}}",
+                    sarif_phys(&r.path, r.line),
+                    diag::json_escape(&r.message)
+                )
+            })
+            .collect();
+        out.push_str(&format!(",\"relatedLocations\":[{}]", rel.join(",")));
+    }
+    out.push('}');
+    out
 }
 
 /// Lint one file's source text. This is the engine's core entry point;
@@ -334,6 +407,76 @@ pub(crate) mod engine_tests {
              \"files\":1,\"analysis_ms\":7}"
         );
         assert!(report.failed());
+    }
+
+    #[test]
+    fn sarif_snapshot_with_related_locations() {
+        // Hand-built report: one chained finding (relatedLocations) and
+        // one plain warning, so the snapshot pins every branch of the
+        // SARIF rendering.
+        let diagnostics = vec![
+            Diagnostic {
+                rule: "PERF001",
+                severity: Severity::Error,
+                path: "crates/memsim/src/x.rs".to_string(),
+                line: 9,
+                message: "heap allocation `Vec::new` on the hot replay path".to_string(),
+                related: vec![diag::Related {
+                    path: "crates/memsim/src/system.rs".to_string(),
+                    line: 4,
+                    message: "calls `x::f` inside a loop (x2)".to_string(),
+                }],
+            },
+            Diagnostic {
+                rule: "DET002",
+                severity: Severity::Warn,
+                path: "crates/memsim/src/y.rs".to_string(),
+                line: 2,
+                message: "wall-clock read".to_string(),
+                related: Vec::new(),
+            },
+        ];
+        let report = Report {
+            diagnostics,
+            counts: BTreeMap::new(),
+            rule_totals: BTreeMap::new(),
+            baselined: 0,
+            files: 2,
+            analysis_ms: 0,
+        };
+        let sarif = report.to_sarif();
+
+        // Envelope.
+        assert!(sarif.starts_with(
+            "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+             \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"repolint\",\
+             \"rules\":["
+        ));
+        // The driver declares every known rule exactly once, with the
+        // first line of its explain text as the short description.
+        for code in config::RULES {
+            assert_eq!(
+                sarif.matches(&format!("{{\"id\":\"{code}\",\"shortDescription\"")).count(),
+                1,
+                "driver must declare {code} once"
+            );
+        }
+        // Result rendering, chained and plain.
+        assert!(sarif.contains(
+            "{\"ruleId\":\"PERF001\",\"level\":\"error\",\
+             \"message\":{\"text\":\"heap allocation `Vec::new` on the hot replay path\"},\
+             \"locations\":[{\"physicalLocation\":{\"artifactLocation\":\
+             {\"uri\":\"crates/memsim/src/x.rs\"},\"region\":{\"startLine\":9}}}],\
+             \"relatedLocations\":[{\"physicalLocation\":{\"artifactLocation\":\
+             {\"uri\":\"crates/memsim/src/system.rs\"},\"region\":{\"startLine\":4}},\
+             \"message\":{\"text\":\"calls `x::f` inside a loop (x2)\"}}]}"
+        ));
+        assert!(sarif.ends_with(
+            "{\"ruleId\":\"DET002\",\"level\":\"warning\",\
+             \"message\":{\"text\":\"wall-clock read\"},\
+             \"locations\":[{\"physicalLocation\":{\"artifactLocation\":\
+             {\"uri\":\"crates/memsim/src/y.rs\"},\"region\":{\"startLine\":2}}}]}]}]}"
+        ));
     }
 
     #[test]

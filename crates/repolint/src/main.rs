@@ -8,13 +8,14 @@ use repolint::{check_workspace, rules, Report};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: repolint check [--json] [--update-baseline] [--rules PREFIX[,..]] \
-                     [--ratchet FILE] [--explain RULEID] \
+const USAGE: &str = "usage: repolint check [--json] [--sarif] [--update-baseline] \
+                     [--rules PREFIX[,..]] [--ratchet FILE] [--explain RULEID] \
                      [--root DIR] [--config FILE] [--baseline FILE]\n\
                      \x20      repolint explain RULEID";
 
 struct Args {
     json: bool,
+    sarif: bool,
     update_baseline: bool,
     root: PathBuf,
     config: Option<PathBuf>,
@@ -42,6 +43,7 @@ fn parse_args() -> Result<Mode, String> {
     }
     let mut args = Args {
         json: false,
+        sarif: false,
         update_baseline: false,
         root: PathBuf::from("."),
         config: None,
@@ -55,6 +57,7 @@ fn parse_args() -> Result<Mode, String> {
             // user-supplied `--` separator arrives as a literal argument.
             "--" => {}
             "--json" => args.json = true,
+            "--sarif" => args.sarif = true,
             "--update-baseline" => args.update_baseline = true,
             "--root" => args.root = next_value(&mut argv, "--root")?.into(),
             "--config" => args.config = Some(next_value(&mut argv, "--config")?.into()),
@@ -163,7 +166,9 @@ fn run() -> Result<ExitCode, String> {
         }
     }
 
-    if args.json {
+    if args.sarif {
+        println!("{}", report.to_sarif());
+    } else if args.json {
         println!("{}", report.to_json());
     } else {
         print_human(&report);

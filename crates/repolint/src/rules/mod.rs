@@ -6,6 +6,7 @@ use crate::callgraph::CallGraph;
 use crate::config::Config;
 use crate::diag::{Diagnostic, Severity};
 use crate::guards::{self, FnConc};
+use crate::hotness::Hotness;
 use crate::source::FileCtx;
 use crate::symbols::SymbolTable;
 use crate::Workspace;
@@ -18,6 +19,7 @@ pub mod det003;
 pub mod det004;
 pub mod fp001;
 pub mod panic001;
+pub mod perf;
 pub mod unit001;
 
 type RuleFn = fn(&FileCtx<'_>, &crate::config::RuleCfg, &mut Vec<Diagnostic>);
@@ -46,6 +48,9 @@ pub struct SemanticCtx<'a> {
     /// Guard-liveness analysis per function, indexed like
     /// [`SymbolTable::fns`].
     pub conc: Vec<FnConc>,
+    /// Loop-aware hot-set analysis from the PERF entry points
+    /// (empty when every PERF rule is disabled).
+    pub hot: Hotness,
 }
 
 type SemanticFn = fn(&SemanticCtx<'_>, &crate::config::RuleCfg, &mut Vec<Diagnostic>);
@@ -60,6 +65,10 @@ pub const SEMANTIC: &[(&str, SemanticFn)] = &[
     ("CONC002", conc::check002),
     ("CONC003", conc::check003),
     ("CONC004", conc::check004),
+    ("PERF001", perf::check001),
+    ("PERF002", perf::check002),
+    ("PERF003", perf::check003),
+    ("PERF004", perf::check004),
 ];
 
 /// Run every enabled rule over one file; suppressions are applied here.
@@ -104,7 +113,30 @@ pub fn run_semantic(ws: &Workspace, ctxs: &[FileCtx<'_>], cfg: &Config, out: &mu
             None => FnConc::default(),
         })
         .collect();
-    let sem = SemanticCtx { ws, ctxs, table, graph, conc };
+    // The hot set is shared by the PERF family; its roots are the union
+    // of every PERF rule's configured entry points (`Type::method` or
+    // bare names — binary `main`s are deliberately *not* roots: a
+    // binary's own loops are its business).
+    let perf_enabled = SEMANTIC
+        .iter()
+        .any(|(c, _)| c.starts_with("PERF") && cfg.rule(c).severity != Severity::Allow);
+    let hot = if perf_enabled {
+        let mut eps: Vec<&String> = Vec::new();
+        for (code, _) in SEMANTIC.iter().filter(|(c, _)| c.starts_with("PERF")) {
+            eps.extend(cfg.rule(code).entry_points.iter());
+        }
+        let roots: Vec<usize> = table
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| eps.iter().any(|e| f.qual() == **e || f.name == **e))
+            .map(|(i, _)| i)
+            .collect();
+        Hotness::build(ws, &table, &graph, &roots)
+    } else {
+        Hotness::default()
+    };
+    let sem = SemanticCtx { ws, ctxs, table, graph, conc, hot };
     for (code, check) in SEMANTIC {
         let rule_cfg = cfg.rule(code);
         if rule_cfg.severity == Severity::Allow {
@@ -131,12 +163,26 @@ pub(crate) fn diag(
     line: usize,
     message: String,
 ) -> Diagnostic {
-    Diagnostic { rule, severity: Severity::Error, path: ctx.path.to_string(), line, message }
+    Diagnostic {
+        rule,
+        severity: Severity::Error,
+        path: ctx.path.to_string(),
+        line,
+        message,
+        related: Vec::new(),
+    }
 }
 
 /// Constructor for semantic rules, which address files by path.
 pub(crate) fn diag_at(rule: &'static str, path: &str, line: usize, message: String) -> Diagnostic {
-    Diagnostic { rule, severity: Severity::Error, path: path.to_string(), line, message }
+    Diagnostic {
+        rule,
+        severity: Severity::Error,
+        path: path.to_string(),
+        line,
+        message,
+        related: Vec::new(),
+    }
 }
 
 /// Human-readable rationale and fix pattern per rule, for
@@ -219,6 +265,42 @@ pub fn explain(code: &str) -> Option<&'static str> {
              unsynchronized-aliasing bug waiting for the right interleaving.\n\
              Fix: use `Arc` + `Mutex`/`RwLock`, atomics, or pass owned data into the\n\
              closure."
+        }
+        "PERF001" => {
+            "PERF001 — heap allocation inside a loop in hot code.\n\
+             Why: the campaign's wall-clock is bounded by the filtered-replay inner loops\n\
+             (BENCH_sim.json measures them in Macc/s); an allocator round-trip per event or\n\
+             per phase dwarfs the arithmetic it feeds. The hotness analysis proves the loop\n\
+             is reachable from a replay entry point and the diagnostic prints that chain.\n\
+             Fix: hoist the allocation above the loop, reuse a preallocated buffer\n\
+             (`clear()` + refill), or write into a caller-provided slice."
+        }
+        "PERF002" => {
+            "PERF002 — `.clone()` / `.to_owned()` of a non-Copy value in a hot loop.\n\
+             Why: cloning a Vec or String per iteration is a hidden allocation plus a\n\
+             memcpy; snapshot-style clones inside replay loops (e.g. per-phase rank-busy\n\
+             copies) scale with event count, not result size.\n\
+             Fix: borrow (`&[...]` accessors instead of cloning getters), restructure to\n\
+             copy once before the loop, or use `copy_from_slice` into a reused buffer."
+        }
+        "PERF003" => {
+            "PERF003 — dynamic dispatch through `dyn` in a hot loop.\n\
+             Why: an indirect call per replay event blocks inlining of the callee (and\n\
+             everything behind it, e.g. the MC's range lookup), costing more than the\n\
+             dispatch itself. One virtual call per *request* is the difference between a\n\
+             devirtualized inner loop and a pipeline stall per event.\n\
+             Fix: make the driving function generic over the trait (`P: Policy + ?Sized`)\n\
+             so each concrete policy gets its own monomorphized, inlinable loop; keep the\n\
+             `dyn` boundary at the API surface where it runs once."
+        }
+        "PERF004" => {
+            "PERF004 — formatted output in hot-reachable library code.\n\
+             Why: `println!`/`write!`/`format!` reachable from a replay entry point does\n\
+             formatting work (and possibly I/O plus a stdout lock) inside the simulation's\n\
+             call tree; reporting belongs in binaries and the reporting layer, where it\n\
+             runs once per campaign rather than once per event.\n\
+             Fix: return data and let the caller render it; if a site is genuinely\n\
+             diagnostic-only, annotate it `// repolint:allow(PERF004) reason`."
         }
         "CONC004" => {
             "CONC004 — detached thread (discarded JoinHandle) in library code.\n\

@@ -1,0 +1,182 @@
+//! PERF001–PERF004: hot-path performance rules over the loop-aware
+//! hotness analysis ([`crate::hotness`]).
+//!
+//! All four rules share one shape: a *sink* (allocation, clone, `dyn`
+//! dispatch, formatted output) found by the token scanner, joined
+//! against the workspace hot set. A sink fires when its **total heat** —
+//! the enclosing function's transitive heat plus the sink's local
+//! loop depth — says it executes inside a loop reachable from a replay
+//! entry point (PERF001–PERF003), or simply when the function is
+//! hot-reachable at all (PERF004: formatted output has no business on
+//! any replay path). Sinks only count in library code; binaries
+//! allocate and print as their job, and crate scoping narrows the rules
+//! to the crates whose throughput the campaign actually depends on.
+//!
+//! Every diagnostic carries the DET004-style call chain that makes the
+//! function hot, with loop-carrying frames marked (`in loop x2`), so
+//! the *why* is auditable without rerunning the analysis.
+
+use crate::config::RuleCfg;
+use crate::diag::{Diagnostic, Related};
+use crate::hotness::{SinkKind, HEAT_CAP};
+use crate::rules::{diag_at, SemanticCtx};
+use crate::source::FileKind;
+
+/// A sink must carry at least this much total heat (function heat plus
+/// local loop depth) before PERF001–PERF003 fire. Heat 1 means "runs
+/// once per strategy / per replay call" — setup work, not the per-event
+/// inner loop; two loop levels is where a cost starts scaling with the
+/// access stream.
+const FIRE_AT: u32 = 2;
+
+/// PERF001 — heap allocation inside a loop in hot code. `format!` is an
+/// allocation too; on cold error paths it is idiomatic, so it only
+/// counts with loop heat behind it, like every other allocation here.
+pub fn check001(sem: &SemanticCtx<'_>, cfg: &RuleCfg, out: &mut Vec<Diagnostic>) {
+    check_sinks(sem, cfg, out, "PERF001", |kind, total| {
+        matches!(kind, SinkKind::Alloc | SinkKind::Format) && total >= FIRE_AT
+    });
+}
+
+/// PERF002 — `.clone()` / `.to_owned()` in a hot loop.
+pub fn check002(sem: &SemanticCtx<'_>, cfg: &RuleCfg, out: &mut Vec<Diagnostic>) {
+    check_sinks(sem, cfg, out, "PERF002", |kind, total| {
+        kind == SinkKind::Clone && total >= FIRE_AT
+    });
+}
+
+/// PERF003 — dynamic dispatch through `dyn` in a hot loop.
+pub fn check003(sem: &SemanticCtx<'_>, cfg: &RuleCfg, out: &mut Vec<Diagnostic>) {
+    check_sinks(sem, cfg, out, "PERF003", |kind, total| {
+        kind == SinkKind::DynCall && total >= FIRE_AT
+    });
+}
+
+/// PERF004 — formatted *output* (`println!`/`write!`-family) anywhere in
+/// hot-reachable library code: reporting belongs to binaries and the
+/// reporting layer, so any heat at all is a finding.
+pub fn check004(sem: &SemanticCtx<'_>, cfg: &RuleCfg, out: &mut Vec<Diagnostic>) {
+    check_sinks(sem, cfg, out, "PERF004", |kind, _| kind == SinkKind::Fmt);
+}
+
+/// What a sink costs and how to pay less, per rule.
+fn advice(rule: &str, kind: SinkKind) -> &'static str {
+    match rule {
+        "PERF001" => "hoist the allocation out of the loop or reuse a preallocated buffer",
+        "PERF002" => "borrow instead of cloning, or move the clone out of the loop",
+        "PERF003" => {
+            "devirtualize: make the caller generic over the trait so the callee can inline"
+        }
+        _ if kind == SinkKind::Format => {
+            "build the string at the reporting layer, not on the replay path"
+        }
+        _ => "move reporting to the caller or gate it behind the reporting layer",
+    }
+}
+
+fn noun(rule: &str) -> &'static str {
+    match rule {
+        "PERF001" => "heap allocation",
+        "PERF002" => "clone",
+        "PERF003" => "dynamic dispatch",
+        _ => "formatted output",
+    }
+}
+
+/// The shared join of token-level sinks against the workspace hot set.
+fn check_sinks(
+    sem: &SemanticCtx<'_>,
+    cfg: &RuleCfg,
+    out: &mut Vec<Diagnostic>,
+    rule: &'static str,
+    want: impl Fn(SinkKind, u32) -> bool,
+) {
+    let hot = &sem.hot;
+    for (fi, f) in sem.table.fns.iter().enumerate() {
+        let Some(base) = hot.heat.get(fi).copied().flatten() else { continue };
+        let ctx = &sem.ctxs[f.file];
+        if ctx.kind != FileKind::Lib {
+            continue;
+        }
+        if let Some(crates) = &cfg.crates {
+            if !crates.iter().any(|c| c == &f.crate_name) {
+                continue;
+            }
+        }
+        for s in &hot.loops[fi].sinks {
+            let total = base.saturating_add(s.depth).min(HEAT_CAP);
+            if !want(s.kind, total) || ctx.in_test(s.line) {
+                continue;
+            }
+            let (chain, related) = hot_chain(sem, fi);
+            let heat_note = if s.depth > 0 {
+                format!("loop depth {total} (function heat {base} + local loop x{})", s.depth)
+            } else {
+                format!("function heat {base}")
+            };
+            let mut d = diag_at(
+                rule,
+                ctx.path,
+                s.line,
+                format!(
+                    "{} `{}` on the hot replay path at {heat_note}; hot via: {chain} -> `{}` \
+                     ({}:{}); {}",
+                    noun(rule),
+                    s.display,
+                    s.display,
+                    ctx.path,
+                    s.line,
+                    advice(rule, s.kind),
+                ),
+            );
+            d.related = related;
+            out.push(d);
+        }
+    }
+}
+
+/// Reconstruct the hottest-path chain `root -> ... -> fns[fi]` as the
+/// message fragment plus one [`Related`] location per hop (the SARIF
+/// relatedLocations payload). Loop-carrying frames are marked with the
+/// call-site depth that amplified the heat.
+fn hot_chain(sem: &SemanticCtx<'_>, fi: usize) -> (String, Vec<Related>) {
+    let table = &sem.table;
+    let hot = &sem.hot;
+    let mut rev: Vec<String> = Vec::new();
+    let mut rel_rev: Vec<Related> = Vec::new();
+    let mut cur = fi;
+    let mut hops = 0usize;
+    loop {
+        match hot.via.get(cur).copied().flatten() {
+            // The hop budget is defensive: `via` cannot cycle, because
+            // every edge was recorded on a strict heat increase.
+            Some((parent, line, depth)) if hops <= table.fns.len() => {
+                let path = sem.ctxs[table.fns[parent].file].path;
+                let mark = if depth > 0 {
+                    format!(" (called at {path}:{line}, in loop x{depth})")
+                } else {
+                    format!(" (called at {path}:{line})")
+                };
+                rev.push(format!("`{}`{mark}", table.fns[cur].qual()));
+                rel_rev.push(Related {
+                    path: path.to_string(),
+                    line,
+                    message: if depth > 0 {
+                        format!("calls `{}` inside a loop (x{depth})", table.fns[cur].qual())
+                    } else {
+                        format!("calls `{}`", table.fns[cur].qual())
+                    },
+                });
+                cur = parent;
+                hops += 1;
+            }
+            _ => {
+                rev.push(format!("`{}` (entry point)", table.fns[cur].qual()));
+                break;
+            }
+        }
+    }
+    rev.reverse();
+    rel_rev.reverse();
+    (rev.join(" -> "), rel_rev)
+}

@@ -35,6 +35,10 @@ echo "=== trace-pipeline smoke bench (writes BENCH_trace.json) ==="
 ./target/release/bench_trace
 
 echo "=== two-phase simulation smoke bench (writes BENCH_sim.json) ==="
+# Besides the bit-identity and SimPoint-error gates, this enforces the
+# per-kernel perf_floors committed in BENCH_sim.json: filtered-replay
+# Macc/s below a floor fails the stage (the throughput ratchet that
+# keeps the monomorphized replay path from quietly re-virtualizing).
 ./target/release/bench_sim
 
 echo "=== artifact-store gate (fig07 grid, cold then warm disk, separate processes) ==="

@@ -2,8 +2,9 @@
 //! representative slices of a miss stream (SimPoint-style) must land
 //! within a small, stated error of the exact filtered replay — for every
 //! kernel and every ECC strategy — while the unified `SimRequest` entry
-//! point stays bit-identical to the legacy `run_*` methods it replaces
-//! on the exact paths.
+//! point stays bit-identical across its dispatch paths (the
+//! monomorphized default policy vs an equivalent `dyn` policy) on the
+//! exact paths.
 
 use abft_coop::abft_ecc::EccScheme;
 use abft_coop::abft_memsim::dram::AccessKind;
@@ -157,15 +158,25 @@ fn selection_and_sampled_replay_are_deterministic() {
     assert_eq!(other.slices(), a.slices());
 }
 
-// ----- SimRequest vs the legacy entry points -------------------------
+// ----- SimRequest dispatch bit-identity ------------------------------
 //
-// The deprecated `run_*` methods are thin shims over `Machine::simulate`;
-// these proofs pin the shims (and thus any out-of-tree caller's migration)
-// to bit-identical behaviour on the exact paths.
+// `Machine::simulate` monomorphizes the drive loops per policy type:
+// with no policy the default range-register lookup inlines into the
+// replay loop, with a caller policy the request keeps one `dyn` layer.
+// These proofs pin the two dispatch paths to bit-identical behaviour —
+// a hand-written policy that consults the programmed range registers
+// must reproduce the default path exactly, on every input form. (They
+// replaced the deleted `run_*` shim-equivalence tests and cover the
+// same entry-point surface, now through `simulate` alone.)
+
+/// The default protection policy, spelled as an explicit closure: what
+/// `simulate` falls back to when the request carries no policy.
+fn range_lookup_policy(_: &Access, mc: &MemoryController, paddr: u64) -> AccessKind {
+    AccessKind::Scheme(mc.scheme_for(paddr))
+}
 
 #[test]
-#[allow(deprecated)]
-fn simulate_is_bit_identical_to_the_deprecated_trace_and_source_paths() {
+fn default_dispatch_is_bit_identical_to_a_dyn_range_lookup_policy() {
     let cfg = SystemConfig::default();
     let params =
         KernelParams::Dgemm(DgemmParams { n: 192, nb: 64, abft: true, verify_interval: 2 });
@@ -173,29 +184,52 @@ fn simulate_is_bit_identical_to_the_deprecated_trace_and_source_paths() {
     let regions = abft_regions(&trace);
     for s in [Strategy::WholeChipkill, Strategy::PartialChipkillSecded, Strategy::NoEcc] {
         let assign = s.assignment(&regions);
-        let old = Machine::new(cfg.clone()).run_trace(&trace, &assign);
-        let new = Machine::new(cfg.clone()).simulate(SimRequest::trace(&trace, assign.clone()));
-        assert_eq!(old, new, "trace path / {}", s.label());
+        let fast = Machine::new(cfg.clone()).simulate(SimRequest::trace(&trace, assign.clone()));
+        // The dyn path skips the implicit `program_ecc`, so program the
+        // ranges by hand before handing over the equivalent policy.
+        let mut m = Machine::new(cfg.clone());
+        m.program_ecc(&trace.regions, &assign);
+        let mut p = range_lookup_policy;
+        let powered = assign.any_ecc();
+        let slow = m.simulate(
+            SimRequest::trace(&trace, assign.clone())
+                .with_policy(&mut p)
+                .ecc_chips_powered(powered),
+        );
+        assert_eq!(fast, slow, "trace path / {}", s.label());
 
-        let old_src = Machine::new(cfg.clone()).run_source(&mut params.stream(), &assign);
-        let new_src = Machine::new(cfg.clone())
+        let fast_src = Machine::new(cfg.clone())
             .simulate(SimRequest::source(&mut params.stream(), assign.clone()));
-        assert_eq!(old_src, new_src, "source path / {}", s.label());
+        let mut m = Machine::new(cfg.clone());
+        m.program_ecc(&trace.regions, &assign);
+        let mut p = range_lookup_policy;
+        let slow_src = m.simulate(
+            SimRequest::source(&mut params.stream(), assign.clone())
+                .with_policy(&mut p)
+                .ecc_chips_powered(powered),
+        );
+        assert_eq!(fast_src, slow_src, "source path / {}", s.label());
     }
 }
 
 #[test]
-#[allow(deprecated)]
-fn simulate_is_bit_identical_to_the_deprecated_miss_stream_path() {
+fn default_dispatch_matches_dyn_policy_on_the_miss_stream_path() {
     let cfg = SystemConfig::default();
     let params =
         KernelParams::Cg(CgParams { grid: 96, iterations: 2, abft: true, verify_interval: 2 });
     let packed = Arc::new(params.build_packed());
     let ms = filter(&packed, &cfg);
     let assign = EccAssignment::uniform(abft_coop::abft_ecc::EccScheme::Chipkill);
-    let old = Machine::new(cfg.clone()).run_miss_stream(&ms, &assign);
-    let new = Machine::new(cfg.clone()).simulate(SimRequest::miss_stream(&ms, assign));
-    assert_eq!(old, new);
+    let fast = Machine::new(cfg.clone()).simulate(SimRequest::miss_stream(&ms, assign.clone()));
+    let mut m = Machine::new(cfg.clone());
+    m.program_ecc(ms.regions(), &assign);
+    let mut p = range_lookup_policy;
+    let slow = m.simulate(
+        SimRequest::miss_stream(&ms, assign.clone())
+            .with_policy(&mut p)
+            .ecc_chips_powered(assign.any_ecc()),
+    );
+    assert_eq!(fast, slow);
 }
 
 /// An address-keyed stateless policy: deterministic, and distinct from
@@ -210,42 +244,38 @@ fn page_parity_policy(_: &Access, _: &MemoryController, paddr: u64) -> AccessKin
 }
 
 #[test]
-#[allow(deprecated)]
-fn simulate_is_bit_identical_to_the_deprecated_policy_paths() {
+fn custom_policy_is_deterministic_and_identical_across_trace_and_source() {
     let cfg = SystemConfig::default();
     let params =
         KernelParams::Dgemm(DgemmParams { n: 192, nb: 64, abft: true, verify_interval: 2 });
     let trace = params.build();
     let assign = EccAssignment::uniform(EccScheme::None);
 
-    let old = Machine::new(cfg.clone()).run_trace_with_policy(&trace, true, page_parity_policy);
+    // A materialized trace and the equivalent generator stream are the
+    // same access sequence, so a stateless policy must produce
+    // bit-identical stats on both.
     let mut p = page_parity_policy;
-    let new = Machine::new(cfg.clone()).simulate(
+    let via_trace = Machine::new(cfg.clone()).simulate(
         SimRequest::trace(&trace, assign.clone()).with_policy(&mut p).ecc_chips_powered(true),
     );
-    assert_eq!(old, new, "trace policy path");
-
-    let old_src = Machine::new(cfg.clone()).run_source_with_policy(
-        &mut params.stream(),
-        true,
-        page_parity_policy,
-    );
     let mut p = page_parity_policy;
-    let new_src = Machine::new(cfg.clone()).simulate(
+    let via_source = Machine::new(cfg.clone()).simulate(
         SimRequest::source(&mut params.stream(), assign.clone())
             .with_policy(&mut p)
             .ecc_chips_powered(true),
     );
-    assert_eq!(old_src, new_src, "source policy path");
+    assert_eq!(via_trace, via_source, "trace vs source under one policy");
 
+    // And the filtered-replay policy path is deterministic.
     let packed = Arc::new(params.build_packed());
     let ms = filter(&packed, &cfg);
-    let old_ms =
-        Machine::new(cfg.clone()).run_miss_stream_with_policy(&ms, true, page_parity_policy);
-    let mut p = page_parity_policy;
-    let new_ms = Machine::new(cfg.clone())
-        .simulate(SimRequest::miss_stream(&ms, assign).with_policy(&mut p).ecc_chips_powered(true));
-    assert_eq!(old_ms, new_ms, "miss-stream policy path");
+    let run = |aa: &EccAssignment| {
+        let mut p = page_parity_policy;
+        Machine::new(cfg.clone()).simulate(
+            SimRequest::miss_stream(&ms, aa.clone()).with_policy(&mut p).ecc_chips_powered(true),
+        )
+    };
+    assert_eq!(run(&assign), run(&assign), "miss-stream policy path is deterministic");
 }
 
 // ----- structural properties of the selection ------------------------
